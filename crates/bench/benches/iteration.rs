@@ -1,0 +1,36 @@
+//! Criterion benchmark backing Figure 3c: per-iteration cost of strategy
+//! optimization (one objective/gradient evaluation + one projection) as
+//! the domain size grows. The paper's claim is O(n³) growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_linalg::Matrix;
+use ldp_opt::{objective, project_columns};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_per_iteration");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let m = 4 * n;
+        let epsilon = 1.0_f64;
+        let gram = Matrix::identity(n);
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m];
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>());
+        let (q, _) = project_columns(&r, &z, epsilon);
+        let step = 1e-4;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let eval = objective::evaluate(&q, &gram);
+                let stepped = &q - &eval.gradient.scaled(step);
+                let (q_next, _) = project_columns(&stepped, &z, epsilon);
+                std::hint::black_box(q_next)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the analysis pipeline shared by every figure:
+//! building a mechanism's optimal reconstruction (Theorem 3.10) and
+//! computing its variance profile (Theorem 3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_core::{LdpMechanism, StrategyMatrix};
+use ldp_linalg::Matrix;
+use ldp_mechanisms::randomized_response;
+use ldp_workloads::{AllRange, Workload};
+
+fn rr_strategy(n: usize, eps: f64) -> StrategyMatrix {
+    let e = eps.exp();
+    let z = e + n as f64 - 1.0;
+    StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+        if o == u {
+            e / z
+        } else {
+            1.0 / z
+        }
+    }))
+    .unwrap()
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_reconstruction");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let s = rr_strategy(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ldp_core::variance::optimal_reconstruction(&s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance_profile_allrange");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        // All Range has p = n(n+1)/2 queries but the Gram-based profile is
+        // O(n²m) regardless — that scaling is the point of this bench.
+        let w = AllRange::new(n);
+        let gram = w.gram();
+        let mech = randomized_response(n, 1.0, &gram).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(mech.variance_profile(&gram)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruction, bench_variance_profile);
+criterion_main!(benches);

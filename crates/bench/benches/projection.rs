@@ -1,0 +1,27 @@
+//! Criterion benchmark for Algorithm 1: the bounded-simplex projection.
+//! The paper's complexity claim is O(m log m) per column,
+//! O(n·m log m) per full-matrix projection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_linalg::Matrix;
+use ldp_opt::project_columns;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_projection");
+    for &n in &[64usize, 256, 1024] {
+        let m = 4 * n;
+        let epsilon = 1.0_f64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m];
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-0.5..1.5));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(project_columns(&r, &z, epsilon)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Minimal command-line flag parsing shared by the figure binaries
+//! (no external dependency needed for `--flag` / `--key value` pairs).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: boolean flags and `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: Vec<String>,
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (exposed for tests).
+    pub fn parse(tokens: impl Iterator<Item = String>) -> Self {
+        let mut args = Args::default();
+        let mut tokens = tokens.peekable();
+        while let Some(token) = tokens.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                eprintln!("warning: ignoring positional argument '{token}'");
+                continue;
+            };
+            // `--key value` when the next token is not itself a flag.
+            let takes_value = tokens
+                .peek()
+                .map(|next| !next.starts_with("--"))
+                .unwrap_or(false);
+            if takes_value {
+                let value = tokens.next().expect("peeked value exists");
+                args.values.insert(name.to_string(), value);
+            } else {
+                args.flags.push(name.to_string());
+            }
+        }
+        args
+    }
+
+    /// True if `--name` was passed as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--name value`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses `--name value` into any `FromStr` type, with a default.
+    ///
+    /// # Panics
+    /// Panics with a clear message if the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value '{raw}' for --{name}")),
+        }
+    }
+
+    /// Parses a comma-separated list, e.g. `--epsilons 0.5,1.0,2.0`.
+    ///
+    /// # Panics
+    /// Panics if any element fails to parse.
+    pub fn get_list<T: std::str::FromStr + Clone>(&self, name: &str, default: &[T]) -> Vec<T> {
+        match self.value(name) {
+            None => default.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid element '{tok}' in --{name}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_and_values() {
+        let a = parse(&["--quick", "--domain", "128", "--seed", "7"]);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("full"));
+        assert_eq!(a.get_or("domain", 512usize), 128);
+        assert_eq!(a.get_or("seed", 0u64), 7);
+        assert_eq!(a.get_or("alpha", 0.01f64), 0.01);
+    }
+
+    #[test]
+    fn lists() {
+        let a = parse(&["--epsilons", "0.5,1.0, 2.0"]);
+        assert_eq!(a.get_list("epsilons", &[4.0]), vec![0.5, 1.0, 2.0]);
+        assert_eq!(a.get_list("domains", &[8usize, 16]), vec![8, 16]);
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // "-1" does not start with "--" so it is treated as a value.
+        let a = parse(&["--offset", "-1"]);
+        assert_eq!(a.get_or("offset", 0i64), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        let a = parse(&["--domain", "abc"]);
+        let _ = a.get_or("domain", 1usize);
+    }
+}

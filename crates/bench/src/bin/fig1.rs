@@ -1,0 +1,63 @@
+//! Figure 1 (Section 6.2): sample complexity of 7 mechanisms on 6
+//! workloads as the privacy budget ε ranges over [0.5, 4.0], at fixed
+//! domain size (paper: n = 512, α = 0.01).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin fig1            # paper scale
+//! cargo run --release -p ldp-bench --bin fig1 -- --quick # n = 64, fast
+//! ```
+//!
+//! Output: CSV `workload,epsilon,mechanism,samples` on stdout.
+
+use ldp_bench::cells::{build_mechanism, parallel_map, Effort, ALL_MECHANISMS};
+use ldp_bench::report::{banner, fmt, write_csv};
+use ldp_bench::Args;
+use ldp_workloads::paper_suite;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get_or("domain", if quick { 64 } else { 512 });
+    let alpha: f64 = args.get_or("alpha", 0.01);
+    let seed: u64 = args.get_or("seed", 0);
+    let epsilons: Vec<f64> =
+        args.get_list("epsilons", &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]);
+    let effort = Effort::from_quick_flag(quick);
+
+    let workload_count = paper_suite(n).len();
+    let total_cells = workload_count * epsilons.len();
+    banner(
+        "fig1",
+        &format!("n={n}, alpha={alpha}, {} epsilons, {total_cells} cells", epsilons.len()),
+    );
+
+    // One cell = (workload, epsilon); all 7 mechanisms are evaluated per
+    // cell so the expensive Gram matrix is built once.
+    let results = parallel_map(total_cells, |cell| {
+        let w_idx = cell / epsilons.len();
+        let eps = epsilons[cell % epsilons.len()];
+        let workload = &paper_suite(n)[w_idx];
+        let gram = workload.gram();
+        let p = workload.num_queries();
+        let mut rows = Vec::new();
+        for kind in ALL_MECHANISMS {
+            let mech = build_mechanism(kind, workload.as_ref(), &gram, eps, effort, seed);
+            let samples = mech.sample_complexity(&gram, p, alpha);
+            rows.push(vec![
+                workload.name(),
+                format!("{eps}"),
+                mech.name(),
+                fmt(samples),
+            ]);
+        }
+        banner("fig1", &format!("done {} eps={eps}", workload.name()));
+        rows
+    });
+
+    let rows: Vec<Vec<String>> = results.into_iter().flatten().collect();
+    write_csv(
+        &mut std::io::stdout().lock(),
+        &["workload", "epsilon", "mechanism", "samples"],
+        &rows,
+    );
+}

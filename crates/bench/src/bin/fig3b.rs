@@ -1,0 +1,101 @@
+//! Figure 3b (Section 6.5): sensitivity of the optimized strategy to the
+//! random initialization and to the number of outputs m.
+//!
+//! For each workload (paper: n = 64, ε = 1.0) and each
+//! m ∈ {n, 4n, 8n, 12n, 16n}, run the optimizer from `--trials` (paper:
+//! 10) random initializations, record the worst-case variance of each
+//! optimized strategy, normalize by the best found across *all* trials
+//! and m for that workload, and report median/min/max of the ratio.
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin fig3b            # paper scale
+//! cargo run --release -p ldp-bench --bin fig3b -- --quick # 3 trials
+//! ```
+//!
+//! Output: CSV `workload,m_multiple,median_ratio,min_ratio,max_ratio`.
+
+use ldp_bench::cells::parallel_map;
+use ldp_bench::report::{banner, write_csv};
+use ldp_bench::Args;
+use ldp_core::{variance, LdpMechanism};
+use ldp_opt::{optimized_mechanism, OptimizerConfig};
+use ldp_workloads::paper_suite;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get_or("domain", 64);
+    let epsilon: f64 = args.get_or("epsilon", 1.0);
+    let trials: usize = args.get_or("trials", if quick { 3 } else { 10 });
+    let iterations: usize = args.get_or("iterations", if quick { 60 } else { 150 });
+    let seed: u64 = args.get_or("seed", 0);
+    let multiples: Vec<usize> = args.get_list("multiples", &[1, 4, 8, 12, 16]);
+
+    banner(
+        "fig3b",
+        &format!("n={n}, epsilon={epsilon}, trials={trials}, multiples={multiples:?}"),
+    );
+
+    let suite = paper_suite(n);
+    let workload_count = suite.len();
+    let cells = workload_count * multiples.len() * trials;
+
+    // Each cell: one optimization run; record (workload, multiple, worst
+    // per-user variance of the optimized mechanism).
+    let results = parallel_map(cells, |cell| {
+        let trial = cell % trials;
+        let m_idx = (cell / trials) % multiples.len();
+        let w_idx = cell / (trials * multiples.len());
+        let workload = &paper_suite(n)[w_idx];
+        let gram = workload.gram();
+        let m = multiples[m_idx] * n;
+        let config = OptimizerConfig {
+            num_outputs: Some(m),
+            iterations,
+            restarts: 1,
+            step_size: None,
+            search_iterations: if quick { 6 } else { 10 },
+            initial_strategy: None,
+            seed: seed
+                .wrapping_add(trial as u64)
+                .wrapping_add((m_idx as u64) << 16)
+                .wrapping_add((w_idx as u64) << 32),
+        };
+        let mech = optimized_mechanism(&gram, epsilon, &config).expect("optimizer succeeds");
+        let profile = mech.variance_profile(&gram);
+        let worst = variance::worst_case_variance(&profile, 1.0);
+        (w_idx, m_idx, worst)
+    });
+
+    // Normalize by the best strategy found per workload; aggregate
+    // median/min/max across trials.
+    let mut rows = Vec::new();
+    for (w_idx, workload) in suite.iter().enumerate() {
+        let best = results
+            .iter()
+            .filter(|(w, _, _)| *w == w_idx)
+            .map(|(_, _, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        for (m_idx, multiple) in multiples.iter().enumerate() {
+            let mut ratios: Vec<f64> = results
+                .iter()
+                .filter(|(w, m, _)| *w == w_idx && *m == m_idx)
+                .map(|(_, _, v)| v / best)
+                .collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let median = ratios[ratios.len() / 2];
+            rows.push(vec![
+                workload.name(),
+                format!("{multiple}n"),
+                format!("{median:.4}"),
+                format!("{:.4}", ratios.first().copied().unwrap_or(f64::NAN)),
+                format!("{:.4}", ratios.last().copied().unwrap_or(f64::NAN)),
+            ]);
+        }
+    }
+    write_csv(
+        &mut std::io::stdout().lock(),
+        &["workload", "m_multiple", "median_ratio", "min_ratio", "max_ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 4 (Section 6.7): normalized variance of the optimized mechanism
+//! with and without the WNNLS non-negativity/consistency extension.
+//!
+//! Paper setting: ε = 1.0, N = 10³ users sampled from the HEPTH dataset,
+//! n = 512, 100 simulations per (workload, variant). This reproduction
+//! samples from the HEPTH-like synthetic shape (DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin fig4            # paper scale
+//! cargo run --release -p ldp-bench --bin fig4 -- --quick # n = 64, 20 runs
+//! ```
+//!
+//! Output: CSV `workload,variant,normalized_variance` on stdout; the
+//! paper's claim is that WNNLS reduces variance on every workload (by
+//! 1.96–5.6× in their setting).
+
+use ldp_bench::cells::{build_mechanism, parallel_map, Effort, MechanismKind};
+use ldp_bench::report::{banner, fmt, write_csv};
+use ldp_bench::Args;
+use ldp_data::hepth_shape;
+use ldp_estimation::{simulated_normalized_variance, Postprocess, WnnlsOptions};
+use ldp_workloads::paper_suite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n: usize = args.get_or("domain", if quick { 64 } else { 512 });
+    let epsilon: f64 = args.get_or("epsilon", 1.0);
+    let n_users: u64 = args.get_or("users", 1000);
+    let trials: usize = args.get_or("trials", if quick { 20 } else { 100 });
+    let seed: u64 = args.get_or("seed", 0);
+    let effort = Effort::from_quick_flag(quick);
+
+    banner(
+        "fig4",
+        &format!("n={n}, epsilon={epsilon}, N={n_users}, {trials} simulations"),
+    );
+
+    let workload_count = paper_suite(n).len();
+    let results = parallel_map(workload_count, |w_idx| {
+        let workload = &paper_suite(n)[w_idx];
+        let gram = workload.gram();
+        let mech =
+            build_mechanism(MechanismKind::Optimized, workload.as_ref(), &gram, epsilon, effort, seed);
+        let data = hepth_shape(n).sample(n_users, &mut StdRng::seed_from_u64(seed + 17));
+
+        let mut rng = StdRng::seed_from_u64(seed + 100 + w_idx as u64);
+        let default_var = simulated_normalized_variance(
+            workload.as_ref(),
+            mech.as_ref(),
+            &data,
+            trials,
+            Postprocess::None,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(seed + 100 + w_idx as u64);
+        let wnnls_var = simulated_normalized_variance(
+            workload.as_ref(),
+            mech.as_ref(),
+            &data,
+            trials,
+            Postprocess::Wnnls(WnnlsOptions::default()),
+            &mut rng,
+        );
+        banner(
+            "fig4",
+            &format!(
+                "{}: default {default_var:.4e}, WNNLS {wnnls_var:.4e} ({:.2}x)",
+                workload.name(),
+                default_var / wnnls_var
+            ),
+        );
+        vec![
+            vec![workload.name(), "Default".to_string(), fmt(default_var)],
+            vec![workload.name(), "WNNLS".to_string(), fmt(wnnls_var)],
+        ]
+    });
+
+    let rows: Vec<Vec<String>> = results.into_iter().flatten().collect();
+    write_csv(
+        &mut std::io::stdout().lock(),
+        &["workload", "variant", "normalized_variance"],
+        &rows,
+    );
+}

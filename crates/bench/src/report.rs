@@ -1,0 +1,65 @@
+//! CSV emission helpers for the figure binaries.
+
+use std::io::Write;
+
+/// Writes a CSV header plus rows to a writer, flushing at the end.
+///
+/// # Panics
+/// Panics on I/O errors (the binaries write to stdout) or if a row's
+/// width disagrees with the header.
+pub fn write_csv<W: Write>(out: &mut W, header: &[&str], rows: &[Vec<String>]) {
+    writeln!(out, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        writeln!(out, "{}", row.join(",")).expect("write row");
+    }
+    out.flush().expect("flush output");
+}
+
+/// Formats a float compactly for CSV (6 significant digits).
+pub fn fmt(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    if !value.is_finite() {
+        return value.to_string();
+    }
+    format!("{value:.6e}")
+}
+
+/// Prints a small banner on stderr so progress is visible without
+/// polluting the CSV on stdout.
+pub fn banner(name: &str, detail: &str) {
+    eprintln!("[{name}] {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["x".into(), "y".into()]],
+        );
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "a,b\n1,2\nx,y\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(12345.678).contains('e'));
+        assert_eq!(fmt(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Privacy auditing: independent verification of ε-LDP certificates.
+//!
+//! Mechanisms in this workspace are private *by construction* (their
+//! strategy matrices satisfy Proposition 2.6). This module provides the
+//! belt-and-braces checks a production deployment wants anyway:
+//!
+//! * [`analytic_audit`] — recomputes the exact privacy loss of a strategy
+//!   matrix and reports the worst-case (output, user-pair) witness, not
+//!   just the ε value, so a violation is actionable.
+//! * [`empirical_audit`] — a black-box Monte Carlo audit: runs the
+//!   *sampling path* of a mechanism many times for the witness user pair
+//!   and estimates the observed log-likelihood ratio per output. This
+//!   catches implementation bugs where the sampler disagrees with the
+//!   matrix (e.g. a mis-indexed alias table) that no amount of matrix
+//!   checking can see.
+
+use rand::RngCore;
+
+use crate::sampling::AliasTable;
+use crate::StrategyMatrix;
+
+/// The result of an analytic privacy audit.
+#[derive(Clone, Debug)]
+pub struct AnalyticAudit {
+    /// The exact smallest ε the strategy satisfies.
+    pub epsilon: f64,
+    /// Output index achieving the worst ratio.
+    pub worst_output: usize,
+    /// User pair `(u, u')` achieving the worst ratio at that output.
+    pub worst_pair: (usize, usize),
+}
+
+/// Recomputes the privacy loss of a strategy matrix and identifies the
+/// worst-case witness.
+///
+/// Ignores all-zero rows (outputs that never occur). Returns
+/// `epsilon = f64::INFINITY` with the offending witness if some output
+/// has zero probability for one user type but not another.
+pub fn analytic_audit(strategy: &StrategyMatrix) -> AnalyticAudit {
+    let q = strategy.matrix();
+    let mut worst = AnalyticAudit { epsilon: 0.0, worst_output: 0, worst_pair: (0, 0) };
+    for o in 0..q.rows() {
+        let row = q.row(o);
+        let (mut max_u, mut min_u) = (0usize, 0usize);
+        for (u, &v) in row.iter().enumerate() {
+            if v > row[max_u] {
+                max_u = u;
+            }
+            if v < row[min_u] {
+                min_u = u;
+            }
+        }
+        if row[max_u] == 0.0 {
+            continue; // dead output
+        }
+        let ratio = if row[min_u] == 0.0 {
+            f64::INFINITY
+        } else {
+            (row[max_u] / row[min_u]).ln()
+        };
+        if ratio > worst.epsilon {
+            worst = AnalyticAudit {
+                epsilon: ratio,
+                worst_output: o,
+                worst_pair: (max_u, min_u),
+            };
+            if ratio.is_infinite() {
+                break;
+            }
+        }
+    }
+    worst
+}
+
+/// The result of an empirical (sampling-based) privacy audit.
+#[derive(Clone, Debug)]
+pub struct EmpiricalAudit {
+    /// Largest observed per-output log-likelihood ratio between the two
+    /// audited user types (a Monte Carlo estimate of their privacy loss).
+    pub observed_epsilon: f64,
+    /// Number of samples drawn per user type.
+    pub samples: u64,
+    /// Whether the observed loss is consistent with the claimed budget
+    /// within the audit's statistical tolerance.
+    pub consistent: bool,
+}
+
+/// Samples the mechanism's response distribution for the analytic worst
+/// pair and compares observed frequencies against the claimed ε.
+///
+/// The tolerance accounts for Monte Carlo error: an output expected
+/// `k` times has relative error ≈ `1/√k`, so outputs observed fewer than
+/// 100 times are excluded from the ratio estimate and the consistency
+/// check allows a `3/√min_count` multiplicative slack.
+///
+/// # Panics
+/// Panics if `samples == 0`.
+pub fn empirical_audit(
+    strategy: &StrategyMatrix,
+    claimed_epsilon: f64,
+    samples: u64,
+    rng: &mut dyn RngCore,
+) -> EmpiricalAudit {
+    assert!(samples > 0, "audit needs at least one sample");
+    let witness = analytic_audit(strategy);
+    let (u, v) = witness.worst_pair;
+    let m = strategy.num_outputs();
+
+    let table_u = AliasTable::new(&strategy.output_distribution(u));
+    let table_v = AliasTable::new(&strategy.output_distribution(v));
+    let hist_u = table_u.sample_histogram(samples, rng);
+    let hist_v = table_v.sample_histogram(samples, rng);
+
+    let mut observed: f64 = 0.0;
+    let mut min_support = f64::INFINITY;
+    for o in 0..m {
+        let (a, b) = (hist_u[o], hist_v[o]);
+        if a < 100.0 || b < 100.0 {
+            continue; // too rare to estimate a ratio
+        }
+        let ratio = (a / b).ln().abs();
+        if ratio > observed {
+            observed = ratio;
+            min_support = a.min(b);
+        }
+    }
+    let slack = if min_support.is_finite() {
+        3.0 / min_support.sqrt()
+    } else {
+        0.0
+    };
+    EmpiricalAudit {
+        observed_epsilon: observed,
+        samples,
+        consistent: observed <= claimed_epsilon + slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rr(n: usize, eps: f64) -> StrategyMatrix {
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn analytic_audit_matches_epsilon() {
+        let s = rr(5, 1.3);
+        let audit = analytic_audit(&s);
+        assert!((audit.epsilon - 1.3).abs() < 1e-12);
+        // Witness: some diagonal vs off-diagonal pair on that output row.
+        assert_eq!(audit.worst_pair.0, audit.worst_output);
+    }
+
+    #[test]
+    fn analytic_audit_detects_violation() {
+        // An output with a zero for one user only: infinite loss.
+        let q = Matrix::from_rows(&[&[0.5, 0.4], &[0.5, 0.4], &[0.0, 0.2]]);
+        let s = StrategyMatrix::new(q).unwrap();
+        let audit = analytic_audit(&s);
+        assert!(audit.epsilon.is_infinite());
+        assert_eq!(audit.worst_output, 2);
+    }
+
+    #[test]
+    fn empirical_audit_consistent_for_valid_mechanism() {
+        let eps = 1.0;
+        let s = rr(4, eps);
+        let mut rng = StdRng::seed_from_u64(5);
+        let audit = empirical_audit(&s, eps, 200_000, &mut rng);
+        assert!(audit.consistent, "observed {}", audit.observed_epsilon);
+        // Observed loss should be near the true budget (RR's worst pair
+        // ratio is exactly e^eps).
+        assert!((audit.observed_epsilon - eps).abs() < 0.2);
+    }
+
+    #[test]
+    fn empirical_audit_flags_overclaimed_budget() {
+        // Mechanism actually satisfies eps=2; claim eps=0.5 -> must flag.
+        let s = rr(4, 2.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let audit = empirical_audit(&s, 0.5, 200_000, &mut rng);
+        assert!(!audit.consistent, "observed {}", audit.observed_epsilon);
+    }
+
+    #[test]
+    fn audit_ignores_dead_outputs() {
+        let q = Matrix::from_rows(&[&[0.7, 0.3], &[0.3, 0.7], &[0.0, 0.0]]);
+        let s = StrategyMatrix::new(q).unwrap();
+        let audit = analytic_audit(&s);
+        assert!(audit.epsilon.is_finite());
+    }
+}

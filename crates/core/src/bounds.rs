@@ -1,0 +1,156 @@
+//! Lower bounds on achievable error (Section 5.3 of the paper).
+//!
+//! Theorem 5.6: for any ε-LDP strategy matrix `Q` and workload `W` with
+//! singular values `λ_1, …, λ_n`,
+//!
+//! ```text
+//! (λ_1 + ⋯ + λ_n)² / e^ε  ≤  L(Q) = tr[(QᵀD⁻¹Q)†(WᵀW)]
+//! ```
+//!
+//! Corollary 5.7 translates this to worst-case variance. The singular
+//! values of `W` are recovered from the Gram matrix as `λ_i = √eig_i(G)`,
+//! so the bounds are computable even when `W` is never materialized.
+
+use ldp_linalg::{eigh_auto, Matrix};
+
+/// Singular values of the workload `W`, recovered from `G = WᵀW` as the
+/// square roots of its eigenvalues (clamped at zero), descending.
+///
+/// # Panics
+/// Panics if `gram` is not square.
+pub fn singular_values_from_gram(gram: &Matrix) -> Vec<f64> {
+    let e = eigh_auto(gram);
+    let mut sv: Vec<f64> = e.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    sv.reverse(); // eigh sorts ascending
+    sv
+}
+
+/// The SVD lower bound of Theorem 5.6 on the optimization objective
+/// `L(Q)`: `(Σ_i λ_i)² / e^ε`.
+///
+/// # Panics
+/// Panics if `epsilon` is not positive and finite.
+pub fn svd_bound_objective(gram: &Matrix, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
+    let nuclear: f64 = singular_values_from_gram(gram).iter().sum();
+    nuclear * nuclear / epsilon.exp()
+}
+
+/// Corollary 5.7: lower bound on the worst-case total variance of *any*
+/// factorization mechanism:
+/// `(N/n)·[(Σλ)²/e^ε − ‖W‖²_F]` with `‖W‖²_F = tr(G)`.
+///
+/// The value can be negative for very easy workloads / large ε, in which
+/// case the bound is vacuous (variance is trivially ≥ 0); callers typically
+/// clamp at zero.
+pub fn worst_case_variance_bound(gram: &Matrix, epsilon: f64, n_users: f64) -> f64 {
+    let n = gram.rows() as f64;
+    n_users / n * (svd_bound_objective(gram, epsilon) - gram.trace())
+}
+
+/// Lower bound on the sample complexity at target normalized variance
+/// `alpha` for a `num_queries`-query workload, obtained by combining
+/// Corollary 5.7 with Corollary 5.4. Clamped at zero.
+pub fn sample_complexity_bound(
+    gram: &Matrix,
+    epsilon: f64,
+    num_queries: usize,
+    alpha: f64,
+) -> f64 {
+    assert!(alpha > 0.0, "target accuracy must be positive");
+    assert!(num_queries > 0, "workload must contain at least one query");
+    let n = gram.rows() as f64;
+    let per_user = (svd_bound_objective(gram, epsilon) - gram.trace()) / n;
+    (per_user / (num_queries as f64 * alpha)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 5.8: on the Histogram workload the sample complexity of any
+    /// factorization mechanism is at least `(1/α)(1/e^ε − 1/n)`.
+    #[test]
+    fn example_5_8_histogram_lower_bound() {
+        let (n, eps, alpha) = (512usize, 1.0, 0.01);
+        let gram = Matrix::identity(n);
+        let bound = sample_complexity_bound(&gram, eps, n, alpha);
+        let expected = (1.0 / eps.exp() - 1.0 / n as f64) / alpha;
+        assert!(
+            (bound - expected).abs() / expected < 1e-9,
+            "{bound} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn singular_values_of_identity() {
+        let sv = singular_values_from_gram(&Matrix::identity(4));
+        for s in sv {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_direct_svd() {
+        let w = Matrix::from_fn(6, 4, |i, j| ((i * 3 + j * 7) % 5) as f64 - 2.0);
+        let via_gram = singular_values_from_gram(&w.gram());
+        let direct = ldp_linalg::svd(&w).singular_values;
+        for (a, b) in via_gram.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    /// Theorem 5.6 must hold for randomized response: the bound is below
+    /// the actual objective value.
+    #[test]
+    fn bound_holds_for_randomized_response() {
+        use crate::variance::strategy_objective;
+        use crate::StrategyMatrix;
+        for (n, eps) in [(4usize, 0.5), (8, 1.0), (16, 2.0)] {
+            let e: f64 = eps;
+            let ee = e.exp();
+            let z = ee + n as f64 - 1.0;
+            let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+                if o == u {
+                    ee / z
+                } else {
+                    1.0 / z
+                }
+            }))
+            .unwrap();
+            let gram = Matrix::identity(n);
+            let objective = strategy_objective(&s, &gram);
+            let bound = svd_bound_objective(&gram, e);
+            assert!(
+                bound <= objective * (1.0 + 1e-9),
+                "bound {bound} exceeds objective {objective} (n={n}, eps={e})"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_decreases_with_epsilon() {
+        let gram = Matrix::identity(16);
+        let b1 = svd_bound_objective(&gram, 0.5);
+        let b2 = svd_bound_objective(&gram, 2.0);
+        assert!(b1 > b2);
+    }
+
+    #[test]
+    fn harder_workloads_have_larger_bounds() {
+        // Prefix is strictly harder than Histogram per the paper's Sec 6.2.
+        let n = 32;
+        let prefix = Matrix::from_fn(n, n, |i, j| if j <= i { 1.0 } else { 0.0 });
+        let hist_bound = svd_bound_objective(&Matrix::identity(n), 1.0);
+        let prefix_bound = svd_bound_objective(&prefix.gram(), 1.0);
+        assert!(prefix_bound > hist_bound);
+    }
+
+    #[test]
+    fn vacuous_bound_clamped() {
+        // Tiny workload, huge epsilon: bound below zero -> clamped.
+        let gram = Matrix::identity(2);
+        let b = sample_complexity_bound(&gram, 8.0, 2, 0.01);
+        assert!(b >= 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Normalized variance and sample complexity (Section 5.2 of the paper).
+//!
+//! The paper's primary evaluation metric is *sample complexity*: the number
+//! of users needed to reach a target normalized variance `α`
+//! (Corollary 5.4, used with `α = 0.01` in Section 6). For a mechanism with
+//! per-user-type variance profile `T_u` (see
+//! [`crate::variance::variance_profile`]) on a workload of `p` queries:
+//!
+//! ```text
+//! L_norm = max_u T_u / (p·N)          (Corollary 5.3)
+//! N(α)   = max_u T_u / (p·α)          (Corollary 5.4)
+//! ```
+//!
+//! Section 6.4 replaces the worst case `max_u T_u` with the data-dependent
+//! average `Σ_u p̂_u T_u` under the empirical distribution `p̂ = x/N`.
+
+/// Normalized worst-case variance `L_norm` (Corollary 5.3) for `n_users`
+/// users on a `num_queries`-query workload.
+///
+/// # Panics
+/// Panics if `num_queries == 0` or `n_users <= 0`.
+pub fn normalized_variance(profile: &[f64], num_queries: usize, n_users: f64) -> f64 {
+    assert!(num_queries > 0, "workload must contain at least one query");
+    assert!(n_users > 0.0, "n_users must be positive");
+    let worst = profile.iter().copied().fold(0.0, f64::max);
+    worst / (num_queries as f64 * n_users)
+}
+
+/// Worst-case sample complexity `N(α)` (Corollary 5.4): users required so
+/// the normalized variance is at most `alpha`.
+///
+/// # Panics
+/// Panics if `alpha <= 0` or `num_queries == 0`.
+pub fn sample_complexity(profile: &[f64], num_queries: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "target accuracy must be positive");
+    assert!(num_queries > 0, "workload must contain at least one query");
+    let worst = profile.iter().copied().fold(0.0, f64::max);
+    worst / (num_queries as f64 * alpha)
+}
+
+/// Data-dependent sample complexity (Section 6.4): Corollary 5.4 with the
+/// worst case replaced by the exact variance under the normalized data
+/// distribution `shape` (entries sum to 1).
+///
+/// # Panics
+/// Panics if `shape.len() != profile.len()`, `alpha <= 0`, or
+/// `num_queries == 0`.
+pub fn data_sample_complexity(
+    profile: &[f64],
+    shape: &[f64],
+    num_queries: usize,
+    alpha: f64,
+) -> f64 {
+    assert!(alpha > 0.0, "target accuracy must be positive");
+    assert!(num_queries > 0, "workload must contain at least one query");
+    assert_eq!(shape.len(), profile.len(), "shape/profile length mismatch");
+    let weighted: f64 = profile.iter().zip(shape).map(|(t, p)| t * p).sum();
+    weighted / (num_queries as f64 * alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_complexity_scales_inversely_with_alpha() {
+        let profile = [2.0, 4.0, 1.0];
+        let n1 = sample_complexity(&profile, 10, 0.01);
+        let n2 = sample_complexity(&profile, 10, 0.02);
+        assert!((n1 / n2 - 2.0).abs() < 1e-12);
+        assert!((n1 - 4.0 / (10.0 * 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_variance_consistent_with_sample_complexity() {
+        // At N = N(α), the normalized variance equals α.
+        let profile = [3.0, 7.0];
+        let alpha = 0.05;
+        let n = sample_complexity(&profile, 4, alpha);
+        let nv = normalized_variance(&profile, 4, n);
+        assert!((nv - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_complexity_never_exceeds_worst_case() {
+        let profile = [1.0, 5.0, 2.0];
+        let shape = [0.5, 0.25, 0.25];
+        let worst = sample_complexity(&profile, 3, 0.01);
+        let data = data_sample_complexity(&profile, &shape, 3, 0.01);
+        assert!(data <= worst);
+        // Point mass on the worst type attains the worst case.
+        let attained = data_sample_complexity(&profile, &[0.0, 1.0, 0.0], 3, 0.01);
+        assert!((attained - worst).abs() < 1e-12);
+    }
+
+    /// Example 5.5: RR on Histogram needs
+    /// N ≥ ((n−1)/(αn))·[n/(e^ε−1)² + 2/(e^ε−1)] samples.
+    #[test]
+    fn example_5_5_randomized_response_sample_complexity() {
+        use crate::variance::{optimal_reconstruction, variance_profile};
+        use crate::StrategyMatrix;
+        use ldp_linalg::Matrix;
+        let (n, eps, alpha) = (8usize, 1.0_f64, 0.01);
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))
+        .unwrap();
+        let k = optimal_reconstruction(&s);
+        let profile = variance_profile(&s, &k, &Matrix::identity(n));
+        let measured = sample_complexity(&profile, n, alpha);
+        let nf = n as f64;
+        let expected =
+            (nf - 1.0) / (alpha * nf) * (nf / (e - 1.0).powi(2) + 2.0 / (e - 1.0));
+        assert!(
+            (measured - expected).abs() / expected < 1e-8,
+            "{measured} vs {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_alpha() {
+        let _ = sample_complexity(&[1.0], 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn rejects_empty_workload() {
+        let _ = sample_complexity(&[1.0], 0, 0.01);
+    }
+}

@@ -1,0 +1,173 @@
+//! The data vector: a histogram of user types (Definition 2.1).
+
+use crate::LdpError;
+
+/// A vector of counts indexed by user type, `x[u] = #{users of type u}`
+/// (Definition 2.1 of the paper).
+///
+/// Counts are stored as `f64` so normalized distributions and fractional
+/// expected counts can use the same type in analytical code paths.
+///
+/// ```
+/// use ldp_core::DataVector;
+/// // Example 2.2: student grades A..F with counts 10, 20, 5, 0, 0.
+/// let x = DataVector::from_counts(vec![10.0, 20.0, 5.0, 0.0, 0.0]);
+/// assert_eq!(x.total(), 35.0);
+/// assert_eq!(x.domain_size(), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataVector {
+    counts: Vec<f64>,
+}
+
+impl DataVector {
+    /// Wraps a vector of per-type counts.
+    ///
+    /// # Panics
+    /// Panics if any count is negative or non-finite.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        assert!(
+            counts.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "counts must be non-negative and finite"
+        );
+        Self { counts }
+    }
+
+    /// Builds the histogram of a list of user types over a domain of size
+    /// `n` (each user is an index `u ∈ 0..n`).
+    ///
+    /// # Errors
+    /// Returns [`LdpError::DimensionMismatch`] if any user index is out of
+    /// range.
+    pub fn from_users(users: &[usize], n: usize) -> Result<Self, LdpError> {
+        let mut counts = vec![0.0; n];
+        for &u in users {
+            if u >= n {
+                return Err(LdpError::DimensionMismatch {
+                    context: "user type index",
+                    expected: n,
+                    actual: u,
+                });
+            }
+            counts[u] += 1.0;
+        }
+        Ok(Self { counts })
+    }
+
+    /// A uniform data vector with `total` users spread evenly over `n`
+    /// types — the average-case input of Corollary 3.6.
+    pub fn uniform(n: usize, total: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        Self { counts: vec![total / n as f64; n] }
+    }
+
+    /// A point-mass data vector: all `total` users have type `u` — the
+    /// worst-case input of Corollary 3.5.
+    pub fn point_mass(n: usize, u: usize, total: f64) -> Self {
+        assert!(u < n, "type index out of range");
+        let mut counts = vec![0.0; n];
+        counts[u] = total;
+        Self { counts }
+    }
+
+    /// Number of user types `n`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of users `N = Σ_u x_u`.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// The counts as a slice.
+    #[inline]
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Consumes the vector, returning the raw counts.
+    pub fn into_counts(self) -> Vec<f64> {
+        self.counts
+    }
+
+    /// The empirical distribution `x / N`. Returns the uniform distribution
+    /// if the data vector is empty of users (`N = 0`).
+    pub fn normalized(&self) -> Vec<f64> {
+        let n_users = self.total();
+        if n_users == 0.0 {
+            return vec![1.0 / self.counts.len() as f64; self.counts.len()];
+        }
+        self.counts.iter().map(|c| c / n_users).collect()
+    }
+
+    /// Iterates over `(type, count)` pairs with non-zero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.counts.iter().copied().enumerate().filter(|(_, c)| *c > 0.0)
+    }
+
+    /// Rounds each count to the nearest integer, for use after sampling
+    /// expectations. Negative results are clamped to zero.
+    pub fn rounded(&self) -> DataVector {
+        DataVector::from_counts(self.counts.iter().map(|c| c.round().max(0.0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_users_counts_correctly() {
+        let x = DataVector::from_users(&[0, 1, 1, 2, 1], 4).unwrap();
+        assert_eq!(x.counts(), &[1.0, 3.0, 1.0, 0.0]);
+        assert_eq!(x.total(), 5.0);
+    }
+
+    #[test]
+    fn from_users_rejects_out_of_range() {
+        assert!(DataVector::from_users(&[5], 4).is_err());
+    }
+
+    #[test]
+    fn uniform_and_point_mass() {
+        let u = DataVector::uniform(4, 100.0);
+        assert_eq!(u.counts(), &[25.0; 4]);
+        let p = DataVector::point_mass(4, 2, 100.0);
+        assert_eq!(p.counts(), &[0.0, 0.0, 100.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let x = DataVector::from_counts(vec![10.0, 20.0, 5.0, 0.0, 0.0]);
+        let p = x.normalized();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        assert!((p[1] - 20.0 / 35.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalized_of_empty_data_is_uniform() {
+        let x = DataVector::from_counts(vec![0.0; 4]);
+        assert_eq!(x.normalized(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn nonzero_iterator_skips_zeros() {
+        let x = DataVector::from_counts(vec![1.0, 0.0, 2.0]);
+        let nz: Vec<_> = x.nonzero().collect();
+        assert_eq!(nz, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_count_panics() {
+        let _ = DataVector::from_counts(vec![-1.0]);
+    }
+
+    #[test]
+    fn rounded_clamps_and_rounds() {
+        let x = DataVector::from_counts(vec![1.4, 2.6, 0.0]);
+        assert_eq!(x.rounded().counts(), &[1.0, 3.0, 0.0]);
+    }
+}

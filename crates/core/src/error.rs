@@ -1,0 +1,104 @@
+//! Error type shared across the workspace's LDP crates.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating LDP mechanisms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LdpError {
+    /// A strategy matrix column does not sum to 1 (within tolerance).
+    ColumnNotStochastic {
+        /// Offending column (user type index).
+        column: usize,
+        /// The actual column sum.
+        sum: f64,
+    },
+    /// A strategy matrix entry is negative or non-finite.
+    InvalidProbability {
+        /// Row (output) index.
+        row: usize,
+        /// Column (user type) index.
+        column: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The strategy matrix violates the ε-LDP row-ratio constraint.
+    PrivacyViolation {
+        /// The privacy budget that was requested.
+        requested_epsilon: f64,
+        /// The smallest ε the matrix actually satisfies (may be infinite).
+        actual_epsilon: f64,
+    },
+    /// The privacy budget must be a positive finite number.
+    InvalidEpsilon(f64),
+    /// The workload is not contained in the row space of the strategy, so
+    /// no reconstruction matrix with `W = VQ` exists (Theorem 3.10's
+    /// `W = WQ†Q` condition fails).
+    WorkloadNotSupported {
+        /// Max-norm of the row-space residual `(I−KQ)ᵀG(I−KQ)`.
+        residual: f64,
+    },
+    /// A dimension mismatch between interacting objects.
+    DimensionMismatch {
+        /// Human-readable description of what mismatched.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Received dimension.
+        actual: usize,
+    },
+    /// Numerical optimization failed to produce a usable result.
+    OptimizationFailed(String),
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::ColumnNotStochastic { column, sum } => {
+                write!(f, "strategy column {column} sums to {sum}, expected 1")
+            }
+            LdpError::InvalidProbability { row, column, value } => {
+                write!(f, "strategy entry ({row}, {column}) = {value} is not a probability")
+            }
+            LdpError::PrivacyViolation { requested_epsilon, actual_epsilon } => write!(
+                f,
+                "strategy satisfies only {actual_epsilon}-LDP, \
+                 which exceeds the requested budget {requested_epsilon}"
+            ),
+            LdpError::InvalidEpsilon(eps) => {
+                write!(f, "privacy budget must be positive and finite, got {eps}")
+            }
+            LdpError::WorkloadNotSupported { residual } => write!(
+                f,
+                "workload is not in the row space of the strategy \
+                 (residual {residual:.3e}); no unbiased reconstruction exists"
+            ),
+            LdpError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+            LdpError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = LdpError::ColumnNotStochastic { column: 3, sum: 0.5 };
+        assert!(e.to_string().contains("column 3"));
+        let e = LdpError::PrivacyViolation { requested_epsilon: 1.0, actual_epsilon: 2.0 };
+        assert!(e.to_string().contains('2'));
+        let e = LdpError::DimensionMismatch { context: "gram", expected: 4, actual: 5 };
+        assert!(e.to_string().contains("gram"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(LdpError::InvalidEpsilon(-1.0));
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Core abstractions for linear query answering under local differential
+//! privacy (LDP), following McKenna, Maity, Mazumdar & Miklau,
+//! *"A workload-adaptive mechanism for linear queries under local
+//! differential privacy"*, VLDB 2020.
+//!
+//! The crate provides the paper's Section 2–3 and Section 5 machinery:
+//!
+//! * [`DataVector`] — the histogram-of-users representation (Definition 2.1).
+//! * [`StrategyMatrix`] — an `m × n` column-stochastic matrix encoding a
+//!   conditional distribution `Pr[M(u) = o] = Q[o, u]` with its ε-LDP
+//!   validity checks (Proposition 2.6).
+//! * [`FactorizationMechanism`] — the workload factorization mechanism
+//!   `M_{V,Q}(x) = V·M_Q(x)` (Definition 3.2), stored via the data-vector
+//!   estimator `K` with `V = W·K`, so that workloads with millions of
+//!   queries never materialize `V`.
+//! * [`variance`] — exact, worst-case and average-case variance
+//!   (Theorem 3.4, Corollaries 3.5/3.6), the trace objective
+//!   (Theorems 3.9/3.11) and the optimal reconstruction (Theorem 3.10).
+//! * [`complexity`] — normalized variance and sample complexity
+//!   (Definition 5.2, Corollaries 5.3/5.4).
+//! * [`bounds`] — the SVD lower bound (Theorem 5.6, Corollary 5.7).
+//! * [`LdpMechanism`] — the common trait implemented by the optimized
+//!   mechanism and every baseline in `ldp-mechanisms`.
+//!
+//! Everything is expressed through the workload Gram matrix `G = WᵀW`
+//! rather than `W` itself; see `DESIGN.md` §3 for why this is the key to
+//! scaling past `p = O(n²)` query workloads.
+
+pub mod audit;
+pub mod bounds;
+pub mod complexity;
+mod data;
+mod error;
+mod mechanism;
+pub mod protocol;
+pub mod sampling;
+mod strategy;
+mod traits;
+pub mod variance;
+
+pub use data::DataVector;
+pub use error::LdpError;
+pub use mechanism::{FactorizationMechanism, ResponseVector};
+pub use strategy::StrategyMatrix;
+pub use traits::LdpMechanism;
+
+/// Re-export of the linear algebra substrate used throughout.
+pub use ldp_linalg as linalg;

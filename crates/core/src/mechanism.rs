@@ -1,0 +1,320 @@
+//! The workload factorization mechanism (Definition 3.2).
+
+use ldp_linalg::Matrix;
+use rand::RngCore;
+
+use crate::sampling::AliasTable;
+use crate::{variance, DataVector, LdpError, LdpMechanism, StrategyMatrix};
+
+/// Tolerance on the row-space residual when validating that a workload is
+/// answerable by a strategy (`W = WQ†Q`, Theorem 3.10).
+const ROWSPACE_TOL: f64 = 1e-6;
+
+/// The histogram of randomized responses collected from all users:
+/// `y[o] = #{users whose randomized report was output o}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseVector {
+    counts: Vec<f64>,
+}
+
+impl ResponseVector {
+    /// Wraps raw per-output counts.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        Self { counts }
+    }
+
+    /// Number of possible outputs `m`.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total reports collected (equals the number of users).
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// The counts as a slice.
+    #[inline]
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+}
+
+/// The workload factorization mechanism `M_{V,Q}(x) = V·M_Q(x)`
+/// (Definition 3.2), stored via the data-vector estimator `K` with
+/// `V = W·K`.
+///
+/// Construction takes a validated [`StrategyMatrix`], computes the optimal
+/// reconstruction of Theorem 3.10, and verifies the workload (given by its
+/// Gram matrix) lies in the strategy's row space, so unbiased estimation is
+/// possible.
+///
+/// ```
+/// use ldp_core::{DataVector, FactorizationMechanism, LdpMechanism, StrategyMatrix};
+/// use ldp_linalg::Matrix;
+/// use rand::SeedableRng;
+///
+/// // Randomized response on a 3-type domain, Histogram workload.
+/// let eps = 1.0_f64;
+/// let z = eps.exp() + 2.0;
+/// let q = Matrix::from_fn(3, 3, |o, u| if o == u { eps.exp() / z } else { 1.0 / z });
+/// let strategy = StrategyMatrix::new(q).unwrap();
+/// let gram = Matrix::identity(3);
+/// let mech = FactorizationMechanism::new(strategy, &gram, eps).unwrap();
+///
+/// let data = DataVector::from_counts(vec![600.0, 300.0, 100.0]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let estimate = mech.run(&data, &mut rng);
+/// assert_eq!(estimate.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FactorizationMechanism {
+    strategy: StrategyMatrix,
+    /// Data-vector estimator `K = (QᵀD⁻¹Q)†QᵀD⁻¹` (`n × m`).
+    k: Matrix,
+    epsilon: f64,
+    name: String,
+}
+
+impl FactorizationMechanism {
+    /// Builds the mechanism from a strategy, validating ε-LDP and that the
+    /// workload (Gram matrix `gram`) is answerable.
+    ///
+    /// # Errors
+    /// * [`LdpError::PrivacyViolation`] if the strategy exceeds `epsilon`.
+    /// * [`LdpError::WorkloadNotSupported`] if `W` is not in the row space
+    ///   of the strategy.
+    /// * [`LdpError::DimensionMismatch`] if `gram` is not `n × n`.
+    pub fn new(
+        strategy: StrategyMatrix,
+        gram: &Matrix,
+        epsilon: f64,
+    ) -> Result<Self, LdpError> {
+        strategy.check_ldp(epsilon)?;
+        Self::new_unchecked_privacy(strategy, gram, epsilon)
+    }
+
+    /// Like [`FactorizationMechanism::new`] but trusts the caller on the
+    /// privacy budget (used by constructions whose budget is known by
+    /// derivation, e.g. closed-form baselines, avoiding an O(mn²) check).
+    pub fn new_unchecked_privacy(
+        strategy: StrategyMatrix,
+        gram: &Matrix,
+        epsilon: f64,
+    ) -> Result<Self, LdpError> {
+        if gram.rows() != strategy.domain_size() || !gram.is_square() {
+            return Err(LdpError::DimensionMismatch {
+                context: "workload Gram matrix",
+                expected: strategy.domain_size(),
+                actual: gram.rows(),
+            });
+        }
+        let k = variance::optimal_reconstruction(&strategy);
+        let residual = variance::rowspace_residual(&strategy, &k, gram);
+        let scale = gram.max_abs().max(1.0);
+        if residual > ROWSPACE_TOL * scale {
+            return Err(LdpError::WorkloadNotSupported { residual });
+        }
+        Ok(Self { strategy, k, epsilon, name: "Factorization".to_string() })
+    }
+
+    /// Sets the display name used in reports (e.g. "Optimized",
+    /// "Randomized Response").
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The strategy matrix `Q`.
+    pub fn strategy(&self) -> &StrategyMatrix {
+        &self.strategy
+    }
+
+    /// The data-vector estimator `K` (`n × m`) with `V = W·K`.
+    pub fn reconstruction(&self) -> &Matrix {
+        &self.k
+    }
+
+    /// Executes the local protocol: every user of type `u` draws one output
+    /// from column `q_u`. Returns the aggregated response histogram.
+    ///
+    /// Counts are rounded to whole users (fractional expected counts are
+    /// sampled as their floor plus a Bernoulli remainder would be overkill;
+    /// analytic code paths never call this).
+    pub fn collect(&self, data: &DataVector, rng: &mut dyn RngCore) -> ResponseVector {
+        assert_eq!(
+            data.domain_size(),
+            self.strategy.domain_size(),
+            "data domain must match mechanism domain"
+        );
+        let m = self.strategy.num_outputs();
+        let mut y = vec![0.0; m];
+        for (u, count) in data.nonzero() {
+            let users = count.round() as u64;
+            if users == 0 {
+                continue;
+            }
+            let table = AliasTable::new(&self.strategy.output_distribution(u));
+            for (yo, h) in y.iter_mut().zip(table.sample_histogram(users, rng)) {
+                *yo += h;
+            }
+        }
+        ResponseVector::from_counts(y)
+    }
+
+    /// Post-processes a response vector into the unbiased data-vector
+    /// estimate `x̂ = K·y`. Workload answers are `W·x̂`.
+    pub fn estimate(&self, responses: &ResponseVector) -> Vec<f64> {
+        assert_eq!(responses.num_outputs(), self.strategy.num_outputs());
+        self.k.matvec(responses.counts())
+    }
+
+    /// The expected response histogram `E[y] = Q·x` — handy for tests and
+    /// debugging.
+    pub fn expected_responses(&self, data: &DataVector) -> Vec<f64> {
+        self.strategy.matrix().matvec(data.counts())
+    }
+}
+
+impl LdpMechanism for FactorizationMechanism {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn domain_size(&self) -> usize {
+        self.strategy.domain_size()
+    }
+
+    fn variance_profile(&self, gram: &Matrix) -> Vec<f64> {
+        variance::variance_profile(&self.strategy, &self.k, gram)
+    }
+
+    fn run(&self, data: &DataVector, rng: &mut dyn RngCore) -> Vec<f64> {
+        let y = self.collect(data, rng);
+        self.estimate(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rr_mechanism(n: usize, eps: f64) -> FactorizationMechanism {
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        let q = Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z });
+        let strategy = StrategyMatrix::new(q).unwrap();
+        FactorizationMechanism::new(strategy, &Matrix::identity(n), eps).unwrap()
+    }
+
+    #[test]
+    fn rejects_strategy_exceeding_budget() {
+        let n = 3;
+        let e = 2.0_f64.exp();
+        let z = e + n as f64 - 1.0;
+        let q = Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z });
+        let s = StrategyMatrix::new(q).unwrap();
+        let err = FactorizationMechanism::new(s, &Matrix::identity(n), 1.0);
+        assert!(matches!(err, Err(LdpError::PrivacyViolation { .. })));
+    }
+
+    #[test]
+    fn rejects_unanswerable_workload() {
+        // Rank-1 strategy cannot answer the Histogram workload.
+        let q = Matrix::filled(4, 4, 0.25);
+        let s = StrategyMatrix::new(q).unwrap();
+        let err = FactorizationMechanism::new(s, &Matrix::identity(4), 1.0);
+        assert!(matches!(err, Err(LdpError::WorkloadNotSupported { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_gram_dimension() {
+        let mech = rr_mechanism(3, 1.0);
+        let s = mech.strategy().clone();
+        let err = FactorizationMechanism::new(s, &Matrix::identity(4), 1.0);
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn estimate_is_unbiased_in_expectation() {
+        // x̂ = K·E[y] = K·Q·x must equal x exactly for full-rank strategies.
+        let mech = rr_mechanism(5, 1.0);
+        let data = DataVector::from_counts(vec![10.0, 20.0, 5.0, 0.0, 0.0]);
+        let expected_y = mech.expected_responses(&data);
+        let xhat = mech.k.matvec(&expected_y);
+        for (a, b) in xhat.iter().zip(data.counts()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_user_count() {
+        let mech = rr_mechanism(4, 1.0);
+        let data = DataVector::from_counts(vec![100.0, 50.0, 25.0, 25.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let y = mech.collect(&data, &mut rng);
+        assert_eq!(y.total(), 200.0);
+        assert_eq!(y.num_outputs(), 4);
+    }
+
+    #[test]
+    fn monte_carlo_variance_matches_analytic() {
+        // Empirical total workload variance over many runs should be close
+        // to the analytic Theorem 3.4 value (Histogram workload, so the
+        // workload error is the data-vector error).
+        let n = 4;
+        let eps = 1.0;
+        let mech = rr_mechanism(n, eps);
+        let gram = Matrix::identity(n);
+        let data = DataVector::from_counts(vec![400.0, 300.0, 200.0, 100.0]);
+        let analytic = mech.data_variance(&gram, &data);
+
+        let mut rng = StdRng::seed_from_u64(1234);
+        let trials = 600;
+        let mut total_sq_err = 0.0;
+        for _ in 0..trials {
+            let xhat = mech.run(&data, &mut rng);
+            let err: f64 = xhat
+                .iter()
+                .zip(data.counts())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            total_sq_err += err;
+        }
+        let empirical = total_sq_err / trials as f64;
+        let rel = (empirical - analytic).abs() / analytic;
+        assert!(
+            rel < 0.15,
+            "empirical {empirical} vs analytic {analytic} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn run_against_prefix_workload() {
+        // Non-identity gram: mechanism still unbiased; variance finite.
+        let n = 4;
+        let w = Matrix::from_fn(n, n, |i, j| if j <= i { 1.0 } else { 0.0 });
+        let gram = w.gram();
+        let e = 1.0_f64.exp();
+        let z = e + n as f64 - 1.0;
+        let q = Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z });
+        let s = StrategyMatrix::new(q).unwrap();
+        let mech = FactorizationMechanism::new(s, &gram, 1.0).unwrap();
+        let profile = mech.variance_profile(&gram);
+        assert_eq!(profile.len(), n);
+        assert!(profile.iter().all(|t| t.is_finite() && *t > 0.0));
+    }
+
+    #[test]
+    fn with_name_changes_reporting_name() {
+        let mech = rr_mechanism(3, 1.0).with_name("Randomized Response");
+        assert_eq!(mech.name(), "Randomized Response");
+    }
+}

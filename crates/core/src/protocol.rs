@@ -1,0 +1,256 @@
+//! The deployment-facing client/aggregator protocol.
+//!
+//! [`FactorizationMechanism::run`](crate::LdpMechanism::run)
+//! simulates a whole population in one call; a real deployment instead
+//! has many independent clients, each holding only the (public) strategy
+//! matrix, reporting once, and an aggregator that folds reports into a
+//! response histogram as they arrive. This module provides exactly that
+//! split:
+//!
+//! * [`Client`] — wraps the public strategy; `respond(my_type)` draws one
+//!   randomized report. This is the *only* place user data touches the
+//!   pipeline, and the output is a bare output index `o ∈ [m]`.
+//! * [`Aggregator`] — accumulates reports incrementally and produces the
+//!   unbiased data-vector estimate on demand; estimates can be read at
+//!   any time (e.g. for progressive dashboards) without disturbing
+//!   collection.
+//!
+//! ```
+//! use ldp_core::protocol::{Aggregator, Client};
+//! use ldp_core::{FactorizationMechanism, StrategyMatrix};
+//! use ldp_linalg::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let eps = 1.0_f64;
+//! let z = eps.exp() + 2.0;
+//! let q = Matrix::from_fn(3, 3, |o, u| if o == u { eps.exp() / z } else { 1.0 / z });
+//! let mech = FactorizationMechanism::new(
+//!     StrategyMatrix::new(q).unwrap(), &Matrix::identity(3), eps).unwrap();
+//!
+//! let client = Client::new(mech.strategy().clone());
+//! let mut aggregator = Aggregator::new(&mech);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! for _ in 0..100 {
+//!     aggregator.ingest(client.respond(2, &mut rng)).unwrap();
+//! }
+//! assert_eq!(aggregator.reports(), 100);
+//! let estimate = aggregator.estimate();
+//! assert_eq!(estimate.len(), 3);
+//! ```
+
+use ldp_linalg::Matrix;
+use rand::RngCore;
+
+use crate::sampling::AliasTable;
+use crate::{FactorizationMechanism, LdpError, StrategyMatrix};
+
+/// The client side of the protocol: holds the public strategy and
+/// produces one randomized report per user.
+///
+/// Alias tables for every user type are precomputed at construction, so
+/// `respond` is O(1) and allocation-free — suitable for embedding in
+/// high-volume telemetry paths.
+#[derive(Clone, Debug)]
+pub struct Client {
+    tables: Vec<AliasTable>,
+    num_outputs: usize,
+}
+
+impl Client {
+    /// Builds a client from the deployment's public strategy matrix.
+    pub fn new(strategy: StrategyMatrix) -> Self {
+        let tables = (0..strategy.domain_size())
+            .map(|u| AliasTable::new(&strategy.output_distribution(u)))
+            .collect();
+        Self { tables, num_outputs: strategy.num_outputs() }
+    }
+
+    /// Domain size `n` this client can report over.
+    pub fn domain_size(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of possible reports `m`.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Draws the randomized report for a user of type `user_type`.
+    ///
+    /// # Panics
+    /// Panics if `user_type` is out of range — a misconfigured client
+    /// must fail closed rather than submit something unprotected.
+    pub fn respond(&self, user_type: usize, rng: &mut dyn RngCore) -> usize {
+        self.tables[user_type].sample(rng)
+    }
+}
+
+/// The analyst side of the protocol: folds reports into the response
+/// histogram and post-processes on demand.
+#[derive(Clone, Debug)]
+pub struct Aggregator {
+    counts: Vec<f64>,
+    reconstruction: Matrix,
+}
+
+impl Aggregator {
+    /// Builds an aggregator sharing the mechanism's reconstruction.
+    pub fn new(mechanism: &FactorizationMechanism) -> Self {
+        Self {
+            counts: vec![0.0; mechanism.strategy().num_outputs()],
+            reconstruction: mechanism.reconstruction().clone(),
+        }
+    }
+
+    /// Ingests one client report.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] for an out-of-range report (e.g. a
+    /// corrupted or malicious submission) — the report is *not* counted.
+    pub fn ingest(&mut self, report: usize) -> Result<(), LdpError> {
+        let Some(slot) = self.counts.get_mut(report) else {
+            return Err(LdpError::DimensionMismatch {
+                context: "client report",
+                expected: self.counts.len(),
+                actual: report,
+            });
+        };
+        *slot += 1.0;
+        Ok(())
+    }
+
+    /// Ingests a batch of reports, stopping at the first invalid one.
+    ///
+    /// # Errors
+    /// Propagates the first [`LdpError`] encountered; earlier reports in
+    /// the batch remain counted.
+    pub fn ingest_batch(&mut self, reports: &[usize]) -> Result<(), LdpError> {
+        for &r in reports {
+            self.ingest(r)?;
+        }
+        Ok(())
+    }
+
+    /// Number of reports collected so far.
+    pub fn reports(&self) -> u64 {
+        self.counts.iter().sum::<f64>() as u64
+    }
+
+    /// The raw response histogram collected so far.
+    pub fn responses(&self) -> crate::ResponseVector {
+        crate::ResponseVector::from_counts(self.counts.clone())
+    }
+
+    /// The current unbiased data-vector estimate `x̂ = K·y`. Can be called
+    /// at any time; collection continues afterwards.
+    pub fn estimate(&self) -> Vec<f64> {
+        self.reconstruction.matvec(&self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mechanism(n: usize, eps: f64) -> FactorizationMechanism {
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        let q = Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z });
+        FactorizationMechanism::new(
+            StrategyMatrix::new(q).unwrap(),
+            &Matrix::identity(n),
+            eps,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn protocol_matches_batch_run_distribution() {
+        // Collect via the client/aggregator path and via `run`; both are
+        // unbiased, so their estimates must agree in expectation.
+        let n = 4;
+        let mech = mechanism(n, 1.0);
+        let client = Client::new(mech.strategy().clone());
+        let data = DataVector::from_counts(vec![500.0, 300.0, 150.0, 50.0]);
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 40;
+        let mut protocol_mean = vec![0.0; n];
+        for _ in 0..trials {
+            let mut agg = Aggregator::new(&mech);
+            for (u, count) in data.nonzero() {
+                for _ in 0..count as u64 {
+                    agg.ingest(client.respond(u, &mut rng)).unwrap();
+                }
+            }
+            for (m, v) in protocol_mean.iter_mut().zip(agg.estimate()) {
+                *m += v / trials as f64;
+            }
+        }
+        for (mean, truth) in protocol_mean.iter().zip(data.counts()) {
+            assert!(
+                (mean - truth).abs() < 0.15 * data.total(),
+                "{mean} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregator_counts_and_incremental_estimates() {
+        let mech = mechanism(3, 1.0);
+        let mut agg = Aggregator::new(&mech);
+        assert_eq!(agg.reports(), 0);
+        agg.ingest_batch(&[0, 1, 1, 2]).unwrap();
+        assert_eq!(agg.reports(), 4);
+        assert_eq!(agg.responses().counts(), &[1.0, 2.0, 1.0]);
+        // Estimate readable mid-collection and total-preserving.
+        let est: f64 = agg.estimate().iter().sum();
+        assert!((est - 4.0).abs() < 1e-9);
+        agg.ingest(0).unwrap();
+        assert_eq!(agg.reports(), 5);
+    }
+
+    #[test]
+    fn aggregator_rejects_corrupted_report() {
+        let mech = mechanism(3, 1.0);
+        let mut agg = Aggregator::new(&mech);
+        agg.ingest(2).unwrap();
+        let err = agg.ingest(99);
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
+        // The bad report was not counted; earlier ones were.
+        assert_eq!(agg.reports(), 1);
+    }
+
+    #[test]
+    fn client_reports_in_range_and_biased_to_truth() {
+        let mech = mechanism(5, 3.0);
+        let client = Client::new(mech.strategy().clone());
+        assert_eq!(client.domain_size(), 5);
+        assert_eq!(client.num_outputs(), 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let r = client.respond(2, &mut rng);
+            assert!(r < 5);
+            if r == 2 {
+                hits += 1;
+            }
+        }
+        // At eps=3, P(truth) = e^3/(e^3+4) ≈ 0.834.
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.834).abs() < 0.04, "freq {freq}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn client_fails_closed_on_bad_type() {
+        let mech = mechanism(3, 1.0);
+        let client = Client::new(mech.strategy().clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = client.respond(7, &mut rng);
+    }
+}

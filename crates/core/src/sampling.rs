@@ -1,0 +1,184 @@
+//! Discrete sampling utilities: Vose's alias method.
+//!
+//! Executing an LDP mechanism draws one output per user from that user's
+//! column of the strategy matrix. With hundreds of thousands of users and
+//! `m = 4n` outputs, O(1)-per-draw alias tables beat binary search on a
+//! cumulative distribution.
+
+use rand::Rng;
+
+/// An alias table for O(1) sampling from a fixed discrete distribution
+/// (Vose's method).
+///
+/// ```
+/// use ldp_core::sampling::AliasTable;
+/// use rand::SeedableRng;
+/// let table = AliasTable::new(&[0.2, 0.5, 0.3]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (they need not sum
+    /// to 1; they are normalized internally).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cannot sample from an empty distribution");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must be non-negative with positive finite sum"
+        );
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0; n];
+        // Scaled probabilities; >1 means "large", <1 means "small".
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight");
+                w * scale
+            })
+            .collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never constructed — `new`
+    /// panics on empty input — but provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Draws `count` samples and accumulates them into a histogram of
+    /// length [`AliasTable::len`].
+    pub fn sample_histogram<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> Vec<f64> {
+        let mut hist = vec![0.0; self.len()];
+        for _ in 0..count {
+            hist[self.sample(rng)] += 1.0;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_category_always_zero() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_distribution() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let hist = t.sample_histogram(n, &mut rng);
+        for (h, w) in hist.iter().zip(&weights) {
+            let freq = h / n as f64;
+            assert!(
+                (freq - w).abs() < 0.01,
+                "frequency {freq} too far from weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_accepted() {
+        let t = AliasTable::new(&[2.0, 6.0]); // 25% / 75%
+        let mut rng = StdRng::seed_from_u64(4);
+        let hist = t.sample_histogram(100_000, &mut rng);
+        assert!((hist[1] / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let t = AliasTable::new(&[1.0; 10]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hist = t.sample_histogram(100_000, &mut rng);
+        for h in hist {
+            assert!((h / 100_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn zero_sum_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

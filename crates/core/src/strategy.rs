@@ -1,0 +1,261 @@
+//! Strategy matrices: mechanisms as conditional probability tables
+//! (Proposition 2.6).
+
+use ldp_linalg::Matrix;
+
+use crate::LdpError;
+
+/// Tolerance for column-stochasticity checks. Strategy matrices coming out
+/// of floating point projections sum to 1 up to accumulated rounding.
+const STOCHASTIC_TOL: f64 = 1e-8;
+
+/// An `m × n` strategy matrix `Q` with `Q[o, u] = Pr[M(u) = o]`
+/// (Proposition 2.6 of the paper).
+///
+/// Construction validates the probability-simplex conditions (entries
+/// non-negative, columns summing to 1). The ε-LDP condition is checked
+/// separately via [`StrategyMatrix::epsilon`] /
+/// [`StrategyMatrix::check_ldp`] because a given matrix satisfies a
+/// continuum of budgets.
+///
+/// ```
+/// use ldp_core::StrategyMatrix;
+/// use ldp_linalg::Matrix;
+/// // Binary randomized response at eps = ln 3.
+/// let q = Matrix::from_rows(&[&[0.75, 0.25], &[0.25, 0.75]]);
+/// let s = StrategyMatrix::new(q).unwrap();
+/// assert!((s.epsilon() - 3.0_f64.ln()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StrategyMatrix {
+    q: Matrix,
+}
+
+impl StrategyMatrix {
+    /// Validates and wraps a column-stochastic matrix.
+    ///
+    /// # Errors
+    /// * [`LdpError::InvalidProbability`] for negative/non-finite entries.
+    /// * [`LdpError::ColumnNotStochastic`] if a column does not sum to 1.
+    pub fn new(q: Matrix) -> Result<Self, LdpError> {
+        for i in 0..q.rows() {
+            for j in 0..q.cols() {
+                let v = q[(i, j)];
+                if !v.is_finite() || v < 0.0 {
+                    return Err(LdpError::InvalidProbability { row: i, column: j, value: v });
+                }
+            }
+        }
+        let sums = q.col_sums();
+        for (j, s) in sums.iter().enumerate() {
+            if (s - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(LdpError::ColumnNotStochastic { column: j, sum: *s });
+            }
+        }
+        Ok(Self { q })
+    }
+
+    /// Wraps a matrix after renormalizing each column to sum to exactly 1.
+    /// Intended for matrices built from closed-form proportional entries
+    /// (as in Table 1 of the paper) where the normalizer is implicit.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidProbability`] for negative entries or an
+    /// all-zero column.
+    pub fn from_unnormalized(mut q: Matrix) -> Result<Self, LdpError> {
+        let sums = q.col_sums();
+        for (j, s) in sums.iter().enumerate() {
+            if *s <= 0.0 || !s.is_finite() {
+                return Err(LdpError::InvalidProbability { row: 0, column: j, value: *s });
+            }
+        }
+        for i in 0..q.rows() {
+            for j in 0..q.cols() {
+                q[(i, j)] /= sums[j];
+            }
+        }
+        Self::new(q)
+    }
+
+    /// Number of outputs `m = |O|`.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Number of user types `n = |U|`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.q.cols()
+    }
+
+    /// The underlying matrix.
+    #[inline]
+    pub fn matrix(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Consumes the wrapper, returning the matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.q
+    }
+
+    /// The diagonal of `D_Q = Diag(Q·1)` — the row sums of `Q`
+    /// (Theorem 3.9). Under the simplex constraint these sum to `n`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.q.row_sums()
+    }
+
+    /// The smallest ε such that this matrix is ε-LDP: the maximum over
+    /// outputs `o` of `ln(max_u Q[o,u] / min_u Q[o,u])`.
+    ///
+    /// Returns `f64::INFINITY` if some output has both zero and non-zero
+    /// probability across user types (no finite budget suffices). Rows that
+    /// are identically zero are ignored — they correspond to outputs that
+    /// never occur and can be dropped without changing the mechanism.
+    pub fn epsilon(&self) -> f64 {
+        let mut eps = 0.0_f64;
+        for o in 0..self.q.rows() {
+            let row = self.q.row(o);
+            let max = row.iter().copied().fold(f64::MIN, f64::max);
+            let min = row.iter().copied().fold(f64::MAX, f64::min);
+            if max == 0.0 {
+                continue; // output never occurs
+            }
+            if min == 0.0 {
+                return f64::INFINITY;
+            }
+            eps = eps.max((max / min).ln());
+        }
+        eps
+    }
+
+    /// Checks the matrix satisfies `epsilon`-LDP up to a small relative
+    /// slack (covers strategies produced by floating point projections
+    /// whose ratio touches `e^ε` exactly).
+    ///
+    /// # Errors
+    /// [`LdpError::PrivacyViolation`] with the actual budget on failure,
+    /// or [`LdpError::InvalidEpsilon`] for a non-positive budget.
+    pub fn check_ldp(&self, epsilon: f64) -> Result<(), LdpError> {
+        if epsilon.is_nan() || epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(LdpError::InvalidEpsilon(epsilon));
+        }
+        let actual = self.epsilon();
+        if actual <= epsilon * (1.0 + 1e-9) + 1e-12 {
+            Ok(())
+        } else {
+            Err(LdpError::PrivacyViolation {
+                requested_epsilon: epsilon,
+                actual_epsilon: actual,
+            })
+        }
+    }
+
+    /// Column `u` of `Q` — the output distribution of user type `u`.
+    pub fn output_distribution(&self, u: usize) -> Vec<f64> {
+        self.q.col(u)
+    }
+
+    /// Removes all-zero rows (outputs that never occur under any input).
+    /// The paper notes these can be dropped without changing the mechanism
+    /// and they would otherwise make `D_Q` singular.
+    pub fn drop_unused_outputs(self) -> StrategyMatrix {
+        let keep: Vec<usize> = (0..self.q.rows())
+            .filter(|&o| self.q.row(o).iter().any(|&v| v > 0.0))
+            .collect();
+        if keep.len() == self.q.rows() {
+            return self;
+        }
+        let mut q = Matrix::zeros(keep.len(), self.q.cols());
+        for (new_o, &old_o) in keep.iter().enumerate() {
+            q.row_mut(new_o).copy_from_slice(self.q.row(old_o));
+        }
+        StrategyMatrix { q }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr_matrix(n: usize, eps: f64) -> Matrix {
+        // Example 2.7: diag ∝ e^eps, off-diag ∝ 1.
+        let e = eps.exp();
+        let z = e + (n as f64) - 1.0;
+        Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z })
+    }
+
+    #[test]
+    fn randomized_response_is_valid() {
+        let s = StrategyMatrix::new(rr_matrix(5, 1.0)).unwrap();
+        assert_eq!(s.num_outputs(), 5);
+        assert_eq!(s.domain_size(), 5);
+        assert!((s.epsilon() - 1.0).abs() < 1e-12);
+        s.check_ldp(1.0).unwrap();
+        s.check_ldp(2.0).unwrap();
+        assert!(matches!(s.check_ldp(0.5), Err(LdpError::PrivacyViolation { .. })));
+    }
+
+    #[test]
+    fn rejects_negative_entries() {
+        let q = Matrix::from_rows(&[&[1.2, 0.5], &[-0.2, 0.5]]);
+        assert!(matches!(
+            StrategyMatrix::new(q),
+            Err(LdpError::InvalidProbability { row: 1, column: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_stochastic_columns() {
+        let q = Matrix::from_rows(&[&[0.5, 0.5], &[0.4, 0.5]]);
+        assert!(matches!(
+            StrategyMatrix::new(q),
+            Err(LdpError::ColumnNotStochastic { column: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn from_unnormalized_normalizes() {
+        // Table 1 RR entries: e^eps and 1 without the normalizer.
+        let e = 1.0_f64.exp();
+        let q = Matrix::from_fn(3, 3, |o, u| if o == u { e } else { 1.0 });
+        let s = StrategyMatrix::from_unnormalized(q).unwrap();
+        for j in 0..3 {
+            let sum: f64 = s.output_distribution(j).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!((s.epsilon() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_infinite_when_row_mixes_zero_nonzero() {
+        let q = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 0.5]]);
+        let s = StrategyMatrix::new(q).unwrap();
+        assert!(s.epsilon().is_infinite());
+    }
+
+    #[test]
+    fn zero_rows_ignored_for_epsilon_and_droppable() {
+        let q = Matrix::from_rows(&[&[0.75, 0.25], &[0.25, 0.75], &[0.0, 0.0]]);
+        // Columns sum to 1 even with the dead output present.
+        let s = StrategyMatrix::new(q).unwrap();
+        assert!((s.epsilon() - 3.0_f64.ln()).abs() < 1e-12);
+        let s = s.drop_unused_outputs();
+        assert_eq!(s.num_outputs(), 2);
+    }
+
+    #[test]
+    fn row_sums_total_n() {
+        let s = StrategyMatrix::new(rr_matrix(7, 2.0)).unwrap();
+        let total: f64 = s.row_sums().iter().sum();
+        assert!((total - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn check_ldp_rejects_bad_epsilon() {
+        let s = StrategyMatrix::new(rr_matrix(3, 1.0)).unwrap();
+        assert!(matches!(s.check_ldp(0.0), Err(LdpError::InvalidEpsilon(_))));
+        assert!(matches!(s.check_ldp(f64::NAN), Err(LdpError::InvalidEpsilon(_))));
+    }
+}

@@ -1,0 +1,34 @@
+//! Estimation and post-processing for LDP mechanism outputs.
+//!
+//! The factorization mechanism's estimates `Vy = Wx̂` are unbiased but may
+//! be *inconsistent* — e.g. negative counts (Remark 1 of the paper). This
+//! crate implements the paper's Appendix A extension, **workload
+//! non-negative least squares (WNNLS)**:
+//!
+//! ```text
+//! x̃ = argmin_{x ≥ 0} ‖Wx − Vy‖²₂
+//! ```
+//!
+//! after which the workload answers `Wx̃` are consistent (they come from
+//! an actual non-negative data vector) and typically have substantially
+//! lower variance in the high-privacy / low-data regime (Section 6.7,
+//! Figure 4). The paper solves this with scipy's L-BFGS; we use FISTA —
+//! an accelerated projected gradient method with the same unique-in-`Wx`
+//! minimizer on this convex quadratic (DESIGN.md §4).
+//!
+//! Everything runs through the Gram matrix: since `Vy = W·x̂` for the
+//! unbiased estimate `x̂ = Ky`, the objective is
+//! `x ↦ xᵀGx − 2xᵀGx̂ + const`, so workloads with `p ≫ n` queries never
+//! materialize `W`.
+//!
+//! The [`simulate`] module estimates the (normalized) variance of a
+//! mechanism empirically, with or without WNNLS — the quantity plotted in
+//! Figure 4.
+
+pub mod quantiles;
+pub mod simulate;
+mod wnnls;
+
+pub use quantiles::{quantile, quantiles_from_estimate, repair_cdf};
+pub use simulate::{simulated_normalized_variance, Postprocess};
+pub use wnnls::{wnnls, WnnlsOptions};

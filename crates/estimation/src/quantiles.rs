@@ -1,0 +1,92 @@
+//! Quantile read-out from privately estimated CDFs.
+//!
+//! The Prefix workload's answers are the (unnormalized) empirical CDF;
+//! the natural downstream product is quantiles. This module inverts an
+//! estimated CDF robustly: private CDF estimates can be non-monotone, so
+//! a direct `position(c >= target)` scan can be badly wrong; we apply an
+//! isotonic clean-up (running maximum, clamped to `[0, N]`) first.
+
+/// Makes an estimated CDF monotone non-decreasing and clamped to
+/// `[0, total]` (running-maximum isotonic repair).
+pub fn repair_cdf(cdf: &[f64], total: f64) -> Vec<f64> {
+    let mut repaired = Vec::with_capacity(cdf.len());
+    let mut running = 0.0_f64;
+    for &c in cdf {
+        running = running.max(c).clamp(0.0, total);
+        repaired.push(running);
+    }
+    repaired
+}
+
+/// The `q`-quantile (0 < q ≤ 1) of a repaired CDF: the smallest bin whose
+/// cumulative count reaches `q·total`.
+///
+/// # Panics
+/// Panics if `cdf` is empty or `q` is outside `(0, 1]`.
+pub fn quantile(cdf: &[f64], total: f64, q: f64) -> usize {
+    assert!(!cdf.is_empty(), "CDF must be non-empty");
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+    let target = q * total;
+    cdf.iter().position(|&c| c >= target).unwrap_or(cdf.len() - 1)
+}
+
+/// Reads several quantiles from a (possibly noisy) estimated CDF after
+/// isotonic repair. Returns `(q, bin)` pairs.
+pub fn quantiles_from_estimate(
+    cdf_estimate: &[f64],
+    total: f64,
+    qs: &[f64],
+) -> Vec<(f64, usize)> {
+    let repaired = repair_cdf(cdf_estimate, total);
+    qs.iter().map(|&q| (q, quantile(&repaired, total, q))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_makes_monotone_and_clamped() {
+        let noisy = [5.0, 3.0, -2.0, 11.0, 9.5];
+        let fixed = repair_cdf(&noisy, 10.0);
+        assert_eq!(fixed, vec![5.0, 5.0, 5.0, 10.0, 10.0]);
+        for w in fixed.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_clean_cdf() {
+        // Counts 2,3,5 -> CDF 2,5,10 over total 10.
+        let cdf = [2.0, 5.0, 10.0];
+        assert_eq!(quantile(&cdf, 10.0, 0.2), 0);
+        assert_eq!(quantile(&cdf, 10.0, 0.5), 1);
+        assert_eq!(quantile(&cdf, 10.0, 0.51), 2);
+        assert_eq!(quantile(&cdf, 10.0, 1.0), 2);
+    }
+
+    #[test]
+    fn noisy_estimate_still_sane() {
+        // True median at bin 1; noise makes the raw scan return bin 0
+        // without repair.
+        let noisy = [6.0, 4.0, 10.0];
+        let out = quantiles_from_estimate(&noisy, 10.0, &[0.5]);
+        assert_eq!(out, vec![(0.5, 0)]); // 6.0 >= 5 stands after repair
+        // A dip below zero never yields a phantom early quantile.
+        let dippy = [-3.0, 5.1, 10.0];
+        let out = quantiles_from_estimate(&dippy, 10.0, &[0.5]);
+        assert_eq!(out, vec![(0.5, 1)]);
+    }
+
+    #[test]
+    fn quantile_saturates_at_last_bin() {
+        let cdf = [1.0, 2.0, 3.0]; // total below target
+        assert_eq!(quantile(&cdf, 10.0, 0.9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_bad_q() {
+        let _ = quantile(&[1.0], 1.0, 0.0);
+    }
+}

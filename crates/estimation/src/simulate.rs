@@ -1,0 +1,148 @@
+//! Monte-Carlo estimation of mechanism variance (used for Figure 4, where
+//! WNNLS breaks the closed-form variance expressions).
+
+use ldp_core::{DataVector, LdpMechanism};
+use ldp_workloads::Workload;
+use rand::RngCore;
+
+use crate::wnnls::{wnnls, WnnlsOptions};
+
+/// Which post-processing to apply to the unbiased estimate before
+/// measuring error.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Postprocess {
+    /// The raw unbiased estimate (the paper's "Default").
+    #[default]
+    None,
+    /// Workload non-negative least squares (the paper's "WNNLS").
+    Wnnls(WnnlsOptions),
+}
+
+/// Estimates the normalized variance
+/// `E[ (1/p)·‖(Wx − M(x))/N‖²₂ ]` (Definition 5.2's data-dependent
+/// analogue, the y-axis of Figure 4) by running the mechanism `trials`
+/// times on `data`.
+///
+/// # Panics
+/// Panics if `trials == 0` or the workload/mechanism/data domains
+/// disagree.
+pub fn simulated_normalized_variance(
+    workload: &dyn Workload,
+    mechanism: &dyn LdpMechanism,
+    data: &DataVector,
+    trials: usize,
+    postprocess: Postprocess,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    assert!(trials > 0, "at least one trial required");
+    assert_eq!(workload.domain_size(), mechanism.domain_size());
+    assert_eq!(workload.domain_size(), data.domain_size());
+    let n_users = data.total();
+    assert!(n_users > 0.0, "data must contain users");
+    let p = workload.num_queries() as f64;
+    let truth = workload.evaluate(data.counts());
+    let gram = match postprocess {
+        Postprocess::Wnnls(_) => Some(workload.gram()),
+        Postprocess::None => None,
+    };
+
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let xhat = mechanism.run(data, rng);
+        let estimate = match (&postprocess, &gram) {
+            (Postprocess::Wnnls(options), Some(g)) => wnnls(g, &xhat, options),
+            _ => xhat,
+        };
+        let answers = workload.evaluate(&estimate);
+        let sq_err: f64 = answers
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        total += sq_err / (p * n_users * n_users);
+    }
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{FactorizationMechanism, StrategyMatrix};
+    use ldp_linalg::Matrix;
+    use ldp_workloads::{Histogram, Prefix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rr(n: usize, eps: f64, gram: &Matrix) -> FactorizationMechanism {
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))
+        .unwrap();
+        FactorizationMechanism::new_unchecked_privacy(s, gram, eps).unwrap()
+    }
+
+    #[test]
+    fn simulation_matches_analytic_variance() {
+        let n = 4;
+        let w = Histogram::new(n);
+        let gram = w.gram();
+        let mech = rr(n, 1.0, &gram);
+        let data = DataVector::from_counts(vec![300.0, 200.0, 400.0, 100.0]);
+        let mut rng = StdRng::seed_from_u64(77);
+        let sim =
+            simulated_normalized_variance(&w, &mech, &data, 400, Postprocess::None, &mut rng);
+        let analytic = mech.data_variance(&gram, &data)
+            / (w.num_queries() as f64 * data.total() * data.total());
+        let rel = (sim - analytic).abs() / analytic;
+        assert!(rel < 0.2, "sim {sim} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn wnnls_reduces_variance_in_low_data_regime() {
+        // Small N, sparse data: the paper's Figure 4 setting. WNNLS should
+        // help substantially.
+        let n = 16;
+        let w = Prefix::new(n);
+        let gram = w.gram();
+        let mech = rr(n, 1.0, &gram);
+        // Sparse data: most mass in two cells.
+        let mut counts = vec![0.0; n];
+        counts[2] = 60.0;
+        counts[9] = 40.0;
+        let data = DataVector::from_counts(counts);
+        let mut rng = StdRng::seed_from_u64(5);
+        let base =
+            simulated_normalized_variance(&w, &mech, &data, 60, Postprocess::None, &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let post = simulated_normalized_variance(
+            &w,
+            &mech,
+            &data,
+            60,
+            Postprocess::Wnnls(WnnlsOptions::default()),
+            &mut rng,
+        );
+        assert!(
+            post < base,
+            "WNNLS ({post}) should reduce variance vs default ({base})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let w = Histogram::new(2);
+        let gram = w.gram();
+        let mech = rr(2, 1.0, &gram);
+        let data = DataVector::uniform(2, 10.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ =
+            simulated_normalized_variance(&w, &mech, &data, 0, Postprocess::None, &mut rng);
+    }
+}

@@ -1,0 +1,204 @@
+//! Workload non-negative least squares via FISTA (Appendix A).
+
+use ldp_linalg::Matrix;
+
+/// Options controlling the FISTA solve.
+#[derive(Clone, Copy, Debug)]
+pub struct WnnlsOptions {
+    /// Maximum FISTA iterations.
+    pub max_iterations: usize,
+    /// Relative improvement threshold for early stopping.
+    pub tolerance: f64,
+}
+
+impl Default for WnnlsOptions {
+    fn default() -> Self {
+        Self { max_iterations: 2000, tolerance: 1e-10 }
+    }
+}
+
+/// Solves `argmin_{x ≥ 0} ‖Wx − Wx̂‖²₂ = argmin_{x ≥ 0} xᵀGx − 2xᵀGx̂`
+/// given the workload Gram matrix `G` and the unbiased data-vector
+/// estimate `x̂ = Ky` (whose workload image equals the paper's `Vy`).
+///
+/// Uses FISTA with a power-iteration Lipschitz estimate; the objective is
+/// convex so the minimizer in `Wx` is unique.
+///
+/// # Panics
+/// Panics if `gram` is not square or `xhat.len() != gram.rows()`.
+pub fn wnnls(gram: &Matrix, xhat: &[f64], options: &WnnlsOptions) -> Vec<f64> {
+    assert!(gram.is_square(), "Gram matrix must be square");
+    let n = gram.rows();
+    assert_eq!(xhat.len(), n, "estimate length must match the domain");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Lipschitz constant of ∇f(x) = 2(Gx − Gx̂) is 2λ_max(G).
+    let lipschitz = 2.0 * spectral_radius_psd(gram).max(f64::MIN_POSITIVE);
+    let step = 1.0 / lipschitz;
+    let g_xhat = gram.matvec(xhat);
+
+    // FISTA state: x (main), yv (momentum point), t (momentum scalar).
+    let mut x: Vec<f64> = xhat.iter().map(|&v| v.max(0.0)).collect();
+    let mut yv = x.clone();
+    let mut t = 1.0_f64;
+    let objective = |x: &[f64]| -> f64 {
+        let gx = gram.matvec(x);
+        ldp_linalg::dot(x, &gx) - 2.0 * ldp_linalg::dot(x, &g_xhat)
+    };
+    let mut prev_obj = objective(&x);
+
+    for iter in 0..options.max_iterations {
+        // Gradient step at the momentum point, then project onto x ≥ 0.
+        let gy = gram.matvec(&yv);
+        let mut x_next = Vec::with_capacity(n);
+        for i in 0..n {
+            let grad_i = 2.0 * (gy[i] - g_xhat[i]);
+            x_next.push((yv[i] - step * grad_i).max(0.0));
+        }
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let momentum = (t - 1.0) / t_next;
+        for i in 0..n {
+            yv[i] = x_next[i] + momentum * (x_next[i] - x[i]);
+        }
+        x = x_next;
+        t = t_next;
+
+        // Cheap convergence check every few iterations.
+        if iter % 16 == 15 {
+            let obj = objective(&x);
+            let scale = prev_obj.abs().max(1.0);
+            if (prev_obj - obj).abs() <= options.tolerance * scale {
+                break;
+            }
+            // FISTA is not monotone; restart momentum if we regressed.
+            if obj > prev_obj {
+                yv = x.clone();
+                t = 1.0;
+            }
+            prev_obj = obj;
+        }
+    }
+    x
+}
+
+/// Largest eigenvalue of a PSD matrix by power iteration (deterministic
+/// start vector; 60 iterations is far more than needed at the accuracy a
+/// step size requires).
+fn spectral_radius_psd(g: &Matrix) -> f64 {
+    let n = g.rows();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let mut lambda = 0.0;
+    for _ in 0..60 {
+        let w = g.matvec(&v);
+        let norm = ldp_linalg::norm2(&w);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        lambda = norm / ldp_linalg::norm2(&v).max(f64::MIN_POSITIVE);
+        let inv = 1.0 / norm;
+        v = w.into_iter().map(|x| x * inv).collect();
+        // v normalized; λ via Rayleigh quotient on the next pass.
+    }
+    // One Rayleigh quotient for a tighter value.
+    let w = g.matvec(&v);
+    let rq = ldp_linalg::dot(&v, &w) / ldp_linalg::dot(&v, &v).max(f64::MIN_POSITIVE);
+    rq.max(lambda * 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix_gram(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64)
+    }
+
+    #[test]
+    fn nonnegative_input_is_fixed_point() {
+        // If x̂ ≥ 0 already, it is the unconstrained minimizer and WNNLS
+        // must return (the workload image of) it.
+        let gram = prefix_gram(5);
+        let xhat = vec![1.0, 2.0, 0.5, 3.0, 0.0];
+        let x = wnnls(&gram, &xhat, &WnnlsOptions::default());
+        // Compare in the G-metric (the solution is unique in Wx).
+        let diff: Vec<f64> = x.iter().zip(&xhat).map(|(a, b)| a - b).collect();
+        let gd = gram.matvec(&diff);
+        let err = ldp_linalg::dot(&diff, &gd);
+        assert!(err < 1e-8, "G-metric error {err}");
+    }
+
+    #[test]
+    fn output_is_nonnegative() {
+        let gram = prefix_gram(6);
+        let xhat = vec![3.0, -2.0, 1.0, -0.5, 2.0, -1.0];
+        let x = wnnls(&gram, &xhat, &WnnlsOptions::default());
+        assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn improves_objective_over_clamping() {
+        // WNNLS must be at least as good as naive clamp-at-zero in the
+        // workload metric.
+        let gram = prefix_gram(8);
+        let xhat = vec![5.0, -3.0, 2.0, -1.0, 4.0, -2.0, 1.0, -0.2];
+        let obj = |x: &[f64]| -> f64 {
+            let diff: Vec<f64> = x.iter().zip(&xhat).map(|(a, b)| a - b).collect();
+            let gd = gram.matvec(&diff);
+            ldp_linalg::dot(&diff, &gd)
+        };
+        let solved = wnnls(&gram, &xhat, &WnnlsOptions::default());
+        let clamped: Vec<f64> = xhat.iter().map(|&v| v.max(0.0)).collect();
+        assert!(
+            obj(&solved) <= obj(&clamped) + 1e-9,
+            "WNNLS {} worse than clamping {}",
+            obj(&solved),
+            obj(&clamped)
+        );
+    }
+
+    #[test]
+    fn matches_kkt_conditions() {
+        // At the optimum: x_i > 0 ⇒ gradient_i ≈ 0; x_i = 0 ⇒ gradient_i ≥ 0.
+        let gram = prefix_gram(7);
+        let xhat = vec![2.0, -1.5, 0.5, -2.0, 3.0, 0.1, -0.7];
+        let x = wnnls(&gram, &xhat, &WnnlsOptions { max_iterations: 20_000, tolerance: 1e-14 });
+        let gx = gram.matvec(&x);
+        let gh = gram.matvec(&xhat);
+        let scale = gram.max_abs();
+        for i in 0..7 {
+            let grad = 2.0 * (gx[i] - gh[i]);
+            if x[i] > 1e-6 {
+                assert!(grad.abs() < 1e-4 * scale, "active grad {grad} at {i}");
+            } else {
+                assert!(grad > -1e-4 * scale, "violated KKT at {i}: {grad}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_gram_reduces_to_clamping() {
+        // With G = I the problem separates: x_i = max(x̂_i, 0).
+        let gram = Matrix::identity(4);
+        let xhat = vec![1.0, -2.0, 3.0, -4.0];
+        let x = wnnls(&gram, &xhat, &WnnlsOptions::default());
+        let expected = [1.0, 0.0, 3.0, 0.0];
+        for (a, b) in x.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spectral_radius_estimate() {
+        let g = Matrix::diag(&[1.0, 5.0, 3.0]);
+        let l = spectral_radius_psd(&g);
+        assert!((l - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let x = wnnls(&Matrix::zeros(0, 0), &[], &WnnlsOptions::default());
+        assert!(x.is_empty());
+    }
+}

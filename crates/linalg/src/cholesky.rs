@@ -1,0 +1,150 @@
+//! Cholesky factorization for symmetric positive definite systems.
+
+use crate::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Used for fast solves with well-conditioned SPD systems (e.g. the WNNLS
+/// Lipschitz-constant estimation and full-rank Gram solves); the optimizer
+/// itself uses the eigendecomposition-based pseudo-inverse because its `M`
+/// may be singular.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive definite matrix.
+    ///
+    /// Returns `None` if a non-positive pivot is encountered (the matrix is
+    /// not numerically positive definite).
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert!(a.is_square(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return None;
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        // Forward substitution L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `A X = B` column-by-column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n);
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            x.set_col(j, &self.solve(&b.col(j)));
+        }
+        x
+    }
+
+    /// Log-determinant of `A`, computed as `2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_of_known_matrix() {
+        // A = [[4,2],[2,3]] => L = [[2,0],[1,sqrt(2)]]
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::new(&a).expect("SPD");
+        let l = c.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-14);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-14);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let c = Cholesky::new(&a).expect("SPD");
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_inverts() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let c = Cholesky::new(&a).expect("SPD");
+        let inv = c.solve_matrix(&Matrix::identity(2));
+        assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(2)) < 1e-13);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn log_det_matches_direct() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let c = Cholesky::new(&a).expect("SPD");
+        assert!((c.log_det() - (36.0_f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi iteration is slower than tridiagonalization + QL for very large
+//! matrices but is simple, numerically excellent (small relative errors even
+//! for tiny eigenvalues), and has no convergence pathologies — the right
+//! trade-off for a self-contained substrate at the sizes the paper uses.
+
+use crate::Matrix;
+
+/// The result of [`eigh`]: `A = V · Diag(λ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns*, in the same order as
+    /// `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V · Diag(f(λ)) · Vᵀ` for an arbitrary spectral function
+    /// `f`. This is how pseudo-inverses and matrix square roots are built.
+    pub fn apply_spectral(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        let v = &self.eigenvectors;
+        let fvals: Vec<f64> = self.eigenvalues.iter().map(|&l| f(l)).collect();
+        // (V Diag(f)) Vᵀ
+        let scaled = v.scale_cols(&fvals);
+        scaled.matmul_t(v)
+    }
+
+    /// Reconstructs the original matrix `V Diag(λ) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.apply_spectral(|l| l)
+    }
+
+    /// The largest absolute eigenvalue (spectral radius), 0 for empty input.
+    pub fn spectral_radius(&self) -> f64 {
+        self.eigenvalues.iter().fold(0.0, |acc, l| acc.max(l.abs()))
+    }
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix using cyclic
+/// Jacobi rotations.
+///
+/// Only the lower triangle is read; minor asymmetry from floating point
+/// noise is therefore harmless. Iterates sweeps until the off-diagonal
+/// Frobenius norm is below `n · ε · ‖A‖_F` or 64 sweeps elapse (typical
+/// matrices converge in 6–12 sweeps).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn eigh(a: &Matrix) -> SymmetricEigen {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return SymmetricEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) };
+    }
+
+    // Work on a symmetrized copy so either triangle can be trusted.
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+    let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = (n as f64) * crate::EPS * scale;
+
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if (2.0 * off).sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= crate::EPS * scale {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classical Jacobi rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    if k != p && k != q {
+                        let akp = m[(k, p)];
+                        let akq = m[(k, q)];
+                        let new_kp = c * akp - s * akq;
+                        let new_kq = s * akp + c * akq;
+                        m[(k, p)] = new_kp;
+                        m[(p, k)] = new_kp;
+                        m[(k, q)] = new_kq;
+                        m[(q, k)] = new_kq;
+                    }
+                }
+                m[(p, p)] = app - t * apq;
+                m[(q, q)] = aqq + t * apq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("NaN eigenvalue"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for k in 0..n {
+            eigenvectors[(k, new_col)] = v[(k, old_col)];
+        }
+    }
+    SymmetricEigen { eigenvalues, eigenvectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        // Simple xorshift so the test has no RNG dependency.
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = Matrix::from_fn(n, n, |_, _| next());
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::diag(&[3.0, -1.0, 2.0]);
+        let e = eigh(&a);
+        assert!((e.eigenvalues[0] - -1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigh(&a);
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for n in [1, 2, 3, 5, 10, 20] {
+            let a = random_symmetric(n, 42 + n as u64);
+            let e = eigh(&a);
+            let r = e.reconstruct();
+            assert!(
+                r.max_abs_diff(&a) < 1e-10 * (n as f64),
+                "reconstruction failed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(12, 7);
+        let e = eigh(&a);
+        let vtv = e.eigenvectors.gram();
+        assert!(vtv.max_abs_diff(&Matrix::identity(12)) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = random_symmetric(15, 99);
+        let e = eigh(&a);
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-14);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(9, 3);
+        let e = eigh(&a);
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_spectral_square_root() {
+        // A = Vdiag(l)Vt PSD; sqrt(A)^2 = A.
+        let b = random_symmetric(8, 11);
+        let a = b.matmul(&b); // PSD
+        let e = eigh(&a);
+        let root = e.apply_spectral(|l| l.max(0.0).sqrt());
+        let squared = root.matmul(&root);
+        assert!(squared.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = eigh(&Matrix::zeros(0, 0));
+        assert!(e.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Outer product uuᵀ has rank 1: eigenvalues {‖u‖², 0, 0}.
+        let u = [1.0, 2.0, 2.0];
+        let a = Matrix::from_fn(3, 3, |i, j| u[i] * u[j]);
+        let e = eigh(&a);
+        assert!(e.eigenvalues[0].abs() < 1e-12);
+        assert!(e.eigenvalues[1].abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Dense linear algebra substrate for the workload factorization mechanism.
+//!
+//! The paper's optimization objective `tr[(QᵀD⁻¹Q)†(WᵀW)]` (Theorem 3.11),
+//! its gradient, the optimal reconstruction matrix (Theorem 3.10), and the
+//! SVD lower bound (Theorem 5.6) require a symmetric eigendecomposition,
+//! a singular value decomposition, and Moore–Penrose pseudo-inverses.
+//!
+//! This crate implements those primitives from scratch on a simple row-major
+//! [`Matrix`] type:
+//!
+//! * [`Matrix`] — dense `f64` matrix with the usual arithmetic, products,
+//!   and norms.
+//! * [`eigh`] — symmetric eigendecomposition via the cyclic Jacobi method.
+//! * [`svd`] — singular value decomposition via one-sided Jacobi rotations.
+//! * [`Matrix::pinv`] / [`pinv_symmetric`] — pseudo-inverses with a
+//!   relative-tolerance rank cutoff.
+//! * [`Cholesky`] — factorization and solves for symmetric positive definite
+//!   systems.
+//! * [`Lu`] — LU factorization with partial pivoting for general systems.
+//!
+//! Everything is pure safe Rust with no external BLAS/LAPACK dependency;
+//! the sizes used by the paper (n ≤ 4096, m = 4n) are comfortably in range.
+
+mod cholesky;
+mod eigh;
+mod lu;
+mod matrix;
+mod pinv;
+mod svd;
+mod tridiagonal;
+
+pub use cholesky::Cholesky;
+pub use eigh::{eigh, SymmetricEigen};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use pinv::{pinv_symmetric, PinvOptions};
+pub use svd::{svd, Svd};
+pub use tridiagonal::{eigh_auto, eigh_ql};
+
+/// Machine-level tolerance scale used across decompositions.
+pub(crate) const EPS: f64 = f64::EPSILON;
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norm2_basic() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+}

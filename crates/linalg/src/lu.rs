@@ -1,0 +1,162 @@
+//! LU factorization with partial pivoting for general square systems.
+
+use crate::Matrix;
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// Used where a general (possibly non-symmetric) square solve is needed,
+/// e.g. inverting the randomized-response strategy matrix in tests and the
+/// closed-form `V = W Q⁻¹` construction of Example 3.3.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper including diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. Returns `None` if the matrix is exactly
+    /// singular at working precision.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest absolute entry in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 || !pivot_val.is_finite() {
+                return None;
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Some(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column-by-column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.lu.rows());
+        let mut x = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            x.set_col(j, &self.solve(&b.col(j)));
+        }
+        x
+    }
+
+    /// The matrix inverse `A⁻¹`.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.lu.rows()))
+    }
+
+    /// The determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let lu = Lu::new(&a).expect("nonsingular");
+        let x = lu.solve(&[8.0, -11.0, -3.0]);
+        // Known solution x = (2, 3, -1).
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(&a).expect("nonsingular").inverse();
+        assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        assert!((Lu::new(&a).expect("nonsingular").det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // Requires a row swap: det = -(1) = ... check against known value.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((Lu::new(&a).expect("nonsingular").det() - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(Lu::new(&a).is_none());
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[9.0, 1.0], &[8.0, 1.0]]);
+        let lu = Lu::new(&a).expect("nonsingular");
+        let x = lu.solve_matrix(&b);
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-12);
+    }
+}

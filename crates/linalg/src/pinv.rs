@@ -1,0 +1,113 @@
+//! Pseudo-inverse of symmetric matrices via eigendecomposition.
+//!
+//! The optimizer inverts `M = QᵀD⁻¹Q` thousands of times; `M` is symmetric
+//! positive semi-definite, so an eigendecomposition-based pseudo-inverse is
+//! both faster and more accurate than the general SVD route, and it exposes
+//! the eigenbasis for reuse (the gradient needs `M†G M†`).
+
+use crate::{eigh_auto, Matrix, SymmetricEigen};
+
+/// Options controlling the rank cutoff of [`pinv_symmetric`].
+#[derive(Clone, Copy, Debug)]
+pub struct PinvOptions {
+    /// Eigenvalues with `|λ| <= rel_tol · max|λ|` are treated as zero.
+    /// Defaults to `n · f64::EPSILON`-style scaling when constructed via
+    /// [`PinvOptions::default_for_dim`].
+    pub rel_tol: f64,
+}
+
+impl PinvOptions {
+    /// The standard cutoff for an `n × n` matrix.
+    pub fn default_for_dim(n: usize) -> Self {
+        Self { rel_tol: (n.max(1) as f64) * crate::EPS }
+    }
+}
+
+/// Pseudo-inverse of a symmetric matrix together with the spectral data it
+/// was computed from.
+#[derive(Clone, Debug)]
+pub struct SymmetricPinv {
+    /// The pseudo-inverse `M†`.
+    pub pinv: Matrix,
+    /// The eigendecomposition of the input.
+    pub eigen: SymmetricEigen,
+    /// Numerical rank under the configured tolerance.
+    pub rank: usize,
+}
+
+/// Computes the Moore–Penrose pseudo-inverse of a symmetric matrix by
+/// inverting its non-negligible eigenvalues.
+///
+/// Returns the pseudo-inverse along with the eigendecomposition so callers
+/// can reuse the spectral data (e.g. the optimizer computes `tr[M†G]` and
+/// `M†GM†` from the same factorization).
+///
+/// # Panics
+/// Panics if `m` is not square.
+pub fn pinv_symmetric(m: &Matrix, options: PinvOptions) -> SymmetricPinv {
+    let eigen = eigh_auto(m);
+    let max_abs = eigen.spectral_radius();
+    let tol = options.rel_tol * max_abs;
+    let rank = eigen.eigenvalues.iter().filter(|l| l.abs() > tol).count();
+    let pinv = eigen.apply_spectral(|l| if l.abs() > tol { 1.0 / l } else { 0.0 });
+    SymmetricPinv { pinv, eigen, rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_psd(n: usize, rank: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b = Matrix::from_fn(rank, n, |_, _| next());
+        b.gram() // n x n, rank <= rank
+    }
+
+    #[test]
+    fn inverse_of_full_rank_matrix() {
+        let a = random_psd(6, 6, 5);
+        let p = pinv_symmetric(&a, PinvOptions::default_for_dim(6));
+        assert_eq!(p.rank, 6);
+        let prod = a.matmul(&p.pinv);
+        assert!(prod.max_abs_diff(&Matrix::identity(6)) < 1e-8);
+    }
+
+    #[test]
+    fn moore_penrose_conditions_rank_deficient() {
+        let a = random_psd(8, 3, 9);
+        let p = pinv_symmetric(&a, PinvOptions::default_for_dim(8)).pinv;
+        assert!(a.matmul(&p).matmul(&a).max_abs_diff(&a) < 1e-8);
+        assert!(p.matmul(&a).matmul(&p).max_abs_diff(&p) < 1e-8);
+        let ap = a.matmul(&p);
+        assert!(ap.max_abs_diff(&ap.transpose()) < 1e-8);
+    }
+
+    #[test]
+    fn rank_detection() {
+        let a = random_psd(10, 4, 17);
+        let p = pinv_symmetric(&a, PinvOptions::default_for_dim(10));
+        assert_eq!(p.rank, 4);
+    }
+
+    #[test]
+    fn agrees_with_svd_pinv() {
+        let a = random_psd(7, 7, 33);
+        let via_eig = pinv_symmetric(&a, PinvOptions::default_for_dim(7)).pinv;
+        let via_svd = a.pinv();
+        assert!(via_eig.max_abs_diff(&via_svd) < 1e-7);
+    }
+
+    #[test]
+    fn zero_matrix_pinv_is_zero() {
+        let a = Matrix::zeros(4, 4);
+        let p = pinv_symmetric(&a, PinvOptions::default_for_dim(4));
+        assert_eq!(p.rank, 0);
+        assert_eq!(p.pinv.max_abs(), 0.0);
+    }
+}

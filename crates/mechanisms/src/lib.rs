@@ -1,0 +1,35 @@
+//! Baseline LDP mechanisms from the literature, as compared against in
+//! Section 6 of the paper (and encoded as strategy matrices in Table 1).
+//!
+//! | Mechanism | Source | Representation |
+//! |-----------|--------|----------------|
+//! | [`randomized_response`](fn@randomized_response) | Warner \[44\] | strategy matrix, `m = n` |
+//! | [`hadamard_response`](fn@hadamard_response) | Acharya et al. \[2\] | strategy matrix, `m = 2^⌈log₂(n+1)⌉` |
+//! | [`hierarchical`](fn@hierarchical) | Cormode et al. \[13\] | strategy matrix, `m ≈ n·b/(b−1)` |
+//! | [`Fourier`](fourier) | Cormode et al. \[12\] | strategy matrix, `m = 2·|support|` |
+//! | [`rappor`](fn@rappor) | Erlingsson et al. \[18\] | strategy matrix, `m = 2^n` (small n only) |
+//! | [`subset_selection`](fn@subset_selection) | Ye & Barg \[45\] | strategy matrix, `m = C(n,d)` (small n only) |
+//! | [`LocalMatrixMechanism`](matrix_mechanism) | Edmonds et al. \[17\] | noise addition (not a strategy matrix) |
+//!
+//! The first six produce [`ldp_core::FactorizationMechanism`]s: each was
+//! designed for a fixed workload, but (as the paper does in its
+//! experiments) the reconstruction is always re-derived per workload with
+//! Theorem 3.10, so any of them can answer any supported workload.
+//! The local Matrix Mechanism adds per-user noise to a strategy-query
+//! encoding and has its own variance analysis.
+
+pub mod fourier;
+pub mod hadamard;
+pub mod hierarchical;
+pub mod matrix_mechanism;
+pub mod rappor;
+pub mod randomized_response;
+pub mod subset_selection;
+
+pub use fourier::Fourier;
+pub use hadamard::hadamard_response;
+pub use hierarchical::hierarchical;
+pub use matrix_mechanism::{Calibration, LocalMatrixMechanism};
+pub use rappor::rappor;
+pub use randomized_response::randomized_response;
+pub use subset_selection::subset_selection;

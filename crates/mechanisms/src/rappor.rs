@@ -1,0 +1,136 @@
+//! (Basic one-time) RAPPOR (Erlingsson, Pihur & Korolova \[18\]; Table 1).
+//!
+//! Each user perturbs the one-hot encoding of their type, flipping every
+//! bit independently with probability `1/(e^{ε/2}+1)`. The output range is
+//! all of `{0,1}^n`, so the strategy matrix has `m = 2^n` rows:
+//!
+//! ```text
+//! Q[o, u] ∝ exp(ε/2)^{n − ‖o − e_u‖₁}
+//! ```
+//!
+//! The paper excludes RAPPOR from its experiments for exactly this
+//! exponential blow-up (Section 6.1); it is implemented here for
+//! completeness of Table 1 and for small-domain validation, with a guard
+//! at `n ≤ 14`.
+
+use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
+use ldp_linalg::Matrix;
+
+/// Largest domain for which the `2^n × n` strategy is materialized.
+pub const MAX_DOMAIN: usize = 14;
+
+/// The RAPPOR strategy matrix (`2^n × n`). Output bitmask `o` has bit `v`
+/// set iff the reported Bloom-style bit `v` is 1.
+///
+/// # Panics
+/// Panics if `n == 0`, `n > MAX_DOMAIN`, or `epsilon` is invalid.
+pub fn rappor_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
+    assert!(n > 0 && n <= MAX_DOMAIN, "RAPPOR strategy needs 1 <= n <= {MAX_DOMAIN}");
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
+    let m = 1usize << n;
+    // Per-bit keep probability p = e^{ε/2}/(e^{ε/2}+1); flip prob 1−p.
+    // Q[o,u] = p^{n−h}(1−p)^{h} with h = ‖o − e_u‖₁ = hamming(o, 1<<u).
+    let half = (epsilon / 2.0).exp();
+    let keep = half / (half + 1.0);
+    let flip = 1.0 - keep;
+    let q = Matrix::from_fn(m, n, |o, u| {
+        let h = (o ^ (1usize << u)).count_ones() as i32;
+        keep.powi(n as i32 - h) * flip.powi(h)
+    });
+    StrategyMatrix::new(q).expect("RAPPOR strategy is always valid")
+}
+
+/// RAPPOR as a factorization mechanism for the workload with Gram matrix
+/// `gram`.
+///
+/// # Errors
+/// Propagates construction errors; the strategy has full column rank so
+/// any workload is supported.
+pub fn rappor(
+    n: usize,
+    epsilon: f64,
+    gram: &Matrix,
+) -> Result<FactorizationMechanism, LdpError> {
+    let strategy = rappor_strategy(n, epsilon);
+    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+        .with_name("RAPPOR"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{DataVector, LdpMechanism};
+
+    #[test]
+    fn table1_proportionality() {
+        // Table 1: Q[o,u] ∝ exp(ε/2)^{n − ‖o − e_u‖₁}.
+        let (n, eps) = (4usize, 1.0);
+        let s = rappor_strategy(n, eps);
+        let q = s.matrix();
+        let base = (eps / 2.0).exp();
+        // Compare the ratio of two outputs for one user against the
+        // closed-form exponent difference.
+        let u = 2usize;
+        let o1 = 1usize << u; // exact one-hot: distance 0
+        let o2 = 0usize; // distance 1
+        let ratio = q[(o1, u)] / q[(o2, u)];
+        assert!((ratio - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_sum_to_one() {
+        let s = rappor_strategy(5, 0.8);
+        // StrategyMatrix::new already validates; spot-check anyway.
+        let sums = s.matrix().col_sums();
+        for c in sums {
+            assert!((c - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn satisfies_epsilon_exactly() {
+        for eps in [0.5, 1.0, 2.0] {
+            let s = rappor_strategy(4, eps);
+            // Max ratio between columns: distance differs by at most 2 bits
+            // -> exp(2·ε/2) = e^ε.
+            assert!((s.epsilon() - eps).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unbiased_estimation() {
+        let n = 4;
+        let gram = Matrix::identity(n);
+        let mech = rappor(n, 1.0, &gram).unwrap();
+        let data = DataVector::from_counts(vec![3.0, 1.0, 4.0, 1.0]);
+        let ey = mech.expected_responses(&data);
+        let xhat = mech.reconstruction().matvec(&ey);
+        for (a, b) in xhat.iter().zip(data.counts()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn comparable_to_hadamard_on_histogram() {
+        // Acharya et al. [2] report RAPPOR and Hadamard response are within
+        // constants on Histogram; check they're in the same ballpark.
+        use crate::hadamard::hadamard_response;
+        let n = 8;
+        let gram = Matrix::identity(n);
+        let rap = rappor(n, 1.0, &gram).unwrap();
+        let had = hadamard_response(n, 1.0, &gram).unwrap();
+        let sc_rap = rap.sample_complexity(&gram, n, 0.01);
+        let sc_had = had.sample_complexity(&gram, n, 0.01);
+        let ratio = sc_rap / sc_had;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "RAPPOR {sc_rap} vs Hadamard {sc_had}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "RAPPOR strategy needs")]
+    fn guards_exponential_blowup() {
+        let _ = rappor_strategy(20, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Subset selection (Ye & Barg \[45\]; Table 1 of the paper).
+//!
+//! Each user reports a size-`d` subset of the domain; the probability is
+//! proportional to `e^ε` when the user's own type is inside the reported
+//! subset and `1` otherwise. Ye & Barg show this family is asymptotically
+//! optimal for distribution estimation with `d ≈ n/(e^ε+1)`.
+//!
+//! The output range has `C(n, d)` elements, so — like RAPPOR — the paper
+//! excludes it from large-scale experiments; we materialize it for small
+//! `n` to validate Table 1 and to use in unit comparisons.
+
+use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
+use ldp_linalg::Matrix;
+use ldp_workloads::binomial;
+
+/// Guard on `C(n,d)`: the strategy matrix must stay comfortably dense.
+const MAX_OUTPUTS: usize = 1 << 16;
+
+/// The recommended subset size `d = max(1, round(n / (e^ε + 1)))` from
+/// Ye & Barg's analysis.
+pub fn recommended_subset_size(n: usize, epsilon: f64) -> usize {
+    let d = (n as f64 / (epsilon.exp() + 1.0)).round() as usize;
+    d.clamp(1, n)
+}
+
+/// The subset-selection strategy matrix with subset size `d`
+/// (`m = C(n, d)` outputs, enumerated in lexicographic bitmask order).
+///
+/// # Panics
+/// Panics if `d` is 0 or ≥ n (degenerate — every or no subset contains
+/// every user), if `C(n,d)` exceeds an internal guard, or if `epsilon` is
+/// invalid.
+pub fn subset_selection_strategy(n: usize, d: usize, epsilon: f64) -> StrategyMatrix {
+    assert!(n >= 2, "domain must have at least two types");
+    assert!(d >= 1 && d < n, "subset size must be in 1..n");
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
+    let m = binomial(n, d) as usize;
+    assert!(m <= MAX_OUTPUTS, "C({n},{d}) = {m} outputs is too large to materialize");
+
+    // Enumerate all size-d bitmask subsets of [n].
+    let subsets: Vec<usize> = (0usize..(1 << n))
+        .filter(|s| s.count_ones() as usize == d)
+        .collect();
+    debug_assert_eq!(subsets.len(), m);
+
+    let e = epsilon.exp();
+    // Column normalizer: subsets containing u: C(n-1, d-1); others:
+    // C(n-1, d). Z = e·C(n-1,d-1) + C(n-1,d).
+    let z = e * binomial(n - 1, d - 1) + binomial(n - 1, d);
+    let mut q = Matrix::zeros(m, n);
+    for (row, &s) in subsets.iter().enumerate() {
+        for u in 0..n {
+            q[(row, u)] = if s >> u & 1 == 1 { e / z } else { 1.0 / z };
+        }
+    }
+    StrategyMatrix::new(q).expect("subset selection is always a valid strategy")
+}
+
+/// Subset selection (with the recommended subset size) as a factorization
+/// mechanism for the workload with Gram matrix `gram`.
+///
+/// # Errors
+/// Propagates construction errors; the strategy has full column rank so
+/// any workload is supported.
+pub fn subset_selection(
+    n: usize,
+    epsilon: f64,
+    gram: &Matrix,
+) -> Result<FactorizationMechanism, LdpError> {
+    let d = recommended_subset_size(n, epsilon);
+    // Degenerate d == n would make every output equally likely; back off.
+    let d = d.min(n - 1);
+    let strategy = subset_selection_strategy(n, d, epsilon);
+    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+        .with_name("Subset Selection"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{DataVector, LdpMechanism};
+
+    #[test]
+    fn table1_structure() {
+        // Table 1 row 4: o ∈ {0,1}^n with ‖o‖₁ = d; Q ∝ e^ε iff o_u = 1.
+        let s = subset_selection_strategy(5, 2, 1.0);
+        assert_eq!(s.num_outputs(), 10); // C(5,2)
+        assert!((s.epsilon() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recommended_size_shrinks_with_epsilon() {
+        assert!(recommended_subset_size(20, 0.5) > recommended_subset_size(20, 3.0));
+        assert_eq!(recommended_subset_size(4, 10.0), 1);
+    }
+
+    #[test]
+    fn unbiased_estimation() {
+        let n = 6;
+        let gram = Matrix::identity(n);
+        let mech = subset_selection(n, 1.0, &gram).unwrap();
+        let data = DataVector::from_counts(vec![2.0, 7.0, 1.0, 8.0, 2.0, 8.0]);
+        let ey = mech.expected_responses(&data);
+        let xhat = mech.reconstruction().matvec(&ey);
+        for (a, b) in xhat.iter().zip(data.counts()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn competitive_with_hadamard_on_histogram() {
+        use crate::hadamard::hadamard_response;
+        let n = 8;
+        let gram = Matrix::identity(n);
+        let ss = subset_selection(n, 1.0, &gram).unwrap();
+        let had = hadamard_response(n, 1.0, &gram).unwrap();
+        let sc_ss = ss.sample_complexity(&gram, n, 0.01);
+        let sc_had = had.sample_complexity(&gram, n, 0.01);
+        let ratio = sc_ss / sc_had;
+        assert!((0.2..5.0).contains(&ratio), "SS {sc_ss} vs Hadamard {sc_had}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn guards_combinatorial_blowup() {
+        let _ = subset_selection_strategy(40, 20, 1.0);
+    }
+}

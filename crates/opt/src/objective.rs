@@ -1,0 +1,223 @@
+//! The optimization objective `L(Q) = tr[(QᵀD⁻¹Q)†(WᵀW)]`
+//! (Theorem 3.11) and its analytic gradient.
+//!
+//! The paper computes the gradient with automatic differentiation; we
+//! derive it in closed form. Write `D = Diag(Q1)`, `B = D⁻¹Q`,
+//! `M = QᵀB`, and `H = M⁻¹ G M⁻¹` (pseudo-inverses when singular). Then
+//! for a perturbation `dQ`:
+//!
+//! ```text
+//! dL = −tr[M⁻¹ dM M⁻¹ G]                 (derivative of the inverse)
+//! dM = dQᵀB + BᵀdQ − QᵀD⁻¹ dD D⁻¹Q,      dD = Diag(dQ·1)
+//! ⇒ ∇_Q L = −2·B·H + diag(B·H·Bᵀ)·1ᵀ
+//! ```
+//!
+//! where `diag(BHBᵀ)_o = (BH)_{o,:}·B_{o,:}` is computed without forming
+//! the `m × m` product. The per-evaluation cost is `O(n²m + n³)`,
+//! matching the paper's complexity analysis (Section 4).
+//!
+//! `M` is solved with Cholesky when positive definite (the common case —
+//! the paper notes the iterates stay in the interior where `M` has full
+//! rank) and falls back to the eigendecomposition pseudo-inverse
+//! otherwise, so rank-deficient strategies are still handled correctly.
+
+use ldp_linalg::{pinv_symmetric, Cholesky, Matrix, PinvOptions};
+
+/// The objective value and gradient at a strategy iterate.
+#[derive(Clone, Debug)]
+pub struct ObjectiveEvaluation {
+    /// `L(Q) = tr[M†G]`.
+    pub value: f64,
+    /// `∇_Q L` (same shape as `Q`).
+    pub gradient: Matrix,
+}
+
+/// Evaluates `L(Q)` and `∇_Q L` for a column-stochastic iterate `q` (not
+/// necessarily validated as a [`ldp_core::StrategyMatrix`] — the optimizer
+/// calls this on raw projected iterates) against the workload Gram matrix.
+///
+/// # Panics
+/// Panics if shapes disagree or if `q` has a zero row sum (an output with
+/// probability zero everywhere — callers keep `z > 0`, which prevents
+/// this).
+pub fn evaluate(q: &Matrix, gram: &Matrix) -> ObjectiveEvaluation {
+    let (m, n) = q.shape();
+    assert_eq!(gram.shape(), (n, n), "Gram must be n x n");
+    let d = q.row_sums();
+    assert!(
+        d.iter().all(|&v| v > 0.0),
+        "strategy has an output with zero total probability"
+    );
+    let d_inv: Vec<f64> = d.iter().map(|&v| 1.0 / v).collect();
+
+    // B = D⁻¹Q, M = QᵀB (symmetric PSD).
+    let b = q.scale_rows(&d_inv);
+    let mut m_mat = q.t_matmul(&b);
+    m_mat.symmetrize();
+
+    // Y = M⁻¹G and H = M⁻¹GM⁻¹, via Cholesky when possible.
+    let (value, h) = match Cholesky::new(&m_mat) {
+        Some(chol) => {
+            let y = chol.solve_matrix(gram); // M⁻¹G
+            let value = y.trace();
+            // H = M⁻¹ G M⁻¹ = M⁻¹ Yᵀ ... Y = M⁻¹G ⇒ Yᵀ = G M⁻¹ ⇒
+            // H = M⁻¹(G M⁻¹) = chol.solve(Yᵀ).
+            let mut h = chol.solve_matrix(&y.transpose());
+            h.symmetrize();
+            (value, h)
+        }
+        None => {
+            let pinv = pinv_symmetric(&m_mat, PinvOptions::default_for_dim(n)).pinv;
+            let y = pinv.matmul(gram);
+            // With singular M the trace formula is only valid when the
+            // workload stays in range(M) (= the row space of Q). When it
+            // leaves, the true objective is +∞ (Problem 3.12's constraint
+            // W = WQ†Q fails) — report exactly that so the optimizer never
+            // mistakes a rank-collapsed iterate for progress.
+            let residual = (&m_mat.matmul(&y) - gram).max_abs();
+            if residual > 1e-6 * gram.max_abs().max(1.0) {
+                return ObjectiveEvaluation {
+                    value: f64::INFINITY,
+                    gradient: Matrix::zeros(m, n),
+                };
+            }
+            let value = y.trace();
+            let mut h = pinv.matmul(&y.transpose());
+            h.symmetrize();
+            (value, h)
+        }
+    };
+
+    // ∇_Q = −2·B·H + diag(B·H·Bᵀ)·1ᵀ.
+    let bh = b.matmul(&h); // m × n
+    let mut gradient = bh.scaled(-2.0);
+    for o in 0..m {
+        let s_oo = ldp_linalg::dot(bh.row(o), b.row(o));
+        for v in gradient.row_mut(o) {
+            *v += s_oo;
+        }
+    }
+    ObjectiveEvaluation { value, gradient }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random column-stochastic strictly positive matrix.
+    fn random_stochastic(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.05..1.0));
+        let sums = q.col_sums();
+        for i in 0..m {
+            for j in 0..n {
+                q[(i, j)] /= sums[j];
+            }
+        }
+        q
+    }
+
+    fn prefix_gram(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64)
+    }
+
+    #[test]
+    fn value_matches_core_strategy_objective() {
+        let q = random_stochastic(10, 4, 5);
+        let gram = prefix_gram(4);
+        let eval = evaluate(&q, &gram);
+        let s = ldp_core::StrategyMatrix::new(q).unwrap();
+        let reference = ldp_core::variance::strategy_objective(&s, &gram);
+        assert!(
+            (eval.value - reference).abs() < 1e-7 * reference.abs(),
+            "{} vs {reference}",
+            eval.value
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Central differences on raw entries (L is defined on an open
+        // neighbourhood of the iterate; no constraints involved here).
+        let (m, n) = (8, 4);
+        let q = random_stochastic(m, n, 9);
+        let gram = prefix_gram(n);
+        let eval = evaluate(&q, &gram);
+        let h = 1e-6;
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let o = rng.gen_range(0..m);
+            let u = rng.gen_range(0..n);
+            let mut qp = q.clone();
+            qp[(o, u)] += h;
+            let mut qm = q.clone();
+            qm[(o, u)] -= h;
+            let fd = (evaluate(&qp, &gram).value - evaluate(&qm, &gram).value) / (2.0 * h);
+            let an = eval.gradient[(o, u)];
+            assert!(
+                (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),
+                "entry ({o},{u}): fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_on_identity_gram() {
+        let (m, n) = (6, 3);
+        let q = random_stochastic(m, n, 13);
+        let gram = Matrix::identity(n);
+        let eval = evaluate(&q, &gram);
+        let h = 1e-6;
+        for o in 0..m {
+            for u in 0..n {
+                let mut qp = q.clone();
+                qp[(o, u)] += h;
+                let mut qm = q.clone();
+                qm[(o, u)] -= h;
+                let fd =
+                    (evaluate(&qp, &gram).value - evaluate(&qm, &gram).value) / (2.0 * h);
+                let an = eval.gradient[(o, u)];
+                assert!(
+                    (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),
+                    "entry ({o},{u}): fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_strategy_uses_pinv_path() {
+        // Duplicate columns make M singular; evaluation must not panic and
+        // value must be finite against a Gram supported on the row space.
+        let base = random_stochastic(6, 2, 21);
+        // Q with two identical columns: rank 2 in a 3-type domain.
+        let q = Matrix::from_fn(6, 3, |o, u| base[(o, u.min(1))]);
+        // Workload = total count (in the row space of any stochastic Q).
+        let gram = Matrix::filled(3, 3, 1.0);
+        let eval = evaluate(&q, &gram);
+        assert!(eval.value.is_finite());
+        assert!(eval.gradient.is_finite());
+    }
+
+    #[test]
+    fn objective_blows_up_near_rank_deficiency() {
+        // The paper's "free" handling of W = WQ†Q relies on L(Q) → ∞ as Q
+        // approaches losing the workload's row space. Interpolate between
+        // a full-rank strategy and a rank-1 strategy and watch L grow.
+        let n = 3;
+        let gram = Matrix::identity(n);
+        let full = random_stochastic(6, n, 33);
+        let flat = Matrix::from_fn(6, n, |o, _| full.row(o).iter().sum::<f64>() / n as f64);
+        let mut last = 0.0;
+        for (i, t) in [0.0, 0.9, 0.99].iter().enumerate() {
+            let q = &full.scaled(1.0 - t) + &flat.scaled(*t);
+            let v = evaluate(&q, &gram).value;
+            if i > 0 {
+                assert!(v > last, "objective should grow toward degeneracy");
+            }
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! Projected gradient descent over strategy matrices (Algorithm 2).
+//!
+//! Each iteration evaluates the objective and its gradient
+//! ([`crate::objective::evaluate`]), backpropagates the gradient through
+//! the previous projection onto the bound vector `z`
+//! ([`crate::projection::ProjectionJacobian::backprop_z`]), takes gradient
+//! steps on `z` and `Q`, and re-projects `Q` onto the ε-LDP bounded
+//! simplex. Following the paper:
+//!
+//! * `m = 4n` outputs by default (the paper's empirical sweet spot);
+//! * random initialization `R ~ U\[0,1\]^{m×n}`, `z = (1+e^{−ε})/(2m)·1`
+//!   (the paper's `(1+e^{−ε})/(8n)` with `m = 4n`), `Q = Π_{z,ε}(R)`;
+//! * the `z` step size is `α = β/(n·e^ε)` — deliberately smaller than the
+//!   `Q` step `β` for robustness;
+//! * the row-space constraint `W = WQ†Q` is handled "for free": the
+//!   objective blows up near the boundary, so descent steps never cross it
+//!   (Section 4); a full-rank random initialization starts inside.
+//!
+//! Because projected iterates always satisfy `z ≤ q_u ≤ e^ε·z`
+//! coordinate-wise, *every* iterate is a valid ε-LDP strategy — privacy
+//! never depends on convergence.
+
+use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
+use ldp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::objective::evaluate;
+use crate::projection::project_columns;
+
+/// Configuration for [`optimize_strategy`].
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Number of mechanism outputs `m`; defaults to `4n` (paper §4).
+    pub num_outputs: Option<usize>,
+    /// Projected gradient iterations per restart.
+    pub iterations: usize,
+    /// Number of random restarts; the best strategy wins.
+    pub restarts: usize,
+    /// Fixed `Q` step size `β`. `None` runs a short geometric search
+    /// (the paper's hyper-parameter search, §4).
+    pub step_size: Option<f64>,
+    /// Iterations used per candidate during the step-size search.
+    pub search_iterations: usize,
+    /// RNG seed for the random initialization.
+    pub seed: u64,
+    /// Optional warm start: initialize from an existing strategy matrix
+    /// instead of randomly (the paper's §4 alternative initialization).
+    /// Because the best iterate is tracked, the result is then never
+    /// worse than the warm-start strategy. Overrides `num_outputs`.
+    pub initial_strategy: Option<StrategyMatrix>,
+}
+
+impl OptimizerConfig {
+    /// The paper-faithful default configuration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            num_outputs: None,
+            iterations: 250,
+            restarts: 1,
+            step_size: None,
+            search_iterations: 15,
+            seed,
+            initial_strategy: None,
+        }
+    }
+
+    /// A cheaper configuration for tests, examples, and `--quick` bench
+    /// runs: fewer iterations, shorter search.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            num_outputs: None,
+            iterations: 80,
+            restarts: 1,
+            step_size: None,
+            search_iterations: 8,
+            seed,
+            initial_strategy: None,
+        }
+    }
+
+    /// Warm-starts the optimizer from an existing strategy; the result is
+    /// never worse than the given strategy (the best iterate is kept).
+    pub fn with_warm_start(mut self, strategy: StrategyMatrix) -> Self {
+        self.initial_strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the number of outputs `m`.
+    pub fn with_num_outputs(mut self, m: usize) -> Self {
+        self.num_outputs = Some(m);
+        self
+    }
+
+    /// Overrides the iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the number of random restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+}
+
+/// The outcome of a strategy optimization.
+#[derive(Clone, Debug)]
+pub struct OptimizationResult {
+    /// The best strategy found (a valid ε-LDP strategy by construction).
+    pub strategy: StrategyMatrix,
+    /// Its objective value `L(Q)`.
+    pub objective: f64,
+    /// Objective value at every iteration of the best restart.
+    pub history: Vec<f64>,
+}
+
+/// Runs Algorithm 2 and returns the best strategy found across restarts.
+///
+/// # Errors
+/// [`LdpError::InvalidEpsilon`] for a bad budget;
+/// [`LdpError::OptimizationFailed`] if no finite-objective iterate was
+/// ever produced (does not occur for well-formed Gram matrices).
+///
+/// # Panics
+/// Panics if `gram` is not square.
+pub fn optimize_strategy(
+    gram: &Matrix,
+    epsilon: f64,
+    config: &OptimizerConfig,
+) -> Result<OptimizationResult, LdpError> {
+    if epsilon.is_nan() || epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(LdpError::InvalidEpsilon(epsilon));
+    }
+    assert!(gram.is_square(), "Gram matrix must be square");
+    let mut best: Option<OptimizationResult> = None;
+    for restart in 0..config.restarts.max(1) {
+        let seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
+        let result = single_run(gram, epsilon, config, seed)?;
+        let better = best
+            .as_ref()
+            .map(|b| result.objective < b.objective)
+            .unwrap_or(true);
+        if better {
+            best = Some(result);
+        }
+    }
+    best.ok_or_else(|| LdpError::OptimizationFailed("no restart produced a strategy".into()))
+}
+
+/// Convenience wrapper: optimizes a strategy and assembles the
+/// factorization mechanism (named `"Optimized"`, as in the paper's
+/// figures) with the optimal reconstruction of Theorem 3.10.
+///
+/// # Errors
+/// Propagates optimization and mechanism-construction failures.
+pub fn optimized_mechanism(
+    gram: &Matrix,
+    epsilon: f64,
+    config: &OptimizerConfig,
+) -> Result<FactorizationMechanism, LdpError> {
+    let result = optimize_strategy(gram, epsilon, config)?;
+    Ok(
+        FactorizationMechanism::new_unchecked_privacy(result.strategy, gram, epsilon)?
+            .with_name("Optimized"),
+    )
+}
+
+/// One restart: init, optional step-size search, main loop.
+fn single_run(
+    gram: &Matrix,
+    epsilon: f64,
+    config: &OptimizerConfig,
+    seed: u64,
+) -> Result<OptimizationResult, LdpError> {
+    let n = gram.rows();
+    let (q0, z0) = match &config.initial_strategy {
+        Some(warm) => {
+            assert_eq!(warm.domain_size(), n, "warm start domain must match workload");
+            // z = per-row minima of the warm strategy puts the strategy
+            // inside (or on the boundary of) the projection's feasible
+            // set whenever it is ε-LDP, so the first iterate *is* the
+            // warm strategy up to clipping slack.
+            let q = warm.matrix().clone();
+            let z: Vec<f64> = (0..q.rows())
+                .map(|o| {
+                    q.row(o)
+                        .iter()
+                        .copied()
+                        .fold(f64::MAX, f64::min)
+                        .max(1e-12)
+                })
+                .collect();
+            let (q0, _) = project_columns(&q, &z, epsilon);
+            (q0, z)
+        }
+        None => {
+            // Paper initialization: R ~ U[0,1], z = (1+e^{−ε})/(2m)·1.
+            let m = config.num_outputs.unwrap_or(4 * n).max(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let z0 = vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m];
+            let r = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>());
+            let (q0, _) = project_columns(&r, &z0, epsilon);
+            (q0, z0)
+        }
+    };
+
+    // Step-size selection.
+    let beta = match config.step_size {
+        Some(b) => b,
+        None => search_step_size(gram, epsilon, &q0, &z0, config.search_iterations),
+    };
+
+    let (q, z, history) = descend(gram, epsilon, q0, z0, beta, config.iterations);
+    let _ = z;
+    let objective = *history
+        .last()
+        .ok_or_else(|| LdpError::OptimizationFailed("empty optimization history".into()))?;
+    if !objective.is_finite() {
+        return Err(LdpError::OptimizationFailed(format!(
+            "objective diverged to {objective}"
+        )));
+    }
+    // Projection output is stochastic up to rounding; renormalize exactly.
+    let strategy = StrategyMatrix::from_unnormalized(q)?;
+    Ok(OptimizationResult { strategy, objective, history })
+}
+
+/// The core descent loop. Returns the best iterate, the final `z`, and
+/// the per-iteration objective history (history entry `t` is the
+/// objective *before* iteration `t`'s step; the final entry is the best
+/// objective found).
+fn descend(
+    gram: &Matrix,
+    epsilon: f64,
+    q0: Matrix,
+    z0: Vec<f64>,
+    beta0: f64,
+    iterations: usize,
+) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let n = gram.rows();
+    let exp_eps = epsilon.exp();
+    // Paper: α = β/(n·e^ε), a deliberately smaller step for z.
+    let mut beta = beta0;
+    let mut z = z0;
+    // Initial projection to establish a Jacobian for z-backprop.
+    let (mut q, mut jacobian) = project_columns(&q0, &z, epsilon);
+
+    let mut best_q = q.clone();
+    let mut best_obj = f64::INFINITY;
+    let mut prev_obj = f64::INFINITY;
+    let mut history = Vec::with_capacity(iterations + 1);
+
+    for _ in 0..iterations {
+        let eval = evaluate(&q, gram);
+        history.push(eval.value);
+        if !eval.value.is_finite() || !eval.gradient.is_finite() {
+            // The iterate crossed the W = WQ†Q boundary (rank collapse) or
+            // became ill-conditioned enough to produce non-finite
+            // derivatives: rewind to the best iterate with a halved step.
+            beta *= 0.5;
+            if best_obj.is_finite() {
+                let (q_rewound, jac_rewound) = project_columns(&best_q, &z, epsilon);
+                q = q_rewound;
+                jacobian = jac_rewound;
+            }
+            // Either way, never step along a non-finite gradient.
+            prev_obj = f64::INFINITY;
+            continue;
+        }
+        if eval.value < best_obj {
+            best_obj = eval.value;
+            best_q = q.clone();
+        }
+        if eval.value > prev_obj {
+            // Overshoot: decay the step (simple trust heuristic; the
+            // paper likewise recommends decaying step sizes).
+            beta *= 0.5;
+        }
+        prev_obj = eval.value;
+
+        // z step (Algorithm 2 line 1), then Q step + projection (line 2).
+        let alpha = beta / (n as f64 * exp_eps);
+        let grad_z = jacobian.backprop_z(&eval.gradient);
+        for (zo, g) in z.iter_mut().zip(&grad_z) {
+            *zo = (*zo - alpha * g).clamp(1e-12, 1.0);
+        }
+        enforce_feasible_bounds(&mut z, exp_eps);
+
+        let stepped = &q - &eval.gradient.scaled(beta);
+        let (q_next, jac_next) = project_columns(&stepped, &z, epsilon);
+        q = q_next;
+        jacobian = jac_next;
+    }
+    history.push(best_obj);
+    (best_q, z, history)
+}
+
+/// Keeps the bound vector inside the region where the projection is
+/// feasible for every column: `Σz ≤ 1 ≤ e^ε·Σz` (with a small margin).
+fn enforce_feasible_bounds(z: &mut [f64], exp_eps: f64) {
+    const MARGIN: f64 = 1e-9;
+    let sum: f64 = z.iter().sum();
+    if sum > 1.0 - MARGIN {
+        let scale = (1.0 - MARGIN) / sum;
+        for v in z.iter_mut() {
+            *v *= scale;
+        }
+    }
+    let sum: f64 = z.iter().sum();
+    if exp_eps * sum < 1.0 + MARGIN {
+        let scale = (1.0 + MARGIN) / (exp_eps * sum);
+        for v in z.iter_mut() {
+            *v = (*v * scale).min(1.0);
+        }
+    }
+}
+
+/// Short geometric search for the `Q` step size (the paper's
+/// hyper-parameter search): each candidate runs a few iterations from the
+/// same initialization; the best short-horizon objective wins.
+fn search_step_size(
+    gram: &Matrix,
+    epsilon: f64,
+    q0: &Matrix,
+    z0: &[f64],
+    search_iterations: usize,
+) -> f64 {
+    // Scale-aware base: a step that could move an entry by about its own
+    // magnitude (1/m) against the initial gradient.
+    let g0 = evaluate(q0, gram).gradient.max_abs().max(f64::MIN_POSITIVE);
+    let base = 1.0 / (q0.rows() as f64 * g0);
+    let mut best_beta = base;
+    let mut best_obj = f64::INFINITY;
+    for factor in [0.01, 0.1, 0.3, 1.0, 3.0, 10.0] {
+        let beta = base * factor;
+        let (_, _, history) = descend(
+            gram,
+            epsilon,
+            q0.clone(),
+            z0.to_vec(),
+            beta,
+            search_iterations,
+        );
+        let obj = *history.last().expect("non-empty history");
+        if obj.is_finite() && obj < best_obj {
+            best_obj = obj;
+            best_beta = beta;
+        }
+    }
+    best_beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::variance::strategy_objective;
+    use ldp_core::{bounds, LdpMechanism};
+
+    fn prefix_gram(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64)
+    }
+
+    fn rr_objective(n: usize, epsilon: f64, gram: &Matrix) -> f64 {
+        let e = epsilon.exp();
+        let z = e + n as f64 - 1.0;
+        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))
+        .unwrap();
+        strategy_objective(&s, gram)
+    }
+
+    #[test]
+    fn produces_valid_private_strategy() {
+        let gram = Matrix::identity(6);
+        let result = optimize_strategy(&gram, 1.0, &OptimizerConfig::quick(7)).unwrap();
+        assert!(result.strategy.epsilon() <= 1.0 + 1e-6);
+        assert_eq!(result.strategy.domain_size(), 6);
+        assert_eq!(result.strategy.num_outputs(), 24); // m = 4n
+    }
+
+    #[test]
+    fn objective_improves_from_initialization() {
+        let gram = prefix_gram(8);
+        let result = optimize_strategy(&gram, 1.0, &OptimizerConfig::quick(3)).unwrap();
+        let first = result.history[0];
+        assert!(
+            result.objective < first,
+            "final {} should beat initial {first}",
+            result.objective
+        );
+    }
+
+    #[test]
+    fn respects_svd_lower_bound() {
+        for (n, eps) in [(6usize, 0.5), (8, 1.0)] {
+            let gram = prefix_gram(n);
+            let result = optimize_strategy(&gram, eps, &OptimizerConfig::quick(1)).unwrap();
+            let bound = bounds::svd_bound_objective(&gram, eps);
+            assert!(
+                result.objective >= bound * (1.0 - 1e-9),
+                "objective {} below SVD bound {bound}",
+                result.objective
+            );
+        }
+    }
+
+    #[test]
+    fn beats_randomized_response_on_prefix() {
+        // The paper's headline: the optimized mechanism dominates the
+        // baselines. RR is in the search class, so with enough iterations
+        // the optimizer should at least match it on any workload.
+        let n = 8;
+        let gram = prefix_gram(n);
+        let eps = 1.0;
+        let config = OptimizerConfig::new(5).with_iterations(200);
+        let result = optimize_strategy(&gram, eps, &config).unwrap();
+        let rr = rr_objective(n, eps, &gram);
+        assert!(
+            result.objective < rr,
+            "optimized {} should beat RR {rr} on Prefix",
+            result.objective
+        );
+    }
+
+    #[test]
+    fn optimized_mechanism_integrates_with_core() {
+        let gram = Matrix::identity(5);
+        let mech = optimized_mechanism(&gram, 1.0, &OptimizerConfig::quick(11)).unwrap();
+        assert_eq!(mech.name(), "Optimized");
+        let profile = mech.variance_profile(&gram);
+        assert_eq!(profile.len(), 5);
+        assert!(profile.iter().all(|t| t.is_finite() && *t >= 0.0));
+    }
+
+    #[test]
+    fn restarts_pick_the_best() {
+        let gram = prefix_gram(5);
+        let single = optimize_strategy(
+            &gram,
+            1.0,
+            &OptimizerConfig::quick(2).with_restarts(1),
+        )
+        .unwrap();
+        let multi = optimize_strategy(
+            &gram,
+            1.0,
+            &OptimizerConfig::quick(2).with_restarts(3),
+        )
+        .unwrap();
+        assert!(multi.objective <= single.objective + 1e-9);
+    }
+
+    #[test]
+    fn warm_start_never_worse_than_baseline() {
+        // Initialize from randomized response on Histogram at high ε; the
+        // result must match or beat RR's objective (the paper's §4
+        // intuition made precise by best-iterate tracking).
+        let n = 8;
+        let eps = 4.0_f64;
+        let gram = Matrix::identity(n);
+        let e = eps.exp();
+        let z = e + n as f64 - 1.0;
+        let rr = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))
+        .unwrap();
+        let rr_objective = ldp_core::variance::strategy_objective(&rr, &gram);
+        let config = OptimizerConfig::quick(3).with_warm_start(rr);
+        let result = optimize_strategy(&gram, eps, &config).unwrap();
+        assert!(
+            result.objective <= rr_objective * (1.0 + 1e-6),
+            "warm-started {} should not exceed RR {rr_objective}",
+            result.objective
+        );
+        assert!(result.strategy.epsilon() <= eps + 1e-6);
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        let gram = Matrix::identity(3);
+        assert!(matches!(
+            optimize_strategy(&gram, 0.0, &OptimizerConfig::quick(0)),
+            Err(LdpError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            optimize_strategy(&gram, f64::INFINITY, &OptimizerConfig::quick(0)),
+            Err(LdpError::InvalidEpsilon(_))
+        ));
+    }
+
+    #[test]
+    fn custom_output_count() {
+        let gram = Matrix::identity(4);
+        let config = OptimizerConfig::quick(9).with_num_outputs(10);
+        let result = optimize_strategy(&gram, 1.0, &config).unwrap();
+        assert_eq!(result.strategy.num_outputs(), 10);
+    }
+
+    #[test]
+    fn feasibility_enforcement() {
+        let mut z = vec![0.4, 0.4, 0.4]; // Σ = 1.2 > 1
+        enforce_feasible_bounds(&mut z, 1.0_f64.exp());
+        let s: f64 = z.iter().sum();
+        assert!(s <= 1.0);
+        assert!(1.0_f64.exp() * s >= 1.0);
+
+        let mut z = vec![0.01, 0.01]; // e^ε Σ = 0.054 < 1 at ε=1
+        enforce_feasible_bounds(&mut z, 1.0_f64.exp());
+        let s: f64 = z.iter().sum();
+        assert!(1.0_f64.exp() * s >= 1.0);
+        assert!(s <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,368 @@
+//! Projection onto the bounded probability simplex (Algorithm 1 /
+//! Problem 4.1 of the paper) and its derivative with respect to the bound
+//! vector `z`.
+//!
+//! For each column `r` of the iterate, the projection solves
+//!
+//! ```text
+//! minimize_q ‖q − r‖²   s.t.   1ᵀq = 1,  z ≤ q ≤ e^ε·z
+//! ```
+//!
+//! whose solution is `q = clip(r + λ, z, e^ε·z)` for the scalar Lagrange
+//! multiplier `λ` making the coordinates sum to one (Proposition 4.2).
+//! `φ(λ) = Σ_o clip(r_o + λ, z_o, e^ε z_o)` is a nondecreasing piecewise
+//! linear function whose breakpoints are `z_o − r_o` and `e^ε z_o − r_o`;
+//! sorting the `2m` breakpoints and scanning once finds the crossing in
+//! `O(m log m)` (the paper's Algorithm 1). A bisection fallback guards
+//! against degenerate all-clipped configurations and doubles as a test
+//! oracle.
+//!
+//! ## Differentiating through the projection
+//!
+//! Algorithm 2 needs `∇_z L` where `Q = Π_{z,ε}(R)`: the projection is
+//! piecewise linear in `(r, z)`, so on each linearity region the Jacobian
+//! is determined by the partition of coordinates into *lower-clipped*
+//! (`q_o = z_o`), *active* (`q_o = r_o + λ`), and *upper-clipped*
+//! (`q_o = e^ε z_o`). With `E = e^ε`, `A` the active set and `g` an
+//! upstream gradient w.r.t. `q`:
+//!
+//! ```text
+//! λ = (1 − Σ_{L} z_o − E·Σ_{U} z_o − Σ_{A} r_o) / |A|
+//! ∂q_i/∂z_j = δ_ij·1{i∈L} + E·δ_ij·1{i∈U} + 1{i∈A}·∂λ/∂z_j
+//! ∂λ/∂z_j  = −(1{j∈L} + E·1{j∈U}) / |A|
+//! ⇒ (∂q/∂z)ᵀg |_j = (1{j∈L} + E·1{j∈U})·(g_j − mean_{A}(g))
+//! ```
+//!
+//! which is what [`ProjectionJacobian::backprop_z`] computes.
+
+use ldp_linalg::Matrix;
+
+/// How a coordinate ended up after projection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClipState {
+    Lower,
+    Active,
+    Upper,
+}
+
+/// The per-column clip pattern of a projection, retained so gradients can
+/// be backpropagated onto `z`.
+#[derive(Clone, Debug)]
+pub struct ProjectionJacobian {
+    /// `states[u][o]` — clip state of entry `(o, u)`.
+    states: Vec<Vec<ClipState>>,
+    exp_eps: f64,
+}
+
+impl ProjectionJacobian {
+    /// Pulls a gradient w.r.t. the projected matrix `Q` back onto the
+    /// bound vector `z`, summing contributions over all columns.
+    ///
+    /// # Panics
+    /// Panics if `grad_q`'s shape disagrees with the recorded projection.
+    pub fn backprop_z(&self, grad_q: &Matrix) -> Vec<f64> {
+        let m = grad_q.rows();
+        let n = grad_q.cols();
+        assert_eq!(self.states.len(), n, "column count mismatch");
+        let mut grad_z = vec![0.0; m];
+        for (u, states) in self.states.iter().enumerate() {
+            assert_eq!(states.len(), m, "row count mismatch");
+            // Mean of the upstream gradient over the active set.
+            let mut active_sum = 0.0;
+            let mut active_count = 0usize;
+            for (o, &s) in states.iter().enumerate() {
+                if s == ClipState::Active {
+                    active_sum += grad_q[(o, u)];
+                    active_count += 1;
+                }
+            }
+            let active_mean = if active_count > 0 {
+                active_sum / active_count as f64
+            } else {
+                0.0
+            };
+            for (o, &s) in states.iter().enumerate() {
+                match s {
+                    ClipState::Lower => grad_z[o] += grad_q[(o, u)] - active_mean,
+                    ClipState::Upper => {
+                        grad_z[o] += self.exp_eps * (grad_q[(o, u)] - active_mean)
+                    }
+                    ClipState::Active => {}
+                }
+            }
+        }
+        grad_z
+    }
+}
+
+/// Projects every column of `r` onto the bounded simplex
+/// `{q : 1ᵀq = 1, z ≤ q ≤ e^ε z}` (Algorithm 1 applied column-wise).
+///
+/// Returns the projected matrix and the clip pattern for `z`-gradients.
+///
+/// # Panics
+/// Panics if the constraint set is empty (`Σz > 1` or `e^ε·Σz < 1`), if
+/// shapes disagree, or if some `z_o < 0`.
+pub fn project_columns(r: &Matrix, z: &[f64], epsilon: f64) -> (Matrix, ProjectionJacobian) {
+    let (m, n) = r.shape();
+    assert_eq!(z.len(), m, "z must have one entry per output");
+    assert!(z.iter().all(|&v| v >= 0.0), "z must be non-negative");
+    let exp_eps = epsilon.exp();
+    let z_sum: f64 = z.iter().sum();
+    assert!(
+        z_sum <= 1.0 + 1e-9 && exp_eps * z_sum >= 1.0 - 1e-9,
+        "infeasible bounds: need Σz ≤ 1 ≤ e^ε·Σz (Σz = {z_sum}, e^ε·Σz = {})",
+        exp_eps * z_sum
+    );
+
+    let mut q = Matrix::zeros(m, n);
+    let mut states = Vec::with_capacity(n);
+    let mut col = vec![0.0; m];
+    for u in 0..n {
+        for o in 0..m {
+            col[o] = r[(o, u)];
+        }
+        let lambda = solve_lambda(&col, z, exp_eps);
+        let mut col_states = Vec::with_capacity(m);
+        for o in 0..m {
+            let (lo, hi) = (z[o], exp_eps * z[o]);
+            let v = col[o] + lambda;
+            let (clipped, state) = if v <= lo {
+                (lo, ClipState::Lower)
+            } else if v >= hi {
+                (hi, ClipState::Upper)
+            } else {
+                (v, ClipState::Active)
+            };
+            q[(o, u)] = clipped;
+            col_states.push(state);
+        }
+        states.push(col_states);
+    }
+    (q, ProjectionJacobian { states, exp_eps })
+}
+
+/// Finds `λ` with `Σ_o clip(r_o + λ, z_o, E z_o) = 1` by the sorted
+/// breakpoint scan of Algorithm 1, falling back to bisection if the scan
+/// is defeated by degenerate ties.
+fn solve_lambda(r: &[f64], z: &[f64], exp_eps: f64) -> f64 {
+    let m = r.len();
+    // Breakpoints: at λ = z_o − r_o coordinate o starts increasing
+    // (slope +1); at λ = E·z_o − r_o it saturates (slope −1 relative).
+    let mut breakpoints: Vec<(f64, f64)> = Vec::with_capacity(2 * m);
+    for o in 0..m {
+        breakpoints.push((z[o] - r[o], 1.0));
+        breakpoints.push((exp_eps * z[o] - r[o], -1.0));
+    }
+    breakpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN breakpoint"));
+
+    // Below every breakpoint, φ(λ) = Σ z (all at lower clip), slope 0.
+    let mut phi: f64 = z.iter().sum();
+    let mut slope = 0.0;
+    let mut prev = breakpoints[0].0;
+    for &(bp, ds) in &breakpoints {
+        let next_phi = phi + slope * (bp - prev);
+        if next_phi >= 1.0 && slope > 0.0 {
+            // Crossing inside (prev, bp].
+            return prev + (1.0 - phi) / slope;
+        }
+        phi = next_phi;
+        slope += ds;
+        prev = bp;
+    }
+    if slope > 0.0 {
+        // Crossing beyond the last breakpoint (cannot happen when the
+        // feasibility precondition holds, but handle it).
+        return prev + (1.0 - phi) / slope;
+    }
+    // φ is flat at Σ E z ≥ 1 past the last breakpoint; equality case.
+    if (phi - 1.0).abs() < 1e-9 {
+        return prev;
+    }
+    bisect_lambda(r, z, exp_eps)
+}
+
+/// Bisection oracle for `λ` — slower but unconditionally robust. Public
+/// within the crate for use as a test oracle.
+pub(crate) fn bisect_lambda(r: &[f64], z: &[f64], exp_eps: f64) -> f64 {
+    let phi = |lambda: f64| -> f64 {
+        r.iter()
+            .zip(z)
+            .map(|(&ri, &zi)| (ri + lambda).clamp(zi, exp_eps * zi))
+            .sum()
+    };
+    let r_max = r.iter().cloned().fold(f64::MIN, f64::max);
+    let r_min = r.iter().cloned().fold(f64::MAX, f64::min);
+    let z_max = z.iter().cloned().fold(0.0, f64::max);
+    let mut lo = -r_max - exp_eps * z_max - 1.0;
+    let mut hi = -r_min + exp_eps * z_max + 1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if phi(mid) < 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-15 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn feasible_z(m: usize, epsilon: f64) -> Vec<f64> {
+        // The paper's initialization: z = (1 + e^{−ε})/(2m)·1, which
+        // satisfies Σz ≤ 1 ≤ e^ε Σz.
+        vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m]
+    }
+
+    fn check_column_feasible(q: &[f64], z: &[f64], epsilon: f64) {
+        let e = epsilon.exp();
+        let sum: f64 = q.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "column sums to {sum}");
+        for (qi, zi) in q.iter().zip(z) {
+            assert!(*qi >= zi - 1e-12, "below lower bound");
+            assert!(*qi <= e * zi + 1e-12, "above upper bound");
+        }
+    }
+
+    #[test]
+    fn projects_onto_constraints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, n, eps) = (12, 5, 1.0);
+        let z = feasible_z(m, eps);
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-0.5..1.5));
+        let (q, _) = project_columns(&r, &z, eps);
+        for u in 0..n {
+            check_column_feasible(&q.col(u), &z, eps);
+        }
+    }
+
+    #[test]
+    fn feasible_point_is_fixed() {
+        // A column already in the set projects to itself.
+        let eps = 1.0_f64;
+        let m = 4;
+        let z = feasible_z(m, eps);
+        // Build a feasible column: start at z, distribute the slack.
+        let slack = 1.0 - z.iter().sum::<f64>();
+        let mut col = z.clone();
+        let headroom: Vec<f64> = z.iter().map(|zi| (eps.exp() - 1.0) * zi).collect();
+        let total_head: f64 = headroom.iter().sum();
+        for (c, h) in col.iter_mut().zip(&headroom) {
+            *c += slack * h / total_head;
+        }
+        let r = Matrix::from_fn(m, 1, |o, _| col[o]);
+        let (q, _) = project_columns(&r, &z, eps);
+        for o in 0..m {
+            assert!((q[(o, 0)] - col[o]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_bisection_oracle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let m = rng.gen_range(2..20);
+            let eps: f64 = rng.gen_range(0.2..4.0);
+            // Random feasible z: uniform entries scaled into the window.
+            let raw: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            // Scale so that Σz = t with e^{-ε} < t < 1.
+            let t = rng.gen_range(((-eps).exp() + 1e-3)..0.999);
+            let z: Vec<f64> = raw.iter().map(|v| v * t / s).collect();
+            let r: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let fast = solve_lambda(&r, &z, eps.exp());
+            let slow = bisect_lambda(&r, &z, eps.exp());
+            // Compare the clipped results (λ itself may be non-unique on
+            // flat segments).
+            for o in 0..m {
+                let qf = (r[o] + fast).clamp(z[o], eps.exp() * z[o]);
+                let qs = (r[o] + slow).clamp(z[o], eps.exp() * z[o]);
+                assert!(
+                    (qf - qs).abs() < 1e-7,
+                    "trial {trial}: entry {o} differs: {qf} vs {qs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, n, eps) = (8, 4, 0.8);
+        let z = feasible_z(m, eps);
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+        let (q1, _) = project_columns(&r, &z, eps);
+        let (q2, _) = project_columns(&q1, &z, eps);
+        assert!(q1.max_abs_diff(&q2) < 1e-9);
+    }
+
+    #[test]
+    fn projected_matrix_is_ldp() {
+        // Entries within [z_o, e^ε z_o] per row imply row ratio ≤ e^ε.
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, n, eps) = (16, 4, 1.3);
+        let z = feasible_z(m, eps);
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>());
+        let (q, _) = project_columns(&r, &z, eps);
+        let s = ldp_core::StrategyMatrix::new(q).expect("valid strategy");
+        assert!(s.epsilon() <= eps + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn rejects_infeasible_bounds() {
+        let r = Matrix::zeros(3, 1);
+        // Σz = 1.5 > 1.
+        let _ = project_columns(&r, &[0.5, 0.5, 0.5], 1.0);
+    }
+
+    #[test]
+    fn backprop_z_matches_finite_differences() {
+        // f(z) = <C, Π_z(R)> for a fixed coefficient matrix C; compare
+        // the analytic pullback to central differences at a generic point.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, n, eps) = (7usize, 3usize, 1.1);
+        let z0 = feasible_z(m, eps);
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-0.3..0.8));
+        let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
+        let f = |z: &[f64]| -> f64 {
+            let (q, _) = project_columns(&r, z, eps);
+            q.as_slice().iter().zip(c.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let (_, jac) = project_columns(&r, &z0, eps);
+        let grad = jac.backprop_z(&c);
+        let h = 1e-7;
+        for j in 0..m {
+            let mut zp = z0.clone();
+            zp[j] += h;
+            let mut zm = z0.clone();
+            zm[j] -= h;
+            let fd = (f(&zp) - f(&zm)) / (2.0 * h);
+            assert!(
+                (fd - grad[j]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "coordinate {j}: fd {fd} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_all_clipped_column() {
+        // r so large that everything clips to the upper bound except what
+        // must come down: still sums to one and stays in bounds.
+        let eps = 0.5_f64;
+        let m = 5;
+        let z = feasible_z(m, eps);
+        let r = Matrix::filled(m, 1, 100.0);
+        let (q, _) = project_columns(&r, &z, eps);
+        check_column_feasible(&q.col(0), &z, eps);
+    }
+}

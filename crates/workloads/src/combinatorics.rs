@@ -1,0 +1,90 @@
+//! Small combinatorial helpers shared by the binary-domain workloads.
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the sizes used here;
+/// the workloads never exceed `d = 20` attributes).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result.round()
+}
+
+/// The Krawtchouk polynomial `K_j(h; d) = Σ_i (−1)^i C(h,i) C(d−h, j−i)`,
+/// which evaluates `Σ_{|S|=j} χ_S(u)χ_S(v)` for binary strings `u, v` at
+/// Hamming distance `h` in `{0,1}^d`. This gives the Parity workload its
+/// closed-form Gram matrix.
+pub fn krawtchouk(j: usize, h: usize, d: usize) -> f64 {
+    let mut total = 0.0;
+    for i in 0..=j {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        total += sign * binomial(h, i) * binomial(d - h, j - i);
+    }
+    total
+}
+
+/// Enumerates all bitmask subsets of `{0,..,d-1}` with exactly `k` bits,
+/// in increasing numeric order.
+pub(crate) fn subsets_of_size(d: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for mask in 0usize..(1 << d) {
+        if mask.count_ones() as usize == k {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 6), 0.0);
+        assert_eq!(binomial(10, 3), 120.0);
+    }
+
+    #[test]
+    fn krawtchouk_brute_force() {
+        // Compare against direct summation over subsets for small d.
+        let d = 5;
+        for j in 0..=d {
+            for h in 0..=d {
+                // Pick u = 0 and v with h low bits set.
+                let v: usize = (1 << h) - 1;
+                let mut direct = 0.0;
+                for s in subsets_of_size(d, j) {
+                    let chi_u = 1.0; // χ_S(0) = 1
+                    let chi_v = if (s & v).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+                    direct += chi_u * chi_v;
+                }
+                let k = krawtchouk(j, h, d);
+                assert!(
+                    (k - direct).abs() < 1e-9,
+                    "K_{j}({h};{d}) = {k}, direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn krawtchouk_at_zero_distance_counts_subsets() {
+        assert_eq!(krawtchouk(2, 0, 6), binomial(6, 2));
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = subsets_of_size(4, 2);
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(&0b0011));
+        assert!(s.contains(&0b1100));
+    }
+}

@@ -1,0 +1,183 @@
+//! Arbitrary explicit workloads and workload composition.
+
+use ldp_linalg::Matrix;
+
+use crate::Workload;
+
+/// A workload given by an explicit `p × n` matrix. Supports completely
+/// arbitrary query sets — the paper makes no structural assumptions on
+/// `W`, including repeated or linearly dependent queries.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    name: String,
+    w: Matrix,
+}
+
+impl Dense {
+    /// Wraps an explicit workload matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix has zero columns.
+    pub fn new(w: Matrix) -> Self {
+        assert!(w.cols() > 0, "workload must have a non-empty domain");
+        Self { name: "Custom".into(), w }
+    }
+
+    /// Sets the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds a workload from query rows.
+    pub fn from_queries(queries: &[&[f64]]) -> Self {
+        Self::new(Matrix::from_rows(queries))
+    }
+}
+
+impl Workload for Dense {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn domain_size(&self) -> usize {
+        self.w.cols()
+    }
+    fn num_queries(&self) -> usize {
+        self.w.rows()
+    }
+    fn gram(&self) -> Matrix {
+        self.w.gram()
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.w.matvec(x)
+    }
+    fn matrix(&self) -> Matrix {
+        self.w.clone()
+    }
+    fn frobenius_sq(&self) -> f64 {
+        self.w.frobenius_norm().powi(2)
+    }
+}
+
+/// The vertical stacking (union) of several workloads over the same
+/// domain, optionally with per-part importance weights: weighting a part
+/// by `c` multiplies its rows by `c`, i.e. its squared error contribution
+/// by `c²` — the paper's "relative importance" knob from the introduction.
+pub struct Stacked {
+    name: String,
+    parts: Vec<(f64, Box<dyn Workload>)>,
+    n: usize,
+}
+
+impl Stacked {
+    /// Stacks equally weighted workloads.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or domains disagree.
+    pub fn new(parts: Vec<Box<dyn Workload>>) -> Self {
+        Self::weighted(parts.into_iter().map(|p| (1.0, p)).collect())
+    }
+
+    /// Stacks workloads with importance weights.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty, domains disagree, or a weight is
+    /// non-positive/non-finite.
+    pub fn weighted(parts: Vec<(f64, Box<dyn Workload>)>) -> Self {
+        assert!(!parts.is_empty(), "stacked workload needs at least one part");
+        let n = parts[0].1.domain_size();
+        for (c, p) in &parts {
+            assert_eq!(p.domain_size(), n, "all parts must share one domain");
+            assert!(c.is_finite() && *c > 0.0, "weights must be positive");
+        }
+        Self { name: "Stacked".into(), parts, n }
+    }
+
+    /// Sets the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Workload for Stacked {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        self.parts.iter().map(|(_, p)| p.num_queries()).sum()
+    }
+    fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.n, self.n);
+        for (c, p) in &self.parts {
+            g += &p.gram().scaled(c * c);
+        }
+        g
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_queries());
+        for (c, p) in &self.parts {
+            out.extend(p.evaluate(x).into_iter().map(|v| v * c));
+        }
+        out
+    }
+    fn frobenius_sq(&self) -> f64 {
+        self.parts.iter().map(|(c, p)| c * c * p.frobenius_sq()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::conformance::assert_conformant;
+    use crate::{Histogram, Prefix, Total};
+
+    #[test]
+    fn dense_conformance() {
+        let w = Dense::from_queries(&[&[1.0, 0.0, 2.0], &[0.0, -1.0, 1.0]]);
+        assert_conformant(&w);
+        assert_eq!(w.num_queries(), 2);
+        assert_eq!(w.domain_size(), 3);
+    }
+
+    #[test]
+    fn dense_allows_duplicate_queries() {
+        let w = Dense::from_queries(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert_conformant(&w);
+        // Duplicated query doubles the Gram.
+        assert_eq!(w.gram(), Matrix::filled(2, 2, 2.0));
+    }
+
+    #[test]
+    fn stacked_conformance() {
+        let s = Stacked::new(vec![Box::new(Histogram::new(4)), Box::new(Prefix::new(4))]);
+        assert_conformant(&s);
+        assert_eq!(s.num_queries(), 8);
+    }
+
+    #[test]
+    fn weighted_stack_scales_gram_quadratically() {
+        let s = Stacked::weighted(vec![(3.0, Box::new(Total::new(2)))]);
+        // Total gram = all-ones; weight 3 -> 9x.
+        assert_eq!(s.gram(), Matrix::filled(2, 2, 9.0));
+        assert_eq!(s.evaluate(&[1.0, 1.0]), vec![6.0]);
+        assert_conformant(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one domain")]
+    fn stacked_rejects_mixed_domains() {
+        let _ = Stacked::new(vec![Box::new(Histogram::new(3)), Box::new(Histogram::new(4))]);
+    }
+
+    #[test]
+    fn named_workloads() {
+        let w = Dense::new(Matrix::identity(2)).with_name("My Queries");
+        assert_eq!(w.name(), "My Queries");
+        let s = Stacked::new(vec![Box::new(Histogram::new(2))]).with_name("Union");
+        assert_eq!(s.name(), "Union");
+    }
+}

@@ -1,0 +1,98 @@
+//! Linear counting query workloads (Section 2.1 and Section 6.1 of the
+//! paper).
+//!
+//! A workload is a `p × n` matrix `W` of linear counting queries. The paper
+//! evaluates six families: **Histogram**, **Prefix**, **All Range**,
+//! **All Marginals**, **K-Way Marginals**, and **Parity**. This crate
+//! implements all of them behind the [`Workload`] trait, plus a few extras
+//! ([`Total`], [`WidthRange`], [`Dense`], [`Stacked`]) useful in examples
+//! and tests.
+//!
+//! **The Gram matrix is the first-class citizen.** Every quantity the
+//! factorization mechanism needs — variance, objective, optimizer
+//! gradient, lower bound — depends on `W` only through `G = WᵀW` (`n × n`)
+//! plus implicit query evaluation `x ↦ Wx`. Workloads therefore provide
+//! closed-form `gram()` implementations and never have to materialize `W`:
+//! All Range at `n = 1024` has `p = 524 800` queries but its Gram is
+//! `G[j,k] = (min(j,k)+1)·(n−max(j,k))`.
+//!
+//! ```
+//! use ldp_workloads::{Prefix, Workload};
+//! let w = Prefix::new(5);
+//! // Example 2.4: the 5 prefix queries over the student-grade domain.
+//! assert_eq!(w.num_queries(), 5);
+//! let answers = w.evaluate(&[10.0, 20.0, 5.0, 0.0, 0.0]);
+//! assert_eq!(answers, vec![10.0, 30.0, 35.0, 35.0, 35.0]);
+//! ```
+
+mod combinatorics;
+mod dense;
+mod marginals;
+mod parity;
+mod product;
+mod range;
+mod workload;
+
+pub use combinatorics::{binomial, krawtchouk};
+pub use dense::{Dense, Stacked};
+pub use marginals::{AllMarginals, KWayMarginals};
+pub use parity::Parity;
+pub use product::Product;
+pub use range::{AllRange, Histogram, Prefix, Total, WidthRange};
+pub use workload::Workload;
+
+/// Re-export of the matrix type used by workload APIs.
+pub use ldp_linalg::Matrix;
+
+/// Constructs the paper's six evaluation workloads (Section 6.1) for a
+/// power-of-two domain size `n`. Marginal/parity workloads interpret the
+/// domain as `{0,1}^log2(n)`.
+///
+/// # Panics
+/// Panics if `n` is not a power of two or `n < 8` (the binary-domain
+/// workloads need at least 3 attributes).
+pub fn paper_suite(n: usize) -> Vec<Box<dyn Workload>> {
+    assert!(n.is_power_of_two() && n >= 8, "paper suite needs a power-of-two n >= 8");
+    let d = n.trailing_zeros() as usize;
+    vec![
+        Box::new(Histogram::new(n)),
+        Box::new(Prefix::new(n)),
+        Box::new(AllRange::new(n)),
+        Box::new(AllMarginals::new(d)),
+        Box::new(KWayMarginals::new(d, 3)),
+        Box::new(Parity::up_to(d, 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_six_workloads() {
+        let suite = paper_suite(16);
+        assert_eq!(suite.len(), 6);
+        let names: Vec<String> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Histogram",
+                "Prefix",
+                "All Range",
+                "All Marginals",
+                "3-Way Marginals",
+                "Parity"
+            ]
+        );
+        for w in &suite {
+            assert_eq!(w.domain_size(), 16);
+            assert!(w.num_queries() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn paper_suite_rejects_non_power_of_two() {
+        let _ = paper_suite(12);
+    }
+}

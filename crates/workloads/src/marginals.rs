@@ -1,0 +1,225 @@
+//! Marginal workloads over a multidimensional binary domain
+//! (studied under LDP by Cormode et al. \[13\] and used in Section 6.1).
+//!
+//! The domain is `{0,1}^d` with `n = 2^d` types; a user type is a bitmask
+//! `u`. For an attribute subset `S` (also a bitmask) and a setting `t` of
+//! the attributes in `S`, the marginal query counts users with
+//! `u & S == t`. The marginal on `S` contributes `2^|S|` queries.
+
+use ldp_linalg::Matrix;
+
+use crate::combinatorics::{binomial, subsets_of_size};
+use crate::Workload;
+
+/// All marginals: one marginal table for every subset `S ⊆ {0,..,d-1}`
+/// (including the empty set, whose single query is the total count).
+/// `p = Σ_S 2^|S| = 3^d` queries.
+#[derive(Clone, Copy, Debug)]
+pub struct AllMarginals {
+    d: usize,
+}
+
+impl AllMarginals {
+    /// All marginals over `{0,1}^d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `d > 20` (the explicit domain `2^d` would be
+    /// unreasonably large).
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0 && d <= 20, "attribute count must be in 1..=20");
+        Self { d }
+    }
+
+    fn n(&self) -> usize {
+        1 << self.d
+    }
+}
+
+impl Workload for AllMarginals {
+    fn name(&self) -> String {
+        "All Marginals".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n()
+    }
+    fn num_queries(&self) -> usize {
+        3usize.pow(self.d as u32)
+    }
+    fn gram(&self) -> Matrix {
+        // Query (S,t) covers both u and v iff u&S == t == v&S, so
+        // G[u,v] = #{S : S ⊆ agree(u,v)} = 2^{d − hamming(u,v)}.
+        let n = self.n();
+        Matrix::from_fn(n, n, |u, v| {
+            let h = (u ^ v).count_ones();
+            (1u64 << (self.d as u32 - h)) as f64
+        })
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n());
+        evaluate_marginals(x, &all_subsets(self.d))
+    }
+    fn frobenius_sq(&self) -> f64 {
+        // diag: 2^d per type, n types -> 4^d... careful: G[u,u] = 2^d.
+        (self.n() * self.n()) as f64
+    }
+}
+
+/// K-way marginals: the marginal tables of all attribute subsets of size
+/// exactly `k`. The paper's "3-Way Marginals" workload is `k = 3`.
+/// `p = C(d,k)·2^k` queries.
+#[derive(Clone, Copy, Debug)]
+pub struct KWayMarginals {
+    d: usize,
+    k: usize,
+}
+
+impl KWayMarginals {
+    /// Marginals on all subsets of exactly `k` of `d` binary attributes.
+    ///
+    /// # Panics
+    /// Panics if `k > d`, `d == 0`, or `d > 20`.
+    pub fn new(d: usize, k: usize) -> Self {
+        assert!(d > 0 && d <= 20, "attribute count must be in 1..=20");
+        assert!(k <= d, "marginal width cannot exceed attribute count");
+        Self { d, k }
+    }
+
+    fn n(&self) -> usize {
+        1 << self.d
+    }
+}
+
+impl Workload for KWayMarginals {
+    fn name(&self) -> String {
+        format!("{}-Way Marginals", self.k)
+    }
+    fn domain_size(&self) -> usize {
+        self.n()
+    }
+    fn num_queries(&self) -> usize {
+        (binomial(self.d, self.k) as usize) << self.k
+    }
+    fn gram(&self) -> Matrix {
+        // G[u,v] = #{|S| = k : S ⊆ agree(u,v)} = C(d − hamming(u,v), k).
+        let n = self.n();
+        Matrix::from_fn(n, n, |u, v| {
+            let h = (u ^ v).count_ones() as usize;
+            binomial(self.d - h, self.k)
+        })
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n());
+        evaluate_marginals(x, &subsets_of_size(self.d, self.k))
+    }
+    fn frobenius_sq(&self) -> f64 {
+        self.n() as f64 * binomial(self.d, self.k)
+    }
+}
+
+/// All subset bitmasks of `{0,..,d-1}` in increasing numeric order.
+fn all_subsets(d: usize) -> Vec<usize> {
+    (0..(1usize << d)).collect()
+}
+
+/// Evaluates the marginal tables for the given subset masks, in order:
+/// for each `S`, for each packed setting `t` of the bits of `S` (packed
+/// settings run 0..2^|S| with bit `i` of the packed value giving the value
+/// of the `i`-th lowest set bit of `S`).
+fn evaluate_marginals(x: &[f64], subsets: &[usize]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &s in subsets {
+        let bits: Vec<usize> = (0..usize::BITS as usize)
+            .filter(|&b| s >> b & 1 == 1)
+            .collect();
+        let cells = 1usize << bits.len();
+        let mut table = vec![0.0; cells];
+        for (u, &xu) in x.iter().enumerate() {
+            // Pack u's values on the bits of S.
+            let mut packed = 0usize;
+            for (i, &b) in bits.iter().enumerate() {
+                packed |= ((u >> b) & 1) << i;
+            }
+            table[packed] += xu;
+        }
+        out.extend_from_slice(&table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::conformance::assert_conformant;
+
+    #[test]
+    fn all_marginals_conformance() {
+        for d in [1, 2, 3, 4] {
+            assert_conformant(&AllMarginals::new(d));
+        }
+    }
+
+    #[test]
+    fn k_way_conformance() {
+        for (d, k) in [(3, 1), (3, 2), (3, 3), (4, 2), (5, 3)] {
+            assert_conformant(&KWayMarginals::new(d, k));
+        }
+    }
+
+    #[test]
+    fn all_marginals_query_count_is_3_pow_d() {
+        assert_eq!(AllMarginals::new(3).num_queries(), 27);
+        assert_eq!(AllMarginals::new(4).num_queries(), 81);
+    }
+
+    #[test]
+    fn three_way_count() {
+        // C(9,3)·8 = 84·8 = 672 for n = 512.
+        assert_eq!(KWayMarginals::new(9, 3).num_queries(), 672);
+    }
+
+    #[test]
+    fn marginal_tables_sum_to_total() {
+        // Every marginal table must sum to N.
+        let d = 3;
+        let x = [5.0, 1.0, 2.0, 0.0, 3.0, 1.0, 1.0, 7.0];
+        let n_total: f64 = x.iter().sum();
+        let w = AllMarginals::new(d);
+        let answers = w.evaluate(&x);
+        let mut idx = 0;
+        for s in 0usize..8 {
+            let cells = 1usize << s.count_ones();
+            let tbl = &answers[idx..idx + cells];
+            assert!((tbl.iter().sum::<f64>() - n_total).abs() < 1e-12);
+            idx += cells;
+        }
+        assert_eq!(idx, answers.len());
+    }
+
+    #[test]
+    fn one_way_marginal_values() {
+        // d=2, x indexed by (b1 b0): marginal on attribute 0 splits by bit0.
+        let w = KWayMarginals::new(2, 1);
+        let x = [1.0, 2.0, 4.0, 8.0]; // types 00,01,10,11
+        let ans = w.evaluate(&x);
+        // Subsets of size 1 in numeric order: {0} = mask 1, {1} = mask 2.
+        // mask 1: bit0=0 -> 1+4=5, bit0=1 -> 2+8=10
+        // mask 2: bit1=0 -> 1+2=3, bit1=1 -> 4+8=12
+        assert_eq!(ans, vec![5.0, 10.0, 3.0, 12.0]);
+    }
+
+    #[test]
+    fn gram_diag_matches_frobenius() {
+        let w = AllMarginals::new(3);
+        assert_eq!(w.frobenius_sq(), w.gram().trace());
+        let k = KWayMarginals::new(4, 2);
+        assert_eq!(k.frobenius_sq(), k.gram().trace());
+    }
+
+    #[test]
+    fn zero_way_marginal_is_total() {
+        let w = KWayMarginals::new(3, 0);
+        assert_eq!(w.num_queries(), 1);
+        let ans = w.evaluate(&[1.0; 8]);
+        assert_eq!(ans, vec![8.0]);
+    }
+}

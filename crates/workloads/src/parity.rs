@@ -1,0 +1,158 @@
+//! The Parity workload over a binary domain (studied by Gaboardi et al.
+//! \[19\] and used in the paper's Section 6.1).
+//!
+//! A parity query for an attribute subset `S ⊆ {0,..,d-1}` is
+//! `χ_S(u) = (−1)^{|u ∧ S|}` — a ±1 query rather than a 0/1 predicate.
+//! Following the DualQuery experiments the paper cites, the default
+//! workload contains all parities on subsets of size `1..=3`, which makes
+//! it low-rank (`p < n`), consistent with the paper's Section 6.5 remark
+//! that "Parity is a low-rank workload".
+
+use ldp_linalg::Matrix;
+
+use crate::combinatorics::{binomial, krawtchouk};
+use crate::Workload;
+
+/// Parities on all attribute subsets of size `min_size..=max_size` over
+/// `{0,1}^d`.
+#[derive(Clone, Copy, Debug)]
+pub struct Parity {
+    d: usize,
+    min_size: usize,
+    max_size: usize,
+}
+
+impl Parity {
+    /// Parities of subsets of size `1..=k` — the configuration used in the
+    /// paper-suite experiments.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > d`, `d == 0`, or `d > 20`.
+    pub fn up_to(d: usize, k: usize) -> Self {
+        Self::with_sizes(d, 1, k)
+    }
+
+    /// Parities of subsets with sizes in `min_size..=max_size`.
+    /// `min_size = 0` includes the constant query `χ_∅ ≡ 1` (total count).
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-range size band.
+    pub fn with_sizes(d: usize, min_size: usize, max_size: usize) -> Self {
+        assert!(d > 0 && d <= 20, "attribute count must be in 1..=20");
+        assert!(min_size <= max_size && max_size <= d, "invalid size band");
+        Self { d, min_size, max_size }
+    }
+
+    fn n(&self) -> usize {
+        1 << self.d
+    }
+
+    /// The subset bitmasks in workload row order.
+    fn subsets(&self) -> Vec<usize> {
+        (0..self.n())
+            .filter(|s| {
+                let c = s.count_ones() as usize;
+                c >= self.min_size && c <= self.max_size
+            })
+            .collect()
+    }
+}
+
+impl Workload for Parity {
+    fn name(&self) -> String {
+        "Parity".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n()
+    }
+    fn num_queries(&self) -> usize {
+        (self.min_size..=self.max_size)
+            .map(|j| binomial(self.d, j) as usize)
+            .sum()
+    }
+    fn gram(&self) -> Matrix {
+        // G[u,v] = Σ_S χ_S(u)χ_S(v) = Σ_S χ_S(u⊕v)
+        //        = Σ_{j=min..max} K_j(hamming(u⊕v); d).
+        let n = self.n();
+        // Precompute the distance kernel once per Hamming weight.
+        let kernel: Vec<f64> = (0..=self.d)
+            .map(|h| {
+                (self.min_size..=self.max_size)
+                    .map(|j| krawtchouk(j, h, self.d))
+                    .sum()
+            })
+            .collect();
+        Matrix::from_fn(n, n, |u, v| kernel[(u ^ v).count_ones() as usize])
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n());
+        self.subsets()
+            .iter()
+            .map(|&s| {
+                x.iter()
+                    .enumerate()
+                    .map(|(u, &xu)| if (u & s).count_ones() % 2 == 0 { xu } else { -xu })
+                    .sum()
+            })
+            .collect()
+    }
+    fn frobenius_sq(&self) -> f64 {
+        // Every entry of W is ±1: p·n.
+        (self.num_queries() * self.n()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::conformance::assert_conformant;
+
+    #[test]
+    fn parity_conformance() {
+        for (d, lo, hi) in [(3, 1, 1), (3, 1, 3), (4, 1, 3), (4, 0, 4), (5, 2, 3)] {
+            assert_conformant(&Parity::with_sizes(d, lo, hi));
+        }
+    }
+
+    #[test]
+    fn query_count() {
+        // d=9, sizes 1..=3: 9 + 36 + 84 = 129 queries, far below n=512.
+        let p = Parity::up_to(9, 3);
+        assert_eq!(p.num_queries(), 129);
+        assert!(p.num_queries() < p.domain_size(), "Parity should be low-rank");
+    }
+
+    #[test]
+    fn full_parity_gram_is_scaled_identity() {
+        // All 2^d parities (sizes 0..=d) form a Hadamard matrix:
+        // G = HᵀH = n·I.
+        let p = Parity::with_sizes(3, 0, 3);
+        let g = p.gram();
+        assert!(g.max_abs_diff(&Matrix::identity(8).scaled(8.0)) < 1e-9);
+    }
+
+    #[test]
+    fn single_attribute_parity_values() {
+        // d=2, subsets of size exactly 1: masks 1 and 2.
+        let p = Parity::with_sizes(2, 1, 1);
+        let ans = p.evaluate(&[1.0, 2.0, 4.0, 8.0]);
+        // mask 1: +1 for even bit0 -> 1−2+4−8 = −5
+        // mask 2: 1+2−4−8 = −9
+        assert_eq!(ans, vec![-5.0, -9.0]);
+    }
+
+    #[test]
+    fn constant_parity_is_total_count() {
+        let p = Parity::with_sizes(2, 0, 0);
+        assert_eq!(p.num_queries(), 1);
+        assert_eq!(p.evaluate(&[1.0, 2.0, 3.0, 4.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn gram_rank_matches_query_count() {
+        // Parity rows are orthogonal characters, so rank = p.
+        let p = Parity::up_to(4, 2);
+        let svd = ldp_linalg::svd(&p.matrix());
+        assert_eq!(svd.rank(), p.num_queries());
+    }
+}

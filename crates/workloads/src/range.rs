@@ -1,0 +1,332 @@
+//! One-dimensional workloads: Histogram, Total, Prefix, All Range, and
+//! fixed-width range queries.
+
+use ldp_linalg::Matrix;
+
+use crate::Workload;
+
+/// The Histogram workload `W = I` — point queries for every user type
+/// (the running example of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram {
+    n: usize,
+}
+
+impl Histogram {
+    /// Histogram over a domain of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        Self { n }
+    }
+}
+
+impl Workload for Histogram {
+    fn name(&self) -> String {
+        "Histogram".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        self.n
+    }
+    fn gram(&self) -> Matrix {
+        Matrix::identity(self.n)
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        x.to_vec()
+    }
+    fn matrix(&self) -> Matrix {
+        Matrix::identity(self.n)
+    }
+    fn frobenius_sq(&self) -> f64 {
+        self.n as f64
+    }
+}
+
+/// The single total-count query `W = 1ᵀ` — the easiest possible workload,
+/// useful as a sanity baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Total {
+    n: usize,
+}
+
+impl Total {
+    /// Total count over a domain of size `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        Self { n }
+    }
+}
+
+impl Workload for Total {
+    fn name(&self) -> String {
+        "Total".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        1
+    }
+    fn gram(&self) -> Matrix {
+        Matrix::filled(self.n, self.n, 1.0)
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        vec![x.iter().sum()]
+    }
+    fn frobenius_sq(&self) -> f64 {
+        self.n as f64
+    }
+}
+
+/// The Prefix workload (Example 2.4): query `i` counts all types `≤ i`,
+/// i.e. the unnormalized empirical CDF.
+#[derive(Clone, Copy, Debug)]
+pub struct Prefix {
+    n: usize,
+}
+
+impl Prefix {
+    /// Prefix queries over a domain of size `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        Self { n }
+    }
+}
+
+impl Workload for Prefix {
+    fn name(&self) -> String {
+        "Prefix".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        self.n
+    }
+    fn gram(&self) -> Matrix {
+        // W[i,j] = 1{j <= i}; G[j,k] = #{i >= max(j,k)} = n − max(j,k).
+        Matrix::from_fn(self.n, self.n, |j, k| (self.n - j.max(k)) as f64)
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut out = Vec::with_capacity(self.n);
+        let mut acc = 0.0;
+        for &v in x {
+            acc += v;
+            out.push(acc);
+        }
+        out
+    }
+    fn matrix(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| if j <= i { 1.0 } else { 0.0 })
+    }
+    fn frobenius_sq(&self) -> f64 {
+        // Σ_j (n − j) = n(n+1)/2.
+        (self.n * (self.n + 1)) as f64 / 2.0
+    }
+}
+
+/// The All Range workload: one query per interval `[a, b]`,
+/// `0 ≤ a ≤ b < n`, ordered lexicographically by `(a, b)`. Studied for
+/// LDP range queries by Cormode et al. \[13\].
+#[derive(Clone, Copy, Debug)]
+pub struct AllRange {
+    n: usize,
+}
+
+impl AllRange {
+    /// All interval queries over a domain of size `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        Self { n }
+    }
+}
+
+impl Workload for AllRange {
+    fn name(&self) -> String {
+        "All Range".into()
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+    fn gram(&self) -> Matrix {
+        // G[j,k] = #{(a,b): a <= min(j,k), b >= max(j,k)}
+        //        = (min(j,k)+1)·(n − max(j,k)).
+        Matrix::from_fn(self.n, self.n, |j, k| {
+            ((j.min(k) + 1) * (self.n - j.max(k))) as f64
+        })
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        // Prefix sums make each interval O(1).
+        let mut prefix = vec![0.0; self.n + 1];
+        for (i, &v) in x.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + v;
+        }
+        let mut out = Vec::with_capacity(self.num_queries());
+        for a in 0..self.n {
+            for b in a..self.n {
+                out.push(prefix[b + 1] - prefix[a]);
+            }
+        }
+        out
+    }
+    fn frobenius_sq(&self) -> f64 {
+        // Σ_j (j+1)(n−j) = n(n+1)(n+2)/6.
+        (self.n * (self.n + 1) * (self.n + 2)) as f64 / 6.0
+    }
+}
+
+/// All range queries of a fixed width `w`: intervals `[a, a+w-1]` for
+/// `a = 0..n-w+1`. A common "sliding window" analytics workload; not in
+/// the paper's suite but useful to demonstrate workload adaptivity.
+#[derive(Clone, Copy, Debug)]
+pub struct WidthRange {
+    n: usize,
+    width: usize,
+}
+
+impl WidthRange {
+    /// Width-`width` interval queries over a domain of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `width > n`.
+    pub fn new(n: usize, width: usize) -> Self {
+        assert!(width > 0 && width <= n, "width must be in 1..=n");
+        Self { n, width }
+    }
+}
+
+impl Workload for WidthRange {
+    fn name(&self) -> String {
+        format!("Width-{} Range", self.width)
+    }
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+    fn num_queries(&self) -> usize {
+        self.n - self.width + 1
+    }
+    fn gram(&self) -> Matrix {
+        // Query a covers j iff a <= j <= a+w-1, i.e. a in [j-w+1, j],
+        // intersected with [0, n-w]. G[j,k] = #overlapping starts.
+        let (n, w) = (self.n as isize, self.width as isize);
+        Matrix::from_fn(self.n, self.n, |j, k| {
+            let (j, k) = (j as isize, k as isize);
+            let lo = (j.max(k) - w + 1).max(0);
+            let hi = j.min(k).min(n - w);
+            ((hi - lo + 1).max(0)) as f64
+        })
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut prefix = vec![0.0; self.n + 1];
+        for (i, &v) in x.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + v;
+        }
+        (0..self.num_queries())
+            .map(|a| prefix[a + self.width] - prefix[a])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::conformance::assert_conformant;
+
+    #[test]
+    fn histogram_conformance() {
+        for n in [1, 2, 5, 16] {
+            assert_conformant(&Histogram::new(n));
+        }
+    }
+
+    #[test]
+    fn total_conformance() {
+        for n in [1, 3, 8] {
+            assert_conformant(&Total::new(n));
+        }
+    }
+
+    #[test]
+    fn prefix_conformance() {
+        for n in [1, 2, 5, 16] {
+            assert_conformant(&Prefix::new(n));
+        }
+    }
+
+    #[test]
+    fn all_range_conformance() {
+        for n in [1, 2, 5, 12] {
+            assert_conformant(&AllRange::new(n));
+        }
+    }
+
+    #[test]
+    fn width_range_conformance() {
+        for (n, w) in [(5, 1), (5, 3), (5, 5), (12, 4)] {
+            assert_conformant(&WidthRange::new(n, w));
+        }
+    }
+
+    #[test]
+    fn prefix_matches_example_2_4() {
+        // The 5x5 lower-triangular matrix of Example 2.4.
+        let w = Prefix::new(5).matrix();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(w[(i, j)], if j <= i { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn all_range_query_count() {
+        assert_eq!(AllRange::new(4).num_queries(), 10);
+        assert_eq!(AllRange::new(512).num_queries(), 512 * 513 / 2);
+    }
+
+    #[test]
+    fn all_range_evaluate_ordering() {
+        // n=3: intervals (0,0),(0,1),(0,2),(1,1),(1,2),(2,2).
+        let w = AllRange::new(3);
+        let ans = w.evaluate(&[1.0, 10.0, 100.0]);
+        assert_eq!(ans, vec![1.0, 11.0, 111.0, 10.0, 110.0, 100.0]);
+    }
+
+    #[test]
+    fn width_range_counts_and_values() {
+        let w = WidthRange::new(5, 2);
+        assert_eq!(w.num_queries(), 4);
+        let ans = w.evaluate(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ans, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn frobenius_closed_forms() {
+        for n in [3usize, 7, 20] {
+            let p = Prefix::new(n);
+            assert!((p.frobenius_sq() - p.matrix().frobenius_norm().powi(2)).abs() < 1e-9);
+            let r = AllRange::new(n);
+            assert!((r.frobenius_sq() - r.matrix().frobenius_norm().powi(2)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_is_easier_than_all_range() {
+        // tr(G) comparison backs the paper's "hardness" ordering.
+        let n = 16;
+        assert!(Histogram::new(n).frobenius_sq() < AllRange::new(n).frobenius_sq());
+    }
+}

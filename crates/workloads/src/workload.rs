@@ -1,0 +1,151 @@
+//! The [`Workload`] trait.
+
+use ldp_linalg::Matrix;
+
+/// A workload of `p` linear counting queries over a domain of `n` user
+/// types (Definition 2.3 / Section 2.1).
+///
+/// Implementations must keep three views consistent:
+///
+/// * [`Workload::gram`] — the `n × n` Gram matrix `G = WᵀW`, preferably in
+///   closed form (this is what the optimizer and all variance analysis
+///   consume);
+/// * [`Workload::evaluate`] — implicit matrix-vector product `x ↦ Wx`;
+/// * [`Workload::matrix`] — the explicit `p × n` matrix, materialized on
+///   demand (defaults to assembling columns via [`Workload::evaluate`] on
+///   unit vectors; override only if a faster direct construction exists).
+///
+/// The consistency of the three is enforced by shared tests in this crate.
+pub trait Workload {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> String;
+
+    /// Domain size `n`.
+    fn domain_size(&self) -> usize;
+
+    /// Number of queries `p` (rows of `W`).
+    fn num_queries(&self) -> usize;
+
+    /// The Gram matrix `G = WᵀW` (`n × n`).
+    fn gram(&self) -> Matrix;
+
+    /// Evaluates all queries: returns `Wx` (length `p`).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.domain_size()`.
+    fn evaluate(&self, x: &[f64]) -> Vec<f64>;
+
+    /// The explicit workload matrix `W` (`p × n`). May be very large
+    /// (e.g. All Range at n=1024 is 524 800 × 1024); prefer
+    /// [`Workload::gram`] + [`Workload::evaluate`] wherever possible.
+    fn matrix(&self) -> Matrix {
+        let n = self.domain_size();
+        let p = self.num_queries();
+        let mut w = Matrix::zeros(p, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.evaluate(&e);
+            assert_eq!(col.len(), p, "evaluate length disagrees with num_queries");
+            w.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        w
+    }
+
+    /// Squared Frobenius norm `‖W‖²_F = tr(G)`. Override when the diagonal
+    /// of the Gram matrix has a cheap closed form.
+    fn frobenius_sq(&self) -> f64 {
+        self.gram().trace()
+    }
+
+    /// Total squared error between two full answer vectors — convenience
+    /// for experiments.
+    fn total_squared_error(&self, x_true: &[f64], x_est: &[f64]) -> f64 {
+        let a = self.evaluate(x_true);
+        let b = self.evaluate(x_est);
+        a.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum()
+    }
+}
+
+/// Shared test helpers asserting the three views of a workload agree.
+/// Used by the unit tests of every workload implementation in this crate.
+#[cfg(test)]
+pub mod conformance {
+    use super::*;
+
+    /// Asserts `gram()`, `evaluate()`, `matrix()`, `num_queries()` and
+    /// `frobenius_sq()` are mutually consistent on a fixed workload.
+    pub fn assert_conformant(w: &dyn Workload) {
+        let n = w.domain_size();
+        let mat = w.matrix();
+        assert_eq!(mat.shape(), (w.num_queries(), n), "matrix shape");
+
+        // Gram matches the explicit matrix.
+        let gram = w.gram();
+        let explicit_gram = mat.gram();
+        let scale = explicit_gram.max_abs().max(1.0);
+        assert!(
+            gram.max_abs_diff(&explicit_gram) < 1e-9 * scale,
+            "gram mismatch for {} (max diff {:.3e})",
+            w.name(),
+            gram.max_abs_diff(&explicit_gram)
+        );
+
+        // evaluate matches the explicit matrix on a non-trivial vector.
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let via_eval = w.evaluate(&x);
+        let via_mat = mat.matvec(&x);
+        for (a, b) in via_eval.iter().zip(&via_mat) {
+            assert!((a - b).abs() < 1e-9 * scale, "evaluate mismatch for {}", w.name());
+        }
+
+        // Frobenius norm agrees.
+        assert!(
+            (w.frobenius_sq() - explicit_gram.trace()).abs() < 1e-9 * scale,
+            "frobenius mismatch for {}",
+            w.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tiny;
+
+    impl Workload for Tiny {
+        fn name(&self) -> String {
+            "Tiny".into()
+        }
+        fn domain_size(&self) -> usize {
+            3
+        }
+        fn num_queries(&self) -> usize {
+            2
+        }
+        fn gram(&self) -> Matrix {
+            // W = [[1,1,0],[0,1,1]]
+            Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 2.0, 1.0], &[0.0, 1.0, 1.0]])
+        }
+        fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+            vec![x[0] + x[1], x[1] + x[2]]
+        }
+    }
+
+    #[test]
+    fn default_matrix_assembly() {
+        let w = Tiny;
+        let m = w.matrix();
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0]]));
+        conformance::assert_conformant(&w);
+    }
+
+    #[test]
+    fn total_squared_error() {
+        let w = Tiny;
+        let err = w.total_squared_error(&[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0]);
+        assert_eq!(err, 1.0); // only query 1 differs, by 1
+    }
+}

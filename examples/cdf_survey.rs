@@ -1,0 +1,75 @@
+//! A privacy-preserving cost survey: estimate the distribution function of
+//! a sensitive numeric attribute (e.g. medical spending) without any user
+//! revealing their bracket.
+//!
+//! This is the paper's motivating use case for the Prefix workload: the
+//! analyst needs the CDF (to read off quantiles), the data is skewed
+//! (MEDCOST-like), and the population is small enough that mechanism
+//! quality matters.
+//!
+//! ```text
+//! cargo run --release --example cdf_survey
+//! ```
+
+use ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64; // spending brackets
+    let epsilon = 1.0;
+    let n_users = 9_415; // MEDCOST-sized population
+
+    let workload = Prefix::new(n);
+    let gram = workload.gram();
+
+    // A skewed population, as real cost data is.
+    let shape = ldp::data::medcost_shape(n);
+    let data = shape.sample(n_users, &mut StdRng::seed_from_u64(3));
+
+    println!("survey: {} users, {} spending brackets, epsilon = {epsilon}\n", n_users, n);
+
+    // Optimize the mechanism for the CDF workload.
+    let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(7).with_iterations(150))
+        .expect("optimization succeeds");
+
+    // Run the protocol and make the estimate consistent with WNNLS —
+    // essential at this population size (Section 6.7 of the paper).
+    let mut rng = StdRng::seed_from_u64(4);
+    let xhat_raw = mech.run(&data, &mut rng);
+    let xhat = wnnls(&gram, &xhat_raw, &WnnlsOptions::default());
+
+    let cdf_true = workload.evaluate(data.counts());
+    let cdf_est = workload.evaluate(&xhat);
+
+    // Read off quantiles from both CDFs.
+    println!("{:>10} {:>14} {:>14} {:>8}", "quantile", "true bracket", "est. bracket", "delta");
+    for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let target = q * n_users as f64;
+        let true_bracket = cdf_true.iter().position(|&c| c >= target).unwrap_or(n - 1);
+        let est_bracket = cdf_est.iter().position(|&c| c >= target).unwrap_or(n - 1);
+        println!(
+            "{:>9}% {:>14} {:>14} {:>8}",
+            (q * 100.0) as u32,
+            true_bracket,
+            est_bracket,
+            (est_bracket as i64 - true_bracket as i64).abs()
+        );
+    }
+
+    // How trustworthy is this? The analytic error is known in advance.
+    let total_var = mech.data_variance(&gram, &data);
+    let per_query_sd = (total_var / workload.num_queries() as f64).sqrt();
+    println!("\nanalytic per-query standard deviation: {per_query_sd:.1} users");
+    println!(
+        "(the mechanism promises this before anyone submits a response — Thm 3.4)"
+    );
+
+    // And the max CDF error actually achieved:
+    let max_err = cdf_true
+        .iter()
+        .zip(&cdf_est)
+        .map(|(t, e)| (t - e).abs())
+        .fold(0.0_f64, f64::max);
+    println!("max CDF error this run: {max_err:.1} users ({:.2}% of N)", 100.0 * max_err / n_users as f64);
+}

@@ -1,0 +1,76 @@
+//! # ldp — the workload factorization mechanism for local differential privacy
+//!
+//! A from-scratch Rust implementation of McKenna, Maity, Mazumdar & Miklau,
+//! *"A workload-adaptive mechanism for linear queries under local
+//! differential privacy"* (VLDB 2020), together with every substrate the
+//! paper depends on: dense linear algebra, the baseline LDP mechanisms it
+//! compares against, a workload library with closed-form Gram matrices, the
+//! projected-gradient strategy optimizer, WNNLS post-processing, and the
+//! full experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // 1. The analyst declares the queries they care about.
+//! let workload = Prefix::new(16); // empirical CDF over a 16-bin domain
+//! let gram = workload.gram();
+//!
+//! // 2. Optimize an epsilon-LDP mechanism for exactly that workload.
+//! let epsilon = 1.0;
+//! let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::quick(7)).unwrap();
+//!
+//! // 3. Users randomize locally; the analyst aggregates and estimates.
+//! let data = DataVector::from_counts(vec![50.0; 16]);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let xhat = mech.run(&data, &mut rng);
+//! let answers = workload.evaluate(&xhat);
+//! assert_eq!(answers.len(), workload.num_queries());
+//!
+//! // 4. Error is known in advance (Corollary 5.4): how many users does a
+//! //    target accuracy need?
+//! let users_needed = mech.sample_complexity(&gram, workload.num_queries(), 0.01);
+//! assert!(users_needed.is_finite());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`linalg`] | dense matrices, Jacobi eigendecomposition, SVD, pinv, Cholesky, LU |
+//! | [`core`] | data vectors, strategy matrices, factorization mechanism, variance/complexity/bounds |
+//! | [`workloads`] | Histogram, Prefix, All Range, marginals, Parity, custom/stacked |
+//! | [`mechanisms`] | RR, Hadamard, Hierarchical, Fourier, RAPPOR, Subset Selection, local Matrix Mechanism |
+//! | [`opt`] | Algorithm 1 (projection), Algorithm 2 (projected gradient descent) |
+//! | [`estimation`] | WNNLS consistency post-processing, variance simulation |
+//! | [`data`] | synthetic DPBench-shaped datasets (HEPTH/MEDCOST/NETTRACE-like) |
+
+pub use ldp_core as core;
+pub use ldp_data as data;
+pub use ldp_estimation as estimation;
+pub use ldp_linalg as linalg;
+pub use ldp_mechanisms as mechanisms;
+pub use ldp_opt as opt;
+pub use ldp_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ldp_core::{
+        DataVector, FactorizationMechanism, LdpError, LdpMechanism, ResponseVector,
+        StrategyMatrix,
+    };
+    pub use ldp_estimation::{wnnls, Postprocess, WnnlsOptions};
+    pub use ldp_linalg::Matrix;
+    pub use ldp_mechanisms::{
+        hadamard_response, hierarchical, randomized_response, Calibration, Fourier,
+        LocalMatrixMechanism,
+    };
+    pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig};
+    pub use ldp_core::protocol::{Aggregator, Client};
+    pub use ldp_workloads::{
+        AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product,
+        Stacked, Total, WidthRange, Workload,
+    };
+}

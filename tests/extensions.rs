@@ -1,0 +1,135 @@
+//! Integration tests for the repository's extension surface beyond the
+//! paper's core: product workloads, the client/aggregator protocol,
+//! privacy auditing, and quantile read-out — exercised together the way
+//! an application would.
+
+use ldp::core::audit::{analytic_audit, empirical_audit};
+use ldp::estimation::quantiles_from_estimate;
+use ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 2-D range workload end-to-end: optimize, verify the privacy budget,
+/// collect via the protocol, and check accuracy against the analytic
+/// variance.
+#[test]
+fn two_d_ranges_end_to_end() {
+    let side = 4;
+    let workload = Product::new(
+        Box::new(AllRange::new(side)),
+        Box::new(AllRange::new(side)),
+    );
+    let gram = workload.gram();
+    let eps = 1.0;
+    let mech = optimized_mechanism(&gram, eps, &OptimizerConfig::quick(3)).unwrap();
+    assert!(mech.strategy().epsilon() <= eps + 1e-6);
+
+    // The optimized 2-D strategy should beat RR here too.
+    let rr = randomized_response(workload.domain_size(), eps, &gram).unwrap();
+    let p = workload.num_queries();
+    assert!(
+        mech.sample_complexity(&gram, p, 0.01) < rr.sample_complexity(&gram, p, 0.01)
+    );
+
+    // Protocol collection matches direct run in expectation.
+    let data = DataVector::from_counts(
+        (0..workload.domain_size()).map(|i| ((i * 13) % 7) as f64 * 20.0).collect(),
+    );
+    let client = Client::new(mech.strategy().clone());
+    let mut agg = Aggregator::new(&mech);
+    let mut rng = StdRng::seed_from_u64(7);
+    for (u, c) in data.nonzero() {
+        for _ in 0..c as u64 {
+            agg.ingest(client.respond(u, &mut rng)).unwrap();
+        }
+    }
+    assert_eq!(agg.reports() as f64, data.total());
+    let answers = workload.evaluate(&agg.estimate());
+    assert_eq!(answers.len(), p);
+    // Total-population query (the full rectangle) is estimated exactly:
+    // column sums of Q are 1, so K preserves totals.
+    let full_rect_index = {
+        // Ordering: (a1,b1) lexicographic x (a2,b2); the full rectangle is
+        // query ((0, side-1), (0, side-1)).
+        let p2 = AllRange::new(side).num_queries();
+        (side - 1) * p2 + (side - 1)
+    };
+    assert!((answers[full_rect_index] - data.total()).abs() < 1e-6);
+}
+
+/// The optimized mechanism passes both audits at its declared budget.
+#[test]
+fn optimized_mechanism_passes_audits() {
+    let w = Prefix::new(12);
+    let gram = w.gram();
+    let eps = 1.2;
+    let mech = optimized_mechanism(&gram, eps, &OptimizerConfig::quick(9)).unwrap();
+
+    let analytic = analytic_audit(mech.strategy());
+    assert!(analytic.epsilon <= eps + 1e-6, "analytic loss {}", analytic.epsilon);
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let empirical = empirical_audit(mech.strategy(), eps, 150_000, &mut rng);
+    assert!(empirical.consistent, "observed {}", empirical.observed_epsilon);
+}
+
+/// CDF-to-quantile pipeline: quantiles recovered from a private Prefix
+/// estimate are within a few bins of the truth at a generous budget.
+#[test]
+fn private_quantiles_are_accurate() {
+    let n = 32;
+    let w = Prefix::new(n);
+    let gram = w.gram();
+    let mech = optimized_mechanism(&gram, 2.0, &OptimizerConfig::quick(13)).unwrap();
+    let data = ldp::data::medcost_shape(n).sample(40_000, &mut StdRng::seed_from_u64(1));
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let xhat = wnnls(&gram, &mech.run(&data, &mut rng), &WnnlsOptions::default());
+    let cdf_est = w.evaluate(&xhat);
+    let cdf_true = w.evaluate(data.counts());
+
+    let qs = [0.25, 0.5, 0.75, 0.9];
+    let est = quantiles_from_estimate(&cdf_est, data.total(), &qs);
+    let truth = quantiles_from_estimate(&cdf_true, data.total(), &qs);
+    for ((q, e), (_, t)) in est.iter().zip(&truth) {
+        let err = (*e as i64 - *t as i64).abs();
+        assert!(err <= 2, "quantile {q}: estimated bin {e}, true bin {t}");
+    }
+}
+
+/// Stacked + weighted workloads steer the optimizer: tripling the weight
+/// of one sub-workload reduces its share of the error.
+#[test]
+fn weights_steer_error_allocation() {
+    let n = 16;
+    let eps = 1.0;
+    let prefix_gram = Prefix::new(n).gram();
+    let hist_gram = Histogram::new(n).gram();
+
+    let balanced = Stacked::weighted(vec![
+        (1.0, Box::new(Prefix::new(n)) as Box<dyn Workload>),
+        (1.0, Box::new(Histogram::new(n))),
+    ]);
+    let hist_heavy = Stacked::weighted(vec![
+        (1.0, Box::new(Prefix::new(n)) as Box<dyn Workload>),
+        (10.0, Box::new(Histogram::new(n))),
+    ]);
+
+    let mech_bal =
+        optimized_mechanism(&balanced.gram(), eps, &OptimizerConfig::quick(5)).unwrap();
+    let mech_heavy =
+        optimized_mechanism(&hist_heavy.gram(), eps, &OptimizerConfig::quick(5)).unwrap();
+
+    // Evaluate both strategies on the *unweighted* histogram part: the
+    // histogram-heavy strategy must serve Histogram better...
+    let hist_bal = mech_bal.worst_case_variance(&hist_gram, 1.0);
+    let hist_heavy_v = mech_heavy.worst_case_variance(&hist_gram, 1.0);
+    assert!(
+        hist_heavy_v < hist_bal,
+        "histogram-weighted strategy should favor histogram ({hist_heavy_v} vs {hist_bal})"
+    );
+    // ...at some cost on Prefix.
+    let prefix_bal = mech_bal.worst_case_variance(&prefix_gram, 1.0);
+    let prefix_heavy = mech_heavy.worst_case_variance(&prefix_gram, 1.0);
+    assert!(prefix_heavy > prefix_bal * 0.9, "no free lunch expected");
+}

@@ -1,0 +1,120 @@
+//! Property-based tests over the baseline mechanisms: privacy
+//! certificates, unbiasedness, and cross-mechanism dominance relations
+//! that must hold for arbitrary parameters, not just the paper's grid.
+
+use ldp::core::audit::analytic_audit;
+use ldp::core::{variance, LdpMechanism};
+use ldp::mechanisms::{
+    fourier::Fourier, hadamard::hadamard_strategy, hierarchical::hierarchical_strategy,
+    randomized_response::randomized_response_strategy, subset_selection,
+};
+use ldp::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every strategy-matrix baseline satisfies exactly its declared ε
+    /// (not more, not less) for arbitrary domain sizes and budgets.
+    #[test]
+    fn baselines_satisfy_declared_epsilon(n in 2usize..24, eps in 0.2..4.0f64) {
+        let rr = randomized_response_strategy(n, eps);
+        prop_assert!((analytic_audit(&rr).epsilon - eps).abs() < 1e-9);
+
+        let had = hadamard_strategy(n, eps);
+        prop_assert!((analytic_audit(&had).epsilon - eps).abs() < 1e-9);
+
+        let hier = hierarchical_strategy(n.max(2), 4, eps);
+        prop_assert!(analytic_audit(&hier).epsilon <= eps + 1e-9);
+    }
+
+    /// Fourier with any support size is ε-LDP and carries exactly 2|F|
+    /// outputs.
+    #[test]
+    fn fourier_structure(d in 2usize..6, k in 1usize..4, eps in 0.2..3.0f64) {
+        let k = k.min(d);
+        let f = Fourier::up_to(d, k, eps);
+        let s = f.strategy();
+        prop_assert_eq!(s.num_outputs(), 2 * f.support_size());
+        prop_assert!((analytic_audit(&s).epsilon - eps).abs() < 1e-9);
+    }
+
+    /// Subset selection with any feasible subset size is ε-LDP and its
+    /// recommended size shrinks as ε grows.
+    #[test]
+    fn subset_selection_structure(n in 3usize..10, d in 1usize..4, eps in 0.2..3.0f64) {
+        let d = d.min(n - 1);
+        let s = subset_selection::subset_selection_strategy(n, d, eps);
+        prop_assert!((analytic_audit(&s).epsilon - eps).abs() < 1e-9);
+        let r1 = subset_selection::recommended_subset_size(n, 0.3);
+        let r2 = subset_selection::recommended_subset_size(n, 3.0);
+        prop_assert!(r1 >= r2);
+    }
+
+    /// All full-rank baselines produce exactly unbiased estimates on any
+    /// data (via expected responses — no sampling noise).
+    #[test]
+    fn baselines_unbiased(
+        n in 3usize..10,
+        eps in 0.5..3.0f64,
+        counts in prop::collection::vec(0.0..50.0f64, 16),
+    ) {
+        let gram = Matrix::identity(n);
+        let data = DataVector::from_counts(counts[..n].to_vec());
+        for mech in [
+            randomized_response(n, eps, &gram).unwrap(),
+            hadamard_response(n, eps, &gram).unwrap(),
+            hierarchical(n.max(2), eps, &gram).unwrap(),
+        ] {
+            let ey = mech.expected_responses(&data);
+            let xhat = mech.reconstruction().matvec(&ey);
+            for (a, b) in xhat.iter().zip(data.counts()) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b), "{} biased", mech.name());
+            }
+        }
+    }
+
+    /// Monotonicity in ε: more privacy budget never hurts any baseline's
+    /// worst-case variance on any workload Gram.
+    #[test]
+    fn more_budget_never_hurts(n in 3usize..10, eps in 0.3..2.0f64) {
+        let w = Prefix::new(n);
+        let gram = w.gram();
+        for build in [randomized_response, hadamard_response] {
+            let lo = build(n, eps, &gram).unwrap();
+            let hi = build(n, eps * 1.5, &gram).unwrap();
+            let v_lo = lo.worst_case_variance(&gram, 1.0);
+            let v_hi = hi.worst_case_variance(&gram, 1.0);
+            prop_assert!(v_hi <= v_lo * (1.0 + 1e-9), "{}: {} vs {}", lo.name(), v_hi, v_lo);
+        }
+    }
+
+    /// The optimal reconstruction (Theorem 3.10) is optimal: perturbing K
+    /// while keeping unbiasedness never reduces the trace objective.
+    /// (Perturb within the null space of Qᵀ, which preserves K·Q.)
+    #[test]
+    fn theorem_3_10_optimality(n in 3usize..7, eps in 0.5..2.0f64, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let strategy = hadamard_strategy(n, eps); // m > n: non-trivial null space
+        let k = variance::optimal_reconstruction(&strategy);
+        let gram = Matrix::identity(n);
+        let base = variance::trace_objective(&strategy, &k, &gram);
+
+        // Random direction E (n × m) projected onto null(Q·): E ← E − E·Q·Q†.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = strategy.num_outputs();
+        let e = Matrix::from_fn(n, m, |_, _| rng.gen_range(-1.0..1.0f64));
+        let q = strategy.matrix();
+        let q_pinv = q.pinv();
+        // E_null = E(I − Q Q†) : preserves K Q when added to K.
+        let correction = e.matmul(q).matmul(&q_pinv);
+        let e_null = &e - &correction;
+        let k_perturbed = &k + &e_null.scaled(0.1);
+        // Same unbiasedness...
+        let residual = variance::rowspace_residual(&strategy, &k_perturbed, &gram);
+        prop_assume!(residual < 1e-6);
+        // ...but no better objective.
+        let perturbed = variance::trace_objective(&strategy, &k_perturbed, &gram);
+        prop_assert!(perturbed >= base - 1e-9 * base.abs());
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the paper's theoretical results (Section 5),
+//! checked across mechanisms and workloads, including property-based
+//! tests over random strategies.
+
+use ldp::core::{bounds, complexity, variance, DataVector, StrategyMatrix};
+use ldp::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random column-stochastic strategy matrix from proptest input.
+fn strategy_from_raw(raw: &[f64], m: usize, n: usize) -> StrategyMatrix {
+    let mut q = Matrix::zeros(m, n);
+    for u in 0..n {
+        let col = &raw[u * m..(u + 1) * m];
+        let total: f64 = col.iter().sum();
+        for o in 0..m {
+            q[(o, u)] = col[o] / total;
+        }
+    }
+    StrategyMatrix::new(q).expect("normalized columns")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5.1: Lavg ≤ Lworst ≤ e^ε (Lavg + (N/n)·‖W‖²_F) for any
+    /// factorization of any workload by any valid strategy.
+    #[test]
+    fn theorem_5_1_sandwich(
+        raw in prop::collection::vec(0.05..1.0f64, 8 * 4),
+        w_raw in prop::collection::vec(-2.0..2.0f64, 3 * 4),
+    ) {
+        let (m, n, p) = (8usize, 4usize, 3usize);
+        let s = strategy_from_raw(&raw, m, n);
+        let eps = s.epsilon();
+        prop_assume!(eps.is_finite() && eps > 1e-6);
+        let w = Matrix::from_vec(p, n, w_raw);
+        let gram = w.gram();
+        let k = variance::optimal_reconstruction(&s);
+        // Only meaningful when the workload is answerable.
+        prop_assume!(variance::rowspace_residual(&s, &k, &gram) < 1e-6 * gram.max_abs().max(1.0));
+        let profile = variance::variance_profile(&s, &k, &gram);
+        let n_users = 100.0;
+        let lworst = variance::worst_case_variance(&profile, n_users);
+        let lavg = variance::average_case_variance(&profile, n_users);
+        let frob = gram.trace();
+        prop_assert!(lavg <= lworst * (1.0 + 1e-9) + 1e-9);
+        let upper = eps.exp() * (lavg + n_users / n as f64 * frob);
+        prop_assert!(
+            lworst <= upper * (1.0 + 1e-9) + 1e-9,
+            "Lworst {} exceeds e^eps (Lavg + N/n ||W||_F^2) = {}", lworst, upper
+        );
+    }
+
+    /// Theorem 5.6: the SVD bound lower-bounds L(Q) for every valid
+    /// strategy at its own epsilon.
+    #[test]
+    fn theorem_5_6_lower_bound(
+        raw in prop::collection::vec(0.05..1.0f64, 10 * 4),
+        w_raw in prop::collection::vec(-2.0..2.0f64, 4 * 4),
+    ) {
+        let (m, n, p) = (10usize, 4usize, 4usize);
+        let s = strategy_from_raw(&raw, m, n);
+        let eps = s.epsilon();
+        prop_assume!(eps.is_finite() && eps > 1e-6);
+        let w = Matrix::from_vec(p, n, w_raw);
+        let gram = w.gram();
+        let objective = variance::strategy_objective(&s, &gram);
+        let bound = bounds::svd_bound_objective(&gram, eps);
+        prop_assert!(
+            bound <= objective * (1.0 + 1e-6) + 1e-9,
+            "bound {} > objective {}", bound, objective
+        );
+    }
+
+    /// Unbiasedness: K·Q·x = x for full-rank strategies (the mechanism's
+    /// estimates are exactly unbiased, Definition 3.2's premise).
+    #[test]
+    fn reconstruction_unbiased(
+        raw in prop::collection::vec(0.05..1.0f64, 12 * 5),
+        counts in prop::collection::vec(0.0..100.0f64, 5),
+    ) {
+        let (m, n) = (12usize, 5usize);
+        let s = strategy_from_raw(&raw, m, n);
+        let k = variance::optimal_reconstruction(&s);
+        let gram = Matrix::identity(n);
+        prop_assume!(variance::rowspace_residual(&s, &k, &gram) < 1e-7);
+        let x = DataVector::from_counts(counts);
+        let y = s.matrix().matvec(x.counts());
+        let xhat = k.matvec(&y);
+        for (a, b) in xhat.iter().zip(x.counts()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Sample complexity is exactly proportional to worst-case variance
+    /// (Corollary 5.4's proportionality remark).
+    #[test]
+    fn complexity_proportional_to_variance(
+        raw in prop::collection::vec(0.05..1.0f64, 8 * 3),
+    ) {
+        let (m, n) = (8usize, 3usize);
+        let s = strategy_from_raw(&raw, m, n);
+        let k = variance::optimal_reconstruction(&s);
+        let gram = Matrix::identity(n);
+        prop_assume!(variance::rowspace_residual(&s, &k, &gram) < 1e-7);
+        let profile = variance::variance_profile(&s, &k, &gram);
+        let alpha = 0.02;
+        let p = 7usize;
+        let sc = complexity::sample_complexity(&profile, p, alpha);
+        let lworst_at_1 = variance::worst_case_variance(&profile, 1.0);
+        prop_assert!((sc - lworst_at_1 / (p as f64 * alpha)).abs() < 1e-9 * (1.0 + sc));
+    }
+}
+
+/// Example 5.8 at paper scale: the histogram lower bound is essentially
+/// independent of n while RR's cost is linear in n (Section 5.3's
+/// comparison).
+#[test]
+fn histogram_bound_flat_rr_linear() {
+    let eps = 1.0;
+    let alpha = 0.01;
+    let mut bound_small = 0.0;
+    let mut bound_large = 0.0;
+    let mut rr_small = 0.0;
+    let mut rr_large = 0.0;
+    for (n, bound_slot, rr_slot) in [
+        (16usize, &mut bound_small, &mut rr_small),
+        (256, &mut bound_large, &mut rr_large),
+    ] {
+        let gram = Matrix::identity(n);
+        *bound_slot = bounds::sample_complexity_bound(&gram, eps, n, alpha);
+        let rr = randomized_response(n, eps, &gram).unwrap();
+        *rr_slot = rr.sample_complexity(&gram, n, alpha);
+    }
+    // Lower bound moves by < 25% over a 16x domain growth (exactly
+    // (1/e − 1/256)/(1/e − 1/16) ≈ 1.19 per Example 5.8)...
+    assert!((bound_large / bound_small - 1.0).abs() < 0.25);
+    // ...while randomized response degrades by an order of magnitude.
+    assert!(rr_large / rr_small > 8.0);
+}
+
+/// Theorem 5.1's bound is attained with equality for RR on Histogram
+/// (Example 3.7: Lworst = Lavg).
+#[test]
+fn rr_histogram_worst_equals_avg() {
+    let n = 9;
+    let gram = Matrix::identity(n);
+    let rr = randomized_response(n, 1.0, &gram).unwrap();
+    let worst = rr.worst_case_variance(&gram, 100.0);
+    let avg = rr.average_case_variance(&gram, 100.0);
+    assert!((worst - avg).abs() < 1e-8 * worst);
+}
+
+/// The optimized strategy respects both the privacy constraint and the
+/// SVD bound across epsilons, and its objective decreases as epsilon
+/// grows (more budget can never hurt).
+#[test]
+fn optimized_monotone_in_epsilon() {
+    let w = Prefix::new(8);
+    let gram = w.gram();
+    let mut previous = f64::INFINITY;
+    for eps in [0.5, 1.0, 2.0] {
+        let result =
+            ldp::opt::optimize_strategy(&gram, eps, &OptimizerConfig::quick(5)).unwrap();
+        assert!(result.strategy.epsilon() <= eps + 1e-6);
+        let bound = bounds::svd_bound_objective(&gram, eps);
+        assert!(result.objective >= bound * (1.0 - 1e-9));
+        assert!(
+            result.objective <= previous * 1.2,
+            "objective should not grow materially with epsilon"
+        );
+        previous = result.objective;
+    }
+}
