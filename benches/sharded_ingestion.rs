@@ -1,0 +1,84 @@
+//! Criterion bench: sharded report ingestion scaling with thread count.
+//!
+//! A fixed stream of randomized reports is split across T threads, each
+//! ingesting into its own `AggregatorShard`; the shards are then merged.
+//! Wall-clock time should drop as T grows (ingestion is embarrassingly
+//! parallel), and — asserted during setup — the merged counts are
+//! bit-identical to a single sequential aggregator fed the same stream.
+//!
+//! ```text
+//! cargo bench --bench sharded_ingestion
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOTAL_REPORTS: usize = 2_000_000;
+
+fn bench_sharded_ingestion(c: &mut Criterion) {
+    let n = 256;
+    let deployment = Pipeline::for_workload(Histogram::new(n))
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .expect("deployable");
+
+    // Pre-draw the reports so the bench isolates ingestion + merge.
+    let client = deployment.client();
+    let mut rng = StdRng::seed_from_u64(0);
+    let reports: Vec<usize> = (0..TOTAL_REPORTS)
+        .map(|i| client.respond(i % n, &mut rng))
+        .collect();
+
+    // Exactness: N merged shards == one sequential aggregator, bit-for-bit.
+    let mut sequential = deployment.aggregator();
+    sequential.ingest_batch(&reports).expect("valid reports");
+    for threads in [2usize, 5, 8] {
+        let merged = ingest_in_shards(&deployment, &reports, threads);
+        assert_eq!(merged.counts(), sequential.counts());
+        assert_eq!(
+            deployment.estimate(&merged).data_vector(),
+            deployment.estimate(&sequential).data_vector()
+        );
+    }
+
+    let mut group = c.benchmark_group("sharded_ingestion_2M_reports");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| ingest_in_shards(&deployment, &reports, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Splits `reports` into `threads` contiguous slices, ingests each on its
+/// own thread, and merges the shards into one aggregator.
+fn ingest_in_shards(deployment: &Deployment, reports: &[usize], threads: usize) -> Aggregator {
+    let chunk = reports.len().div_ceil(threads);
+    let shards: Vec<AggregatorShard> = std::thread::scope(|scope| {
+        reports
+            .chunks(chunk)
+            .map(|slice| {
+                let deployment = deployment.clone();
+                scope.spawn(move || {
+                    let mut shard = deployment.shard();
+                    shard.ingest_batch(slice).expect("valid reports");
+                    shard
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("worker thread"))
+            .collect()
+    });
+    deployment.merge(shards).expect("matching shards")
+}
+
+criterion_group!(benches, bench_sharded_ingestion);
+criterion_main!(benches);

@@ -11,13 +11,17 @@ use ldp_workloads::{AllRange, Workload};
 fn rr_strategy(n: usize, eps: f64) -> StrategyMatrix {
     let e = eps.exp();
     let z = e + n as f64 - 1.0;
-    StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-        if o == u {
-            e / z
-        } else {
-            1.0 / z
-        }
-    }))
+    StrategyMatrix::new(Matrix::from_fn(
+        n,
+        n,
+        |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        },
+    ))
     .unwrap()
 }
 

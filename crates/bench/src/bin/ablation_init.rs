@@ -32,7 +32,10 @@ fn main() {
     let seed: u64 = args.get_or("seed", 0);
     let epsilons: Vec<f64> = args.get_list("epsilons", &[0.5, 1.0, 2.0, 4.0]);
 
-    banner("ablation_init", &format!("n={n}, iterations={iterations}, eps={epsilons:?}"));
+    banner(
+        "ablation_init",
+        &format!("n={n}, iterations={iterations}, eps={epsilons:?}"),
+    );
 
     let workload_count = paper_suite(n).len();
     let cells = workload_count * epsilons.len();
@@ -61,12 +64,14 @@ fn main() {
         let objectives: Vec<(String, f64)> = variants
             .into_iter()
             .map(|(name, config)| {
-                let result =
-                    optimize_strategy(&gram, eps, &config).expect("optimizer succeeds");
+                let result = optimize_strategy(&gram, eps, &config).expect("optimizer succeeds");
                 (name.to_string(), result.objective)
             })
             .collect();
-        banner("ablation_init", &format!("done {} eps={eps}", workload.name()));
+        banner(
+            "ablation_init",
+            &format!("done {} eps={eps}", workload.name()),
+        );
         (workload.name(), eps, objectives)
     });
 

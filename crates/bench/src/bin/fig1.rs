@@ -20,15 +20,17 @@ fn main() {
     let n: usize = args.get_or("domain", if quick { 64 } else { 512 });
     let alpha: f64 = args.get_or("alpha", 0.01);
     let seed: u64 = args.get_or("seed", 0);
-    let epsilons: Vec<f64> =
-        args.get_list("epsilons", &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]);
+    let epsilons: Vec<f64> = args.get_list("epsilons", &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]);
     let effort = Effort::from_quick_flag(quick);
 
     let workload_count = paper_suite(n).len();
     let total_cells = workload_count * epsilons.len();
     banner(
         "fig1",
-        &format!("n={n}, alpha={alpha}, {} epsilons, {total_cells} cells", epsilons.len()),
+        &format!(
+            "n={n}, alpha={alpha}, {} epsilons, {total_cells} cells",
+            epsilons.len()
+        ),
     );
 
     // One cell = (workload, epsilon); all 7 mechanisms are evaluated per

@@ -29,7 +29,10 @@ fn main() {
     let seed: u64 = args.get_or("seed", 0);
     let effort = Effort::from_quick_flag(quick);
 
-    banner("fig3a", &format!("Prefix workload, n={n}, epsilon={epsilon}"));
+    banner(
+        "fig3a",
+        &format!("Prefix workload, n={n}, epsilon={epsilon}"),
+    );
 
     let workload = Prefix::new(n);
     let gram = workload.gram();
@@ -38,9 +41,18 @@ fn main() {
     // Dataset shapes: the data-dependent sample complexity only needs the
     // normalized distribution, so expected shapes are exact here.
     let datasets: Vec<(&str, Option<Vec<f64>>)> = vec![
-        ("HEPTH", Some(ldp_data::hepth_shape(n).probabilities().to_vec())),
-        ("MEDCOST", Some(ldp_data::medcost_shape(n).probabilities().to_vec())),
-        ("NETTRACE", Some(ldp_data::nettrace_shape(n).probabilities().to_vec())),
+        (
+            "HEPTH",
+            Some(ldp_data::hepth_shape(n).probabilities().to_vec()),
+        ),
+        (
+            "MEDCOST",
+            Some(ldp_data::medcost_shape(n).probabilities().to_vec()),
+        ),
+        (
+            "NETTRACE",
+            Some(ldp_data::nettrace_shape(n).probabilities().to_vec()),
+        ),
         ("Worst-case", None),
     ];
 

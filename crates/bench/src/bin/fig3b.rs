@@ -95,7 +95,13 @@ fn main() {
     }
     write_csv(
         &mut std::io::stdout().lock(),
-        &["workload", "m_multiple", "median_ratio", "min_ratio", "max_ratio"],
+        &[
+            "workload",
+            "m_multiple",
+            "median_ratio",
+            "min_ratio",
+            "max_ratio",
+        ],
         &rows,
     );
 }

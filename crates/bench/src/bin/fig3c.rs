@@ -37,7 +37,10 @@ fn main() {
     let iters: usize = args.get_or("iters", 15);
     let seed: u64 = args.get_or("seed", 0);
 
-    banner("fig3c", &format!("domains={domains:?}, {iters} iterations each"));
+    banner(
+        "fig3c",
+        &format!("domains={domains:?}, {iters} iterations each"),
+    );
 
     let mut rows = Vec::new();
     for &n in &domains {

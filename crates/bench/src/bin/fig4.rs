@@ -42,8 +42,14 @@ fn main() {
     let results = parallel_map(workload_count, |w_idx| {
         let workload = &paper_suite(n)[w_idx];
         let gram = workload.gram();
-        let mech =
-            build_mechanism(MechanismKind::Optimized, workload.as_ref(), &gram, epsilon, effort, seed);
+        let mech = build_mechanism(
+            MechanismKind::Optimized,
+            workload.as_ref(),
+            &gram,
+            epsilon,
+            effort,
+            seed,
+        );
         let data = hepth_shape(n).sample(n_users, &mut StdRng::seed_from_u64(seed + 17));
 
         let mut rng = StdRng::seed_from_u64(seed + 100 + w_idx as u64);

@@ -67,12 +67,20 @@ pub struct Effort {
 impl Effort {
     /// Paper-faithful effort.
     pub fn full() -> Self {
-        Self { optimizer_iterations: 250, search_iterations: 15, mm_iterations: 40 }
+        Self {
+            optimizer_iterations: 250,
+            search_iterations: 15,
+            mm_iterations: 40,
+        }
     }
 
     /// Laptop-scale effort for `--quick` runs.
     pub fn quick() -> Self {
-        Self { optimizer_iterations: 80, search_iterations: 8, mm_iterations: 15 }
+        Self {
+            optimizer_iterations: 80,
+            search_iterations: 8,
+            mm_iterations: 15,
+        }
     }
 
     /// Chooses by flag.
@@ -117,17 +125,24 @@ pub fn build_mechanism(
             Box::new(hierarchical(n, epsilon, gram).expect("Hierarchical supports any workload"))
         }
         MechanismKind::Fourier => {
-            assert!(n.is_power_of_two(), "Fourier interprets the domain as {{0,1}}^d");
+            assert!(
+                n.is_power_of_two(),
+                "Fourier interprets the domain as {{0,1}}^d"
+            );
             let d = n.trailing_zeros() as usize;
             let name = workload.name();
-            let low_order = name.contains("Marginals") && name != "All Marginals"
-                || name.contains("Parity");
+            let low_order =
+                name.contains("Marginals") && name != "All Marginals" || name.contains("Parity");
             let fourier = if low_order {
                 Fourier::up_to(d, 3.min(d), epsilon)
             } else {
                 Fourier::full(d, epsilon)
             };
-            Box::new(fourier.mechanism(gram).expect("Fourier support covers this workload"))
+            Box::new(
+                fourier
+                    .mechanism(gram)
+                    .expect("Fourier support covers this workload"),
+            )
         }
         MechanismKind::MatrixMechanismL1 => Box::new(LocalMatrixMechanism::optimized(
             gram,
@@ -156,20 +171,22 @@ pub fn build_mechanism(
                 seed,
                 initial_strategy: None,
             };
-            let random = ldp_opt::optimize_strategy(gram, epsilon, &base)
-                .expect("optimizer succeeds");
+            let random =
+                ldp_opt::optimize_strategy(gram, epsilon, &base).expect("optimizer succeeds");
             let warm_config = OptimizerConfig {
                 initial_strategy: Some(
-                    ldp_mechanisms::randomized_response::randomized_response_strategy(
-                        n, epsilon,
-                    ),
+                    ldp_mechanisms::randomized_response::randomized_response_strategy(n, epsilon),
                 ),
                 iterations: effort.optimizer_iterations / 2,
                 ..base
             };
             let warm = ldp_opt::optimize_strategy(gram, epsilon, &warm_config)
                 .expect("warm-started optimizer succeeds");
-            let best = if warm.objective < random.objective { warm } else { random };
+            let best = if warm.objective < random.objective {
+                warm
+            } else {
+                random
+            };
             Box::new(
                 ldp_core::FactorizationMechanism::new_unchecked_privacy(
                     best.strategy,
@@ -209,7 +226,10 @@ pub fn parallel_map<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("all cells computed")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all cells computed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,7 +246,10 @@ mod tests {
             assert_eq!(mech.name(), label);
             assert_eq!(mech.domain_size(), 8);
             let profile = mech.variance_profile(&gram);
-            assert!(profile.iter().all(|t| t.is_finite() && *t >= 0.0), "{label}");
+            assert!(
+                profile.iter().all(|t| t.is_finite() && *t >= 0.0),
+                "{label}"
+            );
         }
     }
 

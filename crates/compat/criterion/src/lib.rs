@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` benchmark harness, implementing
+//! the subset of its API this workspace uses. Benchmarks compile and run
+//! with `cargo bench`; each measurement prints mean wall-clock time per
+//! iteration over a warmup-calibrated batch. No statistical outlier
+//! analysis or HTML reports — see `crates/compat/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value barrier, like `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark, split across samples.
+const TARGET_MEASURE: Duration = Duration::from_millis(600);
+const WARMUP_ITERS: u64 = 2;
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Measures a single standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f, 20);
+        self
+    }
+}
+
+/// Identifier for one measurement within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting only of the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related measurements sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` with access to a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input), self.sample_size);
+        self
+    }
+
+    /// Measures a function with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, &mut f, self.sample_size);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a measurement name (a `&str` or a [`BenchmarkId`]).
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.label)
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: how long does one call take?
+        let start = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let per_call = start.elapsed() / (WARMUP_ITERS as u32);
+        // Pick a batch count aiming for TARGET_MEASURE total.
+        let budget_per_sample = TARGET_MEASURE / (self.sample_size as u32);
+        let batch =
+            (budget_per_sample.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters_run = iters;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher), sample_size: usize) {
+    let mut bencher = Bencher {
+        sample_size,
+        result_ns: f64::NAN,
+        iters_run: 0,
+    };
+    f(&mut bencher);
+    if bencher.result_ns.is_nan() {
+        println!("{label:<48} (no measurement — Bencher::iter never called)");
+        return;
+    }
+    let ns = bencher.result_ns;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    };
+    println!(
+        "{label:<48} time: {human:>12}/iter  ({} iters)",
+        bencher.iters_run
+    );
+}
+
+/// Collects benchmark functions into one group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running each group, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat_smoke");
+        group.sample_size(3);
+        for &n in &[4usize, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).map(|i| i * i).sum::<usize>());
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+}

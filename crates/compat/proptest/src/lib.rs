@@ -1,0 +1,291 @@
+//! Offline stand-in for the `proptest` crate, implementing the subset of
+//! its API this workspace uses: the [`proptest!`] test macro, numeric
+//! range strategies, [`collection::vec`], [`Strategy::prop_map`], and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//!
+//! Differences from upstream (see `crates/compat/README.md`):
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   stringified assertion; re-running reproduces it exactly because the
+//!   generator is seeded from the test's module path and name.
+//! * Collection sizes are fixed `usize`s (the only form used here).
+
+use std::ops::Range;
+
+/// Re-exported so the [`proptest!`] macro can name the generator without
+/// requiring callers to depend on `rand` themselves.
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Per-test configuration. Only `cases` is implemented.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of exactly `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: usize) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.size).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a test's path, used to seed its generator
+/// deterministically.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the seeded generator for a named test.
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Defines property-based tests. Supports the upstream form
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, k in 2usize..9) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err(::std::format!(
+                    "assertion failed: {}",
+                    stringify!($cond)
+                ));
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err(::std::format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counted as passing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => return ::std::result::Result::Ok(()),
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+        range.prop_map(|x| 2.0 * x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in -1.5..2.5f64,
+            k in 3usize..9,
+            v in prop::collection::vec(0.0..1.0f64, 7),
+        ) {
+            prop_assert!((-1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&k));
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)), "out of range: {v:?}");
+        }
+
+        #[test]
+        fn prop_map_applies(y in doubled(1.0..2.0f64)) {
+            prop_assert!((2.0..4.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0.0..1.0f64) {
+                prop_assert!(x > 2.0, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng_for("some::test");
+        let mut b = crate::rng_for("some::test");
+        let sa = (0.0..1.0f64).generate(&mut a);
+        let sb = (0.0..1.0f64).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -38,7 +38,11 @@ pub struct AnalyticAudit {
 /// has zero probability for one user type but not another.
 pub fn analytic_audit(strategy: &StrategyMatrix) -> AnalyticAudit {
     let q = strategy.matrix();
-    let mut worst = AnalyticAudit { epsilon: 0.0, worst_output: 0, worst_pair: (0, 0) };
+    let mut worst = AnalyticAudit {
+        epsilon: 0.0,
+        worst_output: 0,
+        worst_pair: (0, 0),
+    };
     for o in 0..q.rows() {
         let row = q.row(o);
         let (mut max_u, mut min_u) = (0usize, 0usize);
@@ -146,13 +150,17 @@ mod tests {
     fn rr(n: usize, eps: f64) -> StrategyMatrix {
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
-        StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap()
     }
 

@@ -51,12 +51,7 @@ pub fn worst_case_variance_bound(gram: &Matrix, epsilon: f64, n_users: f64) -> f
 /// Lower bound on the sample complexity at target normalized variance
 /// `alpha` for a `num_queries`-query workload, obtained by combining
 /// Corollary 5.7 with Corollary 5.4. Clamped at zero.
-pub fn sample_complexity_bound(
-    gram: &Matrix,
-    epsilon: f64,
-    num_queries: usize,
-    alpha: f64,
-) -> f64 {
+pub fn sample_complexity_bound(gram: &Matrix, epsilon: f64, num_queries: usize, alpha: f64) -> f64 {
     assert!(alpha > 0.0, "target accuracy must be positive");
     assert!(num_queries > 0, "workload must contain at least one query");
     let n = gram.rows() as f64;
@@ -110,14 +105,19 @@ mod tests {
             let e: f64 = eps;
             let ee = e.exp();
             let z = ee + n as f64 - 1.0;
-            let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-                if o == u {
-                    ee / z
-                } else {
-                    1.0 / z
-                }
-            }))
-            .unwrap();
+            let s =
+                StrategyMatrix::new(Matrix::from_fn(
+                    n,
+                    n,
+                    |o, u| {
+                        if o == u {
+                            ee / z
+                        } else {
+                            1.0 / z
+                        }
+                    },
+                ))
+                .unwrap();
             let gram = Matrix::identity(n);
             let objective = strategy_objective(&s, &gram);
             let bound = svd_bound_objective(&gram, e);

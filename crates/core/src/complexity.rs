@@ -103,20 +103,23 @@ mod tests {
         let (n, eps, alpha) = (8usize, 1.0_f64, 0.01);
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
-        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        let s = StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap();
         let k = optimal_reconstruction(&s);
         let profile = variance_profile(&s, &k, &Matrix::identity(n));
         let measured = sample_complexity(&profile, n, alpha);
         let nf = n as f64;
-        let expected =
-            (nf - 1.0) / (alpha * nf) * (nf / (e - 1.0).powi(2) + 2.0 / (e - 1.0));
+        let expected = (nf - 1.0) / (alpha * nf) * (nf / (e - 1.0).powi(2) + 2.0 / (e - 1.0));
         assert!(
             (measured - expected).abs() / expected < 1e-8,
             "{measured} vs {expected}"

@@ -58,7 +58,9 @@ impl DataVector {
     /// types — the average-case input of Corollary 3.6.
     pub fn uniform(n: usize, total: f64) -> Self {
         assert!(n > 0, "domain must be non-empty");
-        Self { counts: vec![total / n as f64; n] }
+        Self {
+            counts: vec![total / n as f64; n],
+        }
     }
 
     /// A point-mass data vector: all `total` users have type `u` — the
@@ -104,7 +106,11 @@ impl DataVector {
 
     /// Iterates over `(type, count)` pairs with non-zero count.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.counts.iter().copied().enumerate().filter(|(_, c)| *c > 0.0)
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, c)| *c > 0.0)
     }
 
     /// Rounds each count to the nearest integer, for use after sampling

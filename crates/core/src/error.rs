@@ -57,9 +57,15 @@ impl fmt::Display for LdpError {
                 write!(f, "strategy column {column} sums to {sum}, expected 1")
             }
             LdpError::InvalidProbability { row, column, value } => {
-                write!(f, "strategy entry ({row}, {column}) = {value} is not a probability")
+                write!(
+                    f,
+                    "strategy entry ({row}, {column}) = {value} is not a probability"
+                )
             }
-            LdpError::PrivacyViolation { requested_epsilon, actual_epsilon } => write!(
+            LdpError::PrivacyViolation {
+                requested_epsilon,
+                actual_epsilon,
+            } => write!(
                 f,
                 "strategy satisfies only {actual_epsilon}-LDP, \
                  which exceeds the requested budget {requested_epsilon}"
@@ -72,8 +78,15 @@ impl fmt::Display for LdpError {
                 "workload is not in the row space of the strategy \
                  (residual {residual:.3e}); no unbiased reconstruction exists"
             ),
-            LdpError::DimensionMismatch { context, expected, actual } => {
-                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            LdpError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
             LdpError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
         }
@@ -88,11 +101,21 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_fields() {
-        let e = LdpError::ColumnNotStochastic { column: 3, sum: 0.5 };
+        let e = LdpError::ColumnNotStochastic {
+            column: 3,
+            sum: 0.5,
+        };
         assert!(e.to_string().contains("column 3"));
-        let e = LdpError::PrivacyViolation { requested_epsilon: 1.0, actual_epsilon: 2.0 };
+        let e = LdpError::PrivacyViolation {
+            requested_epsilon: 1.0,
+            actual_epsilon: 2.0,
+        };
         assert!(e.to_string().contains('2'));
-        let e = LdpError::DimensionMismatch { context: "gram", expected: 4, actual: 5 };
+        let e = LdpError::DimensionMismatch {
+            context: "gram",
+            expected: 4,
+            actual: 5,
+        };
         assert!(e.to_string().contains("gram"));
     }
 

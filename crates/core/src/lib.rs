@@ -41,8 +41,9 @@ pub mod variance;
 pub use data::DataVector;
 pub use error::LdpError;
 pub use mechanism::{FactorizationMechanism, ResponseVector};
+pub use protocol::{Aggregator, AggregatorShard, Client};
 pub use strategy::StrategyMatrix;
-pub use traits::LdpMechanism;
+pub use traits::{Deployable, LdpMechanism};
 
 /// Re-export of the linear algebra substrate used throughout.
 pub use ldp_linalg as linalg;

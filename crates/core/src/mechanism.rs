@@ -1,10 +1,13 @@
 //! The workload factorization mechanism (Definition 3.2).
 
+use std::sync::Arc;
+
 use ldp_linalg::Matrix;
 use rand::RngCore;
 
+use crate::protocol::Client;
 use crate::sampling::AliasTable;
-use crate::{variance, DataVector, LdpError, LdpMechanism, StrategyMatrix};
+use crate::{variance, DataVector, Deployable, LdpError, LdpMechanism, StrategyMatrix};
 
 /// Tolerance on the row-space residual when validating that a workload is
 /// answerable by a strategy (`W = WQ†Q`, Theorem 3.10).
@@ -73,6 +76,10 @@ pub struct FactorizationMechanism {
     strategy: StrategyMatrix,
     /// Data-vector estimator `K = (QᵀD⁻¹Q)†QᵀD⁻¹` (`n × m`).
     k: Matrix,
+    /// Per-user-type alias tables over the strategy columns, built once at
+    /// construction and shared (via `Arc`) with every [`Client`] handed
+    /// out — `collect`/`run` never rebuild them.
+    tables: Arc<[AliasTable]>,
     epsilon: f64,
     name: String,
 }
@@ -86,11 +93,7 @@ impl FactorizationMechanism {
     /// * [`LdpError::WorkloadNotSupported`] if `W` is not in the row space
     ///   of the strategy.
     /// * [`LdpError::DimensionMismatch`] if `gram` is not `n × n`.
-    pub fn new(
-        strategy: StrategyMatrix,
-        gram: &Matrix,
-        epsilon: f64,
-    ) -> Result<Self, LdpError> {
+    pub fn new(strategy: StrategyMatrix, gram: &Matrix, epsilon: f64) -> Result<Self, LdpError> {
         strategy.check_ldp(epsilon)?;
         Self::new_unchecked_privacy(strategy, gram, epsilon)
     }
@@ -116,7 +119,16 @@ impl FactorizationMechanism {
         if residual > ROWSPACE_TOL * scale {
             return Err(LdpError::WorkloadNotSupported { residual });
         }
-        Ok(Self { strategy, k, epsilon, name: "Factorization".to_string() })
+        let tables: Arc<[AliasTable]> = (0..strategy.domain_size())
+            .map(|u| AliasTable::new(&strategy.output_distribution(u)))
+            .collect();
+        Ok(Self {
+            strategy,
+            k,
+            tables,
+            epsilon,
+            name: "Factorization".to_string(),
+        })
     }
 
     /// Sets the display name used in reports (e.g. "Optimized",
@@ -134,6 +146,13 @@ impl FactorizationMechanism {
     /// The data-vector estimator `K` (`n × m`) with `V = W·K`.
     pub fn reconstruction(&self) -> &Matrix {
         &self.k
+    }
+
+    /// A [`Client`] sharing this mechanism's precomputed alias tables —
+    /// cheap to call (an `Arc` clone, no table construction) and safe to
+    /// hand to any number of threads.
+    pub fn client(&self) -> Client {
+        Client::from_shared(Arc::clone(&self.tables), self.strategy.num_outputs())
     }
 
     /// Executes the local protocol: every user of type `u` draws one output
@@ -155,8 +174,8 @@ impl FactorizationMechanism {
             if users == 0 {
                 continue;
             }
-            let table = AliasTable::new(&self.strategy.output_distribution(u));
-            for (yo, h) in y.iter_mut().zip(table.sample_histogram(users, rng)) {
+            let hist = self.tables[u].sample_histogram(users, rng);
+            for (yo, h) in y.iter_mut().zip(hist) {
                 *yo += h;
             }
         }
@@ -197,6 +216,20 @@ impl LdpMechanism for FactorizationMechanism {
     fn run(&self, data: &DataVector, rng: &mut dyn RngCore) -> Vec<f64> {
         let y = self.collect(data, rng);
         self.estimate(&y)
+    }
+}
+
+impl Deployable for FactorizationMechanism {
+    fn client(&self) -> Client {
+        FactorizationMechanism::client(self)
+    }
+
+    fn reconstruction_matrix(&self) -> &Matrix {
+        &self.k
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.strategy.num_outputs()
     }
 }
 

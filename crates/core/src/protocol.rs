@@ -3,17 +3,32 @@
 //! [`FactorizationMechanism::run`](crate::LdpMechanism::run)
 //! simulates a whole population in one call; a real deployment instead
 //! has many independent clients, each holding only the (public) strategy
-//! matrix, reporting once, and an aggregator that folds reports into a
+//! matrix, reporting once, and aggregators that fold reports into a
 //! response histogram as they arrive. This module provides exactly that
 //! split:
 //!
 //! * [`Client`] — wraps the public strategy; `respond(my_type)` draws one
 //!   randomized report. This is the *only* place user data touches the
-//!   pipeline, and the output is a bare output index `o ∈ [m]`.
-//! * [`Aggregator`] — accumulates reports incrementally and produces the
-//!   unbiased data-vector estimate on demand; estimates can be read at
-//!   any time (e.g. for progressive dashboards) without disturbing
+//!   pipeline, and the output is a bare output index `o ∈ [m]`. Clients
+//!   obtained from [`FactorizationMechanism::client`] share the
+//!   mechanism's precomputed alias tables behind an `Arc`, so cloning one
+//!   per thread is O(1).
+//! * [`AggregatorShard`] — a plain histogram of `u64` counts with no
+//!   attached reconstruction. Shards are cheap to create (one per thread
+//!   or ingest node), ingest independently, and [`AggregatorShard::merge`]
+//!   into each other associatively — counts are integers, so any merge
+//!   order produces bit-identical totals.
+//! * [`Aggregator`] — a shard plus the mechanism's reconstruction matrix;
+//!   accumulates reports (directly or by absorbing shards) and produces
+//!   the unbiased data-vector estimate on demand; estimates can be read
+//!   at any time (e.g. for progressive dashboards) without disturbing
 //!   collection.
+//!
+//! Counts are stored as integers end-to-end: summing `f64`s drifts once
+//! totals pass 2⁵³ and silently loses single reports long before that,
+//! which matters at the billion-report scale the sharded path targets.
+//! The conversion to `f64` happens exactly once, inside
+//! [`Aggregator::estimate`] / [`Aggregator::responses`].
 //!
 //! ```
 //! use ldp_core::protocol::{Aggregator, Client};
@@ -27,7 +42,7 @@
 //! let mech = FactorizationMechanism::new(
 //!     StrategyMatrix::new(q).unwrap(), &Matrix::identity(3), eps).unwrap();
 //!
-//! let client = Client::new(mech.strategy().clone());
+//! let client = mech.client();
 //! let mut aggregator = Aggregator::new(&mech);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! for _ in 0..100 {
@@ -37,6 +52,48 @@
 //! let estimate = aggregator.estimate();
 //! assert_eq!(estimate.len(), 3);
 //! ```
+//!
+//! Sharded collection across threads:
+//!
+//! ```
+//! use ldp_core::protocol::{Aggregator, AggregatorShard};
+//! use ldp_core::{FactorizationMechanism, StrategyMatrix};
+//! use ldp_linalg::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let eps = 1.0_f64;
+//! let z = eps.exp() + 2.0;
+//! let q = Matrix::from_fn(3, 3, |o, u| if o == u { eps.exp() / z } else { 1.0 / z });
+//! let mech = FactorizationMechanism::new(
+//!     StrategyMatrix::new(q).unwrap(), &Matrix::identity(3), eps).unwrap();
+//!
+//! let client = mech.client();
+//! let shards: Vec<AggregatorShard> = std::thread::scope(|scope| {
+//!     (0..4u64)
+//!         .map(|t| {
+//!             let client = client.clone();
+//!             scope.spawn(move || {
+//!                 let mut shard = AggregatorShard::new(client.num_outputs());
+//!                 let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+//!                 for _ in 0..1000 {
+//!                     shard.ingest(client.respond(1, &mut rng)).unwrap();
+//!                 }
+//!                 shard
+//!             })
+//!         })
+//!         .collect::<Vec<_>>()
+//!         .into_iter()
+//!         .map(|h| h.join().unwrap())
+//!         .collect()
+//! });
+//! let mut aggregator = Aggregator::new(&mech);
+//! for shard in shards {
+//!     aggregator.merge(shard).unwrap();
+//! }
+//! assert_eq!(aggregator.reports(), 4000);
+//! ```
+
+use std::sync::Arc;
 
 use ldp_linalg::Matrix;
 use rand::RngCore;
@@ -47,22 +104,37 @@ use crate::{FactorizationMechanism, LdpError, StrategyMatrix};
 /// The client side of the protocol: holds the public strategy and
 /// produces one randomized report per user.
 ///
-/// Alias tables for every user type are precomputed at construction, so
-/// `respond` is O(1) and allocation-free — suitable for embedding in
-/// high-volume telemetry paths.
+/// Alias tables for every user type are precomputed, so `respond` is O(1)
+/// and allocation-free — suitable for embedding in high-volume telemetry
+/// paths. Prefer [`FactorizationMechanism::client`], which shares the
+/// mechanism's own tables; [`Client::new`] builds a fresh set from a raw
+/// strategy (useful when only the public matrix is available). Cloning a
+/// client is O(1) either way.
 #[derive(Clone, Debug)]
 pub struct Client {
-    tables: Vec<AliasTable>,
+    tables: Arc<[AliasTable]>,
     num_outputs: usize,
 }
 
 impl Client {
-    /// Builds a client from the deployment's public strategy matrix.
+    /// Builds a client from the deployment's public strategy matrix,
+    /// constructing one alias table per user type.
     pub fn new(strategy: StrategyMatrix) -> Self {
-        let tables = (0..strategy.domain_size())
+        let tables: Arc<[AliasTable]> = (0..strategy.domain_size())
             .map(|u| AliasTable::new(&strategy.output_distribution(u)))
             .collect();
-        Self { tables, num_outputs: strategy.num_outputs() }
+        Self {
+            tables,
+            num_outputs: strategy.num_outputs(),
+        }
+    }
+
+    /// Wraps already-built alias tables (shared with a mechanism).
+    pub(crate) fn from_shared(tables: Arc<[AliasTable]>, num_outputs: usize) -> Self {
+        Self {
+            tables,
+            num_outputs,
+        }
     }
 
     /// Domain size `n` this client can report over.
@@ -85,21 +157,45 @@ impl Client {
     }
 }
 
-/// The analyst side of the protocol: folds reports into the response
-/// histogram and post-processes on demand.
-#[derive(Clone, Debug)]
-pub struct Aggregator {
-    counts: Vec<f64>,
-    reconstruction: Matrix,
+/// Validates a batch of reports against an output count, returning the
+/// first offending report if any.
+fn validate_batch(reports: &[usize], num_outputs: usize) -> Result<(), LdpError> {
+    match reports.iter().find(|&&r| r >= num_outputs) {
+        None => Ok(()),
+        Some(&bad) => Err(LdpError::DimensionMismatch {
+            context: "client report",
+            expected: num_outputs,
+            actual: bad,
+        }),
+    }
 }
 
-impl Aggregator {
-    /// Builds an aggregator sharing the mechanism's reconstruction.
-    pub fn new(mechanism: &FactorizationMechanism) -> Self {
+/// One shard of a distributed aggregation: a bare `u64` response
+/// histogram with no reconstruction attached.
+///
+/// Shards are the unit of parallelism in collection — create one per
+/// thread (or per ingest node), let each ingest its stream of reports
+/// independently, then [`AggregatorShard::merge`] pairwise or fold them
+/// all into an [`Aggregator`] via [`Aggregator::merge`]. Because counts
+/// are integers, merging is exact and associative: any shard topology
+/// yields bit-identical totals to a single sequential aggregator fed the
+/// same reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregatorShard {
+    counts: Vec<u64>,
+}
+
+impl AggregatorShard {
+    /// An empty shard over `num_outputs` possible reports.
+    pub fn new(num_outputs: usize) -> Self {
         Self {
-            counts: vec![0.0; mechanism.strategy().num_outputs()],
-            reconstruction: mechanism.reconstruction().clone(),
+            counts: vec![0; num_outputs],
         }
+    }
+
+    /// Number of possible reports `m`.
+    pub fn num_outputs(&self) -> usize {
+        self.counts.len()
     }
 
     /// Ingests one client report.
@@ -115,36 +211,139 @@ impl Aggregator {
                 actual: report,
             });
         };
-        *slot += 1.0;
+        *slot += 1;
         Ok(())
     }
 
-    /// Ingests a batch of reports, stopping at the first invalid one.
+    /// Ingests a batch of reports atomically: the whole batch is
+    /// validated up front, so a bad report rejects the batch *without*
+    /// counting any of it.
     ///
     /// # Errors
-    /// Propagates the first [`LdpError`] encountered; earlier reports in
-    /// the batch remain counted.
+    /// [`LdpError::DimensionMismatch`] naming the first invalid report;
+    /// the shard is unchanged.
     pub fn ingest_batch(&mut self, reports: &[usize]) -> Result<(), LdpError> {
+        validate_batch(reports, self.counts.len())?;
         for &r in reports {
-            self.ingest(r)?;
+            self.counts[r] += 1;
         }
         Ok(())
     }
 
+    /// Number of reports collected into this shard.
+    pub fn reports(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The raw integer counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Combines two shards; exact (integer addition), so merge order
+    /// never affects the result.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shards disagree on the
+    /// number of outputs.
+    pub fn merge(mut self, other: AggregatorShard) -> Result<AggregatorShard, LdpError> {
+        self.add_assign(&other)?;
+        Ok(self)
+    }
+
+    /// Adds another shard's counts into this one, leaving `self`
+    /// unchanged on error. Shared by [`AggregatorShard::merge`] and
+    /// [`Aggregator::merge`].
+    fn add_assign(&mut self, other: &AggregatorShard) -> Result<(), LdpError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(LdpError::DimensionMismatch {
+                context: "aggregator shard merge",
+                expected: self.counts.len(),
+                actual: other.counts.len(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+/// The analyst side of the protocol: folds reports into the response
+/// histogram and post-processes on demand.
+#[derive(Clone, Debug)]
+pub struct Aggregator {
+    shard: AggregatorShard,
+    reconstruction: Matrix,
+}
+
+impl Aggregator {
+    /// Builds an aggregator sharing the mechanism's reconstruction.
+    pub fn new(mechanism: &FactorizationMechanism) -> Self {
+        Self::from_reconstruction(mechanism.reconstruction().clone())
+    }
+
+    /// Builds an aggregator from a bare reconstruction matrix `K`
+    /// (`n × m`) — what [`Deployable`](crate::Deployable) mechanisms
+    /// expose.
+    pub fn from_reconstruction(reconstruction: Matrix) -> Self {
+        Self {
+            shard: AggregatorShard::new(reconstruction.cols()),
+            reconstruction,
+        }
+    }
+
+    /// Ingests one client report.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] for an out-of-range report (e.g. a
+    /// corrupted or malicious submission) — the report is *not* counted.
+    pub fn ingest(&mut self, report: usize) -> Result<(), LdpError> {
+        self.shard.ingest(report)
+    }
+
+    /// Ingests a batch of reports atomically: the whole batch is
+    /// validated up front, so a bad report rejects the batch *without*
+    /// counting any of it.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] naming the first invalid report;
+    /// the aggregator is unchanged.
+    pub fn ingest_batch(&mut self, reports: &[usize]) -> Result<(), LdpError> {
+        self.shard.ingest_batch(reports)
+    }
+
+    /// Absorbs a shard collected elsewhere (another thread, another
+    /// node). Exact integer addition — N merged shards equal one
+    /// sequential aggregator bit-for-bit.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shard disagrees on the
+    /// number of outputs; the aggregator is unchanged.
+    pub fn merge(&mut self, shard: AggregatorShard) -> Result<(), LdpError> {
+        self.shard.add_assign(&shard)
+    }
+
     /// Number of reports collected so far.
     pub fn reports(&self) -> u64 {
-        self.counts.iter().sum::<f64>() as u64
+        self.shard.reports()
+    }
+
+    /// The raw integer counts collected so far.
+    pub fn counts(&self) -> &[u64] {
+        self.shard.counts()
     }
 
     /// The raw response histogram collected so far.
     pub fn responses(&self) -> crate::ResponseVector {
-        crate::ResponseVector::from_counts(self.counts.clone())
+        crate::ResponseVector::from_counts(self.shard.counts.iter().map(|&c| c as f64).collect())
     }
 
     /// The current unbiased data-vector estimate `x̂ = K·y`. Can be called
     /// at any time; collection continues afterwards.
     pub fn estimate(&self) -> Vec<f64> {
-        self.reconstruction.matvec(&self.counts)
+        let y: Vec<f64> = self.shard.counts.iter().map(|&c| c as f64).collect();
+        self.reconstruction.matvec(&y)
     }
 }
 
@@ -159,12 +358,8 @@ mod tests {
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
         let q = Matrix::from_fn(n, n, |o, u| if o == u { e / z } else { 1.0 / z });
-        FactorizationMechanism::new(
-            StrategyMatrix::new(q).unwrap(),
-            &Matrix::identity(n),
-            eps,
-        )
-        .unwrap()
+        FactorizationMechanism::new(StrategyMatrix::new(q).unwrap(), &Matrix::identity(n), eps)
+            .unwrap()
     }
 
     #[test]
@@ -199,6 +394,23 @@ mod tests {
     }
 
     #[test]
+    fn shared_client_matches_standalone_client() {
+        // The mechanism's cached tables and a freshly built client are
+        // the same tables — identical seeds draw identical reports.
+        let mech = mechanism(5, 1.0);
+        let shared = mech.client();
+        let standalone = Client::new(mech.strategy().clone());
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        for u in [0usize, 3, 4, 1, 2, 2, 0] {
+            assert_eq!(
+                shared.respond(u, &mut rng_a),
+                standalone.respond(u, &mut rng_b)
+            );
+        }
+    }
+
+    #[test]
     fn aggregator_counts_and_incremental_estimates() {
         let mech = mechanism(3, 1.0);
         let mut agg = Aggregator::new(&mech);
@@ -206,6 +418,7 @@ mod tests {
         agg.ingest_batch(&[0, 1, 1, 2]).unwrap();
         assert_eq!(agg.reports(), 4);
         assert_eq!(agg.responses().counts(), &[1.0, 2.0, 1.0]);
+        assert_eq!(agg.counts(), &[1, 2, 1]);
         // Estimate readable mid-collection and total-preserving.
         let est: f64 = agg.estimate().iter().sum();
         assert!((est - 4.0).abs() < 1e-9);
@@ -222,6 +435,85 @@ mod tests {
         assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
         // The bad report was not counted; earlier ones were.
         assert_eq!(agg.reports(), 1);
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_atomically() {
+        let mech = mechanism(3, 1.0);
+        let mut agg = Aggregator::new(&mech);
+        agg.ingest_batch(&[0, 1]).unwrap();
+        let err = agg.ingest_batch(&[2, 2, 99, 1]);
+        assert!(matches!(
+            err,
+            Err(LdpError::DimensionMismatch { actual: 99, .. })
+        ));
+        // Nothing from the bad batch landed — not even the valid prefix.
+        assert_eq!(agg.counts(), &[1, 1, 0]);
+        assert_eq!(agg.reports(), 2);
+    }
+
+    #[test]
+    fn shards_merge_exactly_and_match_sequential() {
+        let mech = mechanism(4, 1.0);
+        let reports: Vec<usize> = (0..1000).map(|i| (i * 7 + i / 3) % 4).collect();
+
+        let mut sequential = Aggregator::new(&mech);
+        sequential.ingest_batch(&reports).unwrap();
+
+        // Round-robin over 3 shards, merged in two different orders.
+        let m = mech.strategy().num_outputs();
+        let mut shards = vec![
+            AggregatorShard::new(m),
+            AggregatorShard::new(m),
+            AggregatorShard::new(m),
+        ];
+        for (i, &r) in reports.iter().enumerate() {
+            shards[i % 3].ingest(r).unwrap();
+        }
+        let mut forward = Aggregator::new(&mech);
+        for s in shards.clone() {
+            forward.merge(s).unwrap();
+        }
+        let mut backward = Aggregator::new(&mech);
+        for s in shards.into_iter().rev() {
+            backward.merge(s).unwrap();
+        }
+
+        assert_eq!(forward.counts(), sequential.counts());
+        assert_eq!(backward.counts(), sequential.counts());
+        // Bit-for-bit identical estimates, not just approximately equal.
+        assert_eq!(forward.estimate(), sequential.estimate());
+        assert_eq!(backward.estimate(), sequential.estimate());
+    }
+
+    #[test]
+    fn shard_pairwise_merge_is_associative() {
+        let mut a = AggregatorShard::new(3);
+        let mut b = AggregatorShard::new(3);
+        let mut c = AggregatorShard::new(3);
+        a.ingest_batch(&[0, 0, 1]).unwrap();
+        b.ingest_batch(&[2, 1]).unwrap();
+        c.ingest_batch(&[2, 2, 2]).unwrap();
+        let ab_c = a
+            .clone()
+            .merge(b.clone())
+            .unwrap()
+            .merge(c.clone())
+            .unwrap();
+        let a_bc = a.merge(b.merge(c).unwrap()).unwrap();
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.counts(), &[2, 2, 4]);
+        assert_eq!(ab_c.reports(), 8);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shards() {
+        let mech = mechanism(3, 1.0);
+        let mut agg = Aggregator::new(&mech);
+        let err = agg.merge(AggregatorShard::new(5));
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
+        let err = AggregatorShard::new(3).merge(AggregatorShard::new(5));
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
     }
 
     #[test]

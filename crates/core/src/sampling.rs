@@ -32,7 +32,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "cannot sample from an empty distribution");
+        assert!(
+            !weights.is_empty(),
+            "cannot sample from an empty distribution"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total > 0.0 && total.is_finite(),

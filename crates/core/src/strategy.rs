@@ -42,7 +42,11 @@ impl StrategyMatrix {
             for j in 0..q.cols() {
                 let v = q[(i, j)];
                 if !v.is_finite() || v < 0.0 {
-                    return Err(LdpError::InvalidProbability { row: i, column: j, value: v });
+                    return Err(LdpError::InvalidProbability {
+                        row: i,
+                        column: j,
+                        value: v,
+                    });
                 }
             }
         }
@@ -66,7 +70,11 @@ impl StrategyMatrix {
         let sums = q.col_sums();
         for (j, s) in sums.iter().enumerate() {
             if *s <= 0.0 || !s.is_finite() {
-                return Err(LdpError::InvalidProbability { row: 0, column: j, value: *s });
+                return Err(LdpError::InvalidProbability {
+                    row: 0,
+                    column: j,
+                    value: *s,
+                });
             }
         }
         for i in 0..q.rows() {
@@ -194,7 +202,10 @@ mod tests {
         assert!((s.epsilon() - 1.0).abs() < 1e-12);
         s.check_ldp(1.0).unwrap();
         s.check_ldp(2.0).unwrap();
-        assert!(matches!(s.check_ldp(0.5), Err(LdpError::PrivacyViolation { .. })));
+        assert!(matches!(
+            s.check_ldp(0.5),
+            Err(LdpError::PrivacyViolation { .. })
+        ));
     }
 
     #[test]
@@ -202,7 +213,11 @@ mod tests {
         let q = Matrix::from_rows(&[&[1.2, 0.5], &[-0.2, 0.5]]);
         assert!(matches!(
             StrategyMatrix::new(q),
-            Err(LdpError::InvalidProbability { row: 1, column: 0, .. })
+            Err(LdpError::InvalidProbability {
+                row: 1,
+                column: 0,
+                ..
+            })
         ));
     }
 
@@ -256,6 +271,9 @@ mod tests {
     fn check_ldp_rejects_bad_epsilon() {
         let s = StrategyMatrix::new(rr_matrix(3, 1.0)).unwrap();
         assert!(matches!(s.check_ldp(0.0), Err(LdpError::InvalidEpsilon(_))));
-        assert!(matches!(s.check_ldp(f64::NAN), Err(LdpError::InvalidEpsilon(_))));
+        assert!(matches!(
+            s.check_ldp(f64::NAN),
+            Err(LdpError::InvalidEpsilon(_))
+        ));
     }
 }

@@ -79,6 +79,38 @@ pub trait LdpMechanism {
     }
 }
 
+/// A mechanism that can be *deployed*: split into any number of
+/// [`Client`](crate::protocol::Client)s reporting independently and
+/// [`AggregatorShard`](crate::protocol::AggregatorShard)s /
+/// [`Aggregator`](crate::protocol::Aggregator)s folding reports into an
+/// estimate — the real-world counterpart of the single-call simulation
+/// [`LdpMechanism::run`].
+///
+/// Implemented by [`FactorizationMechanism`](crate::FactorizationMechanism),
+/// which also covers every closed-form baseline in `ldp-mechanisms`
+/// (randomized response, Hadamard, hierarchical, Fourier, RAPPOR, subset
+/// selection): each of those is constructed *as* a factorization
+/// mechanism over its Table-1 strategy matrix. Mechanisms that do not
+/// emit discrete strategy-matrix reports (e.g. the noise-adding local
+/// matrix mechanism) are intentionally not deployable through this
+/// protocol.
+///
+/// Implementations must hand out clients that are cheap to clone and safe
+/// to share across threads, so a deployment can serve millions of users
+/// concurrently.
+pub trait Deployable: LdpMechanism {
+    /// A client bound to this mechanism's public strategy. Must be cheap
+    /// (no per-call table construction) and `Send + Sync`.
+    fn client(&self) -> crate::protocol::Client;
+
+    /// The data-vector estimator `K` (`n × m`, Theorem 3.10) aggregators
+    /// use to post-process the response histogram.
+    fn reconstruction_matrix(&self) -> &Matrix;
+
+    /// Number of possible reports `m` (rows of the strategy matrix).
+    fn num_outputs(&self) -> usize;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -197,13 +197,17 @@ mod tests {
     fn rr_strategy(n: usize, eps: f64) -> StrategyMatrix {
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
-        StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap()
     }
 
@@ -219,8 +223,7 @@ mod tests {
             let n_users = 1000.0;
             let e = eps.exp();
             let nf = n as f64;
-            let expected =
-                n_users * (nf - 1.0) * (nf / (e - 1.0).powi(2) + 2.0 / (e - 1.0));
+            let expected = n_users * (nf - 1.0) * (nf / (e - 1.0).powi(2) + 2.0 / (e - 1.0));
             let worst = worst_case_variance(&profile, n_users);
             let avg = average_case_variance(&profile, n_users);
             assert!(
@@ -280,11 +283,7 @@ mod tests {
         // For square invertible Q, K = Q⁻¹ is *a* reconstruction; the
         // D-weighted one of Theorem 3.10 must be at least as good.
         // (For RR they coincide by symmetry, so perturb the strategy.)
-        let q = Matrix::from_rows(&[
-            &[0.6, 0.2, 0.2],
-            &[0.3, 0.5, 0.2],
-            &[0.1, 0.3, 0.6],
-        ]);
+        let q = Matrix::from_rows(&[&[0.6, 0.2, 0.2], &[0.3, 0.5, 0.2], &[0.1, 0.3, 0.6]]);
         let s = StrategyMatrix::new(q.clone()).unwrap();
         let gram = Matrix::identity(3);
         let k_opt = optimal_reconstruction(&s);

@@ -54,7 +54,9 @@ impl Shape {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0) && total > 0.0,
             "weights must be non-negative with positive sum"
         );
-        Self { probabilities: weights.into_iter().map(|w| w / total).collect() }
+        Self {
+            probabilities: weights.into_iter().map(|w| w / total).collect(),
+        }
     }
 
     /// Domain size.
@@ -129,7 +131,14 @@ pub fn medcost_shape(n: usize) -> Shape {
 pub fn nettrace_shape(n: usize) -> Shape {
     let mut weights = vec![1e-6; n];
     // Dominant cells scattered deterministically across the domain.
-    let hot = [(0usize, 1.0), (1, 0.55), (2, 0.30), (5, 0.18), (11, 0.10), (23, 0.06)];
+    let hot = [
+        (0usize, 1.0),
+        (1, 0.55),
+        (2, 0.30),
+        (5, 0.18),
+        (11, 0.10),
+        (23, 0.06),
+    ];
     for &(slot, w) in &hot {
         let idx = (slot * n.max(1) / 24).min(n - 1);
         weights[idx] += w;
@@ -143,7 +152,10 @@ pub fn nettrace_shape(n: usize) -> Shape {
 
 /// Zipf(s) shape over `n` types.
 pub fn zipf_shape(n: usize, s: f64) -> Shape {
-    assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be non-negative");
+    assert!(
+        s >= 0.0 && s.is_finite(),
+        "Zipf exponent must be non-negative"
+    );
     Shape::from_weights((0..n).map(|u| ((u + 1) as f64).powf(-s)).collect())
 }
 
@@ -236,7 +248,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(peak > 0 && peak < 128, "peak {peak} should be interior-left");
+        assert!(
+            peak > 0 && peak < 128,
+            "peak {peak} should be interior-left"
+        );
     }
 
     #[test]

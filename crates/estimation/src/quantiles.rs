@@ -27,18 +27,18 @@ pub fn quantile(cdf: &[f64], total: f64, q: f64) -> usize {
     assert!(!cdf.is_empty(), "CDF must be non-empty");
     assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
     let target = q * total;
-    cdf.iter().position(|&c| c >= target).unwrap_or(cdf.len() - 1)
+    cdf.iter()
+        .position(|&c| c >= target)
+        .unwrap_or(cdf.len() - 1)
 }
 
 /// Reads several quantiles from a (possibly noisy) estimated CDF after
 /// isotonic repair. Returns `(q, bin)` pairs.
-pub fn quantiles_from_estimate(
-    cdf_estimate: &[f64],
-    total: f64,
-    qs: &[f64],
-) -> Vec<(f64, usize)> {
+pub fn quantiles_from_estimate(cdf_estimate: &[f64], total: f64, qs: &[f64]) -> Vec<(f64, usize)> {
     let repaired = repair_cdf(cdf_estimate, total);
-    qs.iter().map(|&q| (q, quantile(&repaired, total, q))).collect()
+    qs.iter()
+        .map(|&q| (q, quantile(&repaired, total, q)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -72,7 +72,7 @@ mod tests {
         let noisy = [6.0, 4.0, 10.0];
         let out = quantiles_from_estimate(&noisy, 10.0, &[0.5]);
         assert_eq!(out, vec![(0.5, 0)]); // 6.0 >= 5 stands after repair
-        // A dip below zero never yields a phantom early quantile.
+                                         // A dip below zero never yields a phantom early quantile.
         let dippy = [-3.0, 5.1, 10.0];
         let out = quantiles_from_estimate(&dippy, 10.0, &[0.5]);
         assert_eq!(out, vec![(0.5, 1)]);

@@ -76,13 +76,17 @@ mod tests {
     fn rr(n: usize, eps: f64, gram: &Matrix) -> FactorizationMechanism {
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
-        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        let s = StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap();
         FactorizationMechanism::new_unchecked_privacy(s, gram, eps).unwrap()
     }
@@ -95,8 +99,7 @@ mod tests {
         let mech = rr(n, 1.0, &gram);
         let data = DataVector::from_counts(vec![300.0, 200.0, 400.0, 100.0]);
         let mut rng = StdRng::seed_from_u64(77);
-        let sim =
-            simulated_normalized_variance(&w, &mech, &data, 400, Postprocess::None, &mut rng);
+        let sim = simulated_normalized_variance(&w, &mech, &data, 400, Postprocess::None, &mut rng);
         let analytic = mech.data_variance(&gram, &data)
             / (w.num_queries() as f64 * data.total() * data.total());
         let rel = (sim - analytic).abs() / analytic;
@@ -117,8 +120,7 @@ mod tests {
         counts[9] = 40.0;
         let data = DataVector::from_counts(counts);
         let mut rng = StdRng::seed_from_u64(5);
-        let base =
-            simulated_normalized_variance(&w, &mech, &data, 60, Postprocess::None, &mut rng);
+        let base = simulated_normalized_variance(&w, &mech, &data, 60, Postprocess::None, &mut rng);
         let mut rng = StdRng::seed_from_u64(5);
         let post = simulated_normalized_variance(
             &w,
@@ -142,7 +144,6 @@ mod tests {
         let mech = rr(2, 1.0, &gram);
         let data = DataVector::uniform(2, 10.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let _ =
-            simulated_normalized_variance(&w, &mech, &data, 0, Postprocess::None, &mut rng);
+        let _ = simulated_normalized_variance(&w, &mech, &data, 0, Postprocess::None, &mut rng);
     }
 }

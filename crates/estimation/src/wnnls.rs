@@ -13,7 +13,10 @@ pub struct WnnlsOptions {
 
 impl Default for WnnlsOptions {
     fn default() -> Self {
-        Self { max_iterations: 2000, tolerance: 1e-10 }
+        Self {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -163,7 +166,14 @@ mod tests {
         // At the optimum: x_i > 0 ⇒ gradient_i ≈ 0; x_i = 0 ⇒ gradient_i ≥ 0.
         let gram = prefix_gram(7);
         let xhat = vec![2.0, -1.5, 0.5, -2.0, 3.0, 0.1, -0.7];
-        let x = wnnls(&gram, &xhat, &WnnlsOptions { max_iterations: 20_000, tolerance: 1e-14 });
+        let x = wnnls(
+            &gram,
+            &xhat,
+            &WnnlsOptions {
+                max_iterations: 20_000,
+                tolerance: 1e-14,
+            },
+        );
         let gx = gram.matvec(&x);
         let gh = gram.matvec(&xhat);
         let scale = gram.max_abs();

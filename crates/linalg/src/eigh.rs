@@ -53,7 +53,10 @@ pub fn eigh(a: &Matrix) -> SymmetricEigen {
     assert!(a.is_square(), "eigh requires a square matrix");
     let n = a.rows();
     if n == 0 {
-        return SymmetricEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) };
+        return SymmetricEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        };
     }
 
     // Work on a symmetrized copy so either triangle can be trusted.
@@ -130,7 +133,10 @@ pub fn eigh(a: &Matrix) -> SymmetricEigen {
             eigenvectors[(k, new_col)] = v[(k, old_col)];
         }
     }
-    SymmetricEigen { eigenvalues, eigenvectors }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 #[cfg(test)]

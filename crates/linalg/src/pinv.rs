@@ -19,7 +19,9 @@ pub struct PinvOptions {
 impl PinvOptions {
     /// The standard cutoff for an `n × n` matrix.
     pub fn default_for_dim(n: usize) -> Self {
-        Self { rel_tol: (n.max(1) as f64) * crate::EPS }
+        Self {
+            rel_tol: (n.max(1) as f64) * crate::EPS,
+        }
     }
 }
 

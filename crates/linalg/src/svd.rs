@@ -68,7 +68,11 @@ impl Svd {
 pub fn svd(a: &Matrix) -> Svd {
     if a.cols() > a.rows() {
         let t = svd(&a.transpose());
-        return Svd { u: t.v, singular_values: t.singular_values, v: t.u };
+        return Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        };
     }
     let (rows, cols) = a.shape();
     if cols == 0 || rows == 0 {
@@ -150,7 +154,11 @@ pub fn svd(a: &Matrix) -> Svd {
             vs[(i, new_j)] = v[(i, old_j)];
         }
     }
-    Svd { u, singular_values, v: vs }
+    Svd {
+        u,
+        singular_values,
+        v: vs,
+    }
 }
 
 #[cfg(test)]

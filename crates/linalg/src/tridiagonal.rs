@@ -46,7 +46,10 @@ pub fn eigh_ql(a: &Matrix) -> SymmetricEigen {
     assert!(a.is_square(), "eigh_ql requires a square matrix");
     let n = a.rows();
     if n == 0 {
-        return SymmetricEigen { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) };
+        return SymmetricEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        };
     }
     let mut z = a.clone();
     z.symmetrize();
@@ -67,7 +70,10 @@ pub fn eigh_ql(a: &Matrix) -> SymmetricEigen {
             eigenvectors[(k, new_col)] = z[(k, old_col)];
         }
     }
-    SymmetricEigen { eigenvalues, eigenvectors }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 /// Householder reduction of `a` to tridiagonal form, accumulating the
@@ -264,10 +270,7 @@ mod tests {
             let jac = eigh(&a);
             let ql = eigh_ql(&a);
             for (x, y) in jac.eigenvalues.iter().zip(&ql.eigenvalues) {
-                assert!(
-                    (x - y).abs() < 1e-9 * (1.0 + x.abs()),
-                    "n={n}: {x} vs {y}"
-                );
+                assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()), "n={n}: {x} vs {y}");
             }
         }
     }
@@ -327,7 +330,10 @@ mod tests {
             .iter()
             .filter(|l| l.abs() < 1e-8 * e.spectral_radius())
             .count();
-        assert!(near_zero >= 34, "expected >= 34 near-zero eigenvalues, got {near_zero}");
+        assert!(
+            near_zero >= 34,
+            "expected >= 34 near-zero eigenvalues, got {near_zero}"
+        );
     }
 
     #[test]

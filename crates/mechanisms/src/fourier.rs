@@ -56,7 +56,11 @@ impl Fourier {
             "support mask out of range"
         );
         assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
-        Self { d, support, epsilon }
+        Self {
+            d,
+            support,
+            epsilon,
+        }
     }
 
     /// Domain size `n = 2^d`.
@@ -129,8 +133,7 @@ mod tests {
         let gram = w.gram();
         let mech = Fourier::up_to(d, 2, 1.0).mechanism(&gram).unwrap();
         // Unbiasedness on workload answers: W K Q x = W x.
-        let data =
-            DataVector::from_counts((0..16).map(|i| ((i * 5 + 2) % 7) as f64).collect());
+        let data = DataVector::from_counts((0..16).map(|i| ((i * 5 + 2) % 7) as f64).collect());
         let ey = mech.expected_responses(&data);
         let xhat = mech.reconstruction().matvec(&ey);
         let answers_est = w.evaluate(&xhat);
@@ -168,6 +171,9 @@ mod tests {
         let rr = randomized_response(n, 1.0, &gram).unwrap();
         let sc_f = fourier.sample_complexity(&gram, w.num_queries(), 0.01);
         let sc_r = rr.sample_complexity(&gram, w.num_queries(), 0.01);
-        assert!(sc_f < sc_r, "Fourier {sc_f} should beat RR {sc_r} on Parity");
+        assert!(
+            sc_f < sc_r,
+            "Fourier {sc_f} should beat RR {sc_r} on Parity"
+        );
     }
 }

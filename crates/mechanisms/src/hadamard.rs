@@ -52,8 +52,10 @@ pub fn hadamard_response(
     gram: &Matrix,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = hadamard_strategy(n, epsilon);
-    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
-        .with_name("Hadamard"))
+    Ok(
+        FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+            .with_name("Hadamard"),
+    )
 }
 
 #[cfg(test)]
@@ -79,7 +81,9 @@ mod tests {
         let k = 8;
         for i in 0..k {
             for j in 0..k {
-                let dot: f64 = (0..k).map(|c| hadamard_entry(i, c) * hadamard_entry(j, c)).sum();
+                let dot: f64 = (0..k)
+                    .map(|c| hadamard_entry(i, c) * hadamard_entry(j, c))
+                    .sum();
                 assert_eq!(dot, if i == j { k as f64 } else { 0.0 });
             }
         }

@@ -83,8 +83,10 @@ pub fn hierarchical(
     gram: &Matrix,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = hierarchical_strategy(n, DEFAULT_BRANCHING, epsilon);
-    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
-        .with_name("Hierarchical"))
+    Ok(
+        FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+            .with_name("Hierarchical"),
+    )
 }
 
 #[cfg(test)]

@@ -22,14 +22,14 @@ pub mod fourier;
 pub mod hadamard;
 pub mod hierarchical;
 pub mod matrix_mechanism;
-pub mod rappor;
 pub mod randomized_response;
+pub mod rappor;
 pub mod subset_selection;
 
 pub use fourier::Fourier;
 pub use hadamard::hadamard_response;
 pub use hierarchical::hierarchical;
 pub use matrix_mechanism::{Calibration, LocalMatrixMechanism};
-pub use rappor::rappor;
 pub use randomized_response::randomized_response;
+pub use rappor::rappor;
 pub use subset_selection::subset_selection;

@@ -93,7 +93,13 @@ impl LocalMatrixMechanism {
             "strategy columns are identical; mechanism carries no information"
         );
         let a_pinv = a.pinv();
-        Self { a, a_pinv, sensitivity, epsilon, calibration }
+        Self {
+            a,
+            a_pinv,
+            sensitivity,
+            epsilon,
+            calibration,
+        }
     }
 
     /// The strategy-query matrix `A`.
@@ -293,7 +299,11 @@ fn project_feasible(x: &mut Matrix, n: usize) {
 /// Evaluates `tr[X⁻¹G]` (via the symmetric pseudo-inverse for robustness).
 fn trace_x_inv_g(x: &Matrix, g: &Matrix) -> f64 {
     let p = pinv_symmetric(x, PinvOptions::default_for_dim(x.rows())).pinv;
-    p.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum()
+    p.as_slice()
+        .iter()
+        .zip(g.as_slice())
+        .map(|(a, b)| a * b)
+        .sum()
 }
 
 #[cfg(test)]
@@ -389,7 +399,10 @@ mod tests {
         let obj = trace_x_inv_g(&x, &gram);
         let bound = n as f64;
         assert!(obj >= bound - 1e-6);
-        assert!(obj <= bound * 1.01, "objective {obj} far from bound {bound}");
+        assert!(
+            obj <= bound * 1.01,
+            "objective {obj} far from bound {bound}"
+        );
     }
 
     #[test]

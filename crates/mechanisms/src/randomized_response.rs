@@ -10,13 +10,17 @@ pub fn randomized_response_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
     let e = epsilon.exp();
     let z = e + n as f64 - 1.0;
-    StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-        if o == u {
-            e / z
-        } else {
-            1.0 / z
-        }
-    }))
+    StrategyMatrix::new(Matrix::from_fn(
+        n,
+        n,
+        |o, u| {
+            if o == u {
+                e / z
+            } else {
+                1.0 / z
+            }
+        },
+    ))
     .expect("randomized response is always a valid strategy")
 }
 
@@ -34,8 +38,10 @@ pub fn randomized_response(
     gram: &Matrix,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = randomized_response_strategy(n, epsilon);
-    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
-        .with_name("Randomized Response"))
+    Ok(
+        FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+            .with_name("Randomized Response"),
+    )
 }
 
 #[cfg(test)]
@@ -61,7 +67,9 @@ mod tests {
         let n = 4;
         let gram = Matrix::identity(n);
         let mech = randomized_response(n, 1.0, &gram).unwrap();
-        let q_inv = ldp_linalg::Lu::new(mech.strategy().matrix()).unwrap().inverse();
+        let q_inv = ldp_linalg::Lu::new(mech.strategy().matrix())
+            .unwrap()
+            .inverse();
         assert!(mech.reconstruction().max_abs_diff(&q_inv) < 1e-8);
         // And V = Q⁻¹ has the closed form of Example 3.3.
         let e = 1.0_f64.exp();

@@ -25,7 +25,10 @@ pub const MAX_DOMAIN: usize = 14;
 /// # Panics
 /// Panics if `n == 0`, `n > MAX_DOMAIN`, or `epsilon` is invalid.
 pub fn rappor_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
-    assert!(n > 0 && n <= MAX_DOMAIN, "RAPPOR strategy needs 1 <= n <= {MAX_DOMAIN}");
+    assert!(
+        n > 0 && n <= MAX_DOMAIN,
+        "RAPPOR strategy needs 1 <= n <= {MAX_DOMAIN}"
+    );
     assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
     let m = 1usize << n;
     // Per-bit keep probability p = e^{ε/2}/(e^{ε/2}+1); flip prob 1−p.
@@ -46,14 +49,9 @@ pub fn rappor_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
 /// # Errors
 /// Propagates construction errors; the strategy has full column rank so
 /// any workload is supported.
-pub fn rappor(
-    n: usize,
-    epsilon: f64,
-    gram: &Matrix,
-) -> Result<FactorizationMechanism, LdpError> {
+pub fn rappor(n: usize, epsilon: f64, gram: &Matrix) -> Result<FactorizationMechanism, LdpError> {
     let strategy = rappor_strategy(n, epsilon);
-    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
-        .with_name("RAPPOR"))
+    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?.with_name("RAPPOR"))
 }
 
 #[cfg(test)]

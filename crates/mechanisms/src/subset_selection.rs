@@ -35,7 +35,10 @@ pub fn subset_selection_strategy(n: usize, d: usize, epsilon: f64) -> StrategyMa
     assert!(d >= 1 && d < n, "subset size must be in 1..n");
     assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
     let m = binomial(n, d) as usize;
-    assert!(m <= MAX_OUTPUTS, "C({n},{d}) = {m} outputs is too large to materialize");
+    assert!(
+        m <= MAX_OUTPUTS,
+        "C({n},{d}) = {m} outputs is too large to materialize"
+    );
 
     // Enumerate all size-d bitmask subsets of [n].
     let subsets: Vec<usize> = (0usize..(1 << n))
@@ -71,8 +74,10 @@ pub fn subset_selection(
     // Degenerate d == n would make every output equally likely; back off.
     let d = d.min(n - 1);
     let strategy = subset_selection_strategy(n, d, epsilon);
-    Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
-        .with_name("Subset Selection"))
+    Ok(
+        FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?
+            .with_name("Subset Selection"),
+    )
 }
 
 #[cfg(test)]
@@ -117,7 +122,10 @@ mod tests {
         let sc_ss = ss.sample_complexity(&gram, n, 0.01);
         let sc_had = had.sample_complexity(&gram, n, 0.01);
         let ratio = sc_ss / sc_had;
-        assert!((0.2..5.0).contains(&ratio), "SS {sc_ss} vs Hadamard {sc_had}");
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "SS {sc_ss} vs Hadamard {sc_had}"
+        );
     }
 
     #[test]

@@ -41,7 +41,5 @@ pub mod pgd;
 pub mod projection;
 
 pub use objective::ObjectiveEvaluation;
-pub use pgd::{
-    optimize_strategy, optimized_mechanism, OptimizationResult, OptimizerConfig,
-};
+pub use pgd::{optimize_strategy, optimized_mechanism, OptimizationResult, OptimizerConfig};
 pub use projection::{project_columns, ProjectionJacobian};

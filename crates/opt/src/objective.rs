@@ -176,8 +176,7 @@ mod tests {
                 qp[(o, u)] += h;
                 let mut qm = q.clone();
                 qm[(o, u)] -= h;
-                let fd =
-                    (evaluate(&qp, &gram).value - evaluate(&qm, &gram).value) / (2.0 * h);
+                let fd = (evaluate(&qp, &gram).value - evaluate(&qm, &gram).value) / (2.0 * h);
                 let an = eval.gradient[(o, u)];
                 assert!(
                     (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),

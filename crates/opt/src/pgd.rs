@@ -136,7 +136,9 @@ pub fn optimize_strategy(
     assert!(gram.is_square(), "Gram matrix must be square");
     let mut best: Option<OptimizationResult> = None;
     for restart in 0..config.restarts.max(1) {
-        let seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
+        let seed = config
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
         let result = single_run(gram, epsilon, config, seed)?;
         let better = best
             .as_ref()
@@ -177,20 +179,18 @@ fn single_run(
     let n = gram.rows();
     let (q0, z0) = match &config.initial_strategy {
         Some(warm) => {
-            assert_eq!(warm.domain_size(), n, "warm start domain must match workload");
+            assert_eq!(
+                warm.domain_size(),
+                n,
+                "warm start domain must match workload"
+            );
             // z = per-row minima of the warm strategy puts the strategy
             // inside (or on the boundary of) the projection's feasible
             // set whenever it is ε-LDP, so the first iterate *is* the
             // warm strategy up to clipping slack.
             let q = warm.matrix().clone();
             let z: Vec<f64> = (0..q.rows())
-                .map(|o| {
-                    q.row(o)
-                        .iter()
-                        .copied()
-                        .fold(f64::MAX, f64::min)
-                        .max(1e-12)
-                })
+                .map(|o| q.row(o).iter().copied().fold(f64::MAX, f64::min).max(1e-12))
                 .collect();
             let (q0, _) = project_columns(&q, &z, epsilon);
             (q0, z)
@@ -224,7 +224,11 @@ fn single_run(
     }
     // Projection output is stochastic up to rounding; renormalize exactly.
     let strategy = StrategyMatrix::from_unnormalized(q)?;
-    Ok(OptimizationResult { strategy, objective, history })
+    Ok(OptimizationResult {
+        strategy,
+        objective,
+        history,
+    })
 }
 
 /// The core descent loop. Returns the best iterate, the final `z`, and
@@ -365,13 +369,17 @@ mod tests {
     fn rr_objective(n: usize, epsilon: f64, gram: &Matrix) -> f64 {
         let e = epsilon.exp();
         let z = e + n as f64 - 1.0;
-        let s = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        let s = StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap();
         strategy_objective(&s, gram)
     }
@@ -442,18 +450,10 @@ mod tests {
     #[test]
     fn restarts_pick_the_best() {
         let gram = prefix_gram(5);
-        let single = optimize_strategy(
-            &gram,
-            1.0,
-            &OptimizerConfig::quick(2).with_restarts(1),
-        )
-        .unwrap();
-        let multi = optimize_strategy(
-            &gram,
-            1.0,
-            &OptimizerConfig::quick(2).with_restarts(3),
-        )
-        .unwrap();
+        let single =
+            optimize_strategy(&gram, 1.0, &OptimizerConfig::quick(2).with_restarts(1)).unwrap();
+        let multi =
+            optimize_strategy(&gram, 1.0, &OptimizerConfig::quick(2).with_restarts(3)).unwrap();
         assert!(multi.objective <= single.objective + 1e-9);
     }
 
@@ -467,13 +467,17 @@ mod tests {
         let gram = Matrix::identity(n);
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
-        let rr = StrategyMatrix::new(Matrix::from_fn(n, n, |o, u| {
-            if o == u {
-                e / z
-            } else {
-                1.0 / z
-            }
-        }))
+        let rr = StrategyMatrix::new(Matrix::from_fn(
+            n,
+            n,
+            |o, u| {
+                if o == u {
+                    e / z
+                } else {
+                    1.0 / z
+                }
+            },
+        ))
         .unwrap();
         let rr_objective = ldp_core::variance::strategy_objective(&rr, &gram);
         let config = OptimizerConfig::quick(3).with_warm_start(rr);

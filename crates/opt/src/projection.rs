@@ -84,9 +84,7 @@ impl ProjectionJacobian {
             for (o, &s) in states.iter().enumerate() {
                 match s {
                     ClipState::Lower => grad_z[o] += grad_q[(o, u)] - active_mean,
-                    ClipState::Upper => {
-                        grad_z[o] += self.exp_eps * (grad_q[(o, u)] - active_mean)
-                    }
+                    ClipState::Upper => grad_z[o] += self.exp_eps * (grad_q[(o, u)] - active_mean),
                     ClipState::Active => {}
                 }
             }
@@ -335,7 +333,11 @@ mod tests {
         let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..1.0));
         let f = |z: &[f64]| -> f64 {
             let (q, _) = project_columns(&r, z, eps);
-            q.as_slice().iter().zip(c.as_slice()).map(|(a, b)| a * b).sum()
+            q.as_slice()
+                .iter()
+                .zip(c.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let (_, jac) = project_columns(&r, &z0, eps);
         let grad = jac.backprop_z(&c);

@@ -63,7 +63,11 @@ mod tests {
                 let mut direct = 0.0;
                 for s in subsets_of_size(d, j) {
                     let chi_u = 1.0; // χ_S(0) = 1
-                    let chi_v = if (s & v).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+                    let chi_v = if (s & v).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     direct += chi_u * chi_v;
                 }
                 let k = krawtchouk(j, h, d);

@@ -20,7 +20,10 @@ impl Dense {
     /// Panics if the matrix has zero columns.
     pub fn new(w: Matrix) -> Self {
         assert!(w.cols() > 0, "workload must have a non-empty domain");
-        Self { name: "Custom".into(), w }
+        Self {
+            name: "Custom".into(),
+            w,
+        }
     }
 
     /// Sets the display name.
@@ -84,13 +87,20 @@ impl Stacked {
     /// Panics if `parts` is empty, domains disagree, or a weight is
     /// non-positive/non-finite.
     pub fn weighted(parts: Vec<(f64, Box<dyn Workload>)>) -> Self {
-        assert!(!parts.is_empty(), "stacked workload needs at least one part");
+        assert!(
+            !parts.is_empty(),
+            "stacked workload needs at least one part"
+        );
         let n = parts[0].1.domain_size();
         for (c, p) in &parts {
             assert_eq!(p.domain_size(), n, "all parts must share one domain");
             assert!(c.is_finite() && *c > 0.0, "weights must be positive");
         }
-        Self { name: "Stacked".into(), parts, n }
+        Self {
+            name: "Stacked".into(),
+            parts,
+            n,
+        }
     }
 
     /// Sets the display name.
@@ -125,7 +135,10 @@ impl Workload for Stacked {
         out
     }
     fn frobenius_sq(&self) -> f64 {
-        self.parts.iter().map(|(c, p)| c * c * p.frobenius_sq()).sum()
+        self.parts
+            .iter()
+            .map(|(c, p)| c * c * p.frobenius_sq())
+            .sum()
     }
 }
 
@@ -170,7 +183,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "share one domain")]
     fn stacked_rejects_mixed_domains() {
-        let _ = Stacked::new(vec![Box::new(Histogram::new(3)), Box::new(Histogram::new(4))]);
+        let _ = Stacked::new(vec![
+            Box::new(Histogram::new(3)),
+            Box::new(Histogram::new(4)),
+        ]);
     }
 
     #[test]

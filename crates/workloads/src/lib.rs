@@ -52,7 +52,10 @@ pub use ldp_linalg::Matrix;
 /// Panics if `n` is not a power of two or `n < 8` (the binary-domain
 /// workloads need at least 3 attributes).
 pub fn paper_suite(n: usize) -> Vec<Box<dyn Workload>> {
-    assert!(n.is_power_of_two() && n >= 8, "paper suite needs a power-of-two n >= 8");
+    assert!(
+        n.is_power_of_two() && n >= 8,
+        "paper suite needs a power-of-two n >= 8"
+    );
     let d = n.trailing_zeros() as usize;
     vec![
         Box::new(Histogram::new(n)),

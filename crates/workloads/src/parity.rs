@@ -40,7 +40,11 @@ impl Parity {
     pub fn with_sizes(d: usize, min_size: usize, max_size: usize) -> Self {
         assert!(d > 0 && d <= 20, "attribute count must be in 1..=20");
         assert!(min_size <= max_size && max_size <= d, "invalid size band");
-        Self { d, min_size, max_size }
+        Self {
+            d,
+            min_size,
+            max_size,
+        }
     }
 
     fn n(&self) -> usize {
@@ -91,7 +95,13 @@ impl Workload for Parity {
             .map(|&s| {
                 x.iter()
                     .enumerate()
-                    .map(|(u, &xu)| if (u & s).count_ones() % 2 == 0 { xu } else { -xu })
+                    .map(|(u, &xu)| {
+                        if (u & s).count_ones() % 2 == 0 {
+                            xu
+                        } else {
+                            -xu
+                        }
+                    })
                     .sum()
             })
             .collect()
@@ -119,7 +129,10 @@ mod tests {
         // d=9, sizes 1..=3: 9 + 36 + 84 = 129 queries, far below n=512.
         let p = Parity::up_to(9, 3);
         assert_eq!(p.num_queries(), 129);
-        assert!(p.num_queries() < p.domain_size(), "Parity should be low-rank");
+        assert!(
+            p.num_queries() < p.domain_size(),
+            "Parity should be low-rank"
+        );
     }
 
     #[test]

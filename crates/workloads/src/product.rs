@@ -68,7 +68,9 @@ impl Workload for Product {
         let mut intermediate = Matrix::zeros(n1, p2);
         for u1 in 0..n1 {
             let row = &x[u1 * n2..(u1 + 1) * n2];
-            intermediate.row_mut(u1).copy_from_slice(&self.right.evaluate(row));
+            intermediate
+                .row_mut(u1)
+                .copy_from_slice(&self.right.evaluate(row));
         }
         // ...then the left factor down each column.
         let mut answers = vec![0.0; p1 * p2];

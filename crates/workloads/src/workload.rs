@@ -97,7 +97,11 @@ pub mod conformance {
         let via_eval = w.evaluate(&x);
         let via_mat = mat.matvec(&x);
         for (a, b) in via_eval.iter().zip(&via_mat) {
-            assert!((a - b).abs() < 1e-9 * scale, "evaluate mismatch for {}", w.name());
+            assert!(
+                (a - b).abs() < 1e-9 * scale,
+                "evaluate mismatch for {}",
+                w.name()
+            );
         }
 
         // Frobenius norm agrees.

@@ -46,9 +46,12 @@ fn main() {
         let gram = workload.gram();
         let p = workload.num_queries();
 
-        let optimized =
-            optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(3).with_iterations(120))
-                .expect("optimization succeeds");
+        let optimized = optimized_mechanism(
+            &gram,
+            epsilon,
+            &OptimizerConfig::new(3).with_iterations(120),
+        )
+        .expect("optimization succeeds");
         let sc_opt = optimized.sample_complexity(&gram, p, alpha);
 
         // Baselines that support any workload.

@@ -27,11 +27,18 @@ fn main() {
     let shape = ldp::data::medcost_shape(n);
     let data = shape.sample(n_users, &mut StdRng::seed_from_u64(3));
 
-    println!("survey: {} users, {} spending brackets, epsilon = {epsilon}\n", n_users, n);
+    println!(
+        "survey: {} users, {} spending brackets, epsilon = {epsilon}\n",
+        n_users, n
+    );
 
     // Optimize the mechanism for the CDF workload.
-    let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(7).with_iterations(150))
-        .expect("optimization succeeds");
+    let mech = optimized_mechanism(
+        &gram,
+        epsilon,
+        &OptimizerConfig::new(7).with_iterations(150),
+    )
+    .expect("optimization succeeds");
 
     // Run the protocol and make the estimate consistent with WNNLS —
     // essential at this population size (Section 6.7 of the paper).
@@ -43,7 +50,10 @@ fn main() {
     let cdf_est = workload.evaluate(&xhat);
 
     // Read off quantiles from both CDFs.
-    println!("{:>10} {:>14} {:>14} {:>8}", "quantile", "true bracket", "est. bracket", "delta");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "quantile", "true bracket", "est. bracket", "delta"
+    );
     for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
         let target = q * n_users as f64;
         let true_bracket = cdf_true.iter().position(|&c| c >= target).unwrap_or(n - 1);
@@ -61,9 +71,7 @@ fn main() {
     let total_var = mech.data_variance(&gram, &data);
     let per_query_sd = (total_var / workload.num_queries() as f64).sqrt();
     println!("\nanalytic per-query standard deviation: {per_query_sd:.1} users");
-    println!(
-        "(the mechanism promises this before anyone submits a response — Thm 3.4)"
-    );
+    println!("(the mechanism promises this before anyone submits a response — Thm 3.4)");
 
     // And the max CDF error actually achieved:
     let max_err = cdf_true
@@ -71,5 +79,8 @@ fn main() {
         .zip(&cdf_est)
         .map(|(t, e)| (t - e).abs())
         .fold(0.0_f64, f64::max);
-    println!("max CDF error this run: {max_err:.1} users ({:.2}% of N)", 100.0 * max_err / n_users as f64);
+    println!(
+        "max CDF error this run: {max_err:.1} users ({:.2}% of N)",
+        100.0 * max_err / n_users as f64
+    );
 }

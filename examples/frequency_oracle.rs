@@ -18,10 +18,17 @@ fn main() {
     let gram = workload.gram();
 
     // Optimize for the Histogram workload.
-    let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(21).with_iterations(150))
-        .expect("optimization succeeds");
+    let mech = optimized_mechanism(
+        &gram,
+        epsilon,
+        &OptimizerConfig::new(21).with_iterations(150),
+    )
+    .expect("optimization succeeds");
     println!("optimized frequency oracle: n = {n}, epsilon = {epsilon}");
-    println!("strategy shape: {} outputs x {n} inputs\n", mech.strategy().num_outputs());
+    println!(
+        "strategy shape: {} outputs x {n} inputs\n",
+        mech.strategy().num_outputs()
+    );
 
     // Privacy certificates — analytic and empirical.
     let analytic = analytic_audit(mech.strategy());
@@ -36,9 +43,16 @@ fn main() {
         "empirical audit: observed loss = {:.4} over {} samples -> {}",
         empirical.observed_epsilon,
         empirical.samples,
-        if empirical.consistent { "CONSISTENT" } else { "VIOLATION" }
+        if empirical.consistent {
+            "CONSISTENT"
+        } else {
+            "VIOLATION"
+        }
     );
-    assert!(empirical.consistent, "audit must pass for a valid mechanism");
+    assert!(
+        empirical.consistent,
+        "audit must pass for a valid mechanism"
+    );
 
     // Deploy on a skewed population of error reports.
     let data = ldp::data::zipf_shape(n, 1.5).sample(200_000, &mut StdRng::seed_from_u64(5));
@@ -56,7 +70,11 @@ fn main() {
         .zip(&xhat)
         .map(|(t, e)| (t - e).abs())
         .fold(0.0_f64, f64::max);
-    println!("\nmax frequency error: {linf:.0} of {} reports ({:.3}%)", data.total(), 100.0 * linf / data.total());
+    println!(
+        "\nmax frequency error: {linf:.0} of {} reports ({:.3}%)",
+        data.total(),
+        100.0 * linf / data.total()
+    );
 
     // Compare to what randomized response would have cost.
     let rr = randomized_response(n, epsilon, &gram).unwrap();

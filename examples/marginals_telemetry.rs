@@ -27,9 +27,12 @@ fn main() {
     println!("workload: all {k}-way marginals = {p} queries, epsilon = {epsilon}\n");
 
     // Three mechanisms: ours, the specialist, and the generalist.
-    let optimized =
-        optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(11).with_iterations(150))
-            .expect("optimization succeeds");
+    let optimized = optimized_mechanism(
+        &gram,
+        epsilon,
+        &OptimizerConfig::new(11).with_iterations(150),
+    )
+    .expect("optimization succeeds");
     let fourier = Fourier::up_to(d, k, epsilon)
         .mechanism(&gram)
         .expect("low-order support covers k-way marginals");
@@ -47,7 +50,10 @@ fn main() {
         }
     }
     let sc_opt = optimized.sample_complexity(&gram, p, alpha);
-    println!("  improvement over best baseline: {:.2}x\n", best_baseline / sc_opt);
+    println!(
+        "  improvement over best baseline: {:.2}x\n",
+        best_baseline / sc_opt
+    );
 
     // Simulate a fleet: correlated feature bits (bit 0 drives bits 1-2).
     let mut weights = vec![0.0; n];
@@ -79,5 +85,8 @@ fn main() {
     println!("fleet of {} clients measured privately:", fleet.total());
     println!("  mean marginal-cell error: {mean_err:.1} clients");
     println!("  max  marginal-cell error: {max_err:.1} clients");
-    println!("  (out of marginal cells holding up to {} clients)", fleet.total());
+    println!(
+        "  (out of marginal cells holding up to {} clients)",
+        fleet.total()
+    );
 }

@@ -1,5 +1,5 @@
-//! Quickstart: optimize an LDP mechanism for a workload, run the local
-//! protocol, and compare against randomized response.
+//! Quickstart: the full workload → optimize → deploy → estimate → WNNLS
+//! flow through the `Pipeline` API, compared against randomized response.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,52 +13,70 @@ fn main() {
     // The analyst cares about the empirical CDF over a 32-bin domain.
     let n = 32;
     let epsilon = 1.0;
-    let workload = Prefix::new(n);
-    let gram = workload.gram();
 
-    println!("workload: {} ({} queries over {} types)", workload.name(), workload.num_queries(), n);
+    println!("workload: Prefix ({n} queries over {n} types)");
     println!("privacy:  epsilon = {epsilon}\n");
 
-    // Optimize a strategy for exactly this workload (Algorithm 2).
-    let config = OptimizerConfig::new(42).with_iterations(150);
-    let optimized = optimized_mechanism(&gram, epsilon, &config).expect("optimization succeeds");
+    // Optimize a strategy for exactly this workload (Algorithm 2) and
+    // deploy it; do the same with the randomized-response baseline.
+    let optimized = Pipeline::for_workload(Prefix::new(n))
+        .epsilon(epsilon)
+        .optimized(&OptimizerConfig::new(42).with_iterations(150))
+        .expect("optimization succeeds");
+    let rr = Pipeline::for_workload(Prefix::new(n))
+        .epsilon(epsilon)
+        .baseline(Baseline::RandomizedResponse)
+        .expect("RR supports any workload");
 
-    // Baseline: randomized response with the workload-optimal
-    // reconstruction (Theorem 3.10).
-    let rr = randomized_response(n, epsilon, &gram).expect("RR supports any workload");
-
-    // How many users do we need for 1% normalized variance? (Cor. 5.4)
+    // How many users do we need for 1% normalized variance? Known in
+    // advance (Corollary 5.4), before a single report is collected.
     let alpha = 0.01;
-    let p = workload.num_queries();
-    let sc_opt = optimized.sample_complexity(&gram, p, alpha);
-    let sc_rr = rr.sample_complexity(&gram, p, alpha);
+    let sc_opt = optimized.sample_complexity(alpha);
+    let sc_rr = rr.sample_complexity(alpha);
     println!("sample complexity at alpha = {alpha}:");
     println!("  optimized            {sc_opt:>12.0} users");
     println!("  randomized response  {sc_rr:>12.0} users");
     println!("  improvement          {:>12.2}x\n", sc_rr / sc_opt);
 
-    // Simulate the full protocol on a synthetic population.
+    // Run the local protocol on a synthetic population: every user
+    // randomizes on-device via a Client, reports land in an aggregator.
     let data = ldp::data::zipf_shape(n, 1.0).sample(50_000, &mut StdRng::seed_from_u64(1));
+    let client = optimized.client();
+    let mut aggregator = optimized.aggregator();
     let mut rng = StdRng::seed_from_u64(2);
-    let xhat = optimized.run(&data, &mut rng);
+    for (user_type, count) in data.nonzero() {
+        for _ in 0..count as u64 {
+            aggregator
+                .ingest(client.respond(user_type, &mut rng))
+                .expect("in-range report");
+        }
+    }
 
-    let truth = workload.evaluate(data.counts());
-    let estimate = workload.evaluate(&xhat);
-    let max_rel = truth
-        .iter()
-        .zip(&estimate)
-        .map(|(t, e)| (t - e).abs() / data.total())
-        .fold(0.0_f64, f64::max);
-    println!("ran protocol on N = {} users", data.total());
-    println!("worst CDF-point error: {:.3}% of the population", 100.0 * max_rel);
+    let estimate = optimized.estimate(&aggregator);
+    println!("ran protocol on N = {} users", estimate.reports());
+    println!(
+        "analytic per-query stddev: {:.1} users",
+        estimate.per_query_stddev()
+    );
+
+    // The workload answers Wx̂, and their worst error against the truth.
+    let truth = Prefix::new(n).evaluate(data.counts());
+    let max_rel = |answers: &[f64]| {
+        truth
+            .iter()
+            .zip(answers)
+            .map(|(t, e)| (t - e).abs() / data.total())
+            .fold(0.0_f64, f64::max)
+    };
+    println!(
+        "worst CDF-point error:     {:.3}% of the population",
+        100.0 * max_rel(&estimate.answers())
+    );
 
     // Post-process with WNNLS for consistent, non-negative answers.
-    let consistent = wnnls(&gram, &xhat, &WnnlsOptions::default());
-    let post = workload.evaluate(&consistent);
-    let max_rel_post = truth
-        .iter()
-        .zip(&post)
-        .map(|(t, e)| (t - e).abs() / data.total())
-        .fold(0.0_f64, f64::max);
-    println!("after WNNLS:           {:.3}% of the population", 100.0 * max_rel_post);
+    let consistent = estimate.consistent();
+    println!(
+        "after WNNLS:               {:.3}% of the population",
+        100.0 * max_rel(&consistent.answers())
+    );
 }

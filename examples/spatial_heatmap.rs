@@ -15,19 +15,23 @@ fn main() {
     // axis-aligned rectangles (all 1296 of them).
     let side = 8;
     let epsilon = 2.0;
-    let workload = Product::new(
-        Box::new(AllRange::new(side)),
-        Box::new(AllRange::new(side)),
-    )
-    .with_name("2-D All Range");
+    let workload = Product::new(Box::new(AllRange::new(side)), Box::new(AllRange::new(side)))
+        .with_name("2-D All Range");
     let n = workload.domain_size();
     let p = workload.num_queries();
     let gram = workload.gram();
-    println!("workload: {} — {p} rectangle queries over {n} zones, epsilon = {epsilon}\n", workload.name());
+    println!(
+        "workload: {} — {p} rectangle queries over {n} zones, epsilon = {epsilon}\n",
+        workload.name()
+    );
 
     // Optimize a strategy for the rectangle workload.
-    let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::new(31).with_iterations(120))
-        .expect("optimization succeeds");
+    let mech = optimized_mechanism(
+        &gram,
+        epsilon,
+        &OptimizerConfig::new(31).with_iterations(120),
+    )
+    .expect("optimization succeeds");
 
     // A population concentrated around two hot spots.
     let mut weights = vec![0.0; n];
@@ -87,5 +91,9 @@ fn main() {
         .map(|(t, e)| (t - e).abs())
         .sum::<f64>()
         / p as f64;
-    println!("\nmean rectangle-count error: {mean_abs:.0} of {} residents ({:.3}%)", data.total(), 100.0 * mean_abs / data.total());
+    println!(
+        "\nmean rectangle-count error: {mean_abs:.0} of {} residents ({:.3}%)",
+        data.total(),
+        100.0 * mean_abs / data.total()
+    );
 }

@@ -9,9 +9,8 @@
 
 use ldp::core::variance;
 use ldp::mechanisms::{
-    hadamard::hadamard_strategy, rappor::rappor_strategy,
-    randomized_response::randomized_response_strategy,
-    subset_selection::subset_selection_strategy,
+    hadamard::hadamard_strategy, randomized_response::randomized_response_strategy,
+    rappor::rappor_strategy, subset_selection::subset_selection_strategy,
 };
 use ldp::prelude::*;
 
@@ -19,7 +18,10 @@ fn show(name: &str, strategy: &StrategyMatrix, epsilon: f64) {
     let (m, n) = (strategy.num_outputs(), strategy.domain_size());
     println!("== {name} ==");
     println!("shape: {m} outputs x {n} user types");
-    println!("satisfies epsilon = {:.6} (requested {epsilon})", strategy.epsilon());
+    println!(
+        "satisfies epsilon = {:.6} (requested {epsilon})",
+        strategy.epsilon()
+    );
     if m <= 16 {
         for o in 0..m {
             let row: Vec<String> = (0..n)
@@ -43,10 +45,18 @@ fn main() {
     let epsilon = 1.0;
     println!("Table 1 mechanisms over a {n}-type domain at epsilon = {epsilon}\n");
 
-    show("Randomized Response [44]", &randomized_response_strategy(n, epsilon), epsilon);
+    show(
+        "Randomized Response [44]",
+        &randomized_response_strategy(n, epsilon),
+        epsilon,
+    );
     show("RAPPOR [18]", &rappor_strategy(n, epsilon), epsilon);
     show("Hadamard [1]", &hadamard_strategy(n, epsilon), epsilon);
-    show("Subset Selection [45] (d = 2)", &subset_selection_strategy(n, 2, epsilon), epsilon);
+    show(
+        "Subset Selection [45] (d = 2)",
+        &subset_selection_strategy(n, 2, epsilon),
+        epsilon,
+    );
 
     // Example 3.7's closed form, as a cross-check on the RR row.
     let e = epsilon.exp();

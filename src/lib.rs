@@ -10,37 +10,59 @@
 //!
 //! ## Quickstart
 //!
+//! The paper's workflow is one conceptual pipeline — declare a workload,
+//! optimize a strategy for it, deploy clients, aggregate reports, estimate
+//! and post-process — and [`Pipeline`] expresses it as one fluent flow:
+//!
 //! ```
 //! use ldp::prelude::*;
 //! use rand::SeedableRng;
 //!
-//! // 1. The analyst declares the queries they care about.
-//! let workload = Prefix::new(16); // empirical CDF over a 16-bin domain
-//! let gram = workload.gram();
+//! // 1. Declare the queries you care about and the privacy budget, then
+//! //    optimize an ε-LDP mechanism for exactly that workload.
+//! let deployment = Pipeline::for_workload(Prefix::new(16)) // CDF over 16 bins
+//!     .epsilon(1.0)
+//!     .optimized(&OptimizerConfig::quick(7))
+//!     .unwrap();
 //!
-//! // 2. Optimize an epsilon-LDP mechanism for exactly that workload.
-//! let epsilon = 1.0;
-//! let mech = optimized_mechanism(&gram, epsilon, &OptimizerConfig::quick(7)).unwrap();
-//!
-//! // 3. Users randomize locally; the analyst aggregates and estimates.
-//! let data = DataVector::from_counts(vec![50.0; 16]);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let xhat = mech.run(&data, &mut rng);
-//! let answers = workload.evaluate(&xhat);
-//! assert_eq!(answers.len(), workload.num_queries());
-//!
-//! // 4. Error is known in advance (Corollary 5.4): how many users does a
+//! // 2. Error is known in advance (Corollary 5.4): how many users does a
 //! //    target accuracy need?
-//! let users_needed = mech.sample_complexity(&gram, workload.num_queries(), 0.01);
-//! assert!(users_needed.is_finite());
+//! assert!(deployment.sample_complexity(0.01).is_finite());
+//!
+//! // 3. Users randomize locally; shards aggregate concurrently.
+//! let client = deployment.client();
+//! let mut shard = deployment.shard(); // one per thread in production
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! for user_type in 0..16 {
+//!     for _ in 0..50 {
+//!         shard.ingest(client.respond(user_type, &mut rng)).unwrap();
+//!     }
+//! }
+//!
+//! // 4. Merge shards (exact, any order), estimate, and post-process.
+//! let aggregator = deployment.merge([shard]).unwrap();
+//! let estimate = deployment.estimate(&aggregator);
+//! assert_eq!(estimate.reports(), 800);
+//! assert_eq!(estimate.answers().len(), 16);          // Wx̂
+//! let consistent = estimate.consistent();            // WNNLS refinement
+//! assert!(consistent.data_vector().iter().all(|&v| v >= 0.0));
 //! ```
+//!
+//! Multi-threaded collection is first-class: a [`Deployment`] is
+//! `Send + Sync + Clone`, clients share precomputed alias tables, and
+//! [`AggregatorShard`]s (integer counts) merge bit-exactly — see
+//! `examples/sharded_aggregation.rs` and the `sharded_ingestion` bench.
+//! The crate-level entry points used above remain available for manual
+//! plumbing: [`prelude::optimized_mechanism`], [`prelude::Client`],
+//! [`prelude::Aggregator`], [`prelude::wnnls`].
 //!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |--------|----------|
+//! | [`pipeline`] | `Pipeline` → `Deployment` → `Estimate`: the top-level deployment API |
 //! | [`linalg`] | dense matrices, Jacobi eigendecomposition, SVD, pinv, Cholesky, LU |
-//! | [`core`] | data vectors, strategy matrices, factorization mechanism, variance/complexity/bounds |
+//! | [`core`] | data vectors, strategy matrices, factorization mechanism, client/shard/aggregator protocol, variance/complexity/bounds |
 //! | [`workloads`] | Histogram, Prefix, All Range, marginals, Parity, custom/stacked |
 //! | [`mechanisms`] | RR, Hadamard, Hierarchical, Fourier, RAPPOR, Subset Selection, local Matrix Mechanism |
 //! | [`opt`] | Algorithm 1 (projection), Algorithm 2 (projected gradient descent) |
@@ -55,10 +77,16 @@ pub use ldp_mechanisms as mechanisms;
 pub use ldp_opt as opt;
 pub use ldp_workloads as workloads;
 
+pub mod pipeline;
+
+pub use pipeline::{Baseline, Deployment, Estimate, Pipeline};
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::pipeline::{Baseline, Deployment, Estimate, Pipeline};
+    pub use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
     pub use ldp_core::{
-        DataVector, FactorizationMechanism, LdpError, LdpMechanism, ResponseVector,
+        DataVector, Deployable, FactorizationMechanism, LdpError, LdpMechanism, ResponseVector,
         StrategyMatrix,
     };
     pub use ldp_estimation::{wnnls, Postprocess, WnnlsOptions};
@@ -68,9 +96,8 @@ pub mod prelude {
         LocalMatrixMechanism,
     };
     pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig};
-    pub use ldp_core::protocol::{Aggregator, Client};
     pub use ldp_workloads::{
-        AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product,
-        Stacked, Total, WidthRange, Workload,
+        AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
+        Total, WidthRange, Workload,
     };
 }

@@ -1,0 +1,493 @@
+//! The top-level deployment pipeline: one fluent path from *workload* to
+//! *consistent estimates*, replacing the hand-threaded five-crate flow
+//! (`gram()` → `OptimizerConfig` → `FactorizationMechanism` → `Client`/
+//! `Aggregator` → `evaluate()`/`wnnls`).
+//!
+//! ```text
+//! Pipeline::for_workload(w).epsilon(ε).optimized(&cfg)   // or .baseline(..) / .strategy(..)
+//!         └─> Deployment ──clients()──> many threads/devices
+//!                       ──shards()───> concurrent ingestion ──merge()──> Aggregator
+//!                       ──estimate()─> Estimate { x̂, Wx̂, variance, complexity }
+//!                                            └─.consistent()─> WNNLS-refined Estimate
+//! ```
+//!
+//! A [`Deployment`] is cheap to clone (an `Arc`) and `Send + Sync`; the
+//! [`Client`]s it hands out share the mechanism's precomputed alias
+//! tables, and [`AggregatorShard`]s ingest `u64` counts concurrently and
+//! merge exactly — any shard topology produces bit-identical results to
+//! sequential collection.
+//!
+//! ```
+//! use ldp::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let deployment = Pipeline::for_workload(Prefix::new(16))
+//!     .epsilon(1.0)
+//!     .baseline(Baseline::RandomizedResponse)
+//!     .unwrap();
+//!
+//! // Clients randomize on-device; shards aggregate wherever reports land.
+//! let client = deployment.client();
+//! let mut shard = deployment.shard();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! for user_type in [3usize, 3, 9, 12, 1, 3] {
+//!     shard.ingest(client.respond(user_type, &mut rng)).unwrap();
+//! }
+//!
+//! let aggregator = deployment.merge([shard]).unwrap();
+//! let estimate = deployment.estimate(&aggregator);
+//! assert_eq!(estimate.reports(), 6);
+//! assert_eq!(estimate.answers().len(), 16);
+//! let consistent = estimate.consistent();
+//! assert!(consistent.data_vector().iter().all(|&v| v >= 0.0));
+//! ```
+
+use std::sync::Arc;
+
+use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
+use ldp_core::{variance, DataVector, Deployable, LdpError, StrategyMatrix};
+use ldp_estimation::{wnnls, WnnlsOptions};
+use ldp_linalg::Matrix;
+use ldp_mechanisms::{hadamard_response, hierarchical, randomized_response};
+use ldp_opt::{optimized_mechanism, OptimizerConfig};
+use ldp_workloads::Workload;
+use rand::RngCore;
+
+/// Closed-form mechanisms a pipeline can deploy without running the
+/// optimizer. Each is built as a [`FactorizationMechanism`]
+/// (ldp-core) over its Table-1 strategy matrix, with the
+/// workload-optimal reconstruction of Theorem 3.10.
+///
+/// [`FactorizationMechanism`]: ldp_core::FactorizationMechanism
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    /// Warner's randomized response (`m = n`).
+    RandomizedResponse,
+    /// Hadamard response (Acharya et al.), `m = 2^⌈log₂(n+1)⌉`.
+    HadamardResponse,
+    /// Hierarchical / tree-based mechanism (Cormode et al.).
+    Hierarchical,
+}
+
+/// Builder for a [`Deployment`]: declare the workload, set the privacy
+/// budget, then pick the mechanism.
+///
+/// Entry point: [`Pipeline::for_workload`]. Terminal methods:
+/// [`Pipeline::optimized`], [`Pipeline::baseline`], [`Pipeline::strategy`],
+/// [`Pipeline::deploy`].
+pub struct Pipeline {
+    workload: Arc<dyn Workload + Send + Sync>,
+    epsilon: f64,
+}
+
+impl Pipeline {
+    /// Starts a pipeline for a workload. The privacy budget defaults to
+    /// `ε = 1.0`; set it explicitly with [`Pipeline::epsilon`].
+    pub fn for_workload(workload: impl Workload + Send + Sync + 'static) -> Self {
+        Self::for_shared_workload(Arc::new(workload))
+    }
+
+    /// Like [`Pipeline::for_workload`] for an already-shared workload
+    /// trait object.
+    pub fn for_shared_workload(workload: Arc<dyn Workload + Send + Sync>) -> Self {
+        Self {
+            workload,
+            epsilon: 1.0,
+        }
+    }
+
+    /// Sets the ε-LDP privacy budget every client's report satisfies.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Optimizes a strategy for exactly this workload (Algorithm 2) and
+    /// deploys the resulting factorization mechanism.
+    ///
+    /// # Errors
+    /// Propagates optimizer and mechanism-construction failures
+    /// ([`LdpError::InvalidEpsilon`], [`LdpError::OptimizationFailed`], …).
+    pub fn optimized(self, config: &OptimizerConfig) -> Result<Deployment, LdpError> {
+        let gram = self.workload.gram();
+        let mechanism = optimized_mechanism(&gram, self.epsilon, config)?;
+        Deployment::assemble(self.workload, gram, Arc::new(mechanism))
+    }
+
+    /// Deploys a closed-form baseline mechanism at this workload/budget.
+    ///
+    /// # Errors
+    /// [`LdpError::WorkloadNotSupported`] if the baseline cannot answer
+    /// the workload, [`LdpError::InvalidEpsilon`] for a bad budget.
+    pub fn baseline(self, baseline: Baseline) -> Result<Deployment, LdpError> {
+        // The closed-form constructors assert on the budget; validate it
+        // here so every pipeline terminal reports a bad ε the same way.
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(LdpError::InvalidEpsilon(self.epsilon));
+        }
+        let n = self.workload.domain_size();
+        let gram = self.workload.gram();
+        let mechanism = match baseline {
+            Baseline::RandomizedResponse => randomized_response(n, self.epsilon, &gram)?,
+            Baseline::HadamardResponse => hadamard_response(n, self.epsilon, &gram)?,
+            Baseline::Hierarchical => hierarchical(n, self.epsilon, &gram)?,
+        };
+        Deployment::assemble(self.workload, gram, Arc::new(mechanism))
+    }
+
+    /// Deploys a hand-built strategy matrix, validating ε-LDP and that
+    /// the workload is answerable (Theorem 3.10's row-space condition).
+    ///
+    /// # Errors
+    /// [`LdpError::PrivacyViolation`], [`LdpError::WorkloadNotSupported`],
+    /// or [`LdpError::DimensionMismatch`] from mechanism construction.
+    pub fn strategy(self, strategy: StrategyMatrix) -> Result<Deployment, LdpError> {
+        let gram = self.workload.gram();
+        let mechanism = ldp_core::FactorizationMechanism::new(strategy, &gram, self.epsilon)?;
+        Deployment::assemble(self.workload, gram, Arc::new(mechanism))
+    }
+
+    /// Deploys an existing [`Deployable`] mechanism — the escape hatch
+    /// that lets *any* mechanism enter the pipeline. The mechanism's own
+    /// privacy budget governs; the builder's [`Pipeline::epsilon`] is
+    /// ignored here.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the mechanism's domain size
+    /// disagrees with the workload's.
+    pub fn deploy(
+        self,
+        mechanism: impl Deployable + Send + Sync + 'static,
+    ) -> Result<Deployment, LdpError> {
+        let gram = self.workload.gram();
+        Deployment::assemble(self.workload, gram, Arc::new(mechanism))
+    }
+}
+
+struct DeploymentInner {
+    workload: Arc<dyn Workload + Send + Sync>,
+    gram: Matrix,
+    mechanism: Arc<dyn Deployable + Send + Sync>,
+    /// Per-user-type variance contributions `T_u` (Theorem 3.4), cached
+    /// because every analytic read-out derives from them.
+    profile: Vec<f64>,
+}
+
+/// A deployed mechanism bound to its workload: hands out [`Client`]s and
+/// [`AggregatorShard`]s, merges shards, and turns aggregators into
+/// [`Estimate`]s. Cloning is O(1) (`Arc`), and the deployment is
+/// `Send + Sync`, so one instance can serve every thread of a collection
+/// fleet.
+#[derive(Clone)]
+pub struct Deployment {
+    inner: Arc<DeploymentInner>,
+}
+
+impl Deployment {
+    fn assemble(
+        workload: Arc<dyn Workload + Send + Sync>,
+        gram: Matrix,
+        mechanism: Arc<dyn Deployable + Send + Sync>,
+    ) -> Result<Self, LdpError> {
+        if mechanism.domain_size() != workload.domain_size() {
+            return Err(LdpError::DimensionMismatch {
+                context: "deployment domain",
+                expected: workload.domain_size(),
+                actual: mechanism.domain_size(),
+            });
+        }
+        let profile = mechanism.variance_profile(&gram);
+        Ok(Self {
+            inner: Arc::new(DeploymentInner {
+                workload,
+                gram,
+                mechanism,
+                profile,
+            }),
+        })
+    }
+
+    /// A client sharing the mechanism's precomputed alias tables; O(1),
+    /// hand one to every reporting thread or device.
+    pub fn client(&self) -> Client {
+        self.inner.mechanism.client()
+    }
+
+    /// An empty aggregation shard; create one per ingestion thread.
+    pub fn shard(&self) -> AggregatorShard {
+        AggregatorShard::new(self.inner.mechanism.num_outputs())
+    }
+
+    /// `count` empty shards, ready to move into worker threads.
+    pub fn shards(&self, count: usize) -> Vec<AggregatorShard> {
+        (0..count).map(|_| self.shard()).collect()
+    }
+
+    /// A full (reconstruction-carrying) sequential aggregator.
+    pub fn aggregator(&self) -> Aggregator {
+        Aggregator::from_reconstruction(self.inner.mechanism.reconstruction_matrix().clone())
+    }
+
+    /// Folds any number of shards into one aggregator. Integer counts
+    /// make this exact: the result is bit-identical to sequential
+    /// ingestion of the same reports in any order.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if a shard's output count
+    /// disagrees with the deployment's.
+    pub fn merge(
+        &self,
+        shards: impl IntoIterator<Item = AggregatorShard>,
+    ) -> Result<Aggregator, LdpError> {
+        let mut aggregator = self.aggregator();
+        for shard in shards {
+            aggregator.merge(shard)?;
+        }
+        Ok(aggregator)
+    }
+
+    /// Reads the aggregator's current state into an [`Estimate`].
+    /// Non-destructive: collection can continue afterwards.
+    ///
+    /// # Panics
+    /// Panics if the aggregator belongs to a deployment with a different
+    /// number of outputs — mixing deployments would silently pair `x̂`
+    /// with the wrong workload and variance profile.
+    pub fn estimate(&self, aggregator: &Aggregator) -> Estimate {
+        assert_eq!(
+            aggregator.counts().len(),
+            self.inner.mechanism.num_outputs(),
+            "aggregator output count must match the deployment's mechanism"
+        );
+        Estimate {
+            inner: Arc::clone(&self.inner),
+            xhat: aggregator.estimate(),
+            reports: aggregator.reports(),
+        }
+    }
+
+    /// Simulates the whole population in one call (the paper's
+    /// experiment path): every user in `data` reports once.
+    ///
+    /// # Panics
+    /// Panics if `data`'s domain size disagrees with the deployment's.
+    pub fn simulate(&self, data: &DataVector, rng: &mut dyn RngCore) -> Estimate {
+        let xhat = self.inner.mechanism.run(data, rng);
+        Estimate {
+            inner: Arc::clone(&self.inner),
+            xhat,
+            reports: data.rounded().total() as u64,
+        }
+    }
+
+    /// The workload this deployment answers.
+    pub fn workload(&self) -> &(dyn Workload + Send + Sync) {
+        &*self.inner.workload
+    }
+
+    /// The workload's Gram matrix `G = WᵀW`.
+    pub fn gram(&self) -> &Matrix {
+        &self.inner.gram
+    }
+
+    /// The deployed mechanism.
+    pub fn mechanism(&self) -> &(dyn Deployable + Send + Sync) {
+        &*self.inner.mechanism
+    }
+
+    /// The privacy budget ε every report satisfies.
+    pub fn epsilon(&self) -> f64 {
+        self.inner.mechanism.epsilon()
+    }
+
+    /// Per-user-type variance contributions `T_u` (Theorem 3.4).
+    pub fn variance_profile(&self) -> &[f64] {
+        &self.inner.profile
+    }
+
+    /// Users needed to reach normalized variance `alpha` on this
+    /// workload (Corollary 5.4) — known *before* collecting anything.
+    pub fn sample_complexity(&self, alpha: f64) -> f64 {
+        ldp_core::complexity::sample_complexity(
+            &self.inner.profile,
+            self.inner.workload.num_queries(),
+            alpha,
+        )
+    }
+
+    /// Worst-case total workload variance after `n_users` reports
+    /// (Corollary 3.5).
+    pub fn worst_case_variance(&self, n_users: f64) -> f64 {
+        variance::worst_case_variance(&self.inner.profile, n_users)
+    }
+}
+
+/// The terminal product of a pipeline: the unbiased data-vector estimate
+/// `x̂` together with everything an analyst reads off it — workload
+/// answers `Wx̂`, analytic variance and sample complexity at the observed
+/// report count, and WNNLS consistency refinement.
+#[derive(Clone)]
+pub struct Estimate {
+    inner: Arc<DeploymentInner>,
+    xhat: Vec<f64>,
+    reports: u64,
+}
+
+impl Estimate {
+    /// The estimated data vector `x̂` (length `n`).
+    pub fn data_vector(&self) -> &[f64] {
+        &self.xhat
+    }
+
+    /// Consumes the estimate, returning `x̂`.
+    pub fn into_data_vector(self) -> Vec<f64> {
+        self.xhat
+    }
+
+    /// The workload answers `Wx̂` (length `p`), evaluated implicitly —
+    /// workloads with millions of queries never materialize `W`.
+    pub fn answers(&self) -> Vec<f64> {
+        self.inner.workload.evaluate(&self.xhat)
+    }
+
+    /// Number of reports this estimate is based on.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Worst-case total workload variance at this report count
+    /// (Corollary 3.5) — the analytic error bar, no simulation needed.
+    pub fn worst_case_variance(&self) -> f64 {
+        variance::worst_case_variance(&self.inner.profile, self.reports as f64)
+    }
+
+    /// Worst-case per-query standard deviation at this report count: the
+    /// interpretable "±so-many users" error bar on each answer.
+    pub fn per_query_stddev(&self) -> f64 {
+        (self.worst_case_variance() / self.inner.workload.num_queries() as f64).sqrt()
+    }
+
+    /// Users needed for normalized variance `alpha` (Corollary 5.4) —
+    /// compare with [`Estimate::reports`] to see how far along the
+    /// collection is.
+    pub fn sample_complexity(&self, alpha: f64) -> f64 {
+        ldp_core::complexity::sample_complexity(
+            &self.inner.profile,
+            self.inner.workload.num_queries(),
+            alpha,
+        )
+    }
+
+    /// WNNLS consistency refinement (Appendix A): the closest non-negative
+    /// data vector in workload distance. Answers derived from the result
+    /// come from an actual population, and in the high-privacy regime
+    /// typically have substantially lower error (Figure 4).
+    pub fn consistent(&self) -> Estimate {
+        self.consistent_with(&WnnlsOptions::default())
+    }
+
+    /// [`Estimate::consistent`] with explicit solver options.
+    pub fn consistent_with(&self, options: &WnnlsOptions) -> Estimate {
+        Estimate {
+            inner: Arc::clone(&self.inner),
+            xhat: wnnls(&self.inner.gram, &self.xhat, options),
+            reports: self.reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::LdpMechanism;
+    use ldp_workloads::{Histogram, Prefix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_deployment_round_trip() {
+        let n = 8;
+        let deployment = Pipeline::for_workload(Histogram::new(n))
+            .epsilon(2.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        assert!((deployment.epsilon() - 2.0).abs() < 1e-12);
+
+        let client = deployment.client();
+        let mut agg = deployment.aggregator();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            agg.ingest(client.respond(3, &mut rng)).unwrap();
+        }
+        let estimate = deployment.estimate(&agg);
+        assert_eq!(estimate.reports(), 500);
+        // Unbiased estimate should put most mass on type 3 at eps=2.
+        let xhat = estimate.data_vector();
+        let argmax = (0..n)
+            .max_by(|&a, &b| xhat[a].partial_cmp(&xhat[b]).unwrap())
+            .unwrap();
+        assert_eq!(argmax, 3);
+        // Consistent refinement is non-negative and answers have length p.
+        let consistent = estimate.consistent();
+        assert!(consistent.data_vector().iter().all(|&v| v >= 0.0));
+        assert_eq!(consistent.answers().len(), n);
+        assert!(estimate.worst_case_variance().is_finite());
+        assert!(estimate.per_query_stddev() > 0.0);
+        assert!(estimate.sample_complexity(0.01).is_finite());
+    }
+
+    #[test]
+    fn sharded_merge_matches_sequential_bit_for_bit() {
+        let deployment = Pipeline::for_workload(Prefix::new(8))
+            .epsilon(1.0)
+            .baseline(Baseline::HadamardResponse)
+            .unwrap();
+        let client = deployment.client();
+        let mut rng = StdRng::seed_from_u64(5);
+        let reports: Vec<usize> = (0..2000).map(|i| client.respond(i % 8, &mut rng)).collect();
+
+        let mut sequential = deployment.aggregator();
+        sequential.ingest_batch(&reports).unwrap();
+
+        let mut shards = deployment.shards(7);
+        for (i, &r) in reports.iter().enumerate() {
+            shards[i % 7].ingest(r).unwrap();
+        }
+        let merged = deployment.merge(shards).unwrap();
+
+        assert_eq!(merged.counts(), sequential.counts());
+        assert_eq!(
+            deployment.estimate(&merged).data_vector(),
+            deployment.estimate(&sequential).data_vector()
+        );
+    }
+
+    #[test]
+    fn deploy_accepts_external_mechanism_and_validates_domain() {
+        let gram = Histogram::new(6).gram();
+        let mech = ldp_mechanisms::randomized_response(6, 1.0, &gram).unwrap();
+        let deployment = Pipeline::for_workload(Histogram::new(6))
+            .deploy(mech)
+            .unwrap();
+        assert_eq!(deployment.mechanism().domain_size(), 6);
+
+        let mismatched = ldp_mechanisms::randomized_response(5, 1.0, &Matrix::identity(5)).unwrap();
+        let err = Pipeline::for_workload(Histogram::new(6)).deploy(mismatched);
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn simulate_matches_run_for_same_seed() {
+        let deployment = Pipeline::for_workload(Prefix::new(8))
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let gram = Prefix::new(8).gram();
+        let manual = ldp_mechanisms::randomized_response(8, 1.0, &gram).unwrap();
+        let data = DataVector::from_counts(vec![40.0, 10.0, 0.0, 5.0, 5.0, 20.0, 0.0, 20.0]);
+        let a = deployment.simulate(&data, &mut StdRng::seed_from_u64(11));
+        let b = manual.run(&data, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a.data_vector(), b.as_slice());
+        assert_eq!(a.reports(), 100);
+    }
+}

@@ -37,7 +37,12 @@ fn optimized_wins_on_every_workload() {
         let mut optimized = f64::INFINITY;
         for mech in &mechanisms {
             let sc = mech.sample_complexity(&gram, p, 0.01);
-            assert!(sc.is_finite() && sc > 0.0, "{} on {}", mech.name(), workload.name());
+            assert!(
+                sc.is_finite() && sc > 0.0,
+                "{} on {}",
+                mech.name(),
+                workload.name()
+            );
             if mech.name() == "Optimized" {
                 optimized = sc;
             } else {
@@ -153,7 +158,10 @@ fn optimizer_output_is_coherent() {
     let eps = 1.5;
     let result = ldp::opt::optimize_strategy(&gram, eps, &OptimizerConfig::quick(8)).unwrap();
     // Privacy certificate.
-    result.strategy.check_ldp(eps).expect("optimized strategy is eps-LDP");
+    result
+        .strategy
+        .check_ldp(eps)
+        .expect("optimized strategy is eps-LDP");
     // Objective consistency (Theorem 3.11 vs Theorem 3.9 with optimal V).
     let k = variance::optimal_reconstruction(&result.strategy);
     let via_trace = variance::trace_objective(&result.strategy, &k, &gram);
@@ -190,7 +198,10 @@ fn data_dependent_complexity_close_to_worst_case() {
     ] {
         let data = shape.expected(10_000.0);
         let dd = mech.data_sample_complexity(&gram, &data, p, 0.01);
-        assert!(dd <= worst * (1.0 + 1e-9), "data-dependent above worst case");
+        assert!(
+            dd <= worst * (1.0 + 1e-9),
+            "data-dependent above worst case"
+        );
         assert!(
             dd >= worst * 0.3,
             "data-dependent {dd} suspiciously far below worst case {worst}"

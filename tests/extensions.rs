@@ -15,10 +15,7 @@ use rand::SeedableRng;
 #[test]
 fn two_d_ranges_end_to_end() {
     let side = 4;
-    let workload = Product::new(
-        Box::new(AllRange::new(side)),
-        Box::new(AllRange::new(side)),
-    );
+    let workload = Product::new(Box::new(AllRange::new(side)), Box::new(AllRange::new(side)));
     let gram = workload.gram();
     let eps = 1.0;
     let mech = optimized_mechanism(&gram, eps, &OptimizerConfig::quick(3)).unwrap();
@@ -27,13 +24,13 @@ fn two_d_ranges_end_to_end() {
     // The optimized 2-D strategy should beat RR here too.
     let rr = randomized_response(workload.domain_size(), eps, &gram).unwrap();
     let p = workload.num_queries();
-    assert!(
-        mech.sample_complexity(&gram, p, 0.01) < rr.sample_complexity(&gram, p, 0.01)
-    );
+    assert!(mech.sample_complexity(&gram, p, 0.01) < rr.sample_complexity(&gram, p, 0.01));
 
     // Protocol collection matches direct run in expectation.
     let data = DataVector::from_counts(
-        (0..workload.domain_size()).map(|i| ((i * 13) % 7) as f64 * 20.0).collect(),
+        (0..workload.domain_size())
+            .map(|i| ((i * 13) % 7) as f64 * 20.0)
+            .collect(),
     );
     let client = Client::new(mech.strategy().clone());
     let mut agg = Aggregator::new(&mech);
@@ -66,11 +63,19 @@ fn optimized_mechanism_passes_audits() {
     let mech = optimized_mechanism(&gram, eps, &OptimizerConfig::quick(9)).unwrap();
 
     let analytic = analytic_audit(mech.strategy());
-    assert!(analytic.epsilon <= eps + 1e-6, "analytic loss {}", analytic.epsilon);
+    assert!(
+        analytic.epsilon <= eps + 1e-6,
+        "analytic loss {}",
+        analytic.epsilon
+    );
 
     let mut rng = StdRng::seed_from_u64(11);
     let empirical = empirical_audit(mech.strategy(), eps, 150_000, &mut rng);
-    assert!(empirical.consistent, "observed {}", empirical.observed_epsilon);
+    assert!(
+        empirical.consistent,
+        "observed {}",
+        empirical.observed_epsilon
+    );
 }
 
 /// CDF-to-quantile pipeline: quantiles recovered from a private Prefix
@@ -115,8 +120,7 @@ fn weights_steer_error_allocation() {
         (10.0, Box::new(Histogram::new(n))),
     ]);
 
-    let mech_bal =
-        optimized_mechanism(&balanced.gram(), eps, &OptimizerConfig::quick(5)).unwrap();
+    let mech_bal = optimized_mechanism(&balanced.gram(), eps, &OptimizerConfig::quick(5)).unwrap();
     let mech_heavy =
         optimized_mechanism(&hist_heavy.gram(), eps, &OptimizerConfig::quick(5)).unwrap();
 

@@ -119,7 +119,12 @@ fn heterogeneous_mechanism_ranking() {
         Box::new(randomized_response(n, eps, &gram).unwrap()),
         Box::new(hadamard_response(n, eps, &gram).unwrap()),
         Box::new(hierarchical(n, eps, &gram).unwrap()),
-        Box::new(LocalMatrixMechanism::optimized(&gram, eps, Calibration::L1, 15)),
+        Box::new(LocalMatrixMechanism::optimized(
+            &gram,
+            eps,
+            Calibration::L1,
+            15,
+        )),
         Box::new(optimized_mechanism(&gram, eps, &OptimizerConfig::quick(2)).unwrap()),
     ];
     let p = w.num_queries();

@@ -160,8 +160,7 @@ fn optimized_monotone_in_epsilon() {
     let gram = w.gram();
     let mut previous = f64::INFINITY;
     for eps in [0.5, 1.0, 2.0] {
-        let result =
-            ldp::opt::optimize_strategy(&gram, eps, &OptimizerConfig::quick(5)).unwrap();
+        let result = ldp::opt::optimize_strategy(&gram, eps, &OptimizerConfig::quick(5)).unwrap();
         assert!(result.strategy.epsilon() <= eps + 1e-6);
         let bound = bounds::svd_bound_objective(&gram, eps);
         assert!(result.objective >= bound * (1.0 - 1e-9));
