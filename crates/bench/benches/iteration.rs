@@ -1,10 +1,19 @@
 //! Criterion benchmark backing Figure 3c: per-iteration cost of strategy
 //! optimization (one objective/gradient evaluation + one projection) as
 //! the domain size grows. The paper's claim is O(n³) growth.
+//!
+//! Measured both through the allocating `objective::evaluate` +
+//! `project_columns` wrappers (the historical per-iteration path) and
+//! through the preallocated workspace path (`evaluate_into` +
+//! `project_columns_into`) that `optimize_strategy` now runs on — the
+//! delta is the allocator traffic the refactor removed from the hot loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldp_linalg::Matrix;
-use ldp_opt::{objective, project_columns};
+use ldp_opt::{
+    objective, project_columns, project_columns_into, ObjectiveWorkspace, ProjectionJacobian,
+    ProjectionScratch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,12 +29,40 @@ fn bench_iteration(c: &mut Criterion) {
         let r = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>());
         let (q, _) = project_columns(&r, &z, epsilon);
         let step = 1e-4;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("allocating", n), &n, |b, _| {
             b.iter(|| {
                 let eval = objective::evaluate(&q, &gram);
                 let stepped = &q - &eval.gradient.scaled(step);
                 let (q_next, _) = project_columns(&stepped, &z, epsilon);
                 std::hint::black_box(q_next)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", n), &n, |b, _| {
+            let mut ws = ObjectiveWorkspace::new(m, n);
+            let mut gradient = Matrix::zeros(m, n);
+            let mut stepped = Matrix::zeros(m, n);
+            let mut q_next = Matrix::zeros(m, n);
+            let mut jacobian = ProjectionJacobian::empty();
+            let mut scratch = ProjectionScratch::new();
+            b.iter(|| {
+                let value = objective::evaluate_into(&q, &gram, &mut ws, &mut gradient);
+                for ((s, &qv), &gv) in stepped
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(q.as_slice())
+                    .zip(gradient.as_slice())
+                {
+                    *s = qv - gv * step;
+                }
+                project_columns_into(
+                    &stepped,
+                    &z,
+                    epsilon,
+                    &mut q_next,
+                    &mut jacobian,
+                    &mut scratch,
+                );
+                std::hint::black_box(value)
             });
         });
     }

@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the structured-operator refactor: Gram
+//! construction cost and end-to-end PGD optimizer throughput.
+//!
+//! Two claims are measured:
+//!
+//! 1. **`gram()` is free for structured workloads.** Prefix/All Range at
+//!    n ∈ {256, 1024, 4096} build an `O(n)` operator; the historical dense
+//!    path (reproduced here via `Gram::to_dense`) assembles `n²` entries.
+//!    At n = 4096 the dense Gram alone is 128 MiB — the structured path is
+//!    the only one that scales, so the dense comparison stops at 1024.
+//! 2. **Workspace-reuse PGD adds zero per-iteration allocation.** A
+//!    200-iteration optimization through one preallocated
+//!    [`ldp_opt::Workspace`] (`optimize_strategy_with`) is compared with
+//!    the fresh-workspace entry point at the same configuration; both
+//!    produce bit-identical objectives (asserted), so the delta is pure
+//!    allocator/locality overhead.
+//!
+//! The PGD cells default to n ∈ {16, 32} so `cargo bench` finishes at
+//! laptop scale; set `LDP_BENCH_FULL=1` to add the paper-scale n = 1024 /
+//! 200-iteration cell (minutes of wall clock on one core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_opt::{optimize_strategy, optimize_strategy_with, OptimizerConfig, Workspace};
+use ldp_workloads::{AllRange, Prefix, Workload};
+
+fn full_scale() -> bool {
+    std::env::var("LDP_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+fn bench_gram_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_structured");
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(Prefix::new(n).gram()));
+        });
+        group.bench_with_input(BenchmarkId::new("all_range", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(AllRange::new(n).gram()));
+        });
+    }
+    group.finish();
+
+    // The historical dense assembly, for the pre/post comparison. Capped
+    // at n = 1024: the 4096² dense Gram (128 MiB) exists only as an
+    // explicit opt-in and has no place in a timing loop.
+    let mut group = c.benchmark_group("gram_densified");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, &n| {
+            let w = Prefix::new(n);
+            b.iter(|| std::hint::black_box(w.gram().to_dense()));
+        });
+        group.bench_with_input(BenchmarkId::new("all_range", n), &n, |b, &n| {
+            let w = AllRange::new(n);
+            b.iter(|| std::hint::black_box(w.gram().to_dense()));
+        });
+    }
+    group.finish();
+
+    // Gram matvec: the O(n) structured product that replaces an O(n²)
+    // dense row sweep — the primitive behind WNNLS and variance profiles.
+    let mut group = c.benchmark_group("gram_matvec");
+    for &n in &[256usize, 1024, 4096] {
+        let gram = AllRange::new(n).gram();
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut out = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("all_range", n), &n, |b, _| {
+            b.iter(|| {
+                gram.matvec_into(&x, &mut out);
+                std::hint::black_box(out[n / 2])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// 200-iteration PGD with a fixed step size (the step-size search is
+/// excluded so the measurement is the descent loop itself).
+fn pgd_config() -> OptimizerConfig {
+    let mut config = OptimizerConfig::new(7).with_iterations(200);
+    config.step_size = Some(1e-3);
+    config
+}
+
+fn bench_pgd(c: &mut Criterion) {
+    let mut sizes = vec![16usize, 32];
+    if full_scale() {
+        sizes.push(1024);
+    }
+    let mut group = c.benchmark_group("pgd_200_iterations");
+    group.sample_size(10);
+    for &n in &sizes {
+        let workload = Prefix::new(n);
+        let gram = workload.gram();
+        let config = pgd_config();
+
+        // Reference objective: both paths must agree bit-for-bit.
+        let fresh = optimize_strategy(&gram, 1.0, &config).unwrap().objective;
+
+        group.bench_with_input(BenchmarkId::new("fresh_workspace", n), &n, |b, _| {
+            b.iter(|| {
+                let r = optimize_strategy(&gram, 1.0, &config).unwrap();
+                assert_eq!(r.objective, fresh, "objective must be deterministic");
+                std::hint::black_box(r.objective)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reused_workspace", n), &n, |b, _| {
+            let mut ws = Workspace::for_config(&config, n);
+            b.iter(|| {
+                let r = optimize_strategy_with(&gram, 1.0, &config, &mut ws).unwrap();
+                assert_eq!(r.objective, fresh, "workspace reuse must be bit-identical");
+                std::hint::black_box(r.objective)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram_construction, bench_pgd);
+criterion_main!(benches);

@@ -1,10 +1,15 @@
 //! Criterion benchmark for Algorithm 1: the bounded-simplex projection.
 //! The paper's complexity claim is O(m log m) per column,
 //! O(n·m log m) per full-matrix projection.
+//!
+//! Two paths are measured: the allocating `project_columns` (one fresh
+//! matrix + jacobian per call) and the workspace path
+//! `project_columns_into` the PGD hot loop uses, which reuses every
+//! buffer across calls.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldp_linalg::Matrix;
-use ldp_opt::project_columns;
+use ldp_opt::{project_columns, project_columns_into, ProjectionJacobian, ProjectionScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,8 +21,17 @@ fn bench_projection(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let z = vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m];
         let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-0.5..1.5));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(project_columns(&r, &z, epsilon)));
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", n), &n, |b, _| {
+            let mut q = Matrix::zeros(m, n);
+            let mut jacobian = ProjectionJacobian::empty();
+            let mut scratch = ProjectionScratch::new();
+            b.iter(|| {
+                project_columns_into(&r, &z, epsilon, &mut q, &mut jacobian, &mut scratch);
+                std::hint::black_box(q.as_slice()[0])
+            });
         });
     }
     group.finish();

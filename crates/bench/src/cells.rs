@@ -2,7 +2,7 @@
 //! workload/ε cell, plus the parallel sweep driver used by the figures.
 
 use ldp_core::LdpMechanism;
-use ldp_linalg::Matrix;
+use ldp_linalg::LinOp;
 use ldp_mechanisms::{
     hadamard_response, hierarchical, randomized_response, Calibration, Fourier,
     LocalMatrixMechanism,
@@ -108,7 +108,7 @@ impl Effort {
 pub fn build_mechanism(
     kind: MechanismKind,
     workload: &dyn Workload,
-    gram: &Matrix,
+    gram: &dyn LinOp,
     epsilon: f64,
     effort: Effort,
     seed: u64,

@@ -81,6 +81,23 @@ where
     }
 }
 
+/// Tuples of strategies are strategies over tuples, like upstream.
+macro_rules! tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+
 pub mod collection {
     //! Collection strategies.
 

@@ -11,15 +11,17 @@
 //! values of `W` are recovered from the Gram matrix as `λ_i = √eig_i(G)`,
 //! so the bounds are computable even when `W` is never materialized.
 
-use ldp_linalg::{eigh_auto, Matrix};
+use ldp_linalg::{dense_of, eigh_auto, LinOp};
 
 /// Singular values of the workload `W`, recovered from `G = WᵀW` as the
 /// square roots of its eigenvalues (clamped at zero), descending.
 ///
 /// # Panics
 /// Panics if `gram` is not square.
-pub fn singular_values_from_gram(gram: &Matrix) -> Vec<f64> {
-    let e = eigh_auto(gram);
+pub fn singular_values_from_gram(gram: &dyn LinOp) -> Vec<f64> {
+    // The eigendecomposition is dense; materialize structured operators
+    // here (a cold path — bounds are computed once per workload).
+    let e = eigh_auto(dense_of(gram).as_ref());
     let mut sv: Vec<f64> = e.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
     sv.reverse(); // eigh sorts ascending
     sv
@@ -30,7 +32,7 @@ pub fn singular_values_from_gram(gram: &Matrix) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `epsilon` is not positive and finite.
-pub fn svd_bound_objective(gram: &Matrix, epsilon: f64) -> f64 {
+pub fn svd_bound_objective(gram: &dyn LinOp, epsilon: f64) -> f64 {
     assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
     let nuclear: f64 = singular_values_from_gram(gram).iter().sum();
     nuclear * nuclear / epsilon.exp()
@@ -43,7 +45,7 @@ pub fn svd_bound_objective(gram: &Matrix, epsilon: f64) -> f64 {
 /// The value can be negative for very easy workloads / large ε, in which
 /// case the bound is vacuous (variance is trivially ≥ 0); callers typically
 /// clamp at zero.
-pub fn worst_case_variance_bound(gram: &Matrix, epsilon: f64, n_users: f64) -> f64 {
+pub fn worst_case_variance_bound(gram: &dyn LinOp, epsilon: f64, n_users: f64) -> f64 {
     let n = gram.rows() as f64;
     n_users / n * (svd_bound_objective(gram, epsilon) - gram.trace())
 }
@@ -51,7 +53,12 @@ pub fn worst_case_variance_bound(gram: &Matrix, epsilon: f64, n_users: f64) -> f
 /// Lower bound on the sample complexity at target normalized variance
 /// `alpha` for a `num_queries`-query workload, obtained by combining
 /// Corollary 5.7 with Corollary 5.4. Clamped at zero.
-pub fn sample_complexity_bound(gram: &Matrix, epsilon: f64, num_queries: usize, alpha: f64) -> f64 {
+pub fn sample_complexity_bound(
+    gram: &dyn LinOp,
+    epsilon: f64,
+    num_queries: usize,
+    alpha: f64,
+) -> f64 {
     assert!(alpha > 0.0, "target accuracy must be positive");
     assert!(num_queries > 0, "workload must contain at least one query");
     let n = gram.rows() as f64;
@@ -62,6 +69,7 @@ pub fn sample_complexity_bound(gram: &Matrix, epsilon: f64, num_queries: usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_linalg::Matrix;
 
     /// Example 5.8: on the Histogram workload the sample complexity of any
     /// factorization mechanism is at least `(1/α)(1/e^ε − 1/n)`.

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{psd_max_abs, LinOp, Matrix};
 use rand::RngCore;
 
 use crate::protocol::Client;
@@ -93,7 +93,7 @@ impl FactorizationMechanism {
     /// * [`LdpError::WorkloadNotSupported`] if `W` is not in the row space
     ///   of the strategy.
     /// * [`LdpError::DimensionMismatch`] if `gram` is not `n × n`.
-    pub fn new(strategy: StrategyMatrix, gram: &Matrix, epsilon: f64) -> Result<Self, LdpError> {
+    pub fn new(strategy: StrategyMatrix, gram: &dyn LinOp, epsilon: f64) -> Result<Self, LdpError> {
         strategy.check_ldp(epsilon)?;
         Self::new_unchecked_privacy(strategy, gram, epsilon)
     }
@@ -103,7 +103,7 @@ impl FactorizationMechanism {
     /// derivation, e.g. closed-form baselines, avoiding an O(mn²) check).
     pub fn new_unchecked_privacy(
         strategy: StrategyMatrix,
-        gram: &Matrix,
+        gram: &dyn LinOp,
         epsilon: f64,
     ) -> Result<Self, LdpError> {
         if gram.rows() != strategy.domain_size() || !gram.is_square() {
@@ -115,7 +115,9 @@ impl FactorizationMechanism {
         }
         let k = variance::optimal_reconstruction(&strategy);
         let residual = variance::rowspace_residual(&strategy, &k, gram);
-        let scale = gram.max_abs().max(1.0);
+        // For a PSD Gram the largest |entry| sits on the diagonal, which
+        // structured operators expose without materializing.
+        let scale = psd_max_abs(gram).max(1.0);
         if residual > ROWSPACE_TOL * scale {
             return Err(LdpError::WorkloadNotSupported { residual });
         }
@@ -209,7 +211,7 @@ impl LdpMechanism for FactorizationMechanism {
         self.strategy.domain_size()
     }
 
-    fn variance_profile(&self, gram: &Matrix) -> Vec<f64> {
+    fn variance_profile(&self, gram: &dyn LinOp) -> Vec<f64> {
         variance::variance_profile(&self.strategy, &self.k, gram)
     }
 

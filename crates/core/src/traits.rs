@@ -1,7 +1,7 @@
 //! The common interface implemented by every LDP mechanism in the
 //! workspace — the optimized factorization mechanism and all baselines.
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 use rand::RngCore;
 
 use crate::{complexity, variance, DataVector};
@@ -30,34 +30,36 @@ pub trait LdpMechanism {
     /// Domain size `n` the mechanism operates on.
     fn domain_size(&self) -> usize;
 
-    /// Per-user-type variance `T_u` on the workload with Gram matrix
+    /// Per-user-type variance `T_u` on the workload with Gram operator
     /// `gram` (Theorem 3.4). `T_u` is the additional total workload
-    /// variance contributed by a single user of type `u`.
-    fn variance_profile(&self, gram: &Matrix) -> Vec<f64>;
+    /// variance contributed by a single user of type `u`. Accepts any
+    /// [`LinOp`] — a dense [`ldp_linalg::Matrix`] or a structured
+    /// workload Gram — and never requires `n × n` materialization.
+    fn variance_profile(&self, gram: &dyn LinOp) -> Vec<f64>;
 
     /// Executes the mechanism on `data`, returning an unbiased estimate of
     /// the data vector (length `n`).
     fn run(&self, data: &DataVector, rng: &mut dyn RngCore) -> Vec<f64>;
 
     /// Worst-case total variance for `n_users` users (Corollary 3.5).
-    fn worst_case_variance(&self, gram: &Matrix, n_users: f64) -> f64 {
+    fn worst_case_variance(&self, gram: &dyn LinOp, n_users: f64) -> f64 {
         variance::worst_case_variance(&self.variance_profile(gram), n_users)
     }
 
     /// Average-case total variance for `n_users` users (Corollary 3.6).
-    fn average_case_variance(&self, gram: &Matrix, n_users: f64) -> f64 {
+    fn average_case_variance(&self, gram: &dyn LinOp, n_users: f64) -> f64 {
         variance::average_case_variance(&self.variance_profile(gram), n_users)
     }
 
     /// Exact total variance on a concrete dataset (Theorem 3.4).
-    fn data_variance(&self, gram: &Matrix, data: &DataVector) -> f64 {
+    fn data_variance(&self, gram: &dyn LinOp, data: &DataVector) -> f64 {
         variance::data_variance(&self.variance_profile(gram), data)
     }
 
     /// Worst-case sample complexity at normalized variance `alpha` on a
     /// `num_queries`-query workload (Corollary 5.4) — the paper's primary
     /// evaluation metric with `alpha = 0.01`.
-    fn sample_complexity(&self, gram: &Matrix, num_queries: usize, alpha: f64) -> f64 {
+    fn sample_complexity(&self, gram: &dyn LinOp, num_queries: usize, alpha: f64) -> f64 {
         complexity::sample_complexity(&self.variance_profile(gram), num_queries, alpha)
     }
 
@@ -65,7 +67,7 @@ pub trait LdpMechanism {
     /// by the variance under the dataset's empirical distribution.
     fn data_sample_complexity(
         &self,
-        gram: &Matrix,
+        gram: &dyn LinOp,
         data: &DataVector,
         num_queries: usize,
         alpha: f64,
@@ -114,6 +116,7 @@ pub trait Deployable: LdpMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_linalg::Matrix;
 
     /// A trivial mechanism used to exercise the default methods: reports
     /// nothing and estimates uniformly (constant profile).
@@ -131,7 +134,7 @@ mod tests {
         fn domain_size(&self) -> usize {
             self.n
         }
-        fn variance_profile(&self, _gram: &Matrix) -> Vec<f64> {
+        fn variance_profile(&self, _gram: &dyn LinOp) -> Vec<f64> {
             (0..self.n).map(|u| (u + 1) as f64).collect()
         }
         fn run(&self, data: &DataVector, _rng: &mut dyn RngCore) -> Vec<f64> {

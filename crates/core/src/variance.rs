@@ -16,7 +16,7 @@
 //!
 //! and the total variance on data `x` is `Σ_u x_u·T_u`.
 
-use ldp_linalg::{pinv_symmetric, Matrix, PinvOptions};
+use ldp_linalg::{dot, linop_matmul, pinv_symmetric, LinOp, Matrix, PinvOptions};
 
 use crate::{DataVector, StrategyMatrix};
 
@@ -52,15 +52,16 @@ pub fn optimal_reconstruction(strategy: &StrategyMatrix) -> Matrix {
 ///
 /// # Panics
 /// Panics on dimension mismatches between `strategy`, `k`, and `gram`.
-pub fn variance_profile(strategy: &StrategyMatrix, k: &Matrix, gram: &Matrix) -> Vec<f64> {
+pub fn variance_profile(strategy: &StrategyMatrix, k: &Matrix, gram: &dyn LinOp) -> Vec<f64> {
     let q = strategy.matrix();
     let n = q.cols();
     let m = q.rows();
     assert_eq!(k.shape(), (n, m), "K must be n x m");
     assert_eq!(gram.shape(), (n, n), "Gram must be n x n");
 
-    // P = G K (n × m); c_o = Σ_i K[i,o]·P[i,o].
-    let p = gram.matmul(k);
+    // P = G K (n × m); c_o = Σ_i K[i,o]·P[i,o]. Structured Grams apply
+    // implicitly — m matvecs at O(n) each instead of an O(n²m) product.
+    let p = linop_matmul(gram, k);
     let mut c = vec![0.0; m];
     for i in 0..n {
         let k_row = k.row(i);
@@ -75,7 +76,7 @@ pub fn variance_profile(strategy: &StrategyMatrix, k: &Matrix, gram: &Matrix) ->
 
     // Second term per type: a_uᵀ G a_u with A = K Q.
     let a = k.matmul(q);
-    let ga = gram.matmul(&a);
+    let ga = linop_matmul(gram, &a);
     let mut second = vec![0.0; n];
     for i in 0..n {
         let a_row = a.row(i);
@@ -116,10 +117,10 @@ pub fn data_variance(profile: &[f64], data: &DataVector) -> f64 {
 ///
 /// Related to the average-case variance by
 /// `L_avg = (N/n)(L(V,Q) − ‖W‖²_F)` with `‖W‖²_F = tr(G)`.
-pub fn trace_objective(strategy: &StrategyMatrix, k: &Matrix, gram: &Matrix) -> f64 {
+pub fn trace_objective(strategy: &StrategyMatrix, k: &Matrix, gram: &dyn LinOp) -> f64 {
     let d = strategy.row_sums();
     // tr[K D Kᵀ G] = Σ_o d_o · k_oᵀ G k_o.
-    let p = gram.matmul(k);
+    let p = linop_matmul(gram, k);
     let mut total = 0.0;
     for i in 0..k.rows() {
         let k_row = k.row(i);
@@ -133,7 +134,7 @@ pub fn trace_objective(strategy: &StrategyMatrix, k: &Matrix, gram: &Matrix) -> 
 
 /// The strategy-only objective `L(Q) = tr[(QᵀD⁻¹Q)†(WᵀW)]`
 /// (Theorem 3.11) — the quantity minimized by the optimizer.
-pub fn strategy_objective(strategy: &StrategyMatrix, gram: &Matrix) -> f64 {
+pub fn strategy_objective(strategy: &StrategyMatrix, gram: &dyn LinOp) -> f64 {
     let q = strategy.matrix();
     let d = strategy.row_sums();
     let d_inv: Vec<f64> = d
@@ -144,11 +145,22 @@ pub fn strategy_objective(strategy: &StrategyMatrix, gram: &Matrix) -> f64 {
     m.symmetrize();
     let pinv = pinv_symmetric(&m, PinvOptions::default_for_dim(m.rows())).pinv;
     // tr[M† G] = Σ_ij M†_ij G_ij since both are symmetric.
-    pinv.as_slice()
-        .iter()
-        .zip(gram.as_slice())
-        .map(|(a, b)| a * b)
-        .sum()
+    if let Some(g) = gram.as_dense() {
+        return pinv
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+    }
+    let n = pinv.rows();
+    let mut col = vec![0.0; n];
+    let mut total = 0.0;
+    for j in 0..n {
+        gram.col_into(j, &mut col);
+        total += dot(pinv.row(j), &col);
+    }
+    total
 }
 
 /// Max-norm of the row-space residual `(I − KQ)ᵀ G (I − KQ)`.
@@ -156,12 +168,12 @@ pub fn strategy_objective(strategy: &StrategyMatrix, gram: &Matrix) -> f64 {
 /// Zero iff the workload lies in the row space of `Q` — the
 /// `W = WQ†Q` support condition of Theorem 3.10. Used to validate that a
 /// factorization mechanism can answer the workload unbiasedly.
-pub fn rowspace_residual(strategy: &StrategyMatrix, k: &Matrix, gram: &Matrix) -> f64 {
+pub fn rowspace_residual(strategy: &StrategyMatrix, k: &Matrix, gram: &dyn LinOp) -> f64 {
     let n = strategy.domain_size();
     let mut r = Matrix::identity(n);
     r -= &k.matmul(strategy.matrix());
     // RᵀGR: symmetric n×n.
-    let gr = gram.matmul(&r);
+    let gr = linop_matmul(gram, &r);
     r.t_matmul(&gr).max_abs()
 }
 

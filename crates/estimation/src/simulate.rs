@@ -73,7 +73,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn rr(n: usize, eps: f64, gram: &Matrix) -> FactorizationMechanism {
+    fn rr(n: usize, eps: f64, gram: &dyn ldp_linalg::LinOp) -> FactorizationMechanism {
         let e = eps.exp();
         let z = e + n as f64 - 1.0;
         let s = StrategyMatrix::new(Matrix::from_fn(

@@ -1,6 +1,11 @@
 //! Workload non-negative least squares via FISTA (Appendix A).
+//!
+//! The solver touches the workload only through Gram-operator products
+//! `x ↦ Gx`, so structured Grams (prefix/range/Kronecker/Hamming-kernel)
+//! run each FISTA iteration in `O(n)`–`O(n log n)` instead of the dense
+//! `O(n²)`, and nothing here ever materializes `G`.
 
-use ldp_linalg::Matrix;
+use ldp_linalg::LinOp;
 
 /// Options controlling the FISTA solve.
 #[derive(Clone, Copy, Debug)]
@@ -29,7 +34,7 @@ impl Default for WnnlsOptions {
 ///
 /// # Panics
 /// Panics if `gram` is not square or `xhat.len() != gram.rows()`.
-pub fn wnnls(gram: &Matrix, xhat: &[f64], options: &WnnlsOptions) -> Vec<f64> {
+pub fn wnnls(gram: &dyn LinOp, xhat: &[f64], options: &WnnlsOptions) -> Vec<f64> {
     assert!(gram.is_square(), "Gram matrix must be square");
     let n = gram.rows();
     assert_eq!(xhat.len(), n, "estimate length must match the domain");
@@ -42,42 +47,44 @@ pub fn wnnls(gram: &Matrix, xhat: &[f64], options: &WnnlsOptions) -> Vec<f64> {
     let step = 1.0 / lipschitz;
     let g_xhat = gram.matvec(xhat);
 
-    // FISTA state: x (main), yv (momentum point), t (momentum scalar).
+    // FISTA state: x (main), yv (momentum point), t (momentum scalar),
+    // with two reused product buffers — the loop allocates nothing.
     let mut x: Vec<f64> = xhat.iter().map(|&v| v.max(0.0)).collect();
     let mut yv = x.clone();
+    let mut gy = vec![0.0; n];
+    let mut x_next = vec![0.0; n];
     let mut t = 1.0_f64;
-    let objective = |x: &[f64]| -> f64 {
-        let gx = gram.matvec(x);
-        ldp_linalg::dot(x, &gx) - 2.0 * ldp_linalg::dot(x, &g_xhat)
+    let objective = |x: &[f64], gx: &mut [f64]| -> f64 {
+        gram.matvec_into(x, gx);
+        ldp_linalg::dot(x, gx) - 2.0 * ldp_linalg::dot(x, &g_xhat)
     };
-    let mut prev_obj = objective(&x);
+    let mut prev_obj = objective(&x, &mut gy);
 
     for iter in 0..options.max_iterations {
         // Gradient step at the momentum point, then project onto x ≥ 0.
-        let gy = gram.matvec(&yv);
-        let mut x_next = Vec::with_capacity(n);
+        gram.matvec_into(&yv, &mut gy);
         for i in 0..n {
             let grad_i = 2.0 * (gy[i] - g_xhat[i]);
-            x_next.push((yv[i] - step * grad_i).max(0.0));
+            x_next[i] = (yv[i] - step * grad_i).max(0.0);
         }
         let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
         let momentum = (t - 1.0) / t_next;
         for i in 0..n {
             yv[i] = x_next[i] + momentum * (x_next[i] - x[i]);
         }
-        x = x_next;
+        std::mem::swap(&mut x, &mut x_next);
         t = t_next;
 
         // Cheap convergence check every few iterations.
         if iter % 16 == 15 {
-            let obj = objective(&x);
+            let obj = objective(&x, &mut gy);
             let scale = prev_obj.abs().max(1.0);
             if (prev_obj - obj).abs() <= options.tolerance * scale {
                 break;
             }
             // FISTA is not monotone; restart momentum if we regressed.
             if obj > prev_obj {
-                yv = x.clone();
+                yv.copy_from_slice(&x);
                 t = 1.0;
             }
             prev_obj = obj;
@@ -89,7 +96,7 @@ pub fn wnnls(gram: &Matrix, xhat: &[f64], options: &WnnlsOptions) -> Vec<f64> {
 /// Largest eigenvalue of a PSD matrix by power iteration (deterministic
 /// start vector; 60 iterations is far more than needed at the accuracy a
 /// step size requires).
-fn spectral_radius_psd(g: &Matrix) -> f64 {
+fn spectral_radius_psd(g: &dyn LinOp) -> f64 {
     let n = g.rows();
     let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
     let mut lambda = 0.0;
@@ -113,6 +120,7 @@ fn spectral_radius_psd(g: &Matrix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_linalg::Matrix;
 
     fn prefix_gram(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64)

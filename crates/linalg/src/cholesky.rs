@@ -22,16 +22,34 @@ impl Cholesky {
     /// # Panics
     /// Panics if `a` is not square.
     pub fn new(a: &Matrix) -> Option<Self> {
+        let mut l = Matrix::zeros(a.rows(), a.cols());
+        if Self::factor_into(a, &mut l) {
+            Some(Self { l })
+        } else {
+            None
+        }
+    }
+
+    /// Factorizes into a preallocated `n × n` buffer, overwriting it.
+    /// Returns `false` (leaving `l` unspecified) if the matrix is not
+    /// numerically positive definite. The allocation-free counterpart of
+    /// [`Cholesky::new`] for hot loops; solve with
+    /// [`Cholesky::solve_in_place_with`].
+    ///
+    /// # Panics
+    /// Panics if `a` is not square or `l`'s shape disagrees.
+    pub fn factor_into(a: &Matrix, l: &mut Matrix) -> bool {
         assert!(a.is_square(), "Cholesky requires a square matrix");
+        assert_eq!(l.shape(), a.shape(), "factor buffer shape");
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        l.as_mut_slice().fill(0.0);
         for j in 0..n {
             let mut diag = a[(j, j)];
             for k in 0..j {
                 diag -= l[(j, k)] * l[(j, k)];
             }
             if diag <= 0.0 || !diag.is_finite() {
-                return None;
+                return false;
             }
             let ljj = diag.sqrt();
             l[(j, j)] = ljj;
@@ -43,7 +61,7 @@ impl Cholesky {
                 l[(i, j)] = v / ljj;
             }
         }
-        Some(Self { l })
+        true
     }
 
     /// The lower-triangular factor.
@@ -56,24 +74,34 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len()` does not match the dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.rows();
+        let mut y = b.to_vec();
+        Self::solve_in_place_with(&self.l, &mut y);
+        y
+    }
+
+    /// Solves `A x = b` in place given a factor produced by
+    /// [`Cholesky::factor_into`] (or [`Cholesky::factor`]); `b` is
+    /// overwritten with the solution. No allocation.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factor's dimension.
+    pub fn solve_in_place_with(l: &Matrix, b: &mut [f64]) {
+        let n = l.rows();
         assert_eq!(b.len(), n);
         // Forward substitution L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+                b[i] -= l[(i, k)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] /= l[(i, i)];
         }
         // Back substitution Lᵀ x = y.
         for i in (0..n).rev() {
             for k in (i + 1)..n {
-                y[i] -= self.l[(k, i)] * y[k];
+                b[i] -= l[(k, i)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] /= l[(i, i)];
         }
-        y
     }
 
     /// Solves `A X = B` column-by-column.

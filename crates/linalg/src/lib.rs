@@ -6,10 +6,17 @@
 //! a singular value decomposition, and Moore–Penrose pseudo-inverses.
 //!
 //! This crate implements those primitives from scratch on a simple row-major
-//! [`Matrix`] type:
+//! [`Matrix`] type, plus the structured-operator layer the rest of the
+//! workspace is built on:
 //!
+//! * [`LinOp`] — linear operators exposed through matvecs; [`Matrix`] is
+//!   one implementation, not the only currency. [`StructuredGram`]
+//!   carries the closed-form Gram families of the paper's workloads
+//!   (prefix, range, Hamming kernels via [`fwht`]) in `O(n)` space;
+//!   [`KroneckerOp`]/[`SumOp`]/[`ScaledOp`]/[`DiagOp`] compose them; and
+//!   [`Gram`] is the shared handle workload APIs hand out.
 //! * [`Matrix`] — dense `f64` matrix with the usual arithmetic, products,
-//!   and norms.
+//!   and norms, including `*_into` variants for allocation-free hot loops.
 //! * [`eigh`] — symmetric eigendecomposition via the cyclic Jacobi method.
 //! * [`svd`] — singular value decomposition via one-sided Jacobi rotations.
 //! * [`Matrix::pinv`] / [`pinv_symmetric`] — pseudo-inverses with a
@@ -23,6 +30,7 @@
 
 mod cholesky;
 mod eigh;
+mod linop;
 mod lu;
 mod matrix;
 mod pinv;
@@ -31,6 +39,10 @@ mod tridiagonal;
 
 pub use cholesky::Cholesky;
 pub use eigh::{eigh, SymmetricEigen};
+pub use linop::{
+    dense_of, fwht, linop_matmul, psd_max_abs, DenseOp, DiagOp, Gram, KroneckerOp, LinOp, ScaledOp,
+    StructuredGram, SumOp,
+};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use pinv::{pinv_symmetric, PinvOptions};

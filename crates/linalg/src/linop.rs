@@ -1,0 +1,1097 @@
+//! Structured linear operators: the abstraction that lets every layer of
+//! the factorization mechanism work with `G = WᵀW` and `x ↦ Wx` without
+//! ever materializing a dense matrix.
+//!
+//! The paper's analysis (Sections 3–4) only touches a workload through
+//! matrix-vector products and the Gram matrix, and for the evaluated
+//! workload families those have closed forms with `O(n)` storage:
+//!
+//! * **Prefix** — `G[j,k] = n − max(j,k)`, matvec in `O(n)` by
+//!   prefix/suffix sums;
+//! * **All Range** — `G[j,k] = (min(j,k)+1)(n − max(j,k))`, also `O(n)`;
+//! * **Parity / Marginals** — `G[u,v] = kernel[hamming(u⊕v)]`, a dyadic
+//!   convolution diagonalized by the fast Walsh–Hadamard transform
+//!   (`O(n log n)` matvec);
+//! * **Kronecker products** — `(A ⊗ B)x` via the reshape identity, never
+//!   forming the `n₁n₂ × n₁n₂` product.
+//!
+//! [`LinOp`] is the common interface; [`Matrix`] is *one* implementation,
+//! not the only currency. [`Gram`] is a cheaply clonable shared handle
+//! used by workload APIs.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+
+use crate::{axpy, dot, Matrix};
+
+/// A real linear operator `A : ℝᶜ → ℝʳ` exposed through matrix-vector
+/// products. Implementations with structure (diagonal, Kronecker,
+/// closed-form Gram families) provide `O(n)`–`O(n log n)` products and
+/// `O(1)` traces; [`materialize`](LinOp::materialize) is the explicit
+/// dense escape hatch.
+pub trait LinOp: Send + Sync {
+    /// Number of rows `r` (output dimension).
+    fn rows(&self) -> usize;
+
+    /// Number of columns `c` (input dimension).
+    fn cols(&self) -> usize;
+
+    /// `(rows, cols)`.
+    fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// True if the operator is square.
+    fn is_square(&self) -> bool {
+        self.rows() == self.cols()
+    }
+
+    /// Writes `A·x` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]);
+
+    /// Writes `Aᵀ·x` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]);
+
+    /// `A·x` as a fresh vector.
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows()];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// `Aᵀ·x` as a fresh vector.
+    fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols()];
+        self.t_matvec_into(x, &mut out);
+        out
+    }
+
+    /// Writes column `j` into `out` (length `rows`). The default applies
+    /// the operator to a unit vector (allocating a scratch); structured
+    /// implementations override with closed forms.
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        let mut e = vec![0.0; self.cols()];
+        e[j] = 1.0;
+        self.matvec_into(&e, out);
+    }
+
+    /// The diagonal of a square operator.
+    ///
+    /// # Panics
+    /// Panics if the operator is not square.
+    fn diagonal(&self) -> Vec<f64> {
+        assert!(self.is_square(), "diagonal requires a square operator");
+        let n = self.rows();
+        let mut out = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        for (j, o) in out.iter_mut().enumerate() {
+            self.col_into(j, &mut col);
+            *o = col[j];
+        }
+        out
+    }
+
+    /// Trace of a square operator. Structured Grams answer in `O(1)`–`O(n)`
+    /// without touching `n²` entries.
+    ///
+    /// # Panics
+    /// Panics if the operator is not square.
+    fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+
+    /// Dense materialization — the explicit opt-in escape hatch. Assembled
+    /// column-by-column from [`LinOp::col_into`], so structured operators
+    /// produce exactly their closed-form entries.
+    fn materialize(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows(), self.cols());
+        self.materialize_into(&mut m);
+        m
+    }
+
+    /// [`LinOp::materialize`] into a preallocated matrix (overwritten), so
+    /// repeated densifications — e.g. an optimizer workspace reused across
+    /// calls — skip the `O(n²)` allocation.
+    ///
+    /// # Panics
+    /// Panics if `out`'s shape disagrees with the operator's.
+    fn materialize_into(&self, out: &mut Matrix) {
+        let (r, c) = self.shape();
+        assert_eq!(out.shape(), (r, c), "output shape");
+        let mut col = vec![0.0; r];
+        for j in 0..c {
+            self.col_into(j, &mut col);
+            out.set_col(j, &col);
+        }
+    }
+
+    /// Borrows the operator as a dense matrix when it *is* one, letting
+    /// dense-path consumers skip a copy. Structured operators return
+    /// `None`.
+    fn as_dense(&self) -> Option<&Matrix> {
+        None
+    }
+}
+
+/// Largest absolute entry of a PSD operator: `|G[j,k]| ≤ max(G[j,j],
+/// G[k,k])`, so the maximum sits on the diagonal — `O(n)` and never
+/// materializes. Callers are responsible for the PSD precondition (all
+/// workload Grams `WᵀW` satisfy it).
+pub fn psd_max_abs(op: &dyn LinOp) -> f64 {
+    op.diagonal()
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+}
+
+/// A dense view of any operator: borrows when the operator is already a
+/// [`Matrix`], materializes otherwise.
+pub fn dense_of(op: &dyn LinOp) -> Cow<'_, Matrix> {
+    match op.as_dense() {
+        Some(m) => Cow::Borrowed(m),
+        None => Cow::Owned(op.materialize()),
+    }
+}
+
+/// `op · rhs` computed column-by-column through the operator (dense
+/// operators take the cache-friendly `matmul` path instead).
+///
+/// # Panics
+/// Panics if `op.cols() != rhs.rows()`.
+pub fn linop_matmul(op: &dyn LinOp, rhs: &Matrix) -> Matrix {
+    if let Some(d) = op.as_dense() {
+        return d.matmul(rhs);
+    }
+    assert_eq!(op.cols(), rhs.rows(), "inner dimensions must agree");
+    let mut out = Matrix::zeros(op.rows(), rhs.cols());
+    let mut x = vec![0.0; rhs.rows()];
+    let mut y = vec![0.0; op.rows()];
+    for j in 0..rhs.cols() {
+        rhs.col_into(j, &mut x);
+        op.matvec_into(&x, &mut y);
+        out.set_col(j, &y);
+    }
+    out
+}
+
+impl LinOp for Matrix {
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), Matrix::cols(self));
+        assert_eq!(out.len(), Matrix::rows(self));
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), x);
+        }
+    }
+
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), Matrix::rows(self));
+        assert_eq!(out.len(), Matrix::cols(self));
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            axpy(xi, self.row(i), out);
+        }
+    }
+
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        Matrix::col_into(self, j, out);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        assert!(Matrix::is_square(self), "diagonal requires a square matrix");
+        (0..Matrix::rows(self)).map(|i| self[(i, i)]).collect()
+    }
+
+    fn trace(&self) -> f64 {
+        Matrix::trace(self)
+    }
+
+    fn materialize(&self) -> Matrix {
+        self.clone()
+    }
+
+    fn materialize_into(&self, out: &mut Matrix) {
+        out.copy_from(self);
+    }
+
+    fn as_dense(&self) -> Option<&Matrix> {
+        Some(self)
+    }
+}
+
+/// A dense operator with an explicit name in the operator algebra —
+/// wraps a [`Matrix`] by value (the matrix itself also implements
+/// [`LinOp`] and can be used directly by reference).
+#[derive(Clone, Debug)]
+pub struct DenseOp(pub Matrix);
+
+impl LinOp for DenseOp {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        LinOp::matvec_into(&self.0, x, out);
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        LinOp::t_matvec_into(&self.0, x, out);
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        self.0.col_into(j, out);
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        LinOp::diagonal(&self.0)
+    }
+    fn trace(&self) -> f64 {
+        self.0.trace()
+    }
+    fn materialize(&self) -> Matrix {
+        self.0.clone()
+    }
+    fn as_dense(&self) -> Option<&Matrix> {
+        Some(&self.0)
+    }
+}
+
+/// A diagonal operator `Diag(d)`.
+#[derive(Clone, Debug)]
+pub struct DiagOp {
+    diag: Vec<f64>,
+}
+
+impl DiagOp {
+    /// The operator `Diag(diag)`.
+    pub fn new(diag: Vec<f64>) -> Self {
+        Self { diag }
+    }
+}
+
+impl LinOp for DiagOp {
+    fn rows(&self) -> usize {
+        self.diag.len()
+    }
+    fn cols(&self) -> usize {
+        self.diag.len()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.diag.len());
+        assert_eq!(out.len(), self.diag.len());
+        for ((o, &xi), &d) in out.iter_mut().zip(x).zip(&self.diag) {
+            *o = d * xi;
+        }
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.matvec_into(x, out);
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.diag.len(),
+            "buffer must hold one entry per row"
+        );
+        out.fill(0.0);
+        out[j] = self.diag[j];
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        self.diag.clone()
+    }
+    fn trace(&self) -> f64 {
+        self.diag.iter().sum()
+    }
+}
+
+/// A scaled operator `α·A`.
+pub struct ScaledOp {
+    alpha: f64,
+    inner: Arc<dyn LinOp>,
+}
+
+impl ScaledOp {
+    /// The operator `alpha · inner`.
+    pub fn new(alpha: f64, inner: Arc<dyn LinOp>) -> Self {
+        Self { alpha, inner }
+    }
+}
+
+impl LinOp for ScaledOp {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.matvec_into(x, out);
+        for o in out.iter_mut() {
+            *o *= self.alpha;
+        }
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.t_matvec_into(x, out);
+        for o in out.iter_mut() {
+            *o *= self.alpha;
+        }
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        self.inner.col_into(j, out);
+        for o in out.iter_mut() {
+            *o *= self.alpha;
+        }
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        let mut d = self.inner.diagonal();
+        for v in &mut d {
+            *v *= self.alpha;
+        }
+        d
+    }
+    fn trace(&self) -> f64 {
+        self.alpha * self.inner.trace()
+    }
+}
+
+/// A sum of same-shape operators `Σᵢ Aᵢ` — e.g. the Gram of a stacked
+/// (union) workload is the sum of the parts' Grams.
+///
+/// Holds one internal scratch buffer (behind a [`Mutex`], so the operator
+/// stays `Sync`) that is sized on first use and reused afterwards — hot
+/// loops like WNNLS's FISTA iterations see no per-call allocation. A
+/// contended lock falls back to a fresh local buffer, so concurrent
+/// callers sharing one operator never serialize.
+pub struct SumOp {
+    terms: Vec<Arc<dyn LinOp>>,
+    scratch: Mutex<Vec<f64>>,
+}
+
+impl SumOp {
+    /// The operator `Σᵢ terms[i]`.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty or shapes disagree.
+    pub fn new(terms: Vec<Arc<dyn LinOp>>) -> Self {
+        assert!(!terms.is_empty(), "sum needs at least one term");
+        let shape = terms[0].shape();
+        for t in &terms {
+            assert_eq!(t.shape(), shape, "all terms must share one shape");
+        }
+        Self {
+            terms,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Accumulates `apply(term, scratch)` over all terms into `out`
+    /// through the reused scratch buffer. Uses `try_lock` so concurrent
+    /// callers sharing one operator fall back to a fresh local buffer
+    /// instead of serializing on the scratch.
+    fn accumulate(&self, out: &mut [f64], mut apply: impl FnMut(&dyn LinOp, &mut [f64])) {
+        out.fill(0.0);
+        let mut local = Vec::new();
+        let mut guard = self.scratch.try_lock();
+        let scratch: &mut Vec<f64> = match guard {
+            Ok(ref mut g) => g,
+            Err(_) => &mut local,
+        };
+        scratch.clear();
+        scratch.resize(out.len(), 0.0);
+        for t in &self.terms {
+            apply(&**t, scratch);
+            axpy(1.0, scratch, out);
+        }
+    }
+}
+
+impl LinOp for SumOp {
+    fn rows(&self) -> usize {
+        self.terms[0].rows()
+    }
+    fn cols(&self) -> usize {
+        self.terms[0].cols()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.accumulate(out, |t, s| t.matvec_into(x, s));
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.accumulate(out, |t, s| t.t_matvec_into(x, s));
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        self.accumulate(out, |t, s| t.col_into(j, s));
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        let mut d = self.terms[0].diagonal();
+        for t in &self.terms[1..] {
+            axpy(1.0, &t.diagonal(), &mut d);
+        }
+        d
+    }
+    fn trace(&self) -> f64 {
+        self.terms.iter().map(|t| t.trace()).sum()
+    }
+}
+
+/// The Kronecker product `A ⊗ B` as an implicit operator: products use the
+/// reshape identity `(A ⊗ B) vec(Xᵀ) = vec((A X Bᵀ)ᵀ)`, costing
+/// `O(c₁·cost(B) + r₂·cost(A))` instead of the `r₁r₂ × c₁c₂` dense
+/// blow-up. This is what makes `Product` workloads scale: the Gram of a
+/// 2-D range workload over a `n₁ × n₂` grid is carried as `G₁ ⊗ G₂` with
+/// `O(n₁² + n₂²)` worth of structure instead of `O(n₁²n₂²)` storage.
+pub struct KroneckerOp {
+    left: Arc<dyn LinOp>,
+    right: Arc<dyn LinOp>,
+    /// Reused intermediate/column/result buffers (behind a [`Mutex`] so
+    /// the operator stays `Sync`): sized on first use, so repeated
+    /// products — FISTA iterations, variance sweeps — allocate nothing.
+    /// Contended callers fall back to fresh local buffers rather than
+    /// serializing.
+    scratch: Mutex<KroneckerScratch>,
+}
+
+#[derive(Default)]
+struct KroneckerScratch {
+    t: Vec<f64>,
+    col: Vec<f64>,
+    res: Vec<f64>,
+}
+
+impl KroneckerOp {
+    /// The operator `left ⊗ right` over row-major-flattened indices
+    /// (`u = u₁·c₂ + u₂`, matching `Matrix::kronecker`).
+    pub fn new(left: Arc<dyn LinOp>, right: Arc<dyn LinOp>) -> Self {
+        Self {
+            left,
+            right,
+            scratch: Mutex::new(KroneckerScratch::default()),
+        }
+    }
+
+    /// The left factor.
+    pub fn left(&self) -> &dyn LinOp {
+        &*self.left
+    }
+
+    /// The right factor.
+    pub fn right(&self) -> &dyn LinOp {
+        &*self.right
+    }
+}
+
+impl LinOp for KroneckerOp {
+    fn rows(&self) -> usize {
+        self.left.rows() * self.right.rows()
+    }
+    fn cols(&self) -> usize {
+        self.left.cols() * self.right.cols()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let (c1, c2) = (self.left.cols(), self.right.cols());
+        let (r1, r2) = (self.left.rows(), self.right.rows());
+        assert_eq!(x.len(), c1 * c2);
+        assert_eq!(out.len(), r1 * r2);
+        let mut local = KroneckerScratch::default();
+        let mut guard = self.scratch.try_lock();
+        let KroneckerScratch { t, col, res } = match guard {
+            Ok(ref mut g) => &mut **g,
+            Err(_) => &mut local,
+        };
+        // T[u1, j2] = Σ_{u2} B[j2, u2]·X[u1, u2]: apply B to each row of
+        // the c1 × c2 reshape of x.
+        t.clear();
+        t.resize(c1 * r2, 0.0);
+        for u1 in 0..c1 {
+            self.right
+                .matvec_into(&x[u1 * c2..(u1 + 1) * c2], &mut t[u1 * r2..(u1 + 1) * r2]);
+        }
+        // out[i1, j2] = Σ_{u1} A[i1, u1]·T[u1, j2]: apply A down each
+        // column of T.
+        col.clear();
+        col.resize(c1, 0.0);
+        res.clear();
+        res.resize(r1, 0.0);
+        for j2 in 0..r2 {
+            for u1 in 0..c1 {
+                col[u1] = t[u1 * r2 + j2];
+            }
+            self.left.matvec_into(col, res);
+            for i1 in 0..r1 {
+                out[i1 * r2 + j2] = res[i1];
+            }
+        }
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let (c1, c2) = (self.left.cols(), self.right.cols());
+        let (r1, r2) = (self.left.rows(), self.right.rows());
+        assert_eq!(x.len(), r1 * r2);
+        assert_eq!(out.len(), c1 * c2);
+        let mut local = KroneckerScratch::default();
+        let mut guard = self.scratch.try_lock();
+        let KroneckerScratch { t, col, res } = match guard {
+            Ok(ref mut g) => &mut **g,
+            Err(_) => &mut local,
+        };
+        t.clear();
+        t.resize(r1 * c2, 0.0);
+        for i1 in 0..r1 {
+            self.right
+                .t_matvec_into(&x[i1 * r2..(i1 + 1) * r2], &mut t[i1 * c2..(i1 + 1) * c2]);
+        }
+        col.clear();
+        col.resize(r1, 0.0);
+        res.clear();
+        res.resize(c1, 0.0);
+        for u2 in 0..c2 {
+            for i1 in 0..r1 {
+                col[i1] = t[i1 * c2 + u2];
+            }
+            self.left.t_matvec_into(col, res);
+            for u1 in 0..c1 {
+                out[u1 * c2 + u2] = res[u1];
+            }
+        }
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        let (c2, r1, r2) = (self.right.cols(), self.left.rows(), self.right.rows());
+        assert_eq!(out.len(), r1 * r2, "buffer must hold one entry per row");
+        let (j1, j2) = (j / c2, j % c2);
+        let mut local = KroneckerScratch::default();
+        let mut guard = self.scratch.try_lock();
+        let KroneckerScratch { col, res, .. } = match guard {
+            Ok(ref mut g) => &mut **g,
+            Err(_) => &mut local,
+        };
+        col.clear();
+        col.resize(r1, 0.0);
+        res.clear();
+        res.resize(r2, 0.0);
+        self.left.col_into(j1, col);
+        self.right.col_into(j2, res);
+        for (i1, &av) in col.iter().enumerate() {
+            for (i2, &bv) in res.iter().enumerate() {
+                out[i1 * r2 + i2] = av * bv;
+            }
+        }
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        assert!(self.is_square(), "diagonal requires a square operator");
+        let da = self.left.diagonal();
+        let db = self.right.diagonal();
+        let mut d = Vec::with_capacity(da.len() * db.len());
+        for &a in &da {
+            for &b in &db {
+                d.push(a * b);
+            }
+        }
+        d
+    }
+    fn trace(&self) -> f64 {
+        self.left.trace() * self.right.trace()
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform (unnormalized; applying it twice
+/// multiplies by `data.len()`).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for block in data.chunks_mut(2 * h) {
+            let (lo, hi) = block.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h <<= 1;
+    }
+}
+
+/// Closed-form Gram-matrix families of the paper's workload suite, stored
+/// in `O(n)` (or `O(1)`) space with `O(n)`–`O(n log n)` products.
+pub enum StructuredGram {
+    /// `G = s·I` — Histogram (`s = 1`) and full Parity (`s = n`).
+    ScaledIdentity {
+        /// Domain size.
+        n: usize,
+        /// Diagonal value.
+        scale: f64,
+    },
+    /// `G = v·11ᵀ` — the Total workload (`v = 1`).
+    Constant {
+        /// Domain size.
+        n: usize,
+        /// Entry value.
+        value: f64,
+    },
+    /// Prefix queries: `G[j,k] = n − max(j,k)`.
+    Prefix {
+        /// Domain size.
+        n: usize,
+    },
+    /// All interval queries: `G[j,k] = (min(j,k)+1)·(n − max(j,k))`.
+    AllRange {
+        /// Domain size.
+        n: usize,
+    },
+    /// A Hamming-distance kernel over `{0,1}^d`:
+    /// `G[u,v] = kernel[hamming(u⊕v)]`. Covers Parity and all marginal
+    /// workloads; the matvec is a dyadic convolution diagonalized by the
+    /// Walsh–Hadamard transform.
+    HammingKernel {
+        /// Number of binary attributes (`n = 2^d`).
+        d: usize,
+        /// Kernel value per Hamming weight (`d + 1` entries).
+        kernel: Vec<f64>,
+        /// Walsh spectrum (eigenvalues), precomputed at construction.
+        spectrum: Vec<f64>,
+    },
+}
+
+impl StructuredGram {
+    /// The Histogram Gram `I_n` scaled by `scale`.
+    pub fn scaled_identity(n: usize, scale: f64) -> Self {
+        Self::ScaledIdentity { n, scale }
+    }
+
+    /// The rank-one all-`value` Gram `v·11ᵀ`.
+    pub fn constant(n: usize, value: f64) -> Self {
+        Self::Constant { n, value }
+    }
+
+    /// The Prefix-workload Gram.
+    pub fn prefix(n: usize) -> Self {
+        Self::Prefix { n }
+    }
+
+    /// The All-Range-workload Gram.
+    pub fn all_range(n: usize) -> Self {
+        Self::AllRange { n }
+    }
+
+    /// A Hamming-kernel Gram over `{0,1}^d` from its per-weight kernel
+    /// (`kernel.len() == d + 1`), precomputing the Walsh spectrum.
+    ///
+    /// # Panics
+    /// Panics if `kernel.len() != d + 1`.
+    pub fn hamming_kernel(d: usize, kernel: Vec<f64>) -> Self {
+        assert_eq!(kernel.len(), d + 1, "kernel needs one value per weight");
+        let n = 1usize << d;
+        let mut spectrum: Vec<f64> = (0..n)
+            .map(|v: usize| kernel[v.count_ones() as usize])
+            .collect();
+        fwht(&mut spectrum);
+        Self::HammingKernel {
+            d,
+            kernel,
+            spectrum,
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        match *self {
+            Self::ScaledIdentity { n, .. }
+            | Self::Constant { n, .. }
+            | Self::Prefix { n }
+            | Self::AllRange { n } => n,
+            Self::HammingKernel { d, .. } => 1 << d,
+        }
+    }
+
+    /// Closed-form entry `G[j,k]` — exactly the value the historical dense
+    /// assembly produced, so materialization is bit-identical.
+    pub fn entry(&self, j: usize, k: usize) -> f64 {
+        match *self {
+            Self::ScaledIdentity { scale, .. } => {
+                if j == k {
+                    scale
+                } else {
+                    0.0
+                }
+            }
+            Self::Constant { value, .. } => value,
+            Self::Prefix { n } => (n - j.max(k)) as f64,
+            Self::AllRange { n } => ((j.min(k) + 1) * (n - j.max(k))) as f64,
+            Self::HammingKernel { ref kernel, .. } => kernel[(j ^ k).count_ones() as usize],
+        }
+    }
+}
+
+impl LinOp for StructuredGram {
+    fn rows(&self) -> usize {
+        self.n()
+    }
+    fn cols(&self) -> usize {
+        self.n()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(out.len(), n);
+        match *self {
+            Self::ScaledIdentity { scale, .. } => {
+                for (o, &xi) in out.iter_mut().zip(x) {
+                    *o = scale * xi;
+                }
+            }
+            Self::Constant { value, .. } => {
+                let s: f64 = x.iter().sum();
+                out.fill(value * s);
+            }
+            Self::Prefix { n } => {
+                // (Gx)_j = (n−j)·Σ_{k≤j} x_k + Σ_{k>j} (n−k)·x_k.
+                let mut suffix = 0.0;
+                for j in (0..n).rev() {
+                    out[j] = suffix;
+                    suffix += (n - j) as f64 * x[j];
+                }
+                let mut prefix = 0.0;
+                for j in 0..n {
+                    prefix += x[j];
+                    out[j] += (n - j) as f64 * prefix;
+                }
+            }
+            Self::AllRange { n } => {
+                // (Gx)_j = (n−j)·Σ_{k≤j}(k+1)x_k + (j+1)·Σ_{k>j}(n−k)x_k.
+                let mut suffix = 0.0;
+                for j in (0..n).rev() {
+                    out[j] = (j + 1) as f64 * suffix;
+                    suffix += (n - j) as f64 * x[j];
+                }
+                let mut prefix = 0.0;
+                for j in 0..n {
+                    prefix += (j + 1) as f64 * x[j];
+                    out[j] += (n - j) as f64 * prefix;
+                }
+            }
+            Self::HammingKernel { ref spectrum, .. } => {
+                out.copy_from_slice(x);
+                fwht(out);
+                for (o, &s) in out.iter_mut().zip(spectrum) {
+                    *o *= s;
+                }
+                fwht(out);
+                let inv = 1.0 / n as f64;
+                for o in out.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        // Every structured Gram is symmetric.
+        self.matvec_into(x, out);
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(out.len(), n);
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.entry(j, k);
+        }
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        let n = self.n();
+        (0..n).map(|j| self.entry(j, j)).collect()
+    }
+    fn trace(&self) -> f64 {
+        let n = self.n();
+        match *self {
+            Self::ScaledIdentity { scale, .. } => scale * n as f64,
+            Self::Constant { value, .. } => value * n as f64,
+            // Σ_j (n − j) = n(n+1)/2, in f64 so million-type domains
+            // (where only these O(1) paths are reachable) cannot wrap.
+            Self::Prefix { n } => n as f64 * (n as f64 + 1.0) / 2.0,
+            // Σ_j (j+1)(n−j) = n(n+1)(n+2)/6.
+            Self::AllRange { n } => n as f64 * (n as f64 + 1.0) * (n as f64 + 2.0) / 6.0,
+            Self::HammingKernel { ref kernel, .. } => kernel[0] * n as f64,
+        }
+    }
+}
+
+/// A shared, cheaply clonable handle to a workload Gram operator — what
+/// `Workload::gram()` returns. Wraps an `Arc<dyn LinOp>` so deployments,
+/// threads, and composite operators (Kronecker/sum) can share structure
+/// without copying.
+#[derive(Clone)]
+pub struct Gram {
+    op: Arc<dyn LinOp>,
+}
+
+impl Gram {
+    /// Wraps a square operator.
+    ///
+    /// # Panics
+    /// Panics if `op` is not square.
+    pub fn new(op: impl LinOp + 'static) -> Self {
+        Self::from_arc(Arc::new(op))
+    }
+
+    /// Wraps an already-shared operator.
+    ///
+    /// # Panics
+    /// Panics if `op` is not square.
+    pub fn from_arc(op: Arc<dyn LinOp>) -> Self {
+        assert!(op.is_square(), "a Gram operator must be square");
+        Self { op }
+    }
+
+    /// A dense Gram (escape hatch for ad-hoc matrices).
+    pub fn dense(m: Matrix) -> Self {
+        Self::new(DenseOp(m))
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.op.rows()
+    }
+
+    /// `(n, n)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.op.shape()
+    }
+
+    /// The underlying operator.
+    pub fn op(&self) -> &dyn LinOp {
+        &*self.op
+    }
+
+    /// A shared handle to the underlying operator, for composing into
+    /// larger structures (e.g. [`KroneckerOp`], [`SumOp`]).
+    pub fn share(&self) -> Arc<dyn LinOp> {
+        Arc::clone(&self.op)
+    }
+
+    /// `G·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.op.matvec(x)
+    }
+
+    /// `G·x` into a preallocated buffer.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.op.matvec_into(x, out);
+    }
+
+    /// `tr(G) = ‖W‖²_F`.
+    pub fn trace(&self) -> f64 {
+        self.op.trace()
+    }
+
+    /// The diagonal of `G` (the per-type squared query loads).
+    pub fn diagonal(&self) -> Vec<f64> {
+        self.op.diagonal()
+    }
+
+    /// Largest absolute entry. A Gram matrix `WᵀW` is PSD, so
+    /// `|G[j,k]| ≤ max(G[j,j], G[k,k])` and the maximum sits on the
+    /// diagonal — computable in `O(n)` without materialization.
+    pub fn max_abs(&self) -> f64 {
+        psd_max_abs(&*self.op)
+    }
+
+    /// Dense materialization — `O(n²)` memory; the explicit opt-in.
+    pub fn to_dense(&self) -> Matrix {
+        self.op.materialize()
+    }
+}
+
+impl LinOp for Gram {
+    fn rows(&self) -> usize {
+        self.op.rows()
+    }
+    fn cols(&self) -> usize {
+        self.op.cols()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.op.matvec_into(x, out);
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.op.t_matvec_into(x, out);
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        self.op.col_into(j, out);
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        self.op.diagonal()
+    }
+    fn trace(&self) -> f64 {
+        self.op.trace()
+    }
+    fn materialize(&self) -> Matrix {
+        self.op.materialize()
+    }
+    fn as_dense(&self) -> Option<&Matrix> {
+        self.op.as_dense()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_op_matches_dense(op: &dyn LinOp, dense: &Matrix, tol: f64) {
+        assert_eq!(op.shape(), dense.shape());
+        let (r, c) = dense.shape();
+        // Materialization.
+        assert!(op.materialize().max_abs_diff(dense) <= tol);
+        // matvec / t_matvec on a non-trivial vector.
+        let x: Vec<f64> = (0..c).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let got = op.matvec(&x);
+        let want = dense.matvec(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        let y: Vec<f64> = (0..r).map(|i| ((i * 5 + 1) % 7) as f64 - 3.0).collect();
+        let got = op.t_matvec(&y);
+        let want = dense.t_matvec(&y);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        if r == c {
+            assert!((LinOp::trace(op) - dense.trace()).abs() <= tol * (1.0 + dense.trace().abs()));
+        }
+    }
+
+    #[test]
+    fn matrix_is_a_linop() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 4.0);
+        assert_op_matches_dense(&m, &m.clone(), 1e-12);
+        assert!(LinOp::as_dense(&m).is_some());
+    }
+
+    #[test]
+    fn diag_op() {
+        let d = DiagOp::new(vec![1.0, -2.0, 3.0]);
+        let dense = Matrix::diag(&[1.0, -2.0, 3.0]);
+        assert_op_matches_dense(&d, &dense, 1e-15);
+        assert_eq!(LinOp::diagonal(&d), vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn scaled_and_sum_ops() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::identity(3);
+        let scaled = ScaledOp::new(2.5, Arc::new(a.clone()));
+        assert_op_matches_dense(&scaled, &a.scaled(2.5), 1e-12);
+        let sum = SumOp::new(vec![Arc::new(a.clone()), Arc::new(b.clone())]);
+        assert_op_matches_dense(&sum, &(&a + &b), 1e-12);
+    }
+
+    #[test]
+    fn kronecker_matches_dense_kronecker() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + 2 * j) as f64 - 1.0);
+        let b = Matrix::from_fn(2, 4, |i, j| (i * j + 1) as f64 * 0.5);
+        let op = KroneckerOp::new(Arc::new(a.clone()), Arc::new(b.clone()));
+        assert_op_matches_dense(&op, &a.kronecker(&b), 1e-12);
+    }
+
+    #[test]
+    fn kronecker_square_diagonal_and_trace() {
+        let a = Matrix::from_fn(3, 3, |i, j| ((i + j) % 3) as f64 + 1.0);
+        let b = Matrix::from_fn(2, 2, |i, j| (2 * i + j) as f64);
+        let op = KroneckerOp::new(Arc::new(a.clone()), Arc::new(b.clone()));
+        let dense = a.kronecker(&b);
+        assert_eq!(LinOp::diagonal(&op), LinOp::diagonal(&dense));
+        assert!((LinOp::trace(&op) - dense.trace()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fwht_involution() {
+        let x = vec![1.0, -2.0, 3.0, 0.5, 0.0, 4.0, -1.0, 2.0];
+        let mut y = x.clone();
+        fwht(&mut y);
+        fwht(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a / 8.0 - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn structured_prefix_matches_closed_form_dense() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let op = StructuredGram::prefix(n);
+            let dense = Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64);
+            assert_op_matches_dense(&op, &dense, 1e-9);
+            // Materialization must be bit-identical to the historical
+            // dense assembly.
+            assert_eq!(op.materialize(), dense);
+        }
+    }
+
+    #[test]
+    fn structured_all_range_matches_closed_form_dense() {
+        for n in [1usize, 2, 5, 12, 30] {
+            let op = StructuredGram::all_range(n);
+            let dense = Matrix::from_fn(n, n, |j, k| ((j.min(k) + 1) * (n - j.max(k))) as f64);
+            assert_op_matches_dense(&op, &dense, 1e-9);
+            assert_eq!(op.materialize(), dense);
+        }
+    }
+
+    #[test]
+    fn structured_identity_and_constant() {
+        let id = StructuredGram::scaled_identity(5, 3.0);
+        assert_op_matches_dense(&id, &Matrix::identity(5).scaled(3.0), 1e-15);
+        let c = StructuredGram::constant(4, 2.0);
+        assert_op_matches_dense(&c, &Matrix::filled(4, 4, 2.0), 1e-12);
+    }
+
+    #[test]
+    fn hamming_kernel_matches_dense() {
+        // Kernel of the All Marginals Gram at d=3: 2^{d−h}.
+        let d = 3usize;
+        let kernel: Vec<f64> = (0..=d).map(|h| (1u64 << (d - h)) as f64).collect();
+        let op = StructuredGram::hamming_kernel(d, kernel.clone());
+        let n = 1 << d;
+        let dense = Matrix::from_fn(n, n, |u, v| kernel[(u ^ v).count_ones() as usize]);
+        assert_op_matches_dense(&op, &dense, 1e-9);
+        assert_eq!(op.materialize(), dense);
+    }
+
+    #[test]
+    fn gram_handle_shares_and_materializes() {
+        let g = Gram::new(StructuredGram::prefix(6));
+        let g2 = g.clone();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.trace(), 21.0);
+        assert_eq!(g.to_dense(), g2.to_dense());
+        let x = vec![1.0; 6];
+        assert_eq!(g.matvec(&x), g.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn linop_matmul_matches_dense() {
+        let g = StructuredGram::prefix(5);
+        let rhs = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0);
+        let got = linop_matmul(&g, &rhs);
+        let want = g.materialize().matmul(&rhs);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn dense_of_borrows_matrices() {
+        let m = Matrix::identity(3);
+        assert!(matches!(dense_of(&m), Cow::Borrowed(_)));
+        let s = StructuredGram::prefix(3);
+        assert!(matches!(dense_of(&s), Cow::Owned(_)));
+    }
+}

@@ -152,6 +152,28 @@ impl Matrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Column `j` copied into a preallocated buffer — the non-allocating
+    /// counterpart of [`Matrix::col`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.rows()`.
+    pub fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "buffer must hold one entry per row");
+        assert!(j < self.cols, "column index out of range");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.cols + j];
+        }
+    }
+
+    /// Copies every entry from `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "shapes must agree");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Sets column `j` from a slice of length `rows`.
     pub fn set_col(&mut self, j: usize, col: &[f64]) {
         assert_eq!(col.len(), self.rows);
@@ -179,8 +201,19 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a preallocated output (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()` or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape");
+        out.data.fill(0.0);
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -194,13 +227,23 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "row counts must agree for AᵀB");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] into a preallocated output (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()` or `out` has the wrong shape.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "row counts must agree for AᵀB");
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "output shape");
+        out.data.fill(0.0);
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
@@ -214,7 +257,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * rhsᵀ` without materializing the transpose.
@@ -302,6 +344,17 @@ impl Matrix {
         (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
     }
 
+    /// [`Matrix::row_sums`] into a preallocated buffer.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.rows()`.
+    pub fn row_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().sum();
+        }
+    }
+
     /// Column sums, i.e. `Aᵀ·1`.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.cols];
@@ -321,6 +374,20 @@ impl Matrix {
             }
         }
         m
+    }
+
+    /// [`Matrix::scale_rows`] into a preallocated output (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `alpha.len() != self.rows()` or shapes disagree.
+    pub fn scale_rows_into(&self, alpha: &[f64], out: &mut Matrix) {
+        assert_eq!(alpha.len(), self.rows);
+        assert_eq!(out.shape(), self.shape(), "output shape");
+        for (i, &a) in alpha.iter().enumerate() {
+            for (o, &v) in out.row_mut(i).iter_mut().zip(self.row(i)) {
+                *o = v * a;
+            }
+        }
     }
 
     /// Scales column `j` by `alpha[j]`, i.e. computes `self * Diag(alpha)`.

@@ -13,7 +13,7 @@
 //! answer any workload.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 
 /// Builder for the Fourier mechanism's strategy.
 #[derive(Clone, Debug)]
@@ -102,7 +102,7 @@ impl Fourier {
     /// # Errors
     /// [`LdpError::WorkloadNotSupported`] if the workload needs characters
     /// outside the support; other construction errors propagate.
-    pub fn mechanism(&self, gram: &Matrix) -> Result<FactorizationMechanism, LdpError> {
+    pub fn mechanism(&self, gram: &dyn LinOp) -> Result<FactorizationMechanism, LdpError> {
         Ok(
             FactorizationMechanism::new_unchecked_privacy(self.strategy(), gram, self.epsilon)?
                 .with_name("Fourier"),

@@ -7,7 +7,7 @@
 //! proportional to `e^ε` when `H[o, u+1] = +1` and `1` otherwise.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 
 /// Entry of the Sylvester–Hadamard matrix of any power-of-two order:
 /// `H[i,j] = (−1)^{popcount(i & j)}`.
@@ -49,7 +49,7 @@ pub fn hadamard_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
 pub fn hadamard_response(
     n: usize,
     epsilon: f64,
-    gram: &Matrix,
+    gram: &dyn LinOp,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = hadamard_strategy(n, epsilon);
     Ok(

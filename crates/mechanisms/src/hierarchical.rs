@@ -12,7 +12,7 @@
 //! mechanism excels on Prefix/All Range workloads.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 
 /// Default branching factor; Cormode et al. report fan-outs around 4–5
 /// are best in practice.
@@ -80,7 +80,7 @@ pub fn hierarchical_strategy(n: usize, b: usize, epsilon: f64) -> StrategyMatrix
 pub fn hierarchical(
     n: usize,
     epsilon: f64,
-    gram: &Matrix,
+    gram: &dyn LinOp,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = hierarchical_strategy(n, DEFAULT_BRANCHING, epsilon);
     Ok(

@@ -22,7 +22,7 @@
 //! minimizes, subject to the sensitivity normalization.
 
 use ldp_core::{DataVector, LdpMechanism};
-use ldp_linalg::{eigh_auto, pinv_symmetric, Matrix, PinvOptions};
+use ldp_linalg::{dense_of, eigh_auto, linop_matmul, pinv_symmetric, LinOp, Matrix, PinvOptions};
 use rand::{Rng, RngCore};
 
 /// The `δ` used by the L2 (Gaussian) calibration.
@@ -66,14 +66,16 @@ impl LocalMatrixMechanism {
     /// # Panics
     /// Panics if `gram` is not square or `epsilon` is invalid.
     pub fn optimized(
-        gram: &Matrix,
+        gram: &dyn LinOp,
         epsilon: f64,
         calibration: Calibration,
         iterations: usize,
     ) -> Self {
         assert!(gram.is_square(), "Gram matrix must be square");
         assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
-        let x = optimize_gram_strategy(gram, iterations);
+        // The spectral strategy optimization is inherently dense;
+        // materialize structured Grams once (construction-time cold path).
+        let x = optimize_gram_strategy(dense_of(gram).as_ref(), iterations);
         // A = X^{1/2} (r = n rows).
         let a = eigh_auto(&x).apply_spectral(|l| l.max(0.0).sqrt());
         Self::with_strategy(a, epsilon, calibration)
@@ -147,12 +149,12 @@ impl LdpMechanism for LocalMatrixMechanism {
         self.a.cols()
     }
 
-    fn variance_profile(&self, gram: &Matrix) -> Vec<f64> {
+    fn variance_profile(&self, gram: &dyn LinOp) -> Vec<f64> {
         // Each user contributes r coordinates of noise with per-coordinate
         // variance v; the estimator maps it through WA†, so per-user
         // variance is v·‖WA†‖²_F = v·tr(A†ᵀ G A†), identical per type.
         let v = self.per_coordinate_variance();
-        let p = gram.matmul(&self.a_pinv); // n × r
+        let p = linop_matmul(gram, &self.a_pinv); // n × r
         let trace_term: f64 = self
             .a_pinv
             .as_slice()

@@ -1,7 +1,7 @@
 //! Randomized response (Warner \[44\]; Examples 2.7 and 3.3 of the paper).
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 
 /// The `n`-ary randomized response strategy matrix (Example 2.7):
 /// diagonal entries proportional to `e^ε`, off-diagonal to `1`.
@@ -35,7 +35,7 @@ pub fn randomized_response_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
 pub fn randomized_response(
     n: usize,
     epsilon: f64,
-    gram: &Matrix,
+    gram: &dyn LinOp,
 ) -> Result<FactorizationMechanism, LdpError> {
     let strategy = randomized_response_strategy(n, epsilon);
     Ok(

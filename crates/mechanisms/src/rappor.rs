@@ -14,7 +14,7 @@
 //! at `n ≤ 14`.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 
 /// Largest domain for which the `2^n × n` strategy is materialized.
 pub const MAX_DOMAIN: usize = 14;
@@ -49,7 +49,11 @@ pub fn rappor_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
 /// # Errors
 /// Propagates construction errors; the strategy has full column rank so
 /// any workload is supported.
-pub fn rappor(n: usize, epsilon: f64, gram: &Matrix) -> Result<FactorizationMechanism, LdpError> {
+pub fn rappor(
+    n: usize,
+    epsilon: f64,
+    gram: &dyn LinOp,
+) -> Result<FactorizationMechanism, LdpError> {
     let strategy = rappor_strategy(n, epsilon);
     Ok(FactorizationMechanism::new_unchecked_privacy(strategy, gram, epsilon)?.with_name("RAPPOR"))
 }

@@ -10,7 +10,7 @@
 //! `n` to validate Table 1 and to use in unit comparisons.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 use ldp_workloads::binomial;
 
 /// Guard on `C(n,d)`: the strategy matrix must stay comfortably dense.
@@ -68,7 +68,7 @@ pub fn subset_selection_strategy(n: usize, d: usize, epsilon: f64) -> StrategyMa
 pub fn subset_selection(
     n: usize,
     epsilon: f64,
-    gram: &Matrix,
+    gram: &dyn LinOp,
 ) -> Result<FactorizationMechanism, LdpError> {
     let d = recommended_subset_size(n, epsilon);
     // Degenerate d == n would make every output equally likely; back off.

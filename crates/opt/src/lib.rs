@@ -40,6 +40,11 @@ pub mod objective;
 pub mod pgd;
 pub mod projection;
 
-pub use objective::ObjectiveEvaluation;
-pub use pgd::{optimize_strategy, optimized_mechanism, OptimizationResult, OptimizerConfig};
-pub use projection::{project_columns, ProjectionJacobian};
+pub use objective::{ObjectiveEvaluation, ObjectiveWorkspace};
+pub use pgd::{
+    optimize_strategy, optimize_strategy_with, optimized_mechanism, OptimizationResult,
+    OptimizerConfig, Workspace,
+};
+pub use projection::{
+    project_columns, project_columns_into, ProjectionJacobian, ProjectionScratch,
+};

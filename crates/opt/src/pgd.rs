@@ -1,11 +1,11 @@
 //! Projected gradient descent over strategy matrices (Algorithm 2).
 //!
 //! Each iteration evaluates the objective and its gradient
-//! ([`crate::objective::evaluate`]), backpropagates the gradient through
-//! the previous projection onto the bound vector `z`
-//! ([`crate::projection::ProjectionJacobian::backprop_z`]), takes gradient
-//! steps on `z` and `Q`, and re-projects `Q` onto the ε-LDP bounded
-//! simplex. Following the paper:
+//! ([`crate::objective::evaluate_into`]), backpropagates the gradient
+//! through the previous projection onto the bound vector `z`
+//! ([`crate::projection::ProjectionJacobian::backprop_z_into`]), takes
+//! gradient steps on `z` and `Q`, and re-projects `Q` onto the ε-LDP
+//! bounded simplex. Following the paper:
 //!
 //! * `m = 4n` outputs by default (the paper's empirical sweet spot);
 //! * random initialization `R ~ U\[0,1\]^{m×n}`, `z = (1+e^{−ε})/(2m)·1`
@@ -19,14 +19,24 @@
 //! Because projected iterates always satisfy `z ≤ q_u ≤ e^ε·z`
 //! coordinate-wise, *every* iterate is a valid ε-LDP strategy — privacy
 //! never depends on convergence.
+//!
+//! ## Allocation discipline
+//!
+//! The whole descent runs inside a preallocated [`Workspace`]: iterate,
+//! step, best-iterate, gradient, objective and projection buffers are
+//! sized once per problem and reused across **every iteration and every
+//! restart** (and, via [`optimize_strategy_with`], across repeated
+//! optimizer calls at the same problem size). On the hot path — the
+//! Cholesky branch of the objective plus the simplex projection — a PGD
+//! iteration performs zero heap allocation.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
-use ldp_linalg::Matrix;
+use ldp_linalg::{LinOp, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::objective::evaluate;
-use crate::projection::project_columns;
+use crate::objective::{evaluate_into, ObjectiveWorkspace};
+use crate::projection::{project_columns_into, ProjectionJacobian, ProjectionScratch};
 
 /// Configuration for [`optimize_strategy`].
 #[derive(Clone, Debug)]
@@ -103,6 +113,15 @@ impl OptimizerConfig {
         self.restarts = restarts.max(1);
         self
     }
+
+    /// The number of outputs `m` this configuration produces for an
+    /// `n`-type domain (warm start wins, then the override, then `4n`).
+    pub fn resolved_num_outputs(&self, n: usize) -> usize {
+        match &self.initial_strategy {
+            Some(warm) => warm.num_outputs(),
+            None => self.num_outputs.unwrap_or(4 * n).max(n),
+        }
+    }
 }
 
 /// The outcome of a strategy optimization.
@@ -116,7 +135,78 @@ pub struct OptimizationResult {
     pub history: Vec<f64>,
 }
 
+/// Every buffer Algorithm 2 touches, preallocated for an `m × n` problem
+/// and reused across iterations, restarts, and (when callers hold on to
+/// it) whole optimizer invocations.
+pub struct Workspace {
+    /// Projected initial iterate of the current restart (`m × n`).
+    q0: Matrix,
+    /// Initial bound vector of the current restart (`m`).
+    z0: Vec<f64>,
+    /// Current iterate (`m × n`).
+    q: Matrix,
+    /// Gradient-step scratch `Q − β∇` (`m × n`).
+    stepped: Matrix,
+    /// Best iterate so far (`m × n`).
+    best_q: Matrix,
+    /// Objective gradient (`m × n`).
+    gradient: Matrix,
+    /// Bound vector (`m`).
+    z: Vec<f64>,
+    /// Gradient w.r.t. `z` (`m`).
+    grad_z: Vec<f64>,
+    /// Clip pattern of the latest projection.
+    jacobian: ProjectionJacobian,
+    /// Projection breakpoint scratch.
+    proj: ProjectionScratch,
+    /// Objective/gradient buffers.
+    obj: ObjectiveWorkspace,
+    /// Per-iteration objective history of the current descent.
+    history: Vec<f64>,
+    /// Densified-Gram buffer for structured operators, kept across
+    /// [`optimize_strategy_with`] calls so re-optimizations refill it in
+    /// place instead of reallocating `n²` entries.
+    gram_buf: Option<Matrix>,
+}
+
+impl Workspace {
+    /// Buffers for `m`-output strategies over an `n`-type domain.
+    pub fn new(m: usize, n: usize) -> Self {
+        Self {
+            q0: Matrix::zeros(m, n),
+            z0: vec![0.0; m],
+            q: Matrix::zeros(m, n),
+            stepped: Matrix::zeros(m, n),
+            best_q: Matrix::zeros(m, n),
+            gradient: Matrix::zeros(m, n),
+            z: vec![0.0; m],
+            grad_z: vec![0.0; m],
+            jacobian: ProjectionJacobian::empty(),
+            proj: ProjectionScratch::new(),
+            obj: ObjectiveWorkspace::new(m, n),
+            history: Vec::new(),
+            gram_buf: None,
+        }
+    }
+
+    /// Buffers sized for `config` on an `n`-type domain.
+    pub fn for_config(config: &OptimizerConfig, n: usize) -> Self {
+        Self::new(config.resolved_num_outputs(n), n)
+    }
+
+    /// `(m, n)` this workspace was sized for.
+    pub fn shape(&self) -> (usize, usize) {
+        self.q.shape()
+    }
+}
+
 /// Runs Algorithm 2 and returns the best strategy found across restarts.
+///
+/// Accepts the workload Gram as any [`LinOp`] — a dense matrix or a
+/// structured operator. The operator is materialized once into the
+/// iteration workspace (the objective's `n × n` solves need dense
+/// right-hand sides); everything after that is allocation-free per
+/// iteration.
 ///
 /// # Errors
 /// [`LdpError::InvalidEpsilon`] for a bad budget;
@@ -126,29 +216,95 @@ pub struct OptimizationResult {
 /// # Panics
 /// Panics if `gram` is not square.
 pub fn optimize_strategy(
-    gram: &Matrix,
+    gram: &dyn LinOp,
     epsilon: f64,
     config: &OptimizerConfig,
+) -> Result<OptimizationResult, LdpError> {
+    let mut workspace = Workspace::for_config(config, gram.rows());
+    optimize_strategy_with(gram, epsilon, config, &mut workspace)
+}
+
+/// [`optimize_strategy`] with a caller-provided [`Workspace`], so repeated
+/// optimizations at one problem size (benchmarks, hyper-parameter sweeps,
+/// re-optimization on workload drift) reuse every buffer.
+///
+/// # Errors
+/// As [`optimize_strategy`].
+///
+/// # Panics
+/// Panics if `gram` is not square or the workspace shape disagrees with
+/// the problem implied by `gram` and `config`.
+pub fn optimize_strategy_with(
+    gram: &dyn LinOp,
+    epsilon: f64,
+    config: &OptimizerConfig,
+    workspace: &mut Workspace,
 ) -> Result<OptimizationResult, LdpError> {
     if epsilon.is_nan() || epsilon <= 0.0 || !epsilon.is_finite() {
         return Err(LdpError::InvalidEpsilon(epsilon));
     }
     assert!(gram.is_square(), "Gram matrix must be square");
-    let mut best: Option<OptimizationResult> = None;
-    for restart in 0..config.restarts.max(1) {
-        let seed = config
-            .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
-        let result = single_run(gram, epsilon, config, seed)?;
-        let better = best
-            .as_ref()
-            .map(|b| result.objective < b.objective)
-            .unwrap_or(true);
-        if better {
-            best = Some(result);
+    let n = gram.rows();
+    let m = config.resolved_num_outputs(n);
+    assert_eq!(
+        workspace.shape(),
+        (m, n),
+        "workspace sized for a different problem"
+    );
+    // Structured Grams materialize once per optimization into a buffer
+    // the workspace keeps across calls (dense matrices are borrowed
+    // as-is); every iteration then reuses it.
+    let owned: Option<Matrix> = if gram.as_dense().is_some() {
+        None
+    } else {
+        let mut buf = workspace
+            .gram_buf
+            .take()
+            .filter(|b| b.shape() == (n, n))
+            .unwrap_or_else(|| Matrix::zeros(n, n));
+        gram.materialize_into(&mut buf);
+        Some(buf)
+    };
+    let result = {
+        let g: &Matrix = match &owned {
+            Some(buf) => buf,
+            None => gram.as_dense().expect("checked dense above"),
+        };
+        let mut best: Option<OptimizationResult> = None;
+        let mut failure: Option<LdpError> = None;
+        for restart in 0..config.restarts.max(1) {
+            let seed = config
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
+            // No `?` here: an early return would drop the taken gram
+            // buffer instead of restoring it below.
+            match single_run(g, epsilon, config, seed, workspace) {
+                Ok(result) => {
+                    let better = best
+                        .as_ref()
+                        .map(|b| result.objective < b.objective)
+                        .unwrap_or(true);
+                    if better {
+                        best = Some(result);
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
+        match failure {
+            Some(e) => Err(e),
+            None => best.ok_or_else(|| {
+                LdpError::OptimizationFailed("no restart produced a strategy".into())
+            }),
+        }
+    };
+    if owned.is_some() {
+        workspace.gram_buf = owned;
     }
-    best.ok_or_else(|| LdpError::OptimizationFailed("no restart produced a strategy".into()))
+    result
 }
 
 /// Convenience wrapper: optimizes a strategy and assembles the
@@ -158,7 +314,7 @@ pub fn optimize_strategy(
 /// # Errors
 /// Propagates optimization and mechanism-construction failures.
 pub fn optimized_mechanism(
-    gram: &Matrix,
+    gram: &dyn LinOp,
     epsilon: f64,
     config: &OptimizerConfig,
 ) -> Result<FactorizationMechanism, LdpError> {
@@ -175,9 +331,10 @@ fn single_run(
     epsilon: f64,
     config: &OptimizerConfig,
     seed: u64,
+    ws: &mut Workspace,
 ) -> Result<OptimizationResult, LdpError> {
     let n = gram.rows();
-    let (q0, z0) = match &config.initial_strategy {
+    match &config.initial_strategy {
         Some(warm) => {
             assert_eq!(
                 warm.domain_size(),
@@ -188,117 +345,141 @@ fn single_run(
             // inside (or on the boundary of) the projection's feasible
             // set whenever it is ε-LDP, so the first iterate *is* the
             // warm strategy up to clipping slack.
-            let q = warm.matrix().clone();
-            let z: Vec<f64> = (0..q.rows())
-                .map(|o| q.row(o).iter().copied().fold(f64::MAX, f64::min).max(1e-12))
-                .collect();
-            let (q0, _) = project_columns(&q, &z, epsilon);
-            (q0, z)
+            let q = warm.matrix();
+            for (zo, o) in ws.z0.iter_mut().zip(0..q.rows()) {
+                *zo = q.row(o).iter().copied().fold(f64::MAX, f64::min).max(1e-12);
+            }
+            project_columns_into(
+                q,
+                &ws.z0,
+                epsilon,
+                &mut ws.q0,
+                &mut ws.jacobian,
+                &mut ws.proj,
+            );
         }
         None => {
             // Paper initialization: R ~ U[0,1], z = (1+e^{−ε})/(2m)·1.
-            let m = config.num_outputs.unwrap_or(4 * n).max(n);
+            let m = ws.z0.len();
             let mut rng = StdRng::seed_from_u64(seed);
-            let z0 = vec![(1.0 + (-epsilon).exp()) / (2.0 * m as f64); m];
-            let r = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>());
-            let (q0, _) = project_columns(&r, &z0, epsilon);
-            (q0, z0)
+            ws.z0.fill((1.0 + (-epsilon).exp()) / (2.0 * m as f64));
+            for v in ws.stepped.as_mut_slice() {
+                *v = rng.gen::<f64>();
+            }
+            let Workspace {
+                q0,
+                z0,
+                stepped,
+                jacobian,
+                proj,
+                ..
+            } = ws;
+            project_columns_into(stepped, z0, epsilon, q0, jacobian, proj);
         }
-    };
+    }
 
     // Step-size selection.
     let beta = match config.step_size {
         Some(b) => b,
-        None => search_step_size(gram, epsilon, &q0, &z0, config.search_iterations),
+        None => search_step_size(gram, epsilon, config.search_iterations, ws),
     };
 
-    let (q, z, history) = descend(gram, epsilon, q0, z0, beta, config.iterations);
-    let _ = z;
-    let objective = *history
-        .last()
-        .ok_or_else(|| LdpError::OptimizationFailed("empty optimization history".into()))?;
+    let objective = descend(gram, epsilon, beta, config.iterations, ws);
     if !objective.is_finite() {
         return Err(LdpError::OptimizationFailed(format!(
             "objective diverged to {objective}"
         )));
     }
     // Projection output is stochastic up to rounding; renormalize exactly.
-    let strategy = StrategyMatrix::from_unnormalized(q)?;
+    let strategy = StrategyMatrix::from_unnormalized(ws.best_q.clone())?;
     Ok(OptimizationResult {
         strategy,
         objective,
-        history,
+        history: ws.history.clone(),
     })
 }
 
-/// The core descent loop. Returns the best iterate, the final `z`, and
-/// the per-iteration objective history (history entry `t` is the
-/// objective *before* iteration `t`'s step; the final entry is the best
-/// objective found).
-fn descend(
-    gram: &Matrix,
-    epsilon: f64,
-    q0: Matrix,
-    z0: Vec<f64>,
-    beta0: f64,
-    iterations: usize,
-) -> (Matrix, Vec<f64>, Vec<f64>) {
+/// The core descent loop, starting from the workspace's `(q0, z0)`.
+/// Leaves the best iterate in `ws.best_q` and the per-iteration objective
+/// history in `ws.history` (entry `t` is the objective *before* iteration
+/// `t`'s step; the final entry is the best objective found, which is also
+/// the return value). Allocation-free after workspace warm-up.
+fn descend(gram: &Matrix, epsilon: f64, beta0: f64, iterations: usize, ws: &mut Workspace) -> f64 {
     let n = gram.rows();
     let exp_eps = epsilon.exp();
     // Paper: α = β/(n·e^ε), a deliberately smaller step for z.
     let mut beta = beta0;
-    let mut z = z0;
+    let Workspace {
+        q0,
+        z0,
+        q,
+        stepped,
+        best_q,
+        gradient,
+        z,
+        grad_z,
+        jacobian,
+        proj,
+        obj,
+        history,
+        gram_buf: _,
+    } = ws;
+    z.copy_from_slice(z0);
     // Initial projection to establish a Jacobian for z-backprop.
-    let (mut q, mut jacobian) = project_columns(&q0, &z, epsilon);
+    project_columns_into(q0, z, epsilon, q, jacobian, proj);
 
-    let mut best_q = q.clone();
+    best_q.copy_from(q);
     let mut best_obj = f64::INFINITY;
     let mut prev_obj = f64::INFINITY;
-    let mut history = Vec::with_capacity(iterations + 1);
+    history.clear();
+    history.reserve(iterations + 1);
 
     for _ in 0..iterations {
-        let eval = evaluate(&q, gram);
-        history.push(eval.value);
-        if !eval.value.is_finite() || !eval.gradient.is_finite() {
+        let value = evaluate_into(q, gram, obj, gradient);
+        history.push(value);
+        if !value.is_finite() || !gradient.is_finite() {
             // The iterate crossed the W = WQ†Q boundary (rank collapse) or
             // became ill-conditioned enough to produce non-finite
             // derivatives: rewind to the best iterate with a halved step.
             beta *= 0.5;
             if best_obj.is_finite() {
-                let (q_rewound, jac_rewound) = project_columns(&best_q, &z, epsilon);
-                q = q_rewound;
-                jacobian = jac_rewound;
+                project_columns_into(best_q, z, epsilon, q, jacobian, proj);
             }
             // Either way, never step along a non-finite gradient.
             prev_obj = f64::INFINITY;
             continue;
         }
-        if eval.value < best_obj {
-            best_obj = eval.value;
-            best_q = q.clone();
+        if value < best_obj {
+            best_obj = value;
+            best_q.copy_from(q);
         }
-        if eval.value > prev_obj {
+        if value > prev_obj {
             // Overshoot: decay the step (simple trust heuristic; the
             // paper likewise recommends decaying step sizes).
             beta *= 0.5;
         }
-        prev_obj = eval.value;
+        prev_obj = value;
 
         // z step (Algorithm 2 line 1), then Q step + projection (line 2).
         let alpha = beta / (n as f64 * exp_eps);
-        let grad_z = jacobian.backprop_z(&eval.gradient);
-        for (zo, g) in z.iter_mut().zip(&grad_z) {
+        jacobian.backprop_z_into(gradient, grad_z);
+        for (zo, g) in z.iter_mut().zip(grad_z.iter()) {
             *zo = (*zo - alpha * g).clamp(1e-12, 1.0);
         }
-        enforce_feasible_bounds(&mut z, exp_eps);
+        enforce_feasible_bounds(z, exp_eps);
 
-        let stepped = &q - &eval.gradient.scaled(beta);
-        let (q_next, jac_next) = project_columns(&stepped, &z, epsilon);
-        q = q_next;
-        jacobian = jac_next;
+        for ((s, &qv), &gv) in stepped
+            .as_mut_slice()
+            .iter_mut()
+            .zip(q.as_slice())
+            .zip(gradient.as_slice())
+        {
+            *s = qv - gv * beta;
+        }
+        project_columns_into(stepped, z, epsilon, q, jacobian, proj);
     }
     history.push(best_obj);
-    (best_q, z, history)
+    best_obj
 }
 
 /// Keeps the bound vector inside the region where the projection is
@@ -323,31 +504,24 @@ fn enforce_feasible_bounds(z: &mut [f64], exp_eps: f64) {
 
 /// Short geometric search for the `Q` step size (the paper's
 /// hyper-parameter search): each candidate runs a few iterations from the
-/// same initialization; the best short-horizon objective wins.
+/// workspace's `(q0, z0)` initialization; the best short-horizon objective
+/// wins.
 fn search_step_size(
     gram: &Matrix,
     epsilon: f64,
-    q0: &Matrix,
-    z0: &[f64],
     search_iterations: usize,
+    ws: &mut Workspace,
 ) -> f64 {
     // Scale-aware base: a step that could move an entry by about its own
     // magnitude (1/m) against the initial gradient.
-    let g0 = evaluate(q0, gram).gradient.max_abs().max(f64::MIN_POSITIVE);
-    let base = 1.0 / (q0.rows() as f64 * g0);
+    evaluate_into(&ws.q0, gram, &mut ws.obj, &mut ws.gradient);
+    let g0 = ws.gradient.max_abs().max(f64::MIN_POSITIVE);
+    let base = 1.0 / (ws.q0.rows() as f64 * g0);
     let mut best_beta = base;
     let mut best_obj = f64::INFINITY;
     for factor in [0.01, 0.1, 0.3, 1.0, 3.0, 10.0] {
         let beta = base * factor;
-        let (_, _, history) = descend(
-            gram,
-            epsilon,
-            q0.clone(),
-            z0.to_vec(),
-            beta,
-            search_iterations,
-        );
-        let obj = *history.last().expect("non-empty history");
+        let obj = descend(gram, epsilon, beta, search_iterations, ws);
         if obj.is_finite() && obj < best_obj {
             best_obj = obj;
             best_beta = beta;
@@ -361,6 +535,7 @@ mod tests {
     use super::*;
     use ldp_core::variance::strategy_objective;
     use ldp_core::{bounds, LdpMechanism};
+    use ldp_linalg::StructuredGram;
 
     fn prefix_gram(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |j, k| (n - j.max(k)) as f64)
@@ -402,6 +577,55 @@ mod tests {
             result.objective < first,
             "final {} should beat initial {first}",
             result.objective
+        );
+    }
+
+    #[test]
+    fn structured_gram_matches_dense_bitwise() {
+        // The acceptance contract of the operator refactor: optimizing
+        // against the structured Prefix/AllRange Grams is bit-identical to
+        // the historical dense path (the materialized closed forms are the
+        // same f64s, and the iteration arithmetic is unchanged).
+        for n in [6usize, 9] {
+            let config = OptimizerConfig::quick(17);
+            let dense = optimize_strategy(&prefix_gram(n), 1.0, &config).unwrap();
+            let structured = optimize_strategy(&StructuredGram::prefix(n), 1.0, &config).unwrap();
+            assert_eq!(dense.objective, structured.objective);
+            assert_eq!(dense.history, structured.history);
+            assert_eq!(
+                dense.strategy.matrix().as_slice(),
+                structured.strategy.matrix().as_slice()
+            );
+
+            let range_dense =
+                Matrix::from_fn(n, n, |j, k| ((j.min(k) + 1) * (n - j.max(k))) as f64);
+            let a = optimize_strategy(&range_dense, 1.0, &config).unwrap();
+            let b = optimize_strategy(&StructuredGram::all_range(n), 1.0, &config).unwrap();
+            assert_eq!(a.objective, b.objective);
+            assert_eq!(
+                a.strategy.matrix().as_slice(),
+                b.strategy.matrix().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_calls_is_bit_identical() {
+        let gram = prefix_gram(7);
+        let config = OptimizerConfig::quick(23);
+        let fresh_a = optimize_strategy(&gram, 1.0, &config).unwrap();
+        let mut ws = Workspace::for_config(&config, 7);
+        let reused_a = optimize_strategy_with(&gram, 1.0, &config, &mut ws).unwrap();
+        // Run a second, different optimization through the same workspace,
+        // then repeat the first: stale buffer contents must not leak.
+        let _ = optimize_strategy_with(&gram, 0.5, &OptimizerConfig::quick(99), &mut ws).unwrap();
+        let reused_b = optimize_strategy_with(&gram, 1.0, &config, &mut ws).unwrap();
+        assert_eq!(fresh_a.objective, reused_a.objective);
+        assert_eq!(fresh_a.objective, reused_b.objective);
+        assert_eq!(fresh_a.history, reused_a.history);
+        assert_eq!(
+            fresh_a.strategy.matrix().as_slice(),
+            reused_b.strategy.matrix().as_slice()
         );
     }
 

@@ -46,27 +46,62 @@ enum ClipState {
 }
 
 /// The per-column clip pattern of a projection, retained so gradients can
-/// be backpropagated onto `z`.
+/// be backpropagated onto `z`. Stored flat (column-major) so the buffer
+/// is reusable across iterations without reallocation.
 #[derive(Clone, Debug)]
 pub struct ProjectionJacobian {
-    /// `states[u][o]` — clip state of entry `(o, u)`.
-    states: Vec<Vec<ClipState>>,
+    /// `states[u·m + o]` — clip state of entry `(o, u)`.
+    states: Vec<ClipState>,
+    m: usize,
+    n: usize,
     exp_eps: f64,
 }
 
 impl ProjectionJacobian {
+    /// An empty jacobian to be filled by [`project_columns_into`].
+    pub fn empty() -> Self {
+        Self {
+            states: Vec::new(),
+            m: 0,
+            n: 0,
+            exp_eps: 1.0,
+        }
+    }
+
+    /// Resizes (reusing capacity) for an `m × n` projection.
+    fn reset(&mut self, m: usize, n: usize, exp_eps: f64) {
+        self.states.clear();
+        self.states.resize(m * n, ClipState::Active);
+        self.m = m;
+        self.n = n;
+        self.exp_eps = exp_eps;
+    }
+
     /// Pulls a gradient w.r.t. the projected matrix `Q` back onto the
     /// bound vector `z`, summing contributions over all columns.
     ///
     /// # Panics
     /// Panics if `grad_q`'s shape disagrees with the recorded projection.
     pub fn backprop_z(&self, grad_q: &Matrix) -> Vec<f64> {
+        let mut grad_z = vec![0.0; grad_q.rows()];
+        self.backprop_z_into(grad_q, &mut grad_z);
+        grad_z
+    }
+
+    /// [`ProjectionJacobian::backprop_z`] into a preallocated buffer
+    /// (overwritten). No allocation.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree with the recorded projection.
+    pub fn backprop_z_into(&self, grad_q: &Matrix, grad_z: &mut [f64]) {
         let m = grad_q.rows();
         let n = grad_q.cols();
-        assert_eq!(self.states.len(), n, "column count mismatch");
-        let mut grad_z = vec![0.0; m];
-        for (u, states) in self.states.iter().enumerate() {
-            assert_eq!(states.len(), m, "row count mismatch");
+        assert_eq!(self.n, n, "column count mismatch");
+        assert_eq!(self.m, m, "row count mismatch");
+        assert_eq!(grad_z.len(), m, "gradient buffer length");
+        grad_z.fill(0.0);
+        for u in 0..n {
+            let states = &self.states[u * m..(u + 1) * m];
             // Mean of the upstream gradient over the active set.
             let mut active_sum = 0.0;
             let mut active_count = 0usize;
@@ -89,7 +124,21 @@ impl ProjectionJacobian {
                 }
             }
         }
-        grad_z
+    }
+}
+
+/// Reusable scratch for [`project_columns_into`] (breakpoint list and one
+/// column buffer), so repeated projections allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ProjectionScratch {
+    breakpoints: Vec<(f64, f64)>,
+    col: Vec<f64>,
+}
+
+impl ProjectionScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -103,6 +152,31 @@ impl ProjectionJacobian {
 /// shapes disagree, or if some `z_o < 0`.
 pub fn project_columns(r: &Matrix, z: &[f64], epsilon: f64) -> (Matrix, ProjectionJacobian) {
     let (m, n) = r.shape();
+    let mut q = Matrix::zeros(m, n);
+    let mut jacobian = ProjectionJacobian::empty();
+    let mut scratch = ProjectionScratch::new();
+    project_columns_into(r, z, epsilon, &mut q, &mut jacobian, &mut scratch);
+    (q, jacobian)
+}
+
+/// [`project_columns`] into preallocated buffers: the projected matrix
+/// lands in `q`, the clip pattern in `jacobian`, and `scratch` holds the
+/// breakpoint list. After the first call at a given size, repeated
+/// projections perform no heap allocation — this is what keeps each PGD
+/// iteration allocation-free.
+///
+/// # Panics
+/// As [`project_columns`], plus if `q`'s shape disagrees with `r`.
+pub fn project_columns_into(
+    r: &Matrix,
+    z: &[f64],
+    epsilon: f64,
+    q: &mut Matrix,
+    jacobian: &mut ProjectionJacobian,
+    scratch: &mut ProjectionScratch,
+) {
+    let (m, n) = r.shape();
+    assert_eq!(q.shape(), (m, n), "output shape");
     assert_eq!(z.len(), m, "z must have one entry per output");
     assert!(z.iter().all(|&v| v >= 0.0), "z must be non-negative");
     let exp_eps = epsilon.exp();
@@ -113,18 +187,18 @@ pub fn project_columns(r: &Matrix, z: &[f64], epsilon: f64) -> (Matrix, Projecti
         exp_eps * z_sum
     );
 
-    let mut q = Matrix::zeros(m, n);
-    let mut states = Vec::with_capacity(n);
-    let mut col = vec![0.0; m];
+    jacobian.reset(m, n, exp_eps);
+    scratch.col.clear();
+    scratch.col.resize(m, 0.0);
     for u in 0..n {
         for o in 0..m {
-            col[o] = r[(o, u)];
+            scratch.col[o] = r[(o, u)];
         }
-        let lambda = solve_lambda(&col, z, exp_eps);
-        let mut col_states = Vec::with_capacity(m);
+        let lambda = solve_lambda(&scratch.col, z, exp_eps, &mut scratch.breakpoints);
+        let col_states = &mut jacobian.states[u * m..(u + 1) * m];
         for o in 0..m {
             let (lo, hi) = (z[o], exp_eps * z[o]);
-            let v = col[o] + lambda;
+            let v = scratch.col[o] + lambda;
             let (clipped, state) = if v <= lo {
                 (lo, ClipState::Lower)
             } else if v >= hi {
@@ -133,21 +207,20 @@ pub fn project_columns(r: &Matrix, z: &[f64], epsilon: f64) -> (Matrix, Projecti
                 (v, ClipState::Active)
             };
             q[(o, u)] = clipped;
-            col_states.push(state);
+            col_states[o] = state;
         }
-        states.push(col_states);
     }
-    (q, ProjectionJacobian { states, exp_eps })
 }
 
 /// Finds `λ` with `Σ_o clip(r_o + λ, z_o, E z_o) = 1` by the sorted
 /// breakpoint scan of Algorithm 1, falling back to bisection if the scan
 /// is defeated by degenerate ties.
-fn solve_lambda(r: &[f64], z: &[f64], exp_eps: f64) -> f64 {
+fn solve_lambda(r: &[f64], z: &[f64], exp_eps: f64, breakpoints: &mut Vec<(f64, f64)>) -> f64 {
     let m = r.len();
     // Breakpoints: at λ = z_o − r_o coordinate o starts increasing
     // (slope +1); at λ = E·z_o − r_o it saturates (slope −1 relative).
-    let mut breakpoints: Vec<(f64, f64)> = Vec::with_capacity(2 * m);
+    breakpoints.clear();
+    breakpoints.reserve(2 * m);
     for o in 0..m {
         breakpoints.push((z[o] - r[o], 1.0));
         breakpoints.push((exp_eps * z[o] - r[o], -1.0));
@@ -158,7 +231,7 @@ fn solve_lambda(r: &[f64], z: &[f64], exp_eps: f64) -> f64 {
     let mut phi: f64 = z.iter().sum();
     let mut slope = 0.0;
     let mut prev = breakpoints[0].0;
-    for &(bp, ds) in &breakpoints {
+    for &(bp, ds) in breakpoints.iter() {
         let next_phi = phi + slope * (bp - prev);
         if next_phi >= 1.0 && slope > 0.0 {
             // Crossing inside (prev, bp].
@@ -276,7 +349,7 @@ mod tests {
             let t = rng.gen_range(((-eps).exp() + 1e-3)..0.999);
             let z: Vec<f64> = raw.iter().map(|v| v * t / s).collect();
             let r: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
-            let fast = solve_lambda(&r, &z, eps.exp());
+            let fast = solve_lambda(&r, &z, eps.exp(), &mut Vec::new());
             let slow = bisect_lambda(&r, &z, eps.exp());
             // Compare the clipped results (λ itself may be non-unique on
             // flat segments).

@@ -1,6 +1,8 @@
 //! Arbitrary explicit workloads and workload composition.
 
-use ldp_linalg::Matrix;
+use std::sync::Arc;
+
+use ldp_linalg::{Gram, LinOp, Matrix, ScaledOp, SumOp};
 
 use crate::Workload;
 
@@ -48,11 +50,14 @@ impl Workload for Dense {
     fn num_queries(&self) -> usize {
         self.w.rows()
     }
-    fn gram(&self) -> Matrix {
-        self.w.gram()
+    fn gram(&self) -> Gram {
+        Gram::dense(self.w.gram())
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.w.matvec(x)
+    }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        LinOp::matvec_into(&self.w, x, out);
     }
     fn matrix(&self) -> Matrix {
         self.w.clone()
@@ -68,7 +73,7 @@ impl Workload for Dense {
 /// by `c²` — the paper's "relative importance" knob from the introduction.
 pub struct Stacked {
     name: String,
-    parts: Vec<(f64, Box<dyn Workload>)>,
+    parts: Vec<(f64, Box<dyn Workload + Send + Sync>)>,
     n: usize,
 }
 
@@ -77,7 +82,7 @@ impl Stacked {
     ///
     /// # Panics
     /// Panics if `parts` is empty or domains disagree.
-    pub fn new(parts: Vec<Box<dyn Workload>>) -> Self {
+    pub fn new(parts: Vec<Box<dyn Workload + Send + Sync>>) -> Self {
         Self::weighted(parts.into_iter().map(|p| (1.0, p)).collect())
     }
 
@@ -86,7 +91,7 @@ impl Stacked {
     /// # Panics
     /// Panics if `parts` is empty, domains disagree, or a weight is
     /// non-positive/non-finite.
-    pub fn weighted(parts: Vec<(f64, Box<dyn Workload>)>) -> Self {
+    pub fn weighted(parts: Vec<(f64, Box<dyn Workload + Send + Sync>)>) -> Self {
         assert!(
             !parts.is_empty(),
             "stacked workload needs at least one part"
@@ -120,12 +125,15 @@ impl Workload for Stacked {
     fn num_queries(&self) -> usize {
         self.parts.iter().map(|(_, p)| p.num_queries()).sum()
     }
-    fn gram(&self) -> Matrix {
-        let mut g = Matrix::zeros(self.n, self.n);
-        for (c, p) in &self.parts {
-            g += &p.gram().scaled(c * c);
-        }
-        g
+    fn gram(&self) -> Gram {
+        // Σᵢ cᵢ²·Gᵢ as a structured sum: each part keeps its own
+        // (possibly implicit) Gram operator.
+        let terms: Vec<Arc<dyn LinOp>> = self
+            .parts
+            .iter()
+            .map(|(c, p)| Arc::new(ScaledOp::new(c * c, p.gram().share())) as Arc<dyn LinOp>)
+            .collect();
+        Gram::from_arc(Arc::new(SumOp::new(terms)))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_queries());
@@ -161,7 +169,7 @@ mod tests {
         let w = Dense::from_queries(&[&[1.0, 1.0], &[1.0, 1.0]]);
         assert_conformant(&w);
         // Duplicated query doubles the Gram.
-        assert_eq!(w.gram(), Matrix::filled(2, 2, 2.0));
+        assert_eq!(w.gram().to_dense(), Matrix::filled(2, 2, 2.0));
     }
 
     #[test]
@@ -175,7 +183,7 @@ mod tests {
     fn weighted_stack_scales_gram_quadratically() {
         let s = Stacked::weighted(vec![(3.0, Box::new(Total::new(2)))]);
         // Total gram = all-ones; weight 3 -> 9x.
-        assert_eq!(s.gram(), Matrix::filled(2, 2, 9.0));
+        assert_eq!(s.gram().to_dense(), Matrix::filled(2, 2, 9.0));
         assert_eq!(s.evaluate(&[1.0, 1.0]), vec![6.0]);
         assert_conformant(&s);
     }

@@ -31,7 +31,7 @@ mod marginals;
 mod parity;
 mod product;
 mod range;
-mod workload;
+pub mod workload;
 
 pub use combinatorics::{binomial, krawtchouk};
 pub use dense::{Dense, Stacked};

@@ -6,7 +6,7 @@
 //! the attributes in `S`, the marginal query counts users with
 //! `u & S == t`. The marginal on `S` contributes `2^|S|` queries.
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{Gram, StructuredGram};
 
 use crate::combinatorics::{binomial, subsets_of_size};
 use crate::Workload;
@@ -45,14 +45,14 @@ impl Workload for AllMarginals {
     fn num_queries(&self) -> usize {
         3usize.pow(self.d as u32)
     }
-    fn gram(&self) -> Matrix {
+    fn gram(&self) -> Gram {
         // Query (S,t) covers both u and v iff u&S == t == v&S, so
-        // G[u,v] = #{S : S ⊆ agree(u,v)} = 2^{d − hamming(u,v)}.
-        let n = self.n();
-        Matrix::from_fn(n, n, |u, v| {
-            let h = (u ^ v).count_ones();
-            (1u64 << (self.d as u32 - h)) as f64
-        })
+        // G[u,v] = #{S : S ⊆ agree(u,v)} = 2^{d − hamming(u,v)} — a
+        // Hamming-distance kernel with an O(n log n) implicit matvec.
+        let kernel: Vec<f64> = (0..=self.d)
+            .map(|h| (1u64 << (self.d - h)) as f64)
+            .collect();
+        Gram::new(StructuredGram::hamming_kernel(self.d, kernel))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n());
@@ -99,13 +99,11 @@ impl Workload for KWayMarginals {
     fn num_queries(&self) -> usize {
         (binomial(self.d, self.k) as usize) << self.k
     }
-    fn gram(&self) -> Matrix {
-        // G[u,v] = #{|S| = k : S ⊆ agree(u,v)} = C(d − hamming(u,v), k).
-        let n = self.n();
-        Matrix::from_fn(n, n, |u, v| {
-            let h = (u ^ v).count_ones() as usize;
-            binomial(self.d - h, self.k)
-        })
+    fn gram(&self) -> Gram {
+        // G[u,v] = #{|S| = k : S ⊆ agree(u,v)} = C(d − hamming(u,v), k),
+        // again a Hamming-distance kernel.
+        let kernel: Vec<f64> = (0..=self.d).map(|h| binomial(self.d - h, self.k)).collect();
+        Gram::new(StructuredGram::hamming_kernel(self.d, kernel))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n());

@@ -8,7 +8,7 @@
 //! it low-rank (`p < n`), consistent with the paper's Section 6.5 remark
 //! that "Parity is a low-rank workload".
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{Gram, StructuredGram};
 
 use crate::combinatorics::{binomial, krawtchouk};
 use crate::Workload;
@@ -74,11 +74,11 @@ impl Workload for Parity {
             .map(|j| binomial(self.d, j) as usize)
             .sum()
     }
-    fn gram(&self) -> Matrix {
+    fn gram(&self) -> Gram {
         // G[u,v] = Σ_S χ_S(u)χ_S(v) = Σ_S χ_S(u⊕v)
-        //        = Σ_{j=min..max} K_j(hamming(u⊕v); d).
-        let n = self.n();
-        // Precompute the distance kernel once per Hamming weight.
+        //        = Σ_{j=min..max} K_j(hamming(u⊕v); d) — a Hamming-distance
+        // kernel, carried implicitly with an O(n log n) Walsh–Hadamard
+        // matvec instead of a 2^d × 2^d dense table.
         let kernel: Vec<f64> = (0..=self.d)
             .map(|h| {
                 (self.min_size..=self.max_size)
@@ -86,7 +86,7 @@ impl Workload for Parity {
                     .sum()
             })
             .collect();
-        Matrix::from_fn(n, n, |u, v| kernel[(u ^ v).count_ones() as usize])
+        Gram::new(StructuredGram::hamming_kernel(self.d, kernel))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n());
@@ -140,7 +140,8 @@ mod tests {
         // All 2^d parities (sizes 0..=d) form a Hadamard matrix:
         // G = HᵀH = n·I.
         let p = Parity::with_sizes(3, 0, 3);
-        let g = p.gram();
+        let g = p.gram().to_dense();
+        use ldp_linalg::Matrix;
         assert!(g.max_abs_diff(&Matrix::identity(8).scaled(8.0)) < 1e-9);
     }
 

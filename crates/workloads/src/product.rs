@@ -13,7 +13,9 @@
 //! references \[42, 12\] (e.g. 2-D range queries = `Product(AllRange,
 //! AllRange)`, marginal-of-CDF hybrids, etc.).
 
-use ldp_linalg::Matrix;
+use std::sync::Arc;
+
+use ldp_linalg::{Gram, KroneckerOp, Matrix};
 
 use crate::Workload;
 
@@ -21,14 +23,17 @@ use crate::Workload;
 /// domain.
 pub struct Product {
     name: String,
-    left: Box<dyn Workload>,
-    right: Box<dyn Workload>,
+    left: Box<dyn Workload + Send + Sync>,
+    right: Box<dyn Workload + Send + Sync>,
 }
 
 impl Product {
     /// `left ⊗ right` over the domain of size
     /// `left.domain_size() · right.domain_size()`.
-    pub fn new(left: Box<dyn Workload>, right: Box<dyn Workload>) -> Self {
+    pub fn new(
+        left: Box<dyn Workload + Send + Sync>,
+        right: Box<dyn Workload + Send + Sync>,
+    ) -> Self {
         let name = format!("{} x {}", left.name(), right.name());
         Self { name, left, right }
     }
@@ -56,8 +61,14 @@ impl Workload for Product {
     fn num_queries(&self) -> usize {
         self.left.num_queries() * self.right.num_queries()
     }
-    fn gram(&self) -> Matrix {
-        self.left.gram().kronecker(&self.right.gram())
+    fn gram(&self) -> Gram {
+        // A genuine Kronecker operator `G₁ ⊗ G₂`: the factors stay
+        // structured and the product domain never pays the dense
+        // `n₁n₂ × n₁n₂` blow-up.
+        Gram::from_arc(Arc::new(KroneckerOp::new(
+            self.left.gram().share(),
+            self.right.gram().share(),
+        )))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         let (n1, n2) = (self.left.domain_size(), self.right.domain_size());
@@ -72,10 +83,12 @@ impl Workload for Product {
                 .row_mut(u1)
                 .copy_from_slice(&self.right.evaluate(row));
         }
-        // ...then the left factor down each column.
+        // ...then the left factor down each column, through one reused
+        // column buffer.
         let mut answers = vec![0.0; p1 * p2];
+        let mut column = vec![0.0; n1];
         for i2 in 0..p2 {
-            let column = intermediate.col(i2);
+            intermediate.col_into(i2, &mut column);
             for (i1, v) in self.left.evaluate(&column).into_iter().enumerate() {
                 answers[i1 * p2 + i2] = v;
             }
@@ -119,8 +132,11 @@ mod tests {
     #[test]
     fn gram_factorizes() {
         let p = Product::new(Box::new(Prefix::new(3)), Box::new(Histogram::new(2)));
-        let expected = Prefix::new(3).gram().kronecker(&Histogram::new(2).gram());
-        assert!(p.gram().max_abs_diff(&expected) < 1e-12);
+        let expected = Prefix::new(3)
+            .gram()
+            .to_dense()
+            .kronecker(&Histogram::new(2).gram().to_dense());
+        assert!(p.gram().to_dense().max_abs_diff(&expected) < 1e-12);
     }
 
     #[test]
@@ -144,7 +160,7 @@ mod tests {
         assert_eq!(p.domain_size(), 9);
         assert_eq!(p.num_queries(), 9);
         let gram = p.gram();
-        assert!(gram.is_finite());
         assert_eq!(gram.shape(), (9, 9));
+        assert!(gram.to_dense().is_finite());
     }
 }

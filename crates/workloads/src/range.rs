@@ -1,7 +1,7 @@
 //! One-dimensional workloads: Histogram, Total, Prefix, All Range, and
 //! fixed-width range queries.
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{Gram, Matrix, StructuredGram};
 
 use crate::Workload;
 
@@ -33,12 +33,16 @@ impl Workload for Histogram {
     fn num_queries(&self) -> usize {
         self.n
     }
-    fn gram(&self) -> Matrix {
-        Matrix::identity(self.n)
+    fn gram(&self) -> Gram {
+        Gram::new(StructuredGram::scaled_identity(self.n, 1.0))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         x.to_vec()
+    }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        out.copy_from_slice(x);
     }
     fn matrix(&self) -> Matrix {
         Matrix::identity(self.n)
@@ -73,12 +77,17 @@ impl Workload for Total {
     fn num_queries(&self) -> usize {
         1
     }
-    fn gram(&self) -> Matrix {
-        Matrix::filled(self.n, self.n, 1.0)
+    fn gram(&self) -> Gram {
+        Gram::new(StructuredGram::constant(self.n, 1.0))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         vec![x.iter().sum()]
+    }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), 1);
+        out[0] = x.iter().sum();
     }
     fn frobenius_sq(&self) -> f64 {
         self.n as f64
@@ -110,9 +119,10 @@ impl Workload for Prefix {
     fn num_queries(&self) -> usize {
         self.n
     }
-    fn gram(&self) -> Matrix {
-        // W[i,j] = 1{j <= i}; G[j,k] = #{i >= max(j,k)} = n − max(j,k).
-        Matrix::from_fn(self.n, self.n, |j, k| (self.n - j.max(k)) as f64)
+    fn gram(&self) -> Gram {
+        // W[i,j] = 1{j <= i}; G[j,k] = #{i >= max(j,k)} = n − max(j,k),
+        // carried implicitly with an O(n) matvec.
+        Gram::new(StructuredGram::prefix(self.n))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
@@ -124,12 +134,21 @@ impl Workload for Prefix {
         }
         out
     }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let mut acc = 0.0;
+        for (o, &v) in out.iter_mut().zip(x) {
+            acc += v;
+            *o = acc;
+        }
+    }
     fn matrix(&self) -> Matrix {
         Matrix::from_fn(self.n, self.n, |i, j| if j <= i { 1.0 } else { 0.0 })
     }
     fn frobenius_sq(&self) -> f64 {
-        // Σ_j (n − j) = n(n+1)/2.
-        (self.n * (self.n + 1)) as f64 / 2.0
+        // Σ_j (n − j) = n(n+1)/2, in f64 so huge domains cannot wrap.
+        self.n as f64 * (self.n as f64 + 1.0) / 2.0
     }
 }
 
@@ -159,12 +178,10 @@ impl Workload for AllRange {
     fn num_queries(&self) -> usize {
         self.n * (self.n + 1) / 2
     }
-    fn gram(&self) -> Matrix {
+    fn gram(&self) -> Gram {
         // G[j,k] = #{(a,b): a <= min(j,k), b >= max(j,k)}
-        //        = (min(j,k)+1)·(n − max(j,k)).
-        Matrix::from_fn(self.n, self.n, |j, k| {
-            ((j.min(k) + 1) * (self.n - j.max(k))) as f64
-        })
+        //        = (min(j,k)+1)·(n − max(j,k)), implicit with O(n) matvec.
+        Gram::new(StructuredGram::all_range(self.n))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
@@ -181,9 +198,25 @@ impl Workload for AllRange {
         }
         out
     }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.num_queries());
+        let mut prefix = vec![0.0; self.n + 1];
+        for (i, &v) in x.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + v;
+        }
+        let mut idx = 0;
+        for a in 0..self.n {
+            for b in a..self.n {
+                out[idx] = prefix[b + 1] - prefix[a];
+                idx += 1;
+            }
+        }
+    }
     fn frobenius_sq(&self) -> f64 {
-        // Σ_j (j+1)(n−j) = n(n+1)(n+2)/6.
-        (self.n * (self.n + 1) * (self.n + 2)) as f64 / 6.0
+        // Σ_j (j+1)(n−j) = n(n+1)(n+2)/6, in f64 so huge domains cannot
+        // wrap.
+        self.n as f64 * (self.n as f64 + 1.0) * (self.n as f64 + 2.0) / 6.0
     }
 }
 
@@ -217,16 +250,18 @@ impl Workload for WidthRange {
     fn num_queries(&self) -> usize {
         self.n - self.width + 1
     }
-    fn gram(&self) -> Matrix {
+    fn gram(&self) -> Gram {
         // Query a covers j iff a <= j <= a+w-1, i.e. a in [j-w+1, j],
-        // intersected with [0, n-w]. G[j,k] = #overlapping starts.
+        // intersected with [0, n-w]. G[j,k] = #overlapping starts — a
+        // banded matrix; kept dense (the band structure is not yet worth
+        // a dedicated operator at the sizes this workload is used at).
         let (n, w) = (self.n as isize, self.width as isize);
-        Matrix::from_fn(self.n, self.n, |j, k| {
+        Gram::dense(Matrix::from_fn(self.n, self.n, |j, k| {
             let (j, k) = (j as isize, k as isize);
             let lo = (j.max(k) - w + 1).max(0);
             let hi = j.min(k).min(n - w);
             ((hi - lo + 1).max(0)) as f64
-        })
+        }))
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);

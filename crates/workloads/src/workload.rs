@@ -1,21 +1,25 @@
 //! The [`Workload`] trait.
 
-use ldp_linalg::Matrix;
+use ldp_linalg::{Gram, Matrix};
 
 /// A workload of `p` linear counting queries over a domain of `n` user
 /// types (Definition 2.3 / Section 2.1).
 ///
 /// Implementations must keep three views consistent:
 ///
-/// * [`Workload::gram`] — the `n × n` Gram matrix `G = WᵀW`, preferably in
-///   closed form (this is what the optimizer and all variance analysis
-///   consume);
+/// * [`Workload::gram`] — the Gram operator `G = WᵀW` (`n × n`), returned
+///   as a *structured* [`Gram`] in closed form wherever one exists (this
+///   is what the optimizer and all variance analysis consume; dense
+///   `n × n` storage is never required);
 /// * [`Workload::evaluate`] — implicit matrix-vector product `x ↦ Wx`;
 /// * [`Workload::matrix`] — the explicit `p × n` matrix, materialized on
-///   demand (defaults to assembling columns via [`Workload::evaluate`] on
-///   unit vectors; override only if a faster direct construction exists).
+///   demand (defaults to assembling columns via
+///   [`Workload::evaluate_into`] on unit vectors; override only if a
+///   faster direct construction exists). This is the explicit opt-in
+///   escape hatch — prefer the Gram operator and implicit evaluation.
 ///
-/// The consistency of the three is enforced by shared tests in this crate.
+/// The consistency of the three is enforced by shared tests in this crate
+/// and by the `workload_conformance` property-test suite in `tests/`.
 pub trait Workload {
     /// Display name as used in the paper's figures.
     fn name(&self) -> String;
@@ -26,8 +30,11 @@ pub trait Workload {
     /// Number of queries `p` (rows of `W`).
     fn num_queries(&self) -> usize;
 
-    /// The Gram matrix `G = WᵀW` (`n × n`).
-    fn gram(&self) -> Matrix;
+    /// The Gram operator `G = WᵀW` (`n × n`), structured in closed form
+    /// where possible. Call [`Gram::to_dense`] only as an explicit
+    /// opt-in; every analytic consumer works through matrix-vector
+    /// products.
+    fn gram(&self) -> Gram;
 
     /// Evaluates all queries: returns `Wx` (length `p`).
     ///
@@ -35,26 +42,46 @@ pub trait Workload {
     /// Panics if `x.len() != self.domain_size()`.
     fn evaluate(&self, x: &[f64]) -> Vec<f64>;
 
+    /// [`Workload::evaluate`] into a preallocated buffer of length
+    /// `num_queries()`. The default delegates to `evaluate` (allocating);
+    /// workloads on hot paths override it to write in place.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != domain_size()` or
+    /// `out.len() != num_queries()`.
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        let ans = self.evaluate(x);
+        assert_eq!(
+            out.len(),
+            ans.len(),
+            "output length disagrees with num_queries"
+        );
+        out.copy_from_slice(&ans);
+    }
+
     /// The explicit workload matrix `W` (`p × n`). May be very large
     /// (e.g. All Range at n=1024 is 524 800 × 1024); prefer
     /// [`Workload::gram`] + [`Workload::evaluate`] wherever possible.
+    /// The default assembles columns through a single reused buffer.
     fn matrix(&self) -> Matrix {
         let n = self.domain_size();
         let p = self.num_queries();
         let mut w = Matrix::zeros(p, n);
         let mut e = vec![0.0; n];
+        let mut col = vec![0.0; p];
         for j in 0..n {
             e[j] = 1.0;
-            let col = self.evaluate(&e);
-            assert_eq!(col.len(), p, "evaluate length disagrees with num_queries");
+            self.evaluate_into(&e, &mut col);
             w.set_col(j, &col);
             e[j] = 0.0;
         }
         w
     }
 
-    /// Squared Frobenius norm `‖W‖²_F = tr(G)`. Override when the diagonal
-    /// of the Gram matrix has a cheap closed form.
+    /// Squared Frobenius norm `‖W‖²_F = tr(G)`. The default reads the
+    /// trace off the structured Gram operator (`O(n)` or better — never
+    /// materializes the `n × n` Gram); override when an even cheaper
+    /// closed form exists.
     fn frobenius_sq(&self) -> f64 {
         self.gram().trace()
     }
@@ -69,31 +96,59 @@ pub trait Workload {
 }
 
 /// Shared test helpers asserting the three views of a workload agree.
-/// Used by the unit tests of every workload implementation in this crate.
-#[cfg(test)]
+/// Used by the unit tests of every workload implementation in this crate
+/// and re-exercised with random inputs by the `tests/conformance.rs`
+/// property suite (which is why it is compiled into the library rather
+/// than gated behind `cfg(test)`).
 pub mod conformance {
     use super::*;
 
-    /// Asserts `gram()`, `evaluate()`, `matrix()`, `num_queries()` and
-    /// `frobenius_sq()` are mutually consistent on a fixed workload.
+    /// Asserts `gram()`, `evaluate()`, `evaluate_into()`, `matrix()`,
+    /// `num_queries()` and `frobenius_sq()` are mutually consistent on a
+    /// fixed workload, including the structured-Gram operator against the
+    /// dense reference `matrix().gram()`.
     pub fn assert_conformant(w: &dyn Workload) {
         let n = w.domain_size();
         let mat = w.matrix();
         assert_eq!(mat.shape(), (w.num_queries(), n), "matrix shape");
 
-        // Gram matches the explicit matrix.
+        // The structured Gram operator matches the explicit matrix, both
+        // materialized and through its matvec.
         let gram = w.gram();
+        assert_eq!(gram.shape(), (n, n), "gram shape");
         let explicit_gram = mat.gram();
         let scale = explicit_gram.max_abs().max(1.0);
+        let dense = gram.to_dense();
         assert!(
-            gram.max_abs_diff(&explicit_gram) < 1e-9 * scale,
+            dense.max_abs_diff(&explicit_gram) < 1e-9 * scale,
             "gram mismatch for {} (max diff {:.3e})",
             w.name(),
-            gram.max_abs_diff(&explicit_gram)
+            dense.max_abs_diff(&explicit_gram)
         );
 
-        // evaluate matches the explicit matrix on a non-trivial vector.
         let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let via_op = gram.matvec(&x);
+        let via_dense = explicit_gram.matvec(&x);
+        for (a, b) in via_op.iter().zip(&via_dense) {
+            assert!(
+                (a - b).abs() < 1e-9 * scale * (n as f64).max(1.0),
+                "gram matvec mismatch for {}: {a} vs {b}",
+                w.name()
+            );
+        }
+
+        // The Gram diagonal is reachable without materialization.
+        let diag = gram.diagonal();
+        for (j, d) in diag.iter().enumerate() {
+            assert!(
+                (d - explicit_gram[(j, j)]).abs() < 1e-9 * scale,
+                "gram diagonal mismatch for {}",
+                w.name()
+            );
+        }
+
+        // evaluate matches the explicit matrix on a non-trivial vector,
+        // and evaluate_into agrees with evaluate.
         let via_eval = w.evaluate(&x);
         let via_mat = mat.matvec(&x);
         for (a, b) in via_eval.iter().zip(&via_mat) {
@@ -103,11 +158,26 @@ pub mod conformance {
                 w.name()
             );
         }
+        let mut buf = vec![f64::NAN; w.num_queries()];
+        w.evaluate_into(&x, &mut buf);
+        for (a, b) in buf.iter().zip(&via_eval) {
+            assert!(
+                (a - b).abs() < 1e-12 * scale,
+                "evaluate_into mismatch for {}",
+                w.name()
+            );
+        }
 
-        // Frobenius norm agrees.
+        // Frobenius norm agrees, both the override and the trait default
+        // (structured trace).
         assert!(
             (w.frobenius_sq() - explicit_gram.trace()).abs() < 1e-9 * scale,
             "frobenius mismatch for {}",
+            w.name()
+        );
+        assert!(
+            (gram.trace() - explicit_gram.trace()).abs() < 1e-9 * scale,
+            "gram trace mismatch for {}",
             w.name()
         );
     }
@@ -129,9 +199,13 @@ mod tests {
         fn num_queries(&self) -> usize {
             2
         }
-        fn gram(&self) -> Matrix {
+        fn gram(&self) -> Gram {
             // W = [[1,1,0],[0,1,1]]
-            Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 2.0, 1.0], &[0.0, 1.0, 1.0]])
+            Gram::dense(Matrix::from_rows(&[
+                &[1.0, 1.0, 0.0],
+                &[1.0, 2.0, 1.0],
+                &[0.0, 1.0, 1.0],
+            ]))
         }
         fn evaluate(&self, x: &[f64]) -> Vec<f64> {
             vec![x[0] + x[1], x[1] + x[2]]
@@ -151,5 +225,12 @@ mod tests {
         let w = Tiny;
         let err = w.total_squared_error(&[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0]);
         assert_eq!(err, 1.0); // only query 1 differs, by 1
+    }
+
+    #[test]
+    fn default_frobenius_reads_structured_trace() {
+        // The default never materializes the Gram: it must equal tr(G).
+        let w = Tiny;
+        assert_eq!(w.frobenius_sq(), 4.0);
     }
 }

@@ -1,0 +1,152 @@
+//! Shared property-test suite: one macro applied to every workload type,
+//! asserting the three views — structured `gram()`, implicit
+//! `evaluate()`/`evaluate_into()`, and explicit `matrix()` — stay
+//! mutually consistent on randomly drawn instances, with the structured
+//! Gram operators checked against the dense reference `matrix().gram()`
+//! up to `n = 64`.
+//!
+//! The per-instance invariants live in
+//! [`ldp_workloads::workload::conformance::assert_conformant`]; this file
+//! contributes the randomized instance generation (sizes, widths,
+//! attribute counts, weights, composition) plus a random-vector
+//! `G·x == Wᵀ(W·x)` identity that exercises the operator matvec on
+//! non-unit inputs.
+
+use ldp_workloads::workload::conformance::assert_conformant;
+use ldp_workloads::{
+    AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
+    Total, WidthRange, Workload,
+};
+use proptest::prelude::*;
+
+/// The dense-reference identity `G·x = Wᵀ(W·x)` on a random data vector,
+/// exercising the structured matvec path end-to-end.
+fn assert_gram_matvec_identity(w: &dyn Workload, x: &[f64]) {
+    assert_eq!(x.len(), w.domain_size());
+    let mat = w.matrix();
+    let reference = mat.t_matvec(&mat.matvec(x));
+    let via_op = w.gram().matvec(x);
+    let scale = reference
+        .iter()
+        .fold(1.0f64, |acc, v| acc.max(v.abs()))
+        .max(w.gram().max_abs());
+    for (a, b) in via_op.iter().zip(&reference) {
+        assert!(
+            (a - b).abs() < 1e-9 * scale,
+            "{}: Gx {a} vs WᵀWx {b}",
+            w.name()
+        );
+    }
+}
+
+fn check(w: &dyn Workload, x: &[f64]) {
+    assert_conformant(w);
+    assert_gram_matvec_identity(w, x);
+}
+
+/// Applies the shared suite to one workload family: the macro takes a
+/// strategy for the constructor parameters and a builder closure, and
+/// emits a property test drawing instances plus a random data vector.
+macro_rules! workload_suite {
+    ($name:ident, cases = $cases:expr, $params:ident in $strat:expr => $build:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases($cases))]
+
+            #[test]
+            fn $name(
+                $params in $strat,
+                x_raw in prop::collection::vec(-5.0..5.0f64, 64),
+            ) {
+                let workload = $build;
+                let n = workload.domain_size();
+                prop_assert!(n <= 64, "suite is sized for n <= 64");
+                check(&workload, &x_raw[..n]);
+            }
+        }
+    };
+}
+
+workload_suite!(histogram_conformance, cases = 8,
+    n in 1usize..33 => Histogram::new(n));
+
+workload_suite!(total_conformance, cases = 8,
+    n in 1usize..33 => Total::new(n));
+
+workload_suite!(prefix_conformance, cases = 12,
+    n in 1usize..65 => Prefix::new(n));
+
+workload_suite!(all_range_conformance, cases = 12,
+    n in 1usize..49 => AllRange::new(n));
+
+workload_suite!(width_range_conformance, cases = 12,
+params in (1usize..33, 1usize..33) => {
+    let (n, w) = params;
+    WidthRange::new(n.max(w), w)
+});
+
+workload_suite!(parity_conformance, cases = 10,
+params in (1usize..7, 0usize..7, 0usize..7) => {
+    let (d, a, b) = params;
+    let lo = a.min(b).min(d);
+    let hi = a.max(b).min(d);
+    Parity::with_sizes(d.min(6), lo.min(d.min(6)), hi.min(d.min(6)))
+});
+
+workload_suite!(all_marginals_conformance, cases = 8,
+    d in 1usize..7 => AllMarginals::new(d));
+
+workload_suite!(k_way_marginals_conformance, cases = 10,
+params in (1usize..7, 0usize..7) => {
+    let (d, k) = params;
+    KWayMarginals::new(d, k.min(d))
+});
+
+workload_suite!(dense_conformance, cases = 10,
+params in (1usize..6, 1usize..9, prop::collection::vec(-3.0..3.0f64, 40)) => {
+    let (n, p, entries) = params;
+    Dense::new(ldp_linalg::Matrix::from_fn(p, n, |i, j| entries[(i * n + j) % entries.len()]))
+});
+
+// Kronecker products: the structured `KroneckerOp` Gram (including nested
+// structured factors) against the dense reference on the flattened domain.
+workload_suite!(product_conformance, cases = 10,
+params in (1usize..8, 1usize..8, 0usize..4) => {
+    let (n1, n2, kind) = params;
+    let left: Box<dyn Workload + Send + Sync> = match kind {
+        0 => Box::new(Prefix::new(n1)),
+        1 => Box::new(AllRange::new(n1)),
+        2 => Box::new(Histogram::new(n1)),
+        _ => Box::new(Total::new(n1)),
+    };
+    let right: Box<dyn Workload + Send + Sync> = match kind {
+        0 => Box::new(AllRange::new(n2)),
+        1 => Box::new(Prefix::new(n2)),
+        2 => Box::new(Total::new(n2)),
+        _ => Box::new(Histogram::new(n2)),
+    };
+    Product::new(left, right)
+});
+
+// Weighted unions: the SumOp/ScaledOp Gram against the dense reference.
+workload_suite!(stacked_conformance, cases = 10,
+params in (1usize..17, 0.1..4.0f64, 0.1..4.0f64) => {
+    let (n, c1, c2) = params;
+    Stacked::weighted(vec![
+        (c1, Box::new(Histogram::new(n)) as Box<dyn Workload + Send + Sync>),
+        (c2, Box::new(Prefix::new(n)) as Box<dyn Workload + Send + Sync>),
+    ])
+});
+
+// A doubly nested composite — Product of a Stacked and a Parity workload —
+// to exercise operator composition (Kronecker over sum over Hamming
+// kernel) against the dense reference.
+workload_suite!(nested_composite_conformance, cases = 6,
+params in (1usize..5, 1usize..4) => {
+    let (n, d) = params;
+    let left = Stacked::new(vec![
+        Box::new(Histogram::new(n)) as Box<dyn Workload + Send + Sync>,
+        Box::new(Total::new(n)) as Box<dyn Workload + Send + Sync>,
+    ]);
+    let right = Parity::up_to(d, d.min(2));
+    Product::new(Box::new(left), Box::new(right))
+});

@@ -90,12 +90,12 @@ pub mod prelude {
         StrategyMatrix,
     };
     pub use ldp_estimation::{wnnls, Postprocess, WnnlsOptions};
-    pub use ldp_linalg::Matrix;
+    pub use ldp_linalg::{Gram, LinOp, Matrix};
     pub use ldp_mechanisms::{
         hadamard_response, hierarchical, randomized_response, Calibration, Fourier,
         LocalMatrixMechanism,
     };
-    pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig};
+    pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig, Workspace};
     pub use ldp_workloads::{
         AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
         Total, WidthRange, Workload,

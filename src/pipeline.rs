@@ -17,6 +17,23 @@
 //! merge exactly — any shard topology produces bit-identical results to
 //! sequential collection.
 //!
+//! ## Scaling to large domains
+//!
+//! The pipeline never densifies a structured workload: it holds the
+//! workload's [`Gram`] *operator* (`G = WᵀW`), and every analytic
+//! read-out — variance profiles, sample complexity, WNNLS consistency —
+//! consumes it through matrix-vector products. Prefix/range Grams are
+//! `O(n)` structures with `O(n)` products, marginal/parity Grams are
+//! Walsh–Hadamard kernels (`O(n log n)`), and `Product` workloads carry
+//! a genuine Kronecker operator, so multi-dimensional domains never pay
+//! an `n₁n₂ × n₁n₂` blow-up. Only [`Pipeline::optimized`] materializes
+//! the Gram — once, into the optimizer's reusable workspace, because
+//! Algorithm 2's inner solves are `O(n³)` dense regardless (at n = 4096
+//! that buffer is 128 MiB; the answer paths stay implicit). The explicit
+//! `p × n` workload matrix (`Workload::matrix()`) is an opt-in escape
+//! hatch that nothing in the pipeline calls — All Range at n = 1024
+//! would be 524 800 × 1024.
+//!
 //! ```
 //! use ldp::prelude::*;
 //! use rand::SeedableRng;
@@ -47,7 +64,7 @@ use std::sync::Arc;
 use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
 use ldp_core::{variance, DataVector, Deployable, LdpError, StrategyMatrix};
 use ldp_estimation::{wnnls, WnnlsOptions};
-use ldp_linalg::Matrix;
+use ldp_linalg::Gram;
 use ldp_mechanisms::{hadamard_response, hierarchical, randomized_response};
 use ldp_opt::{optimized_mechanism, OptimizerConfig};
 use ldp_workloads::Workload;
@@ -166,7 +183,10 @@ impl Pipeline {
 
 struct DeploymentInner {
     workload: Arc<dyn Workload + Send + Sync>,
-    gram: Matrix,
+    /// The workload's Gram *operator* — structured workloads (prefix,
+    /// range, Kronecker products, marginals) stay implicit end-to-end;
+    /// nothing in the deployment ever materializes an `n × n` matrix.
+    gram: Gram,
     mechanism: Arc<dyn Deployable + Send + Sync>,
     /// Per-user-type variance contributions `T_u` (Theorem 3.4), cached
     /// because every analytic read-out derives from them.
@@ -186,7 +206,7 @@ pub struct Deployment {
 impl Deployment {
     fn assemble(
         workload: Arc<dyn Workload + Send + Sync>,
-        gram: Matrix,
+        gram: Gram,
         mechanism: Arc<dyn Deployable + Send + Sync>,
     ) -> Result<Self, LdpError> {
         if mechanism.domain_size() != workload.domain_size() {
@@ -285,8 +305,10 @@ impl Deployment {
         &*self.inner.workload
     }
 
-    /// The workload's Gram matrix `G = WᵀW`.
-    pub fn gram(&self) -> &Matrix {
+    /// The workload's Gram operator `G = WᵀW` — structured (implicit)
+    /// whenever the workload provides a closed form; call
+    /// [`Gram::to_dense`] only as an explicit opt-in.
+    pub fn gram(&self) -> &Gram {
         &self.inner.gram
     }
 
@@ -400,6 +422,7 @@ impl Estimate {
 mod tests {
     use super::*;
     use ldp_core::LdpMechanism;
+    use ldp_linalg::Matrix;
     use ldp_workloads::{Histogram, Prefix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

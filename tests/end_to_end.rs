@@ -12,7 +12,7 @@ use rand::SeedableRng;
 /// Builds the seven Figure-1 mechanisms at small n via the bench harness.
 fn all_mechanisms(
     workload: &dyn Workload,
-    gram: &Matrix,
+    gram: &ldp::linalg::Gram,
     epsilon: f64,
 ) -> Vec<Box<dyn LdpMechanism>> {
     use ldp_bench::cells::{build_mechanism, Effort, ALL_MECHANISMS};

@@ -112,11 +112,17 @@ fn weights_steer_error_allocation() {
     let hist_gram = Histogram::new(n).gram();
 
     let balanced = Stacked::weighted(vec![
-        (1.0, Box::new(Prefix::new(n)) as Box<dyn Workload>),
+        (
+            1.0,
+            Box::new(Prefix::new(n)) as Box<dyn Workload + Send + Sync>,
+        ),
         (1.0, Box::new(Histogram::new(n))),
     ]);
     let hist_heavy = Stacked::weighted(vec![
-        (1.0, Box::new(Prefix::new(n)) as Box<dyn Workload>),
+        (
+            1.0,
+            Box::new(Prefix::new(n)) as Box<dyn Workload + Send + Sync>,
+        ),
         (10.0, Box::new(Histogram::new(n))),
     ]);
 
