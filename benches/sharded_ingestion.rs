@@ -12,6 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldp::prelude::*;
+use ldp_parallel::set_thread_override;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,27 +58,13 @@ fn bench_sharded_ingestion(c: &mut Criterion) {
     group.finish();
 }
 
-/// Splits `reports` into `threads` contiguous slices, ingests each on its
-/// own thread, and merges the shards into one aggregator.
+/// Runs the production parallel batch-ingest path
+/// (`Deployment::aggregate`) pinned to `threads` workers.
 fn ingest_in_shards(deployment: &Deployment, reports: &[usize], threads: usize) -> Aggregator {
-    let chunk = reports.len().div_ceil(threads);
-    let shards: Vec<AggregatorShard> = std::thread::scope(|scope| {
-        reports
-            .chunks(chunk)
-            .map(|slice| {
-                let deployment = deployment.clone();
-                scope.spawn(move || {
-                    let mut shard = deployment.shard();
-                    shard.ingest_batch(slice).expect("valid reports");
-                    shard
-                })
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|handle| handle.join().expect("worker thread"))
-            .collect()
-    });
-    deployment.merge(shards).expect("matching shards")
+    set_thread_override(Some(threads));
+    let aggregator = deployment.aggregate(reports).expect("valid reports");
+    set_thread_override(None);
+    aggregator
 }
 
 criterion_group!(benches, bench_sharded_ingestion);

@@ -16,12 +16,12 @@
 //!
 //! Output: CSV `workload,epsilon,init,objective,ratio_to_best`.
 
-use ldp_bench::cells::parallel_map;
 use ldp_bench::report::{banner, fmt, write_csv};
 use ldp_bench::Args;
 use ldp_mechanisms::hadamard::hadamard_strategy;
 use ldp_mechanisms::randomized_response::randomized_response_strategy;
 use ldp_opt::{optimize_strategy, OptimizerConfig};
+use ldp_parallel::pool;
 use ldp_workloads::paper_suite;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
 
     let workload_count = paper_suite(n).len();
     let cells = workload_count * epsilons.len();
-    let results = parallel_map(cells, |cell| {
+    let results = pool().par_map(cells, |cell| {
         let w_idx = cell / epsilons.len();
         let eps = epsilons[cell % epsilons.len()];
         let workload = &paper_suite(n)[w_idx];

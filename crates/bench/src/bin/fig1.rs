@@ -9,9 +9,10 @@
 //!
 //! Output: CSV `workload,epsilon,mechanism,samples` on stdout.
 
-use ldp_bench::cells::{build_mechanism, parallel_map, Effort, ALL_MECHANISMS};
+use ldp_bench::cells::{build_mechanism, Effort, ALL_MECHANISMS};
 use ldp_bench::report::{banner, fmt, write_csv};
 use ldp_bench::Args;
+use ldp_parallel::pool;
 use ldp_workloads::paper_suite;
 
 fn main() {
@@ -35,7 +36,7 @@ fn main() {
 
     // One cell = (workload, epsilon); all 7 mechanisms are evaluated per
     // cell so the expensive Gram matrix is built once.
-    let results = parallel_map(total_cells, |cell| {
+    let results = pool().par_map(total_cells, |cell| {
         let w_idx = cell / epsilons.len();
         let eps = epsilons[cell % epsilons.len()];
         let workload = &paper_suite(n)[w_idx];

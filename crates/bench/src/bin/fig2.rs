@@ -11,9 +11,10 @@
 //! headline here is the *slope* in log-log space: ≈0.5 for the
 //! workload-adaptive mechanisms versus ≈1.0 for the fixed ones.
 
-use ldp_bench::cells::{build_mechanism, parallel_map, Effort, ALL_MECHANISMS};
+use ldp_bench::cells::{build_mechanism, Effort, ALL_MECHANISMS};
 use ldp_bench::report::{banner, fmt, write_csv};
 use ldp_bench::Args;
+use ldp_parallel::pool;
 use ldp_workloads::paper_suite;
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
         &format!("epsilon={epsilon}, domains={domains:?}, {total_cells} cells"),
     );
 
-    let results = parallel_map(total_cells, |cell| {
+    let results = pool().par_map(total_cells, |cell| {
         let w_idx = cell / domains.len();
         let n = domains[cell % domains.len()];
         let workload = &paper_suite(n)[w_idx];

@@ -14,10 +14,11 @@
 //!
 //! Output: CSV `dataset,mechanism,samples` on stdout.
 
-use ldp_bench::cells::{build_mechanism, parallel_map, Effort, ALL_MECHANISMS};
+use ldp_bench::cells::{build_mechanism, Effort, ALL_MECHANISMS};
 use ldp_bench::report::{banner, fmt, write_csv};
 use ldp_bench::Args;
 use ldp_core::complexity;
+use ldp_parallel::pool;
 use ldp_workloads::{Prefix, Workload};
 
 fn main() {
@@ -58,7 +59,7 @@ fn main() {
 
     // Build each mechanism once (profiles are data-independent), then
     // evaluate all datasets against its variance profile.
-    let profiles = parallel_map(ALL_MECHANISMS.len(), |idx| {
+    let profiles = pool().par_map(ALL_MECHANISMS.len(), |idx| {
         let kind = ALL_MECHANISMS[idx];
         let mech = build_mechanism(kind, &workload, &gram, epsilon, effort, seed);
         banner("fig3a", &format!("profiled {}", mech.name()));

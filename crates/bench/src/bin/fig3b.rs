@@ -14,11 +14,11 @@
 //!
 //! Output: CSV `workload,m_multiple,median_ratio,min_ratio,max_ratio`.
 
-use ldp_bench::cells::parallel_map;
 use ldp_bench::report::{banner, write_csv};
 use ldp_bench::Args;
 use ldp_core::{variance, LdpMechanism};
 use ldp_opt::{optimized_mechanism, OptimizerConfig};
+use ldp_parallel::pool;
 use ldp_workloads::paper_suite;
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
 
     // Each cell: one optimization run; record (workload, multiple, worst
     // per-user variance of the optimized mechanism).
-    let results = parallel_map(cells, |cell| {
+    let results = pool().par_map(cells, |cell| {
         let trial = cell % trials;
         let m_idx = (cell / trials) % multiples.len();
         let w_idx = cell / (trials * multiples.len());

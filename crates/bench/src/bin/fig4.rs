@@ -14,11 +14,12 @@
 //! paper's claim is that WNNLS reduces variance on every workload (by
 //! 1.96–5.6× in their setting).
 
-use ldp_bench::cells::{build_mechanism, parallel_map, Effort, MechanismKind};
+use ldp_bench::cells::{build_mechanism, Effort, MechanismKind};
 use ldp_bench::report::{banner, fmt, write_csv};
 use ldp_bench::Args;
 use ldp_data::hepth_shape;
 use ldp_estimation::{simulated_normalized_variance, Postprocess, WnnlsOptions};
+use ldp_parallel::pool;
 use ldp_workloads::paper_suite;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +40,7 @@ fn main() {
     );
 
     let workload_count = paper_suite(n).len();
-    let results = parallel_map(workload_count, |w_idx| {
+    let results = pool().par_map(workload_count, |w_idx| {
         let workload = &paper_suite(n)[w_idx];
         let gram = workload.gram();
         let mech = build_mechanism(

@@ -1,0 +1,217 @@
+//! Kernel performance baseline emitter: measures the hot compute paths
+//! at 1 and N `ldp-parallel` workers and writes `BENCH_KERNELS.json` so
+//! future PRs have a recorded baseline to regress against.
+//!
+//! Measurements:
+//!
+//! * **matmul** — GFLOP/s of the seed's naive i-k-j kernel vs the
+//!   blocked kernel at n = 512, single-threaded and at N workers
+//!   (bit-identity across worker counts asserted before timing);
+//! * **pgd** — optimizer iterations/s of a multi-restart PGD run
+//!   (restarts parallelize; the outputs are asserted byte-equal across
+//!   worker counts);
+//! * **ingestion** — reports/s of `Deployment::aggregate` over a
+//!   pre-drawn randomized-report stream (exactness asserted).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin kernels -- --bench \
+//!     [--quick] [--threads N] [--out BENCH_KERNELS.json]
+//! ```
+//!
+//! Without `--bench` the binary prints the measurements but skips the
+//! JSON write (useful for ad-hoc timing).
+
+use ldp::prelude::*;
+use ldp_bench::args::Args;
+use ldp_bench::kernels::{matmul_gflops, naive_matmul_into, test_matrix, time_secs};
+use ldp_bench::report::banner;
+use ldp_linalg::Matrix;
+use ldp_opt::{optimize_strategy, OptimizerConfig};
+use ldp_parallel::set_thread_override;
+use ldp_workloads::Prefix;
+use ldp_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let threads = args.get_or("threads", 4usize).max(2);
+    let out_path = args.get_or("out", "BENCH_KERNELS.json".to_string());
+
+    let matmul = measure_matmul(quick, threads);
+    let pgd = measure_pgd(quick, threads);
+    let ingestion = measure_ingestion(quick, threads);
+    set_thread_override(None);
+
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"schema\": \"ldp-bench-kernels/1\",\n  \"quick\": {quick},\n  \
+         \"hardware_threads\": {hardware},\n  \"measured_threads\": {threads},\n  \
+         \"note\": \"N-worker numbers only speed up on multi-core hardware; on a 1-core host they include scoped-spawn overhead. Bit-identity across worker counts is asserted before every measurement.\",\n\
+         {matmul},\n{pgd},\n{ingestion}\n}}\n"
+    );
+    println!("{json}");
+    if args.flag("bench") {
+        std::fs::write(&out_path, &json).expect("write baseline JSON");
+        banner("kernels", &format!("wrote {out_path}"));
+    }
+}
+
+/// Formats one `"name": {...}` JSON object from key/value pairs.
+fn json_object(name: &str, fields: &[(&str, f64)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.4}"))
+        .collect();
+    format!("  \"{name}\": {{\n{}\n  }}", body.join(",\n"))
+}
+
+fn measure_matmul(quick: bool, threads: usize) -> String {
+    let n = if quick { 256 } else { 512 };
+    let reps = if quick { 10 } else { 4 };
+    let a = test_matrix(n, n, 1);
+    let b = test_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+
+    set_thread_override(Some(1));
+    let serial = a.matmul(&b);
+    set_thread_override(Some(threads));
+    assert_eq!(
+        serial.as_slice(),
+        a.matmul(&b).as_slice(),
+        "parallel matmul must be bit-identical"
+    );
+
+    set_thread_override(Some(1));
+    let naive = matmul_gflops(n, time_secs(reps, || naive_matmul_into(&a, &b, &mut out)));
+    let blocked_1t = matmul_gflops(n, time_secs(reps, || a.matmul_into(&b, &mut out)));
+    set_thread_override(Some(threads));
+    let blocked_nt = matmul_gflops(n, time_secs(reps, || a.matmul_into(&b, &mut out)));
+    banner(
+        "kernels",
+        &format!(
+            "matmul n={n}: naive {naive:.2} GFLOP/s, blocked {blocked_1t:.2} @1T, \
+             {blocked_nt:.2} @{threads}T"
+        ),
+    );
+    json_object(
+        "matmul",
+        &[
+            ("n", n as f64),
+            ("naive_gflops", naive),
+            ("blocked_gflops_1t", blocked_1t),
+            ("blocked_gflops_nt", blocked_nt),
+            ("blocked_vs_naive", blocked_1t / naive),
+            ("nt_speedup", blocked_nt / blocked_1t),
+        ],
+    )
+}
+
+fn measure_pgd(quick: bool, threads: usize) -> String {
+    let n = if quick { 16 } else { 32 };
+    let iterations = if quick { 40 } else { 80 };
+    let restarts = 4;
+    let gram = Prefix::new(n).gram();
+    let config = OptimizerConfig {
+        num_outputs: None,
+        iterations,
+        restarts,
+        step_size: Some(0.05),
+        search_iterations: 0,
+        seed: 7,
+        initial_strategy: None,
+    };
+
+    set_thread_override(Some(1));
+    let serial = optimize_strategy(&gram, 1.0, &config).expect("optimizer succeeds");
+    set_thread_override(Some(threads));
+    let threaded = optimize_strategy(&gram, 1.0, &config).expect("optimizer succeeds");
+    assert_eq!(
+        serial.strategy.matrix().as_slice(),
+        threaded.strategy.matrix().as_slice(),
+        "parallel restarts must be bit-identical"
+    );
+    assert_eq!(serial.history, threaded.history);
+
+    let total_iters = (iterations * restarts) as f64;
+    set_thread_override(Some(1));
+    let iters_1t = total_iters
+        / time_secs(2, || {
+            std::hint::black_box(optimize_strategy(&gram, 1.0, &config).expect("ok"));
+        });
+    set_thread_override(Some(threads));
+    let iters_nt = total_iters
+        / time_secs(2, || {
+            std::hint::black_box(optimize_strategy(&gram, 1.0, &config).expect("ok"));
+        });
+    banner(
+        "kernels",
+        &format!(
+            "pgd n={n} x{restarts} restarts: {iters_1t:.0} iters/s @1T, \
+             {iters_nt:.0} @{threads}T"
+        ),
+    );
+    json_object(
+        "pgd",
+        &[
+            ("n", n as f64),
+            ("restarts", restarts as f64),
+            ("iters_per_s_1t", iters_1t),
+            ("iters_per_s_nt", iters_nt),
+            ("nt_speedup", iters_nt / iters_1t),
+        ],
+    )
+}
+
+fn measure_ingestion(quick: bool, threads: usize) -> String {
+    let n = 256;
+    let total = if quick { 400_000 } else { 2_000_000 };
+    let deployment = Pipeline::for_workload(Histogram::new(n))
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .expect("deployable");
+    let client = deployment.client();
+    let mut rng = StdRng::seed_from_u64(0);
+    let reports: Vec<usize> = (0..total)
+        .map(|i| client.respond(i % n, &mut rng))
+        .collect();
+
+    let mut sequential = deployment.aggregator();
+    sequential.ingest_batch(&reports).expect("valid reports");
+    set_thread_override(Some(threads));
+    let parallel = deployment.aggregate(&reports).expect("valid reports");
+    assert_eq!(
+        parallel.counts(),
+        sequential.counts(),
+        "parallel ingestion must be exact"
+    );
+
+    set_thread_override(Some(1));
+    let rps_1t = total as f64
+        / time_secs(3, || {
+            std::hint::black_box(deployment.aggregate(&reports).expect("ok"));
+        });
+    set_thread_override(Some(threads));
+    let rps_nt = total as f64
+        / time_secs(3, || {
+            std::hint::black_box(deployment.aggregate(&reports).expect("ok"));
+        });
+    banner(
+        "kernels",
+        &format!(
+            "ingestion {total} reports: {:.1}M reports/s @1T, {:.1}M @{threads}T",
+            rps_1t / 1e6,
+            rps_nt / 1e6
+        ),
+    );
+    json_object(
+        "ingestion",
+        &[
+            ("reports", total as f64),
+            ("reports_per_s_1t", rps_1t),
+            ("reports_per_s_nt", rps_nt),
+            ("nt_speedup", rps_nt / rps_1t),
+        ],
+    )
+}

@@ -1,5 +1,6 @@
 //! Construction of the paper's seven compared mechanisms for a given
-//! workload/ε cell, plus the parallel sweep driver used by the figures.
+//! workload/ε cell. The figure binaries sweep cells with
+//! [`ldp_parallel::Pool::par_map`] (one optimizer-heavy cell per task).
 
 use ldp_core::LdpMechanism;
 use ldp_linalg::LinOp;
@@ -200,38 +201,6 @@ pub fn build_mechanism(
     }
 }
 
-/// Runs closures over an index range on all available cores, preserving
-/// result order. The closure receives the cell index.
-pub fn parallel_map<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(count.max(1));
-    if threads <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let slots_ref = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                let mut guard = slots_ref.lock().expect("no poisoned workers");
-                guard[i] = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("all cells computed"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,19 +248,5 @@ mod tests {
         let sc_rr = rr.sample_complexity(&gram, p, 0.01);
         let sc_opt = opt.sample_complexity(&gram, p, 0.01);
         assert!(sc_opt < sc_rr, "optimized {sc_opt} vs RR {sc_rr}");
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(40, |i| i * i);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
-        }
-    }
-
-    #[test]
-    fn parallel_map_empty_and_single() {
-        assert!(parallel_map(0, |i| i).is_empty());
-        assert_eq!(parallel_map(1, |i| i + 5), vec![5]);
     }
 }

@@ -1,0 +1,78 @@
+//! Shared pieces of the compute-kernel benchmarks: the seed's naive
+//! matmul (the baseline the blocked kernel must beat), deterministic
+//! test-matrix generators, and a tiny wall-clock measurement helper used
+//! by both the `kernels` criterion bench and the `kernels` binary that
+//! emits `BENCH_KERNELS.json`.
+
+use std::time::Instant;
+
+use ldp_linalg::Matrix;
+
+/// The seed repository's i-k-j matmul kernel (pre-blocking), kept as the
+/// regression baseline: `BENCH_KERNELS.json` records blocked-vs-naive so
+/// future PRs can spot a kernel regression.
+pub fn naive_matmul_into(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols(), rhs.rows(), "inner dimensions must agree");
+    assert_eq!(out.shape(), (a.rows(), rhs.cols()), "output shape");
+    out.as_mut_slice().fill(0.0);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = rhs.row(k);
+            let out_row = out.row_mut(i);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += aik * b;
+            }
+        }
+    }
+}
+
+/// A deterministic dense test matrix with entries in roughly `[-1.5, 3]`.
+pub fn test_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 7 + j * 13 + salt * 5) % 17) as f64 * 0.27 - 1.5
+    })
+}
+
+/// Mean seconds per call of `f` over `reps` timed repetitions (after one
+/// warmup call).
+pub fn time_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps.max(1) {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps.max(1) as f64
+}
+
+/// GFLOP/s of an `n × n × n` matmul that took `secs` per call.
+pub fn matmul_gflops(n: usize, secs: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_and_blocked_agree() {
+        let a = test_matrix(37, 29, 1);
+        let b = test_matrix(29, 41, 2);
+        let mut naive = Matrix::zeros(37, 41);
+        naive_matmul_into(&a, &b, &mut naive);
+        let blocked = a.matmul(&b);
+        assert!(naive.max_abs_diff(&blocked) < 1e-12);
+    }
+
+    #[test]
+    fn timer_returns_positive() {
+        let secs = time_secs(3, || {
+            std::hint::black_box((0..100).sum::<usize>());
+        });
+        assert!(secs >= 0.0);
+        assert!(matmul_gflops(64, secs.max(1e-9)) > 0.0);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod cells;
+pub mod kernels;
 pub mod report;
 
 pub use args::Args;

@@ -4,6 +4,14 @@
 //! `x ↦ Gx`, so structured Grams (prefix/range/Kronecker/Hamming-kernel)
 //! run each FISTA iteration in `O(n)`–`O(n log n)` instead of the dense
 //! `O(n²)`, and nothing here ever materializes `G`.
+//!
+//! Parallelism comes through those same products: large dense,
+//! Kronecker, and Hamming-kernel Grams split their matvecs across the
+//! `ldp-parallel` pool by disjoint output rows, so every FISTA iteration
+//! (and the power-iteration Lipschitz estimate) is multi-core while the
+//! solution stays bit-identical at any thread count. The FISTA vector
+//! updates themselves stay serial — they are memory-bound `O(n)` loops
+//! that would not amortize a thread handoff per iteration.
 
 use ldp_linalg::LinOp;
 

@@ -44,20 +44,18 @@ impl Cholesky {
         let n = a.rows();
         l.as_mut_slice().fill(0.0);
         for j in 0..n {
-            let mut diag = a[(j, j)];
-            for k in 0..j {
-                diag -= l[(j, k)] * l[(j, k)];
-            }
+            // The k-sums run over the already-computed row prefixes, so
+            // they are contiguous slice dot products (vectorized by the
+            // shared 4-lane `dot`).
+            let row_j = &l.row(j)[..j];
+            let diag = a[(j, j)] - crate::dot(row_j, row_j);
             if diag <= 0.0 || !diag.is_finite() {
                 return false;
             }
             let ljj = diag.sqrt();
             l[(j, j)] = ljj;
             for i in (j + 1)..n {
-                let mut v = a[(i, j)];
-                for k in 0..j {
-                    v -= l[(i, k)] * l[(j, k)];
-                }
+                let v = a[(i, j)] - crate::dot(&l.row(i)[..j], &l.row(j)[..j]);
                 l[(i, j)] = v / ljj;
             }
         }
@@ -88,12 +86,11 @@ impl Cholesky {
     pub fn solve_in_place_with(l: &Matrix, b: &mut [f64]) {
         let n = l.rows();
         assert_eq!(b.len(), n);
-        // Forward substitution L y = b.
+        // Forward substitution L y = b: the inner sum is a contiguous
+        // slice dot against the already-solved prefix.
         for i in 0..n {
-            for k in 0..i {
-                b[i] -= l[(i, k)] * b[k];
-            }
-            b[i] /= l[(i, i)];
+            let (solved, rest) = b.split_at_mut(i);
+            rest[0] = (rest[0] - crate::dot(&l.row(i)[..i], solved)) / l[(i, i)];
         }
         // Back substitution Lᵀ x = y.
         for i in (0..n).rev() {

@@ -53,10 +53,31 @@ pub use tridiagonal::{eigh_auto, eigh_ql};
 pub(crate) const EPS: f64 = f64::EPSILON;
 
 /// Dot product of two equal-length slices.
+///
+/// Unrolled into four independent accumulator lanes so LLVM can
+/// vectorize the reduction; the lane combination order is fixed
+/// (`(l0+l1)+(l2+l3)`, then the scalar tail), so the result is
+/// deterministic for given inputs — it does not depend on call site,
+/// blocking, or thread count.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f64; 4];
+    let a_chunks = a.chunks_exact(4);
+    let b_chunks = b.chunks_exact(4);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
 /// Euclidean norm of a slice.

@@ -22,7 +22,7 @@
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
-use crate::{axpy, dot, Matrix};
+use crate::{axpy, Matrix};
 
 /// A real linear operator `A : ℝᶜ → ℝʳ` exposed through matrix-vector
 /// products. Implementations with structure (diagonal, Kronecker,
@@ -189,23 +189,11 @@ impl LinOp for Matrix {
     }
 
     fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), Matrix::cols(self));
-        assert_eq!(out.len(), Matrix::rows(self));
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = dot(self.row(i), x);
-        }
+        self.matvec_into_slice(x, out);
     }
 
     fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), Matrix::rows(self));
-        assert_eq!(out.len(), Matrix::cols(self));
-        out.fill(0.0);
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            axpy(xi, self.row(i), out);
-        }
+        self.t_matvec_into_slice(x, out);
     }
 
     fn col_into(&self, j: usize, out: &mut [f64]) {
@@ -466,9 +454,13 @@ pub struct KroneckerOp {
 #[derive(Default)]
 struct KroneckerScratch {
     t: Vec<f64>,
+    tmp: Vec<f64>,
     col: Vec<f64>,
     res: Vec<f64>,
 }
+
+/// Minimum operand size before a Kronecker product stage is threaded.
+const KRON_PAR_MIN: usize = 1 << 16;
 
 impl KroneckerOp {
     /// The operator `left ⊗ right` over row-major-flattened indices
@@ -506,31 +498,62 @@ impl LinOp for KroneckerOp {
         assert_eq!(out.len(), r1 * r2);
         let mut local = KroneckerScratch::default();
         let mut guard = self.scratch.try_lock();
-        let KroneckerScratch { t, col, res } = match guard {
+        let KroneckerScratch { t, tmp, col, .. } = match guard {
             Ok(ref mut g) => &mut **g,
             Err(_) => &mut local,
         };
-        // T[u1, j2] = Σ_{u2} B[j2, u2]·X[u1, u2]: apply B to each row of
-        // the c1 × c2 reshape of x.
+        let pool = ldp_parallel::pool();
+        let parallel = pool.threads() > 1 && (c1 * c2).max(r1 * r2) >= KRON_PAR_MIN;
+        // Stage 1 — T[u1, j2] = Σ_{u2} B[j2, u2]·X[u1, u2]: apply B to
+        // each row of the c1 × c2 reshape of x. Rows of T are disjoint,
+        // so the row loop partitions across threads as-is.
         t.clear();
         t.resize(c1 * r2, 0.0);
-        for u1 in 0..c1 {
-            self.right
-                .matvec_into(&x[u1 * c2..(u1 + 1) * c2], &mut t[u1 * r2..(u1 + 1) * r2]);
-        }
-        // out[i1, j2] = Σ_{u1} A[i1, u1]·T[u1, j2]: apply A down each
-        // column of T.
-        col.clear();
-        col.resize(c1, 0.0);
-        res.clear();
-        res.resize(r1, 0.0);
-        for j2 in 0..r2 {
+        if parallel && c1 > 1 {
+            pool.par_chunks(t, r2, |start, chunk| {
+                for (g, sub) in chunk.chunks_mut(r2).enumerate() {
+                    let u1 = start / r2 + g;
+                    self.right.matvec_into(&x[u1 * c2..(u1 + 1) * c2], sub);
+                }
+            });
+        } else {
             for u1 in 0..c1 {
-                col[u1] = t[u1 * r2 + j2];
+                self.right
+                    .matvec_into(&x[u1 * c2..(u1 + 1) * c2], &mut t[u1 * r2..(u1 + 1) * r2]);
             }
-            self.left.matvec_into(col, res);
-            for i1 in 0..r1 {
-                out[i1 * r2 + j2] = res[i1];
+        }
+        // Stage 2 — out[i1, j2] = Σ_{u1} A[i1, u1]·T[u1, j2]: apply A
+        // down each column of T, staged j2-major (`tmp[j2·r1 + i1]`) so
+        // each column lands in a contiguous, disjoint slice; the final
+        // transpose into `out` is a pure copy.
+        tmp.clear();
+        tmp.resize(r1 * r2, 0.0);
+        if parallel && r2 > 1 {
+            pool.par_chunks(tmp, r1, |start, chunk| {
+                let mut col = vec![0.0; c1];
+                for (g, sub) in chunk.chunks_mut(r1).enumerate() {
+                    let j2 = start / r1 + g;
+                    for (u1, cv) in col.iter_mut().enumerate() {
+                        *cv = t[u1 * r2 + j2];
+                    }
+                    self.left.matvec_into(&col, sub);
+                }
+            });
+        } else {
+            // Serial path: reuse the operator's scratch column so hot
+            // loops (FISTA, PGD sweeps) stay allocation-free.
+            col.clear();
+            col.resize(c1, 0.0);
+            for j2 in 0..r2 {
+                for (u1, cv) in col.iter_mut().enumerate() {
+                    *cv = t[u1 * r2 + j2];
+                }
+                self.left.matvec_into(col, &mut tmp[j2 * r1..(j2 + 1) * r1]);
+            }
+        }
+        for (i1, orow) in out.chunks_mut(r2).enumerate() {
+            for (j2, o) in orow.iter_mut().enumerate() {
+                *o = tmp[j2 * r1 + i1];
             }
         }
     }
@@ -541,27 +564,54 @@ impl LinOp for KroneckerOp {
         assert_eq!(out.len(), c1 * c2);
         let mut local = KroneckerScratch::default();
         let mut guard = self.scratch.try_lock();
-        let KroneckerScratch { t, col, res } = match guard {
+        let KroneckerScratch { t, tmp, col, .. } = match guard {
             Ok(ref mut g) => &mut **g,
             Err(_) => &mut local,
         };
+        let pool = ldp_parallel::pool();
+        let parallel = pool.threads() > 1 && (c1 * c2).max(r1 * r2) >= KRON_PAR_MIN;
         t.clear();
         t.resize(r1 * c2, 0.0);
-        for i1 in 0..r1 {
-            self.right
-                .t_matvec_into(&x[i1 * r2..(i1 + 1) * r2], &mut t[i1 * c2..(i1 + 1) * c2]);
-        }
-        col.clear();
-        col.resize(r1, 0.0);
-        res.clear();
-        res.resize(c1, 0.0);
-        for u2 in 0..c2 {
+        if parallel && r1 > 1 {
+            pool.par_chunks(t, c2, |start, chunk| {
+                for (g, sub) in chunk.chunks_mut(c2).enumerate() {
+                    let i1 = start / c2 + g;
+                    self.right.t_matvec_into(&x[i1 * r2..(i1 + 1) * r2], sub);
+                }
+            });
+        } else {
             for i1 in 0..r1 {
-                col[i1] = t[i1 * c2 + u2];
+                self.right
+                    .t_matvec_into(&x[i1 * r2..(i1 + 1) * r2], &mut t[i1 * c2..(i1 + 1) * c2]);
             }
-            self.left.t_matvec_into(col, res);
-            for u1 in 0..c1 {
-                out[u1 * c2 + u2] = res[u1];
+        }
+        tmp.clear();
+        tmp.resize(c1 * c2, 0.0);
+        if parallel && c2 > 1 {
+            pool.par_chunks(tmp, c1, |start, chunk| {
+                let mut col = vec![0.0; r1];
+                for (g, sub) in chunk.chunks_mut(c1).enumerate() {
+                    let u2 = start / c1 + g;
+                    for (i1, cv) in col.iter_mut().enumerate() {
+                        *cv = t[i1 * c2 + u2];
+                    }
+                    self.left.t_matvec_into(&col, sub);
+                }
+            });
+        } else {
+            col.clear();
+            col.resize(r1, 0.0);
+            for u2 in 0..c2 {
+                for (i1, cv) in col.iter_mut().enumerate() {
+                    *cv = t[i1 * c2 + u2];
+                }
+                self.left
+                    .t_matvec_into(col, &mut tmp[u2 * c1..(u2 + 1) * c1]);
+            }
+        }
+        for (u1, orow) in out.chunks_mut(c2).enumerate() {
+            for (u2, o) in orow.iter_mut().enumerate() {
+                *o = tmp[u2 * c1 + u1];
             }
         }
     }
@@ -604,22 +654,65 @@ impl LinOp for KroneckerOp {
     }
 }
 
+/// Minimum transform length before a FWHT pass is worth threading. Each
+/// of the `log₂ n` passes spawns its own scoped team, so the per-pass
+/// work (`n` adds) must amortize tens of microseconds of spawns — at
+/// 2¹⁷ elements a pass is ~100 µs of memory-bound traffic.
+const FWHT_PAR_MIN: usize = 1 << 17;
+
+/// One butterfly pass over a matched pair of half-blocks.
+fn fwht_butterfly(lo: &mut [f64], hi: &mut [f64]) {
+    for (a, b) in lo.iter_mut().zip(hi) {
+        let (x, y) = (*a, *b);
+        *a = x + y;
+        *b = x - y;
+    }
+}
+
 /// In-place fast Walsh–Hadamard transform (unnormalized; applying it twice
 /// multiplies by `data.len()`).
+///
+/// Large transforms run each pass in parallel. A pass's butterflies are
+/// elementwise independent — every element is rewritten exactly once
+/// from exactly two inputs, with no accumulation at all — so any
+/// partition of a pass is bit-identical to the serial sweep: early
+/// passes split at block boundaries, late passes (few, wide blocks)
+/// split each block's half-pair into matched sub-ranges.
 ///
 /// # Panics
 /// Panics if the length is not a power of two.
 pub fn fwht(data: &mut [f64]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let pool = ldp_parallel::pool();
+    let threads = pool.threads();
+    let parallel = threads > 1 && n >= FWHT_PAR_MIN;
     let mut h = 1;
     while h < n {
-        for block in data.chunks_mut(2 * h) {
-            let (lo, hi) = block.split_at_mut(h);
-            for (a, b) in lo.iter_mut().zip(hi) {
-                let (x, y) = (*a, *b);
-                *a = x + y;
-                *b = x - y;
+        if parallel && n / (2 * h) >= threads {
+            // Many narrow blocks: give each worker a contiguous run.
+            pool.par_chunks(data, 2 * h, |_, chunk| {
+                for block in chunk.chunks_mut(2 * h) {
+                    let (lo, hi) = block.split_at_mut(h);
+                    fwht_butterfly(lo, hi);
+                }
+            });
+        } else if parallel {
+            // Few wide blocks: split each lo/hi pair into matched
+            // sub-ranges and run them as one task batch.
+            let per = h.div_ceil(threads).max(1024);
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for block in data.chunks_mut(2 * h) {
+                let (lo, hi) = block.split_at_mut(h);
+                for (lo_c, hi_c) in lo.chunks_mut(per).zip(hi.chunks_mut(per)) {
+                    tasks.push(Box::new(move || fwht_butterfly(lo_c, hi_c)));
+                }
+            }
+            pool.par_tasks(tasks);
+        } else {
+            for block in data.chunks_mut(2 * h) {
+                let (lo, hi) = block.split_at_mut(h);
+                fwht_butterfly(lo, hi);
             }
         }
         h <<= 1;
@@ -785,15 +878,33 @@ impl LinOp for StructuredGram {
                 }
             }
             Self::HammingKernel { ref spectrum, .. } => {
+                // The transforms parallelize internally; the two
+                // elementwise rescales split below (disjoint elements,
+                // so any partition is bit-identical).
                 out.copy_from_slice(x);
                 fwht(out);
-                for (o, &s) in out.iter_mut().zip(spectrum) {
-                    *o *= s;
-                }
-                fwht(out);
+                let pool = ldp_parallel::pool();
                 let inv = 1.0 / n as f64;
-                for o in out.iter_mut() {
-                    *o *= inv;
+                if pool.threads() > 1 && n >= FWHT_PAR_MIN {
+                    pool.par_chunks(out, 1, |start, chunk| {
+                        for (o, &s) in chunk.iter_mut().zip(&spectrum[start..]) {
+                            *o *= s;
+                        }
+                    });
+                    fwht(out);
+                    pool.par_chunks(out, 1, |_, chunk| {
+                        for o in chunk.iter_mut() {
+                            *o *= inv;
+                        }
+                    });
+                } else {
+                    for (o, &s) in out.iter_mut().zip(spectrum) {
+                        *o *= s;
+                    }
+                    fwht(out);
+                    for o in out.iter_mut() {
+                        *o *= inv;
+                    }
                 }
             }
         }

@@ -1,9 +1,48 @@
-//! Dense row-major `f64` matrix.
+//! Dense row-major `f64` matrix with cache-blocked, register-tiled
+//! product kernels.
+//!
+//! ## Kernel design
+//!
+//! The three dense products ([`Matrix::matmul_into`],
+//! [`Matrix::t_matmul_into`], [`Matrix::matmul_t`]) run a shared blocked
+//! micro-kernel: the output is tiled into `MR = 4` row panels, the inner
+//! (`k`) dimension into `KC`-wide blocks, and the output columns into
+//! `NC`-wide blocks, so the four live output rows plus the streamed
+//! operand row stay in L1 while each loaded value feeds four
+//! multiply-adds. The innermost loop is four independent `c += a·b`
+//! streams over contiguous slices, which LLVM autovectorizes. `AᵀB`
+//! additionally packs each `KC × MR` operand panel into a small
+//! stack buffer so its strided column reads happen once per block.
+//!
+//! ## Determinism contract
+//!
+//! Every element of every product is accumulated in strictly ascending
+//! `k` order no matter how the loops are blocked or which thread owns
+//! the row: blocking reorders *independent* output elements and row
+//! groupings only, never the summation order inside one element. Large
+//! products are parallelized by handing each worker a contiguous range
+//! of output rows ([`ldp_parallel::Pool::par_chunks`]); since a row's
+//! arithmetic is identical whether it sits in a 4-row micro panel or a
+//! remainder tail, results are bit-identical at every thread count.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 use crate::{dot, svd};
+
+/// Rows per micro panel: four output rows share every loaded operand.
+const MR: usize = 4;
+/// Inner-dimension block: one operand panel of `KC` rows is consumed
+/// per block while the output tile stays resident.
+const KC: usize = 128;
+/// Output-column block: `MR` output row chunks of `NC` doubles (16 KiB)
+/// plus one streamed operand chunk fit in L1. Tuned with `KC` via the
+/// `kernels` bench (`crates/bench/benches/kernels.rs`): {128, 512} beat
+/// the other {128, 256} × {128, 256, 512} combinations at n = 512.
+const NC: usize = 512;
+/// Minimum multiply-add count before a product is worth threading
+/// (scoped spawns cost tens of microseconds; this is ~0.5 ms of work).
+const PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// A dense matrix of `f64` stored in row-major order.
 ///
@@ -195,8 +234,10 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop walks contiguous rows,
-    /// which is the cache-friendly order for row-major storage.
+    /// Cache-blocked and register-tiled (see the module docs); products
+    /// above [`PAR_MIN_FLOPS`] multiply-adds are row-partitioned across
+    /// the [`ldp_parallel`] pool with bit-identical results at any
+    /// thread count.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
@@ -214,18 +255,17 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape");
         out.data.fill(0.0);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
-                }
-            }
+        let (k, n) = (self.cols, rhs.cols);
+        if self.rows == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let pool = ldp_parallel::pool();
+        if pool.threads() > 1 && self.rows * k * n >= PAR_MIN_FLOPS {
+            pool.par_chunks(&mut out.data, n, |start, chunk| {
+                matmul_rows(&self.data, &rhs.data, k, n, start / n, chunk);
+            });
+        } else {
+            matmul_rows(&self.data, &rhs.data, k, n, 0, &mut out.data);
         }
     }
 
@@ -238,36 +278,47 @@ impl Matrix {
 
     /// [`Matrix::t_matmul`] into a preallocated output (overwritten).
     ///
+    /// Blocked like [`Matrix::matmul_into`], with the operand's strided
+    /// columns packed into a stack panel per block; output rows (= this
+    /// matrix's columns) partition across threads for large products.
+    ///
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()` or `out` has the wrong shape.
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "row counts must agree for AᵀB");
         assert_eq!(out.shape(), (self.cols, rhs.cols), "output shape");
         out.data.fill(0.0);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * b;
-                }
-            }
+        let (r, c, n) = (self.rows, self.cols, rhs.cols);
+        if r == 0 || c == 0 || n == 0 {
+            return;
+        }
+        let pool = ldp_parallel::pool();
+        if pool.threads() > 1 && r * c * n >= PAR_MIN_FLOPS {
+            pool.par_chunks(&mut out.data, n, |start, chunk| {
+                t_matmul_rows(&self.data, c, &rhs.data, n, r, start / n, chunk);
+            });
+        } else {
+            t_matmul_rows(&self.data, c, &rhs.data, n, r, 0, &mut out.data);
         }
     }
 
-    /// `self * rhsᵀ` without materializing the transpose.
+    /// `self * rhsᵀ` without materializing the transpose: each output
+    /// entry is one [`dot`] of two contiguous rows, row-partitioned
+    /// across threads for large products.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "column counts must agree for ABᵀ");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                out[(i, j)] = dot(a_row, rhs.row(j));
-            }
+        let (k, p) = (self.cols, rhs.rows);
+        if self.rows == 0 || k == 0 || p == 0 {
+            return out;
+        }
+        let pool = ldp_parallel::pool();
+        if pool.threads() > 1 && self.rows * k * p >= PAR_MIN_FLOPS {
+            pool.par_chunks(&mut out.data, p, |start, chunk| {
+                matmul_t_rows(&self.data, &rhs.data, k, p, start / p, chunk);
+            });
+        } else {
+            matmul_t_rows(&self.data, &rhs.data, k, p, 0, &mut out.data);
         }
         out
     }
@@ -282,21 +333,73 @@ impl Matrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into_slice(x, &mut out);
+        out
+    }
+
+    /// Writes `self * x` into `out`, splitting the output rows across
+    /// threads for large matrices (each entry is an independent [`dot`],
+    /// so any partition is bit-identical).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub(crate) fn matvec_into_slice(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
-        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+        assert_eq!(out.len(), self.rows);
+        let pool = ldp_parallel::pool();
+        if pool.threads() > 1 && self.rows * self.cols >= PAR_MIN_FLOPS {
+            pool.par_chunks(out, 1, |start, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = dot(self.row(start + i), x);
+                }
+            });
+        } else {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = dot(self.row(i), x);
+            }
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
     pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            crate::axpy(xi, self.row(i), &mut out);
-        }
+        self.t_matvec_into_slice(x, &mut out);
         out
+    }
+
+    /// Writes `selfᵀ * x` into `out`. Large products partition the
+    /// *output columns* across threads: every worker accumulates its
+    /// column range over the rows in the same ascending order the serial
+    /// loop uses, so results are bit-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()` or `out.len() != self.cols()`.
+    pub(crate) fn t_matvec_into_slice(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(out.len(), self.cols);
+        let cols = self.cols;
+        let pool = ldp_parallel::pool();
+        if pool.threads() > 1 && self.rows * cols >= PAR_MIN_FLOPS {
+            pool.par_chunks(out, 1, |j0, chunk| {
+                chunk.fill(0.0);
+                let jw = chunk.len();
+                for (i, &xi) in x.iter().enumerate() {
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    crate::axpy(xi, &self.data[i * cols + j0..][..jw], chunk);
+                }
+            });
+        } else {
+            out.fill(0.0);
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                crate::axpy(xi, self.row(i), out);
+            }
+        }
     }
 
     /// Scales every entry by `alpha`, in place.
@@ -464,6 +567,148 @@ impl Matrix {
             .iter()
             .zip(&other.data)
             .fold(0.0, |acc, (a, b)| acc.max((a - b).abs()))
+    }
+}
+
+/// Blocked `C[rows] += A[row0 + rows] · B` over a contiguous range of
+/// output rows (`out` covers `out.len() / n` rows starting at `row0`).
+/// `a` is `(row0 + rows) × k` (only the owned rows are read), `b` is
+/// `k × n`. `out` must be zeroed. Every output element accumulates in
+/// strictly ascending `k` order regardless of blocking or row grouping.
+fn matmul_rows(a: &[f64], b: &[f64], k: usize, n: usize, row0: usize, out: &mut [f64]) {
+    let rows = out.len() / n;
+    let mut jc = 0;
+    while jc < n {
+        let jw = NC.min(n - jc);
+        let mut kc = 0;
+        while kc < k {
+            let kw = KC.min(k - kc);
+            let mut i = 0;
+            while i + MR <= rows {
+                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let (c0, c1, c2, c3) = (
+                    &mut c0[jc..jc + jw],
+                    &mut c1[jc..jc + jw],
+                    &mut c2[jc..jc + jw],
+                    &mut c3[jc..jc + jw],
+                );
+                let a0 = &a[(row0 + i) * k..][..k];
+                let a1 = &a[(row0 + i + 1) * k..][..k];
+                let a2 = &a[(row0 + i + 2) * k..][..k];
+                let a3 = &a[(row0 + i + 3) * k..][..k];
+                for kk in kc..kc + kw {
+                    let brow = &b[kk * n + jc..][..jw];
+                    let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    for ((((o0, o1), o2), o3), &bv) in c0
+                        .iter_mut()
+                        .zip(c1.iter_mut())
+                        .zip(c2.iter_mut())
+                        .zip(c3.iter_mut())
+                        .zip(brow)
+                    {
+                        *o0 += x0 * bv;
+                        *o1 += x1 * bv;
+                        *o2 += x2 * bv;
+                        *o3 += x3 * bv;
+                    }
+                }
+                i += MR;
+            }
+            while i < rows {
+                let crow = &mut out[i * n + jc..][..jw];
+                let arow = &a[(row0 + i) * k..][..k];
+                for kk in kc..kc + kw {
+                    let brow = &b[kk * n + jc..][..jw];
+                    let x = arow[kk];
+                    for (o, &bv) in crow.iter_mut().zip(brow) {
+                        *o += x * bv;
+                    }
+                }
+                i += 1;
+            }
+            kc += kw;
+        }
+        jc += jw;
+    }
+}
+
+/// Blocked `C[rows] += (Aᵀ)[col0 + rows] · B` over a contiguous range of
+/// `AᵀB` output rows (= columns `col0..` of the `r × c` matrix `a`).
+/// Each `KC × MR` panel of `a`'s strided columns is packed into a stack
+/// buffer once per block. `out` must be zeroed; every element
+/// accumulates in strictly ascending `r` order.
+fn t_matmul_rows(a: &[f64], c: usize, b: &[f64], n: usize, r: usize, col0: usize, out: &mut [f64]) {
+    let rows = out.len() / n;
+    let mut pack = [0.0f64; KC * MR];
+    let mut jc = 0;
+    while jc < n {
+        let jw = NC.min(n - jc);
+        let mut kc = 0;
+        while kc < r {
+            let kw = KC.min(r - kc);
+            let mut i = 0;
+            while i + MR <= rows {
+                for kk in 0..kw {
+                    let arow = &a[(kc + kk) * c..][..c];
+                    for (p, slot) in pack[kk * MR..(kk + 1) * MR].iter_mut().enumerate() {
+                        *slot = arow[col0 + i + p];
+                    }
+                }
+                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let (c0, c1, c2, c3) = (
+                    &mut c0[jc..jc + jw],
+                    &mut c1[jc..jc + jw],
+                    &mut c2[jc..jc + jw],
+                    &mut c3[jc..jc + jw],
+                );
+                for kk in 0..kw {
+                    let brow = &b[(kc + kk) * n + jc..][..jw];
+                    let panel = &pack[kk * MR..(kk + 1) * MR];
+                    let (x0, x1, x2, x3) = (panel[0], panel[1], panel[2], panel[3]);
+                    for ((((o0, o1), o2), o3), &bv) in c0
+                        .iter_mut()
+                        .zip(c1.iter_mut())
+                        .zip(c2.iter_mut())
+                        .zip(c3.iter_mut())
+                        .zip(brow)
+                    {
+                        *o0 += x0 * bv;
+                        *o1 += x1 * bv;
+                        *o2 += x2 * bv;
+                        *o3 += x3 * bv;
+                    }
+                }
+                i += MR;
+            }
+            while i < rows {
+                let crow = &mut out[i * n + jc..][..jw];
+                for kk in 0..kw {
+                    let x = a[(kc + kk) * c + col0 + i];
+                    let brow = &b[(kc + kk) * n + jc..][..jw];
+                    for (o, &bv) in crow.iter_mut().zip(brow) {
+                        *o += x * bv;
+                    }
+                }
+                i += 1;
+            }
+            kc += kw;
+        }
+        jc += jw;
+    }
+}
+
+/// `C[rows] = A[row0 + rows] · Bᵀ` over a contiguous range of output
+/// rows: each entry is one [`dot`] of two contiguous length-`k` rows.
+fn matmul_t_rows(a: &[f64], b: &[f64], k: usize, p: usize, row0: usize, out: &mut [f64]) {
+    for (i, crow) in out.chunks_mut(p).enumerate() {
+        let arow = &a[(row0 + i) * k..][..k];
+        for (j, o) in crow.iter_mut().enumerate() {
+            *o = dot(arow, &b[j * k..][..k]);
+        }
     }
 }
 

@@ -29,6 +29,15 @@
 //! optimizer calls at the same problem size). On the hot path — the
 //! Cholesky branch of the objective plus the simplex projection — a PGD
 //! iteration performs zero heap allocation.
+//!
+//! ## Parallel restarts
+//!
+//! With `restarts > 1` and more than one [`ldp_parallel`] thread, the
+//! restarts run concurrently, each in a private workspace with its own
+//! seed stream (the same per-restart seeds the sequential schedule
+//! draws). Restart results are reduced in restart order with a strict
+//! `<` argmin — exactly the sequential fold — so the optimizer's output
+//! is bit-identical at every thread count.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
 use ldp_linalg::{LinOp, Matrix};
@@ -270,15 +279,45 @@ pub fn optimize_strategy_with(
             Some(buf) => buf,
             None => gram.as_dense().expect("checked dense above"),
         };
-        let mut best: Option<OptimizationResult> = None;
-        let mut failure: Option<LdpError> = None;
-        for restart in 0..config.restarts.max(1) {
-            let seed = config
-                .seed
-                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64));
+        let restarts = config.restarts.max(1);
+        let pool = ldp_parallel::pool();
+        let runs: Vec<Result<OptimizationResult, LdpError>> = if restarts > 1 && pool.threads() > 1
+        {
+            // Parallel restarts: each runs in its own private
+            // workspace with its own seed stream. A restart's
+            // computation never depends on workspace contents (the
+            // descent overwrites every buffer it reads — property
+            // `workspace_reuse_across_calls_is_bit_identical`), so
+            // per-restart outputs match the sequential schedule bit
+            // for bit; the reduction below scans in restart order,
+            // making the whole result thread-count independent.
+            pool.par_map(restarts, |restart| {
+                let seed = restart_seed(config.seed, restart);
+                let mut private = Workspace::new(m, n);
+                single_run(g, epsilon, config, seed, &mut private)
+            })
+        } else {
             // No `?` here: an early return would drop the taken gram
             // buffer instead of restoring it below.
-            match single_run(g, epsilon, config, seed, workspace) {
+            let mut runs = Vec::with_capacity(restarts);
+            for restart in 0..restarts {
+                let seed = restart_seed(config.seed, restart);
+                let run = single_run(g, epsilon, config, seed, workspace);
+                let failed = run.is_err();
+                runs.push(run);
+                if failed {
+                    break;
+                }
+            }
+            runs
+        };
+        // Deterministic reduction, identical to the historical
+        // sequential loop: the first error (in restart order) wins, and
+        // ties in the objective keep the earliest restart (strict `<`).
+        let mut best: Option<OptimizationResult> = None;
+        let mut failure: Option<LdpError> = None;
+        for run in runs {
+            match run {
                 Ok(result) => {
                     let better = best
                         .as_ref()
@@ -323,6 +362,13 @@ pub fn optimized_mechanism(
         FactorizationMechanism::new_unchecked_privacy(result.strategy, gram, epsilon)?
             .with_name("Optimized"),
     )
+}
+
+/// The seed of restart `restart` — a fixed affine stream so restart `r`
+/// draws the same initialization whether restarts run sequentially in a
+/// shared workspace or concurrently in private ones.
+fn restart_seed(seed: u64, restart: usize) -> u64 {
+    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(restart as u64))
 }
 
 /// One restart: init, optional step-size search, main loop.

@@ -1,0 +1,355 @@
+//! Deterministic parallel runtime for the workspace's compute kernels.
+//!
+//! A small scoped-thread pool over [`std::thread`] (the build environment
+//! has no network, so rayon is not an option) with one non-negotiable
+//! contract: **running anything through this crate never changes a single
+//! bit of the result**. Every primitive hands each worker a *disjoint,
+//! contiguous* slice of the output, so no floating-point sum is ever
+//! re-associated across threads — each output element is computed by
+//! exactly one worker running exactly the arithmetic the serial schedule
+//! runs. Changing the thread count only changes *who* computes an
+//! element, never *how*.
+//!
+//! * [`Pool::par_map`] — order-preserving map over an index range
+//!   (work-stealing via an atomic cursor; results land in call order).
+//! * [`Pool::par_chunks`] — statically partitions a mutable slice into
+//!   one granule-aligned contiguous chunk per worker (the "row range"
+//!   primitive: a matrix's output rows split across threads).
+//! * [`Pool::par_tasks`] — runs a prepared list of one-shot closures
+//!   (used where disjointness is hand-carved, e.g. the large-`h`
+//!   Walsh–Hadamard butterflies that pair two distant half-blocks).
+//!
+//! ## Thread-count resolution
+//!
+//! [`pool()`] resolves the worker count, in order:
+//!
+//! 1. `1` when already inside a pool worker — parallel sections never
+//!    nest, so inner kernels (a matvec inside a parallel Kronecker stage)
+//!    stay serial instead of oversubscribing;
+//! 2. a thread-local override installed by [`set_thread_override`]
+//!    (tests and benches switch counts without touching the process
+//!    environment, so concurrently running tests cannot race);
+//! 3. the `LDP_THREADS` environment variable (read once per process;
+//!    `0`, empty, or unparsable falls through);
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Threads are scoped per call rather than kept parked: spawning costs a
+//! few tens of microseconds, which the callers amortize by gating
+//! parallelism on a minimum work size (a blocked `n = 512` matmul runs
+//! for milliseconds). A parked-worker design would need `'static` task
+//! erasure (unsafe) to run borrowed closures; scoped threads give the
+//! same determinism guarantees in safe Rust.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// True on threads spawned by a [`Pool`] — nested calls stay serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override installed by [`set_thread_override`].
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Process-wide `LDP_THREADS` / hardware default, resolved once.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        if let Ok(raw) = std::env::var("LDP_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    })
+}
+
+/// Overrides the thread count [`pool()`] resolves *on this thread*.
+/// `None` restores environment resolution. Pool workers are unaffected:
+/// the nested-section guard always pins them to 1.
+///
+/// Thread-local by design: concurrently running tests can each pin their
+/// own count without racing on the process environment.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.with(|o| o.set(threads.map_or(0, |t| t.max(1))));
+}
+
+/// The worker count the next [`pool()`] call on this thread will use.
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    env_threads()
+}
+
+/// The shared pool at the ambient thread count (`LDP_THREADS`, test
+/// override, or hardware parallelism — see the crate docs for the full
+/// resolution order).
+pub fn pool() -> Pool {
+    Pool::new(current_threads())
+}
+
+/// A handle describing how many workers parallel sections may use.
+/// Cheap to create; threads are scoped per call.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that uses exactly `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of workers parallel sections will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..count` on all workers, preserving result order.
+    ///
+    /// Work-stealing: workers pull indices from an atomic cursor, so
+    /// uneven items (mechanism cells, optimizer restarts) balance
+    /// automatically. The output is positional — `out[i] == f(i)` —
+    /// regardless of which worker ran which index.
+    pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(&self, count: usize, f: F) -> Vec<T> {
+        let workers = self.threads.min(count);
+        if workers <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let slots_ref = Mutex::new(&mut slots);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            let value = f(i);
+            let mut guard = slots_ref.lock().expect("no poisoned workers");
+            guard[i] = Some(value);
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    work();
+                });
+            }
+            run_as_worker(work);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("all indices computed"))
+            .collect()
+    }
+
+    /// Splits `data` into one contiguous, granule-aligned chunk per
+    /// worker and calls `f(start_offset, chunk)` on each — the
+    /// disjoint-output-rows primitive. `granule` is the indivisible unit
+    /// (a matrix row length, an output stride); chunks differ in size by
+    /// at most one granule.
+    ///
+    /// Because the chunks partition `data`, each element is written by
+    /// exactly one worker and no accumulation crosses a thread boundary:
+    /// as long as `f` computes each granule the way the serial code
+    /// would, the result is bit-identical at every thread count.
+    ///
+    /// # Panics
+    /// Panics if `granule == 0` or `data.len()` is not a multiple of it.
+    pub fn par_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        &self,
+        data: &mut [T],
+        granule: usize,
+        f: F,
+    ) {
+        assert!(granule > 0, "granule must be positive");
+        assert_eq!(
+            data.len() % granule,
+            0,
+            "data must be a whole number of granules"
+        );
+        let granules = data.len() / granule;
+        let workers = self.threads.min(granules);
+        if workers <= 1 {
+            if !data.is_empty() {
+                f(0, data);
+            }
+            return;
+        }
+        // Static partition: deterministic chunk boundaries, no cursor.
+        let base = granules / workers;
+        let extra = granules % workers;
+        let mut chunks = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let elems = (base + usize::from(w < extra)) * granule;
+            let (chunk, tail) = rest.split_at_mut(elems);
+            chunks.push((start, chunk));
+            rest = tail;
+            start += elems;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut chunks = chunks.into_iter();
+            let own = chunks.next().expect("workers >= 2");
+            for (offset, chunk) in chunks {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    f(offset, chunk);
+                });
+            }
+            run_as_worker(|| f(own.0, own.1));
+        });
+    }
+
+    /// Runs every prepared task exactly once across the workers. The
+    /// caller guarantees tasks touch disjoint data (typically `&mut`
+    /// sub-slices carved before the call); execution order is
+    /// unspecified, which is safe precisely because tasks are disjoint.
+    pub fn par_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let queue = Mutex::new(tasks.into_iter());
+        let work = || loop {
+            let task = queue.lock().expect("no poisoned workers").next();
+            match task {
+                Some(task) => task(),
+                None => break,
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    work();
+                });
+            }
+            run_as_worker(work);
+        });
+    }
+}
+
+/// Runs the caller's share of a parallel section with the worker flag
+/// set (so nested `pool()` calls resolve to 1 thread), restoring the
+/// previous flag afterwards — including on unwind, so a caught panic in
+/// a task cannot leave the calling thread permanently marked as a
+/// worker (which would silently serialize every later pool use on it).
+fn run_as_worker(f: impl FnOnce()) {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+    f();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let out = Pool::new(threads).par_map(40, |i| i * i);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = Pool::new(4);
+        assert!(pool.par_map(0, |i| i).is_empty());
+        assert_eq!(pool.par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_chunks_partitions_whole_slice() {
+        for threads in [1usize, 2, 3, 5, 16] {
+            let mut data = vec![0u32; 7 * 3]; // 7 granules of 3
+            Pool::new(threads).par_chunks(&mut data, 3, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + i) as u32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as u32, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty_is_noop() {
+        let mut data: Vec<f64> = Vec::new();
+        Pool::new(4).par_chunks(&mut data, 8, |_, _| panic!("no chunks"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of granules")]
+    fn par_chunks_rejects_ragged_slice() {
+        let mut data = vec![0.0; 10];
+        Pool::new(2).par_chunks(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn par_tasks_runs_each_once() {
+        let mut hits = [0u8; 9];
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = hits
+            .chunks_mut(2)
+            .map(|c| {
+                Box::new(move || {
+                    for v in c.iter_mut() {
+                        *v += 1;
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        Pool::new(3).par_tasks(tasks);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn nested_sections_stay_serial() {
+        let inner_counts = Pool::new(4).par_map(8, |_| current_threads());
+        assert!(inner_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn override_is_thread_local() {
+        set_thread_override(Some(3));
+        assert_eq!(current_threads(), 3);
+        let other = std::thread::spawn(current_threads).join().unwrap();
+        // The spawned thread never saw this thread's override.
+        assert_ne!(other, 0);
+        set_thread_override(None);
+        assert_ne!(current_threads(), 0);
+    }
+
+    #[test]
+    fn pool_floors_at_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        set_thread_override(Some(0));
+        assert_eq!(current_threads(), 1);
+        set_thread_override(None);
+    }
+}

@@ -1,22 +1,25 @@
 //! Sharded, multi-threaded collection: one `Deployment` serving a fleet
-//! of reporting threads, each ingesting into its own `AggregatorShard`,
-//! merged exactly at the end.
+//! of reporting workers on the shared `ldp-parallel` pool, each
+//! ingesting into its own `AggregatorShard`, merged exactly at the end.
 //!
 //! Demonstrates the two guarantees that make parallel collection
 //! first-class:
 //!
 //! 1. a `Deployment` (and its `Client`s) is `Send + Sync + Clone`, so
-//!    every thread shares the same precomputed alias tables;
+//!    every worker shares the same precomputed alias tables;
 //! 2. shards hold integer counts, so N merged shards equal one
 //!    sequential aggregator *bit-for-bit*, regardless of merge order.
 //!
+//! The worker count follows `LDP_THREADS` (default: all cores):
+//!
 //! ```text
-//! cargo run --release --example sharded_aggregation
+//! LDP_THREADS=8 cargo run --release --example sharded_aggregation
 //! ```
 
 use std::time::Instant;
 
 use ldp::prelude::*;
+use ldp_parallel::pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,38 +31,29 @@ fn main() {
         .epsilon(1.0)
         .baseline(Baseline::HadamardResponse)
         .expect("deployable");
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let pool = pool();
+    let threads = pool.threads().min(8);
     println!(
-        "deployment: AllRange(n={n}), eps={}, m={} outputs, {threads} threads x {REPORTS_PER_THREAD} reports",
+        "deployment: AllRange(n={n}), eps={}, m={} outputs, {threads} workers x {REPORTS_PER_THREAD} reports",
         deployment.epsilon(),
         deployment.client().num_outputs(),
     );
 
-    // Each thread simulates a slice of the population: drawing the
+    // Each worker simulates a slice of the population: drawing the
     // user's type, randomizing it through the shared client, ingesting
-    // into a thread-local shard. No locks anywhere.
+    // into a worker-local shard. No locks anywhere.
     let start = Instant::now();
-    let shards: Vec<AggregatorShard> = std::thread::scope(|scope| {
-        (0..threads)
-            .map(|t| {
-                let deployment = deployment.clone();
-                scope.spawn(move || {
-                    let client = deployment.client();
-                    let mut shard = deployment.shard();
-                    let mut rng = StdRng::seed_from_u64(t as u64);
-                    for i in 0..REPORTS_PER_THREAD {
-                        let user_type = (i * 37 + t * 11) % n;
-                        shard
-                            .ingest(client.respond(user_type, &mut rng))
-                            .expect("in-range report");
-                    }
-                    shard
-                })
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|handle| handle.join().expect("worker thread"))
-            .collect()
+    let shards: Vec<AggregatorShard> = pool.par_map(threads, |t| {
+        let client = deployment.client();
+        let mut shard = deployment.shard();
+        let mut rng = StdRng::seed_from_u64(t as u64);
+        for i in 0..REPORTS_PER_THREAD {
+            let user_type = (i * 37 + t * 11) % n;
+            shard
+                .ingest(client.respond(user_type, &mut rng))
+                .expect("in-range report");
+        }
+        shard
     });
     let collect_time = start.elapsed();
 

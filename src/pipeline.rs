@@ -15,7 +15,9 @@
 //! [`Client`]s it hands out share the mechanism's precomputed alias
 //! tables, and [`AggregatorShard`]s ingest `u64` counts concurrently and
 //! merge exactly — any shard topology produces bit-identical results to
-//! sequential collection.
+//! sequential collection. [`Deployment::aggregate`] packages that as a
+//! one-call parallel batch ingest over the `ldp-parallel` pool
+//! (`LDP_THREADS` workers, one private shard each, exact merge).
 //!
 //! ## Scaling to large domains
 //!
@@ -262,6 +264,46 @@ impl Deployment {
         let mut aggregator = self.aggregator();
         for shard in shards {
             aggregator.merge(shard)?;
+        }
+        Ok(aggregator)
+    }
+
+    /// Ingests a whole batch of reports into a fresh [`Aggregator`],
+    /// splitting the batch across the [`ldp_parallel`] pool — one
+    /// private shard per worker, merged in chunk order at the end.
+    /// Counts are integers, so the result is **bit-identical** to
+    /// [`Aggregator::ingest_batch`] on one thread, at any thread count
+    /// (set `LDP_THREADS` to pin the worker count).
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] naming the first invalid report
+    /// (in batch order); like the sequential batch path, nothing is
+    /// counted in that case.
+    pub fn aggregate(&self, reports: &[usize]) -> Result<Aggregator, LdpError> {
+        // Ingesting a report is a couple of nanoseconds of integer work;
+        // below this batch size scoped-thread spawns would dominate, so
+        // small batches take the sequential path (same result — counts
+        // are exact either way).
+        const PAR_MIN_REPORTS: usize = 1 << 14;
+        let pool = ldp_parallel::pool();
+        let workers = if reports.len() >= PAR_MIN_REPORTS {
+            pool.threads().min(reports.len()).max(1)
+        } else {
+            1
+        };
+        let chunk_len = reports.len().div_ceil(workers).max(1);
+        let shards: Vec<Result<AggregatorShard, LdpError>> = pool.par_map(workers, |w| {
+            let lo = (w * chunk_len).min(reports.len());
+            let hi = ((w + 1) * chunk_len).min(reports.len());
+            let mut shard = self.shard();
+            shard.ingest_batch(&reports[lo..hi])?;
+            Ok(shard)
+        });
+        // Chunk-order fold: the first bad report in batch order is the
+        // first error here, matching the sequential validation.
+        let mut aggregator = self.aggregator();
+        for shard in shards {
+            aggregator.merge(shard?)?;
         }
         Ok(aggregator)
     }
