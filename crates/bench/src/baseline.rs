@@ -1,0 +1,127 @@
+//! Reading committed benchmark baselines back.
+//!
+//! The bench binaries emit flat two-level JSON (`"section": {"key":
+//! number}`) via hand-rolled formatting (the offline environment has no
+//! serde). This module is the matching reader: just enough parsing to
+//! pull named numbers back out for the CI perf gate, with no general
+//! JSON ambitions.
+
+/// Extracts `"section": { … "key": <number> … }` from a baseline JSON
+/// document. Returns `None` when the section or key is absent or the
+/// value does not parse as a number.
+pub fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec_start = find_key(text, section, 0)?;
+    let open = text[sec_start..].find('{')? + sec_start;
+    let close = matching_brace(text, open)?;
+    let body = &text[open..close];
+    let key_pos = find_key(body, key, 0)?;
+    let colon = body[key_pos..].find(':')? + key_pos;
+    let rest = body[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Byte offset just past the quoted key `"name"` at nesting depth one,
+/// scanning from `from`.
+fn find_key(text: &str, name: &str, from: usize) -> Option<usize> {
+    let needle = format!("\"{name}\"");
+    text[from..].find(&needle).map(|p| from + p + needle.len())
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn matching_brace(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One perf-gate comparison: `fresh` must reach at least
+/// `tolerance × baseline` or the run counts as a regression.
+#[derive(Clone, Debug)]
+pub struct GateCheck {
+    /// `section.key` path of the metric.
+    pub metric: String,
+    /// Value recorded in the committed baseline.
+    pub baseline: f64,
+    /// Value measured by this run.
+    pub fresh: f64,
+    /// Minimum acceptable `fresh / baseline` ratio.
+    pub tolerance: f64,
+}
+
+impl GateCheck {
+    /// Whether the fresh measurement clears the gate.
+    pub fn passes(&self) -> bool {
+        self.fresh >= self.tolerance * self.baseline
+    }
+
+    /// Human-readable verdict line for CI logs.
+    pub fn verdict(&self) -> String {
+        format!(
+            "{} {}: fresh {:.4} vs baseline {:.4} (floor {:.4})",
+            if self.passes() { "ok  " } else { "FAIL" },
+            self.metric,
+            self.fresh,
+            self.baseline,
+            self.tolerance * self.baseline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema": "ldp-bench-kernels/1",
+  "matmul": {
+    "n": 512.0000,
+    "blocked_vs_naive": 1.5303
+  },
+  "pgd": {
+    "n": 32.0000,
+    "iters_per_s_1t": 6303.2259
+  }
+}"#;
+
+    #[test]
+    fn extracts_nested_numbers() {
+        assert_eq!(json_number(DOC, "matmul", "blocked_vs_naive"), Some(1.5303));
+        assert_eq!(json_number(DOC, "pgd", "iters_per_s_1t"), Some(6303.2259));
+        assert_eq!(json_number(DOC, "pgd", "n"), Some(32.0));
+    }
+
+    #[test]
+    fn absent_paths_are_none() {
+        assert_eq!(json_number(DOC, "matmul", "missing"), None);
+        assert_eq!(json_number(DOC, "missing", "n"), None);
+    }
+
+    #[test]
+    fn gate_check_verdicts() {
+        let pass = GateCheck {
+            metric: "matmul.blocked_vs_naive".into(),
+            baseline: 1.5,
+            fresh: 1.4,
+            tolerance: 0.5,
+        };
+        assert!(pass.passes());
+        assert!(pass.verdict().starts_with("ok"));
+        let fail = GateCheck { fresh: 0.6, ..pass };
+        assert!(!fail.passes());
+        assert!(fail.verdict().starts_with("FAIL"));
+    }
+}

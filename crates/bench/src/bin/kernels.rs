@@ -15,14 +15,26 @@
 //!
 //! ```text
 //! cargo run --release -p ldp-bench --bin kernels -- --bench \
-//!     [--quick] [--threads N] [--out BENCH_KERNELS.json]
+//!     [--quick] [--threads N] [--out BENCH_KERNELS.json] \
+//!     [--check BENCH_KERNELS.json] [--tolerance 0.4]
 //! ```
 //!
 //! Without `--bench` the binary prints the measurements but skips the
 //! JSON write (useful for ad-hoc timing).
+//!
+//! `--check <baseline.json>` turns the run into a **perf gate** (the CI
+//! `perf-smoke` job): the fresh `matmul.blocked_vs_naive` ratio and
+//! `pgd.iters_per_s_1t` must reach at least `tolerance ×` the committed
+//! baseline values or the process exits non-zero. The default tolerance
+//! is deliberately generous (0.4) because CI machines are noisy,
+//! differently-sized, and `--quick` measures smaller problems than the
+//! committed full run — the gate catches *collapses* (a kernel silently
+//! falling back to the naive path, an optimizer slowdown of 2.5×+), not
+//! single-digit-percent drift.
 
 use ldp::prelude::*;
 use ldp_bench::args::Args;
+use ldp_bench::baseline::{json_number, GateCheck};
 use ldp_bench::kernels::{matmul_gflops, naive_matmul_into, test_matrix, time_secs};
 use ldp_bench::report::banner;
 use ldp_linalg::Matrix;
@@ -55,6 +67,46 @@ fn main() {
     if args.flag("bench") {
         std::fs::write(&out_path, &json).expect("write baseline JSON");
         banner("kernels", &format!("wrote {out_path}"));
+    }
+    if let Some(baseline_path) = args.value("check") {
+        let tolerance = args.get_or("tolerance", 0.4f64);
+        check_against_baseline(baseline_path, &json, tolerance);
+    }
+}
+
+/// Compares this run's measurements against a committed baseline JSON
+/// and exits non-zero on a regression beyond the tolerance.
+fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let metric = |section: &str, key: &str| -> GateCheck {
+        let path = format!("{section}.{key}");
+        let read = |doc: &str, which: &str| {
+            json_number(doc, section, key)
+                .unwrap_or_else(|| panic!("metric {path} missing from {which} measurements"))
+        };
+        GateCheck {
+            baseline: read(&baseline, "baseline"),
+            fresh: read(fresh, "fresh"),
+            metric: path,
+            tolerance,
+        }
+    };
+    let checks = [
+        metric("matmul", "blocked_vs_naive"),
+        metric("pgd", "iters_per_s_1t"),
+    ];
+    let mut failed = false;
+    for check in &checks {
+        banner("perf-gate", &check.verdict());
+        failed |= !check.passes();
+    }
+    if failed {
+        banner(
+            "perf-gate",
+            "kernel performance regressed beyond tolerance vs the committed baseline",
+        );
+        std::process::exit(1);
     }
 }
 

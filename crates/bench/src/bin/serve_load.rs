@@ -1,0 +1,171 @@
+//! Durable-serving load test: replays millions of synthetic reports
+//! through a registry-backed deployment **across simulated process
+//! restarts**, asserting the durability contracts while measuring
+//! throughput.
+//!
+//! What it exercises (the `ldp-store` tentpole end-to-end):
+//!
+//! 1. **Strategy registry** — the first deployment optimizes (cold) and
+//!    persists; a second deployment of the same `(workload, ε, config)`
+//!    must be a warm hit, skip PGD entirely, and carry a bit-identical
+//!    strategy matrix. Both wall-clock times are recorded.
+//! 2. **Resumable streaming ingestion** — the report stream is replayed
+//!    twice: once uninterrupted, once interrupted every few batches by a
+//!    full checkpoint-to-disk → drop → resume-from-disk cycle. The final
+//!    estimates must be **byte-equal**; the restart run's throughput
+//!    (checkpoint overhead included) is recorded next to the
+//!    uninterrupted one.
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin serve_load -- \
+//!     [--quick] [--reports N] [--batch B] [--restarts R] \
+//!     [--dir DIR] [--bench] [--out BENCH_SERVE.json]
+//! ```
+//!
+//! `--dir` holds the registry and checkpoint files (default: a
+//! process-unique directory under the system temp dir, removed at
+//! exit). `--bench` writes the JSON report to `--out`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ldp::prelude::*;
+use ldp_bench::args::Args;
+use ldp_bench::report::banner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let total: usize = args.get_or("reports", if quick { 400_000 } else { 2_000_000 });
+    let batch: usize = args.get_or("batch", 1 << 15);
+    let restarts: usize = args.get_or("restarts", 4).max(1);
+    let out_path = args.get_or("out", "BENCH_SERVE.json".to_string());
+    let (dir, ephemeral) = match args.value("dir") {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("ldp-serve-load-{}", std::process::id())),
+            true,
+        ),
+    };
+
+    let n = 64;
+    let epsilon = 1.0;
+    let config = OptimizerConfig {
+        iterations: if quick { 30 } else { 80 },
+        search_iterations: if quick { 4 } else { 8 },
+        ..OptimizerConfig::quick(7)
+    };
+    let registry = StrategyRegistry::open(dir.join("strategies")).expect("open registry");
+
+    // --- 1. Cold vs warm deployment through the registry. -------------
+    let t = Instant::now();
+    let (cold, outcome) = Pipeline::for_workload(Prefix::new(n))
+        .epsilon(epsilon)
+        .optimized_cached(&config, &registry)
+        .expect("cold deploy");
+    let cold_secs = t.elapsed().as_secs_f64();
+    assert_eq!(outcome, CacheOutcome::Cold, "fresh registry must be cold");
+
+    let t = Instant::now();
+    let (warm, outcome) = Pipeline::for_workload(Prefix::new(n))
+        .epsilon(epsilon)
+        .optimized_cached(&config, &registry)
+        .expect("warm deploy");
+    let warm_secs = t.elapsed().as_secs_f64();
+    assert_eq!(outcome, CacheOutcome::Warm, "second deploy must hit");
+    let cold_q = cold.mechanism();
+    let warm_q = warm.mechanism();
+    assert_eq!(
+        cold_q.reconstruction_matrix().as_slice(),
+        warm_q.reconstruction_matrix().as_slice(),
+        "warm deployment must be bit-identical"
+    );
+    banner(
+        "serve_load",
+        &format!(
+            "deploy: cold {:.2}s (PGD), warm {:.4}s from registry ({:.0}x faster)",
+            cold_secs,
+            warm_secs,
+            cold_secs / warm_secs.max(1e-9)
+        ),
+    );
+
+    // --- 2. Synthetic report stream. -----------------------------------
+    let client = warm.client();
+    let mut rng = StdRng::seed_from_u64(1);
+    let reports: Vec<usize> = (0..total)
+        .map(|i| client.respond(i % n, &mut rng))
+        .collect();
+    let batches: Vec<&[usize]> = reports.chunks(batch).collect();
+
+    // Uninterrupted replay.
+    let t = Instant::now();
+    let mut stream = warm.stream();
+    for b in &batches {
+        stream.ingest_batch(b).expect("valid batch");
+    }
+    let uninterrupted_secs = t.elapsed().as_secs_f64();
+    let baseline_estimate = stream.estimate();
+
+    // Interrupted replay: checkpoint to disk, drop, resume, every
+    // `batches / restarts` batches — a full process-restart simulation
+    // minus the exec.
+    let checkpoint_path = dir.join("serve.ckpt");
+    let interval = batches.len().div_ceil(restarts).max(1);
+    let t = Instant::now();
+    let mut checkpoints = 0usize;
+    let mut checkpoint_bytes = 0usize;
+    let mut stream = warm.stream();
+    for (i, b) in batches.iter().enumerate() {
+        stream.ingest_batch(b).expect("valid batch");
+        if (i + 1) % interval == 0 && i + 1 < batches.len() {
+            let bytes = stream.checkpoint();
+            checkpoint_bytes = bytes.len();
+            std::fs::write(&checkpoint_path, &bytes).expect("write checkpoint");
+            drop(stream);
+            let restored = std::fs::read(&checkpoint_path).expect("read checkpoint");
+            stream = warm.resume(&restored).expect("resume");
+            checkpoints += 1;
+        }
+    }
+    let resumed_secs = t.elapsed().as_secs_f64();
+    let resumed_estimate = stream.estimate();
+
+    assert_eq!(
+        resumed_estimate.data_vector(),
+        baseline_estimate.data_vector(),
+        "resumed run must be byte-equal to the uninterrupted run"
+    );
+    assert_eq!(resumed_estimate.reports(), total as u64);
+    banner(
+        "serve_load",
+        &format!(
+            "ingest {total} reports: {:.1}M reports/s uninterrupted, \
+             {:.1}M with {checkpoints} restart cycles ({checkpoint_bytes} B/checkpoint); \
+             estimates byte-equal",
+            total as f64 / uninterrupted_secs / 1e6,
+            total as f64 / resumed_secs / 1e6,
+        ),
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"ldp-bench-serve/1\",\n  \"quick\": {quick},\n  \
+         \"deploy\": {{\n    \"cold_s\": {cold_secs:.4},\n    \"warm_s\": {warm_secs:.6},\n    \
+         \"warm_speedup\": {:.1}\n  }},\n  \"ingest\": {{\n    \"reports\": {total},\n    \
+         \"restart_cycles\": {checkpoints},\n    \"checkpoint_bytes\": {checkpoint_bytes},\n    \
+         \"reports_per_s\": {:.0},\n    \"reports_per_s_resumed\": {:.0}\n  }}\n}}\n",
+        cold_secs / warm_secs.max(1e-9),
+        total as f64 / uninterrupted_secs,
+        total as f64 / resumed_secs,
+    );
+    println!("{json}");
+    if args.flag("bench") {
+        std::fs::write(&out_path, &json).expect("write report JSON");
+        banner("serve_load", &format!("wrote {out_path}"));
+    }
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,6 +20,7 @@
 //! deterministic given `--seed`.
 
 pub mod args;
+pub mod baseline;
 pub mod cells;
 pub mod kernels;
 pub mod report;

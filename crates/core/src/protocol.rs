@@ -193,6 +193,21 @@ impl AggregatorShard {
         }
     }
 
+    /// Rehydrates a shard from previously exported counts (the inverse of
+    /// [`AggregatorShard::into_counts`]) — the durability hook used by
+    /// snapshot decoding: counts are exact `u64`s, so a restored shard is
+    /// bit-identical to the one that was exported.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Consumes the shard, returning its exact integer counts — the
+    /// loss-free export used by snapshot encoding (no `f64` conversion
+    /// ever touches the durable representation).
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+
     /// Number of possible reports `m`.
     pub fn num_outputs(&self) -> usize {
         self.counts.len()
@@ -291,6 +306,42 @@ impl Aggregator {
             shard: AggregatorShard::new(reconstruction.cols()),
             reconstruction,
         }
+    }
+
+    /// Reassembles an aggregator from a reconstruction matrix and a shard
+    /// of previously collected counts — the durability hook used when
+    /// resuming from a snapshot. Counts are exact integers, so the
+    /// restored aggregator's estimates are bit-identical to the one that
+    /// was checkpointed.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shard's output count
+    /// disagrees with the reconstruction's column count.
+    pub fn from_parts(reconstruction: Matrix, shard: AggregatorShard) -> Result<Self, LdpError> {
+        if shard.num_outputs() != reconstruction.cols() {
+            return Err(LdpError::DimensionMismatch {
+                context: "aggregator restore",
+                expected: reconstruction.cols(),
+                actual: shard.num_outputs(),
+            });
+        }
+        Ok(Self {
+            shard,
+            reconstruction,
+        })
+    }
+
+    /// The reconstruction matrix `K` (`n × m`) this aggregator
+    /// post-processes with.
+    pub fn reconstruction(&self) -> &Matrix {
+        &self.reconstruction
+    }
+
+    /// Clones the current counts out as a standalone shard — the exact
+    /// integer state a checkpoint must capture. Collection can continue
+    /// afterwards.
+    pub fn to_shard(&self) -> AggregatorShard {
+        self.shard.clone()
     }
 
     /// Ingests one client report.
@@ -504,6 +555,36 @@ mod tests {
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c.counts(), &[2, 2, 4]);
         assert_eq!(ab_c.reports(), 8);
+    }
+
+    #[test]
+    fn shard_count_export_round_trips_exactly() {
+        let mut shard = AggregatorShard::new(4);
+        shard.ingest_batch(&[0, 3, 3, 1]).unwrap();
+        let counts = shard.clone().into_counts();
+        assert_eq!(counts, vec![1, 1, 0, 2]);
+        assert_eq!(AggregatorShard::from_counts(counts), shard);
+    }
+
+    #[test]
+    fn aggregator_restores_from_parts_bit_identically() {
+        let mech = mechanism(3, 1.0);
+        let mut agg = Aggregator::new(&mech);
+        agg.ingest_batch(&[0, 1, 1, 2, 2, 2]).unwrap();
+        let restored =
+            Aggregator::from_parts(agg.reconstruction().clone(), agg.to_shard()).unwrap();
+        assert_eq!(restored.counts(), agg.counts());
+        assert_eq!(restored.estimate(), agg.estimate());
+        // Original continues collecting after the checkpoint read.
+        agg.ingest(0).unwrap();
+        assert_eq!(agg.reports(), 7);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_shard() {
+        let mech = mechanism(3, 1.0);
+        let err = Aggregator::from_parts(mech.reconstruction().clone(), AggregatorShard::new(5));
+        assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod linop;
 mod lu;
 mod matrix;
 mod pinv;
+pub mod stablehash;
 mod svd;
 mod tridiagonal;
 

@@ -235,7 +235,7 @@ impl Matrix {
     /// Matrix product `self * rhs`.
     ///
     /// Cache-blocked and register-tiled (see the module docs); products
-    /// above [`PAR_MIN_FLOPS`] multiply-adds are row-partitioned across
+    /// above `PAR_MIN_FLOPS` multiply-adds are row-partitioned across
     /// the [`ldp_parallel`] pool with bit-identical results at any
     /// thread count.
     ///

@@ -1,0 +1,135 @@
+//! Bit-stable hashing of numerical data.
+//!
+//! `std::hash` makes no stability promise across compiler versions or
+//! processes, so anything persisted to disk and keyed by a hash — the
+//! strategy cache in `ldp-store`, snapshot checksums — needs a hash whose
+//! byte-level definition lives in this workspace. [`Fnv64`] is 64-bit
+//! FNV-1a over explicit little-endian tokens: fully specified, fast
+//! enough for the `O(n)` fingerprint probes that use it, and trivially
+//! auditable.
+
+/// 64-bit FNV-1a with explicit, byte-order-stable write methods.
+///
+/// ```
+/// use ldp_linalg::stablehash::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_str("prefix");
+/// h.write_u64(1024);
+/// h.write_f64(0.5);
+/// // The value is pinned by the algorithm, not by the platform.
+/// assert_eq!(h.finish(), h.clone().finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+/// The standard FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The standard FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher starting from the standard offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// A hasher with a caller-chosen basis, for deriving independent hash
+    /// streams over the same token sequence (e.g. the two halves of a
+    /// 128-bit content address).
+    pub fn with_basis(basis: u64) -> Self {
+        Self { state: basis }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string; the prefix keeps adjacent
+    /// strings from aliasing (`"ab","c"` vs `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by exact bit pattern — `-0.0` and `0.0` hash
+    /// differently and NaN payloads are preserved. Content addresses key
+    /// on bit-identical numerics, so this is the right equivalence.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice — the checksum primitive used by the
+/// snapshot codec.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_adjacent_strings() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_bases_give_independent_streams() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::with_basis(0x9e3779b97f4a7c15);
+        for h in [&mut a, &mut b] {
+            h.write_u64(42);
+        }
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -40,6 +40,7 @@
 //! is bit-identical at every thread count.
 
 use ldp_core::{FactorizationMechanism, LdpError, StrategyMatrix};
+use ldp_linalg::stablehash::Fnv64;
 use ldp_linalg::{LinOp, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -130,6 +131,52 @@ impl OptimizerConfig {
             Some(warm) => warm.num_outputs(),
             None => self.num_outputs.unwrap_or(4 * n).max(n),
         }
+    }
+
+    /// A stable 64-bit fingerprint of every field that influences the
+    /// optimizer's output — two configs with equal fingerprints drive
+    /// Algorithm 2 to bit-identical strategies on the same problem (the
+    /// descent is deterministic given the seed and hyper-parameters,
+    /// PR 3's thread-count-invariance included). `ldp-store` combines
+    /// this with the workload fingerprint and ε to content-address
+    /// cached strategies.
+    ///
+    /// A warm-start strategy participates by exact matrix bit pattern,
+    /// so warm-started runs never alias cold-started ones.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("ldp-optimizer-config/1");
+        match self.num_outputs {
+            None => h.write_u64(0),
+            Some(m) => {
+                h.write_u64(1);
+                h.write_u64(m as u64);
+            }
+        }
+        h.write_u64(self.iterations as u64);
+        h.write_u64(self.restarts as u64);
+        match self.step_size {
+            None => h.write_u64(0),
+            Some(beta) => {
+                h.write_u64(1);
+                h.write_f64(beta);
+            }
+        }
+        h.write_u64(self.search_iterations as u64);
+        h.write_u64(self.seed);
+        match &self.initial_strategy {
+            None => h.write_u64(0),
+            Some(warm) => {
+                h.write_u64(1);
+                let q = warm.matrix();
+                h.write_u64(q.rows() as u64);
+                h.write_u64(q.cols() as u64);
+                for &v in q.as_slice() {
+                    h.write_f64(v);
+                }
+            }
+        }
+        h.finish()
     }
 }
 
@@ -779,6 +826,36 @@ mod tests {
         let config = OptimizerConfig::quick(9).with_num_outputs(10);
         let result = optimize_strategy(&gram, 1.0, &config).unwrap();
         assert_eq!(result.strategy.num_outputs(), 10);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_field() {
+        let base = OptimizerConfig::new(7);
+        assert_eq!(base.fingerprint(), OptimizerConfig::new(7).fingerprint());
+        let variants = [
+            OptimizerConfig::new(8),
+            OptimizerConfig::new(7).with_iterations(99),
+            OptimizerConfig::new(7).with_restarts(3),
+            OptimizerConfig::new(7).with_num_outputs(12),
+            OptimizerConfig {
+                step_size: Some(0.1),
+                ..OptimizerConfig::new(7)
+            },
+            OptimizerConfig {
+                search_iterations: 3,
+                ..OptimizerConfig::new(7)
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+        // A warm start keys on the exact matrix bits.
+        let e = 1.0_f64.exp();
+        let z = e + 1.0;
+        let q = Matrix::from_fn(2, 2, |o, u| if o == u { e / z } else { 1.0 / z });
+        let warm = StrategyMatrix::new(q).unwrap();
+        let warmed = OptimizerConfig::new(7).with_warm_start(warm);
+        assert_ne!(base.fingerprint(), warmed.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Durability layer for LDP deployments: snapshots and a strategy
+//! registry.
+//!
+//! The paper's mechanism splits into a one-time, expensive strategy
+//! optimization and cheap per-report collection. A service that restarts
+//! must not repeat the expensive half or lose the cheap half's state, so
+//! this crate persists both:
+//!
+//! * [`codec`] — the wire format: a versioned, checksummed binary
+//!   envelope (magic `LDPS`, explicit little-endian layout — no serde;
+//!   the build environment is offline) with **strict** decoding:
+//!   truncation, bit flips, version or kind mismatches, and trailing
+//!   bytes each produce a distinct typed [`StoreError`].
+//! * [`snapshot`] — records for the aggregation state machine:
+//!   [`AggregatorShard`](ldp_core::AggregatorShard) counts,
+//!   full [`Aggregator`](ldp_core::Aggregator)s, optimized strategies,
+//!   and streaming-ingestion checkpoints ([`IngestCheckpoint`]). Counts
+//!   are exact `u64`s and matrices exact `f64` bit patterns, so decoded
+//!   state is bit-identical to what was encoded.
+//! * [`registry`] — the [`StrategyRegistry`]: optimized strategies
+//!   content-addressed by a stable [`Fingerprint`] of
+//!   `(workload, ε, OptimizerConfig)`. Repeat deployments skip PGD
+//!   entirely and warm-start from disk with bit-identical strategy
+//!   matrices.
+//!
+//! The deployment-facing integration — checkpoint/resume streaming
+//! ingestion and the registry-backed `Pipeline::optimized_cached` — lives
+//! in the root `ldp` crate's pipeline module; this crate stays
+//! independent of the pipeline so lower layers (bench harnesses,
+//! external services) can persist state directly.
+
+pub mod codec;
+pub mod registry;
+pub mod snapshot;
+
+pub use codec::{RecordKind, StoreError};
+pub use registry::{CacheOutcome, Fingerprint, StrategyRegistry};
+pub use snapshot::{
+    decode_aggregator, decode_checkpoint, decode_shard, decode_strategy, encode_aggregator,
+    encode_checkpoint, encode_shard, encode_strategy, IngestCheckpoint,
+};

@@ -1,0 +1,325 @@
+//! Content-addressed persistence for optimized strategies.
+//!
+//! Strategy optimization (Algorithm 2) is the expensive, one-time half
+//! of the paper's mechanism; per-report collection is the cheap half. A
+//! production service therefore treats the optimized strategy as a
+//! reusable artifact: the [`StrategyRegistry`] addresses each strategy
+//! by a stable fingerprint of *exactly the inputs that determine the
+//! optimizer's output* — the workload (through its Gram operator), the
+//! domain size, the privacy budget, and every [`OptimizerConfig`] field
+//! — and replays it from disk on repeat deployments.
+//!
+//! Because PGD is deterministic given those inputs (seeded
+//! initialization, thread-count-invariant restarts), a warm hit is not
+//! an approximation: the decoded strategy is **bit-identical** to the
+//! one a fresh optimization would produce, so warm and cold deployments
+//! are indistinguishable downstream.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ldp_core::{LdpError, StrategyMatrix};
+use ldp_linalg::stablehash::Fnv64;
+use ldp_linalg::Gram;
+use ldp_opt::{optimize_strategy, OptimizerConfig};
+use ldp_workloads::Workload;
+
+use crate::codec::StoreError;
+use crate::snapshot::{decode_strategy, encode_strategy};
+
+/// A 128-bit content address: two independent FNV-1a streams over the
+/// same token sequence. 64 bits would already make accidental collisions
+/// implausible within one registry; doubling is cheap insurance for a
+/// key that silently selects a mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// The fingerprint of a `(workload, ε, optimizer config)` triple.
+    pub fn of(workload: &dyn Workload, epsilon: f64, config: &OptimizerConfig) -> Self {
+        Self::with_gram(workload, &workload.gram(), epsilon, config)
+    }
+
+    /// [`Fingerprint::of`] for a caller that already constructed the
+    /// workload's Gram operator — avoids rebuilding it (Gram assembly is
+    /// real work for dense/marginal workloads).
+    pub fn with_gram(
+        workload: &dyn Workload,
+        gram: &Gram,
+        epsilon: f64,
+        config: &OptimizerConfig,
+    ) -> Self {
+        let tokens = [
+            workload.fingerprint_with_gram(gram),
+            workload.domain_size() as u64,
+            epsilon.to_bits(),
+            config.fingerprint(),
+        ];
+        let mut hi = Fnv64::new();
+        let mut lo = Fnv64::with_basis(0x9e37_79b9_7f4a_7c15);
+        for h in [&mut hi, &mut lo] {
+            h.write_str("ldp-strategy-key/1");
+            for &t in &tokens {
+                h.write_u64(t);
+            }
+        }
+        Self {
+            hi: hi.finish(),
+            lo: lo.finish(),
+        }
+    }
+
+    /// The 32-hex-digit file stem for this fingerprint.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Whether a registry lookup reused a persisted strategy or had to run
+/// the optimizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The strategy was decoded from disk; PGD was skipped entirely.
+    Warm,
+    /// No (valid) entry existed; the optimizer ran and the result was
+    /// persisted.
+    Cold,
+}
+
+/// A directory of optimized strategies addressed by [`Fingerprint`].
+///
+/// ```no_run
+/// use ldp_opt::OptimizerConfig;
+/// use ldp_store::{CacheOutcome, StrategyRegistry};
+/// use ldp_workloads::Prefix;
+///
+/// let registry = StrategyRegistry::open("strategies")?;
+/// let (s1, o1) = registry.get_or_optimize(&Prefix::new(64), 1.0, &OptimizerConfig::new(7))?;
+/// let (s2, o2) = registry.get_or_optimize(&Prefix::new(64), 1.0, &OptimizerConfig::new(7))?;
+/// assert_eq!(o1, CacheOutcome::Cold);
+/// assert_eq!(o2, CacheOutcome::Warm);
+/// // The warm hit is bit-identical, not merely equivalent.
+/// assert_eq!(s1.matrix().as_slice(), s2.matrix().as_slice());
+/// # Ok::<(), ldp_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct StrategyRegistry {
+    root: PathBuf,
+}
+
+/// Monotonic suffix so concurrent writers in one process never collide
+/// on a temp file name (cross-process uniqueness comes from the pid).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl StrategyRegistry {
+    /// Opens (creating if needed) a registry rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = dir.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The directory this registry persists into.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: Fingerprint) -> PathBuf {
+        self.root.join(format!("{}.ldps", key.hex()))
+    }
+
+    /// Loads the strategy stored under `key`, if any. A present-but-
+    /// corrupt entry is an error, not a silent miss — an operator should
+    /// see storage rot, not mysteriously slow deploys.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failure, or any decode error for
+    /// a corrupt entry.
+    pub fn load(&self, key: Fingerprint) -> Result<Option<(StrategyMatrix, f64)>, StoreError> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        decode_strategy(&bytes).map(Some)
+    }
+
+    /// Persists `strategy` under `key`, atomically (temp file + rename),
+    /// so a crash mid-write can never leave a half-record a later decode
+    /// would have to reject.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn store(
+        &self,
+        key: Fingerprint,
+        strategy: &StrategyMatrix,
+        epsilon: f64,
+    ) -> Result<(), StoreError> {
+        let bytes = encode_strategy(strategy, epsilon);
+        let final_path = self.entry_path(key);
+        let tmp = self.root.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &bytes)?;
+        match fs::rename(&tmp, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// The heart of durable deployment: returns the optimized strategy
+    /// for `(workload, epsilon, config)`, running PGD only on a cache
+    /// miss and persisting the result for every future deployment.
+    ///
+    /// On a warm hit the optimizer is **skipped entirely** and the
+    /// returned strategy is bit-identical to what a fresh optimization
+    /// would produce (asserted in `tests/durability.rs`). The stored
+    /// budget is cross-checked against the requested one as a defense in
+    /// depth against key collisions.
+    ///
+    /// # Errors
+    /// [`StoreError::Mechanism`] wrapping optimizer failures (including
+    /// [`LdpError::InvalidEpsilon`], checked before any disk or
+    /// optimizer work), I/O and decode errors from the registry itself.
+    pub fn get_or_optimize(
+        &self,
+        workload: &dyn Workload,
+        epsilon: f64,
+        config: &OptimizerConfig,
+    ) -> Result<(StrategyMatrix, CacheOutcome), StoreError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(LdpError::InvalidEpsilon(epsilon).into());
+        }
+        let gram = workload.gram();
+        let key = Fingerprint::with_gram(workload, &gram, epsilon, config);
+        self.get_or_optimize_keyed(key, &gram, epsilon, config)
+    }
+
+    /// [`StrategyRegistry::get_or_optimize`] for a caller that already
+    /// holds the workload's Gram operator and its [`Fingerprint`] — the
+    /// pipeline uses this so a deployment constructs the Gram exactly
+    /// once across keying, optimization, and assembly.
+    ///
+    /// # Errors
+    /// As [`StrategyRegistry::get_or_optimize`].
+    pub fn get_or_optimize_keyed(
+        &self,
+        key: Fingerprint,
+        gram: &Gram,
+        epsilon: f64,
+        config: &OptimizerConfig,
+    ) -> Result<(StrategyMatrix, CacheOutcome), StoreError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(LdpError::InvalidEpsilon(epsilon).into());
+        }
+        if let Some((strategy, stored_eps)) = self.load(key)? {
+            if stored_eps.to_bits() != epsilon.to_bits() {
+                return Err(StoreError::Malformed(format!(
+                    "registry entry {} stores budget {stored_eps}, requested {epsilon}",
+                    key.hex()
+                )));
+            }
+            return Ok((strategy, CacheOutcome::Warm));
+        }
+        let result = optimize_strategy(gram, epsilon, config)?;
+        self.store(key, &result.strategy, epsilon)?;
+        Ok((result.strategy, CacheOutcome::Cold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_workloads::{Histogram, Prefix};
+
+    fn temp_registry(tag: &str) -> StrategyRegistry {
+        let dir = std::env::temp_dir().join(format!(
+            "ldp-store-test-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        StrategyRegistry::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_separates_all_key_components() {
+        let cfg = OptimizerConfig::quick(1);
+        let base = Fingerprint::of(&Prefix::new(8), 1.0, &cfg);
+        assert_eq!(base, Fingerprint::of(&Prefix::new(8), 1.0, &cfg));
+        assert_ne!(base, Fingerprint::of(&Prefix::new(16), 1.0, &cfg));
+        assert_ne!(base, Fingerprint::of(&Histogram::new(8), 1.0, &cfg));
+        assert_ne!(base, Fingerprint::of(&Prefix::new(8), 2.0, &cfg));
+        assert_ne!(
+            base,
+            Fingerprint::of(&Prefix::new(8), 1.0, &OptimizerConfig::quick(2))
+        );
+        assert_eq!(base.hex().len(), 32);
+    }
+
+    #[test]
+    fn cold_then_warm_with_identical_bits() {
+        let reg = temp_registry("warm");
+        let cfg = OptimizerConfig {
+            iterations: 15,
+            search_iterations: 3,
+            ..OptimizerConfig::quick(3)
+        };
+        let w = Prefix::new(6);
+        let (cold, o1) = reg.get_or_optimize(&w, 1.0, &cfg).unwrap();
+        assert_eq!(o1, CacheOutcome::Cold);
+        let (warm, o2) = reg.get_or_optimize(&w, 1.0, &cfg).unwrap();
+        assert_eq!(o2, CacheOutcome::Warm);
+        assert_eq!(warm.matrix().as_slice(), cold.matrix().as_slice());
+        let _ = fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn corrupt_entry_is_an_error_not_a_miss() {
+        let reg = temp_registry("corrupt");
+        let cfg = OptimizerConfig {
+            iterations: 10,
+            search_iterations: 2,
+            ..OptimizerConfig::quick(4)
+        };
+        let w = Histogram::new(4);
+        reg.get_or_optimize(&w, 1.0, &cfg).unwrap();
+        let key = Fingerprint::of(&w, 1.0, &cfg);
+        let path = reg.entry_path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(reg.get_or_optimize(&w, 1.0, &cfg).is_err());
+        let _ = fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected_before_any_work() {
+        let reg = temp_registry("eps");
+        let cfg = OptimizerConfig::quick(5);
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = reg.get_or_optimize(&Histogram::new(4), eps, &cfg);
+            assert!(
+                matches!(err, Err(StoreError::Mechanism(LdpError::InvalidEpsilon(_)))),
+                "eps {eps} gave {err:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(reg.root());
+    }
+}

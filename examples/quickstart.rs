@@ -79,4 +79,23 @@ fn main() {
         "after WNNLS:               {:.3}% of the population",
         100.0 * max_rel(&consistent.answers())
     );
+
+    // Durable serving: checkpoint the stream state at a batch boundary,
+    // "restart", resume — estimates are byte-equal to never stopping.
+    let mut stream = optimized.stream();
+    let mut rng = StdRng::seed_from_u64(3);
+    let batch: Vec<usize> = (0..10_000)
+        .map(|i| client.respond(i % n, &mut rng))
+        .collect();
+    stream.ingest_batch(&batch[..6_000]).expect("valid batch");
+    let snapshot = stream.checkpoint(); // persist these bytes anywhere
+    drop(stream); // …process exits…
+    let mut resumed = optimized.resume(&snapshot).expect("intact snapshot");
+    resumed.ingest_batch(&batch[6_000..]).expect("valid batch");
+    println!(
+        "\ncheckpoint/resume: {} reports across a restart ({} snapshot bytes), epoch {}",
+        resumed.reports(),
+        snapshot.len(),
+        resumed.epoch()
+    );
 }

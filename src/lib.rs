@@ -50,7 +50,7 @@
 //!
 //! Multi-threaded collection is first-class: a [`Deployment`] is
 //! `Send + Sync + Clone`, clients share precomputed alias tables, and
-//! [`AggregatorShard`]s (integer counts) merge bit-exactly — see
+//! [`prelude::AggregatorShard`]s (integer counts) merge bit-exactly — see
 //! `examples/sharded_aggregation.rs` and the `sharded_ingestion` bench.
 //! The crate-level entry points used above remain available for manual
 //! plumbing: [`prelude::optimized_mechanism`], [`prelude::Client`],
@@ -67,6 +67,7 @@
 //! | [`mechanisms`] | RR, Hadamard, Hierarchical, Fourier, RAPPOR, Subset Selection, local Matrix Mechanism |
 //! | [`opt`] | Algorithm 1 (projection), Algorithm 2 (projected gradient descent) |
 //! | [`estimation`] | WNNLS consistency post-processing, variance simulation |
+//! | [`store`] | durability: checksummed snapshots, strategy registry, checkpoint/resume |
 //! | [`data`] | synthetic DPBench-shaped datasets (HEPTH/MEDCOST/NETTRACE-like) |
 
 pub use ldp_core as core;
@@ -75,15 +76,16 @@ pub use ldp_estimation as estimation;
 pub use ldp_linalg as linalg;
 pub use ldp_mechanisms as mechanisms;
 pub use ldp_opt as opt;
+pub use ldp_store as store;
 pub use ldp_workloads as workloads;
 
 pub mod pipeline;
 
-pub use pipeline::{Baseline, Deployment, Estimate, Pipeline};
+pub use pipeline::{Baseline, Deployment, Estimate, Pipeline, StreamIngestor};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::pipeline::{Baseline, Deployment, Estimate, Pipeline};
+    pub use crate::pipeline::{Baseline, Deployment, Estimate, Pipeline, StreamIngestor};
     pub use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
     pub use ldp_core::{
         DataVector, Deployable, FactorizationMechanism, LdpError, LdpMechanism, ResponseVector,
@@ -96,6 +98,7 @@ pub mod prelude {
         LocalMatrixMechanism,
     };
     pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig, Workspace};
+    pub use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
     pub use ldp_workloads::{
         AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
         Total, WidthRange, Workload,

@@ -64,11 +64,16 @@
 use std::sync::Arc;
 
 use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
-use ldp_core::{variance, DataVector, Deployable, LdpError, StrategyMatrix};
+use ldp_core::{
+    variance, DataVector, Deployable, FactorizationMechanism, LdpError, StrategyMatrix,
+};
 use ldp_estimation::{wnnls, WnnlsOptions};
+use ldp_linalg::stablehash::Fnv64;
 use ldp_linalg::Gram;
 use ldp_mechanisms::{hadamard_response, hierarchical, randomized_response};
 use ldp_opt::{optimized_mechanism, OptimizerConfig};
+use ldp_store::snapshot::{decode_checkpoint, encode_checkpoint, IngestCheckpoint};
+use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
 use ldp_workloads::Workload;
 use rand::RngCore;
 
@@ -121,6 +126,16 @@ impl Pipeline {
         self
     }
 
+    /// Validates the builder's budget before any terminal does real work
+    /// — every terminal rejects a non-finite or non-positive ε the same
+    /// way, without first materializing a Gram or running an optimizer.
+    fn validated_epsilon(&self) -> Result<f64, LdpError> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(LdpError::InvalidEpsilon(self.epsilon));
+        }
+        Ok(self.epsilon)
+    }
+
     /// Optimizes a strategy for exactly this workload (Algorithm 2) and
     /// deploys the resulting factorization mechanism.
     ///
@@ -128,9 +143,46 @@ impl Pipeline {
     /// Propagates optimizer and mechanism-construction failures
     /// ([`LdpError::InvalidEpsilon`], [`LdpError::OptimizationFailed`], …).
     pub fn optimized(self, config: &OptimizerConfig) -> Result<Deployment, LdpError> {
+        let epsilon = self.validated_epsilon()?;
         let gram = self.workload.gram();
-        let mechanism = optimized_mechanism(&gram, self.epsilon, config)?;
+        let mechanism = optimized_mechanism(&gram, epsilon, config)?;
         Deployment::assemble(self.workload, gram, Arc::new(mechanism))
+    }
+
+    /// Like [`Pipeline::optimized`], but backed by a persistent
+    /// [`StrategyRegistry`]: if a strategy for exactly this
+    /// `(workload, ε, config)` was optimized before — in this process or
+    /// any earlier one — PGD is **skipped entirely** and the deployment
+    /// warm-starts from disk with a bit-identical strategy matrix. On a
+    /// miss the optimizer runs once and the result is persisted.
+    ///
+    /// Returns the deployment together with the [`CacheOutcome`] so
+    /// callers (and perf dashboards) can distinguish warm from cold.
+    ///
+    /// # Errors
+    /// Optimizer and mechanism failures wrapped as
+    /// [`StoreError::Mechanism`], plus registry I/O or decode failures.
+    pub fn optimized_cached(
+        self,
+        config: &OptimizerConfig,
+        registry: &StrategyRegistry,
+    ) -> Result<(Deployment, CacheOutcome), StoreError> {
+        let epsilon = self.validated_epsilon()?;
+        // One Gram construction serves keying, optimization, and
+        // assembly — Gram assembly is real work for dense/marginal
+        // workloads, so it must not be repeated per stage.
+        let gram = self.workload.gram();
+        let key = ldp_store::Fingerprint::with_gram(&*self.workload, &gram, epsilon, config);
+        let (strategy, outcome) = registry.get_or_optimize_keyed(key, &gram, epsilon, config)?;
+        // Identical to the tail of `optimized_mechanism`: the privacy
+        // budget is trusted (the optimizer projected onto the ε-LDP
+        // simplex; the decode path revalidated stochasticity), and the
+        // reconstruction recompute is deterministic — bit-equal Q gives
+        // bit-equal K, so warm and cold deployments are interchangeable.
+        let mechanism = FactorizationMechanism::new_unchecked_privacy(strategy, &gram, epsilon)?
+            .with_name("Optimized");
+        let deployment = Deployment::assemble(self.workload, gram, Arc::new(mechanism))?;
+        Ok((deployment, outcome))
     }
 
     /// Deploys a closed-form baseline mechanism at this workload/budget.
@@ -139,17 +191,13 @@ impl Pipeline {
     /// [`LdpError::WorkloadNotSupported`] if the baseline cannot answer
     /// the workload, [`LdpError::InvalidEpsilon`] for a bad budget.
     pub fn baseline(self, baseline: Baseline) -> Result<Deployment, LdpError> {
-        // The closed-form constructors assert on the budget; validate it
-        // here so every pipeline terminal reports a bad ε the same way.
-        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
-            return Err(LdpError::InvalidEpsilon(self.epsilon));
-        }
+        let epsilon = self.validated_epsilon()?;
         let n = self.workload.domain_size();
         let gram = self.workload.gram();
         let mechanism = match baseline {
-            Baseline::RandomizedResponse => randomized_response(n, self.epsilon, &gram)?,
-            Baseline::HadamardResponse => hadamard_response(n, self.epsilon, &gram)?,
-            Baseline::Hierarchical => hierarchical(n, self.epsilon, &gram)?,
+            Baseline::RandomizedResponse => randomized_response(n, epsilon, &gram)?,
+            Baseline::HadamardResponse => hadamard_response(n, epsilon, &gram)?,
+            Baseline::Hierarchical => hierarchical(n, epsilon, &gram)?,
         };
         Deployment::assemble(self.workload, gram, Arc::new(mechanism))
     }
@@ -158,11 +206,13 @@ impl Pipeline {
     /// the workload is answerable (Theorem 3.10's row-space condition).
     ///
     /// # Errors
-    /// [`LdpError::PrivacyViolation`], [`LdpError::WorkloadNotSupported`],
-    /// or [`LdpError::DimensionMismatch`] from mechanism construction.
+    /// [`LdpError::InvalidEpsilon`], [`LdpError::PrivacyViolation`],
+    /// [`LdpError::WorkloadNotSupported`], or
+    /// [`LdpError::DimensionMismatch`] from mechanism construction.
     pub fn strategy(self, strategy: StrategyMatrix) -> Result<Deployment, LdpError> {
+        let epsilon = self.validated_epsilon()?;
         let gram = self.workload.gram();
-        let mechanism = ldp_core::FactorizationMechanism::new(strategy, &gram, self.epsilon)?;
+        let mechanism = FactorizationMechanism::new(strategy, &gram, epsilon)?;
         Deployment::assemble(self.workload, gram, Arc::new(mechanism))
     }
 
@@ -193,6 +243,13 @@ struct DeploymentInner {
     /// Per-user-type variance contributions `T_u` (Theorem 3.4), cached
     /// because every analytic read-out derives from them.
     profile: Vec<f64>,
+    /// Stable fingerprint of the deployed mechanism (dimensions, budget,
+    /// reconstruction bits): stamped into every streaming checkpoint so
+    /// a snapshot can never be resumed into a different deployment.
+    /// Hashing `K` is `O(nm)` serial work, so it is computed lazily on
+    /// the first `checkpoint()`/`resume()` — deployments that never
+    /// stream never pay for it.
+    binding: std::sync::OnceLock<u64>,
 }
 
 /// A deployed mechanism bound to its workload: hands out [`Client`]s and
@@ -225,7 +282,25 @@ impl Deployment {
                 gram,
                 mechanism,
                 profile,
+                binding: std::sync::OnceLock::new(),
             }),
+        })
+    }
+
+    /// The checkpoint-binding fingerprint, computed on first use (it
+    /// hashes every bit of the reconstruction matrix).
+    fn binding(&self) -> u64 {
+        *self.inner.binding.get_or_init(|| {
+            let mechanism = &self.inner.mechanism;
+            let mut h = Fnv64::new();
+            h.write_str("ldp-deployment-binding/1");
+            h.write_u64(self.inner.workload.domain_size() as u64);
+            h.write_u64(mechanism.num_outputs() as u64);
+            h.write_f64(mechanism.epsilon());
+            for &v in mechanism.reconstruction_matrix().as_slice() {
+                h.write_f64(v);
+            }
+            h.finish()
         })
     }
 
@@ -308,6 +383,54 @@ impl Deployment {
         Ok(aggregator)
     }
 
+    /// Opens a fresh resumable ingestion stream: batches go in,
+    /// [`StreamIngestor::checkpoint`] captures the exact state at any
+    /// batch boundary, and [`Deployment::resume`] restores it — after
+    /// which the run is bit-for-bit equal to one that was never
+    /// interrupted.
+    pub fn stream(&self) -> StreamIngestor {
+        StreamIngestor {
+            deployment: self.clone(),
+            aggregator: self.aggregator(),
+            epoch: 0,
+            batches: 0,
+        }
+    }
+
+    /// Restores an ingestion stream from checkpoint bytes written by
+    /// [`StreamIngestor::checkpoint`]. Counts are exact integers, so
+    /// resuming at batch boundary `k` and ingesting batches `k..` yields
+    /// estimates **byte-equal** to an uninterrupted run — the streaming
+    /// extension of the PR 3 determinism contract (asserted in
+    /// `tests/durability.rs`).
+    ///
+    /// # Errors
+    /// Any codec defect ([`StoreError::Truncated`],
+    /// [`StoreError::ChecksumMismatch`], …), or
+    /// [`StoreError::Malformed`] if the checkpoint was written by a
+    /// *different* deployment (binding fingerprint mismatch) or its
+    /// counts disagree with this mechanism's output dimension.
+    pub fn resume(&self, checkpoint: &[u8]) -> Result<StreamIngestor, StoreError> {
+        let cp = decode_checkpoint(checkpoint)?;
+        let binding = self.binding();
+        if cp.binding != binding {
+            return Err(StoreError::Malformed(format!(
+                "checkpoint was written by a different deployment \
+                 (binding {:#018x}, this deployment is {binding:#018x})",
+                cp.binding
+            )));
+        }
+        let shard = AggregatorShard::from_counts(cp.counts);
+        let aggregator =
+            Aggregator::from_parts(self.inner.mechanism.reconstruction_matrix().clone(), shard)?;
+        Ok(StreamIngestor {
+            deployment: self.clone(),
+            aggregator,
+            epoch: cp.epoch,
+            batches: cp.batches,
+        })
+    }
+
     /// Reads the aggregator's current state into an [`Estimate`].
     /// Non-destructive: collection can continue afterwards.
     ///
@@ -383,6 +506,113 @@ impl Deployment {
     /// (Corollary 3.5).
     pub fn worst_case_variance(&self, n_users: f64) -> f64 {
         variance::worst_case_variance(&self.inner.profile, n_users)
+    }
+}
+
+/// Resumable streaming ingestion over a [`Deployment`]: the server-side
+/// loop of a long-running collection service. Reports arrive in batches;
+/// [`StreamIngestor::checkpoint`] serializes the exact aggregation state
+/// (integer counts — no float drift) at any batch boundary, and
+/// [`Deployment::resume`] picks the stream back up after a restart.
+///
+/// **Determinism contract:** interrupt at any batch boundary, resume
+/// from the checkpoint, ingest the remaining batches — every estimate is
+/// byte-equal to the uninterrupted run, at any `LDP_THREADS` setting.
+///
+/// ```
+/// use ldp::prelude::*;
+///
+/// let deployment = Pipeline::for_workload(Histogram::new(4))
+///     .epsilon(1.0)
+///     .baseline(Baseline::RandomizedResponse)
+///     .unwrap();
+///
+/// let mut stream = deployment.stream();
+/// stream.ingest_batch(&[0, 1, 2, 3]).unwrap();
+/// let snapshot = stream.checkpoint(); // persist these bytes anywhere
+///
+/// // …process restarts…
+/// let mut resumed = deployment.resume(&snapshot).unwrap();
+/// resumed.ingest_batch(&[2, 2]).unwrap();
+/// assert_eq!(resumed.reports(), 6);
+/// assert_eq!(resumed.epoch(), 1);
+/// ```
+pub struct StreamIngestor {
+    deployment: Deployment,
+    aggregator: Aggregator,
+    epoch: u64,
+    batches: u64,
+}
+
+impl std::fmt::Debug for StreamIngestor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamIngestor")
+            .field("epoch", &self.epoch)
+            .field("batches", &self.batches)
+            .field("reports", &self.aggregator.reports())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamIngestor {
+    /// Ingests one batch of reports atomically (the batch validates
+    /// before any of it counts, exactly like
+    /// [`Aggregator::ingest_batch`]).
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] naming the first invalid report;
+    /// the stream is unchanged and the batch is not counted — it can be
+    /// repaired and re-submitted.
+    pub fn ingest_batch(&mut self, reports: &[usize]) -> Result<(), LdpError> {
+        self.aggregator.ingest_batch(reports)?;
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Serializes the exact current state into checkpoint bytes and
+    /// advances the epoch. Non-destructive: ingestion continues
+    /// afterwards. The bytes carry a fingerprint binding them to this
+    /// deployment, a format version, and a checksum — see `ldp-store`'s
+    /// codec docs.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.epoch += 1;
+        encode_checkpoint(&IngestCheckpoint {
+            epoch: self.epoch,
+            batches: self.batches,
+            counts: self.aggregator.counts().to_vec(),
+            binding: self.deployment.binding(),
+        })
+    }
+
+    /// The current estimate — readable mid-stream, collection continues.
+    pub fn estimate(&self) -> Estimate {
+        self.deployment.estimate(&self.aggregator)
+    }
+
+    /// The deployment this stream collects for.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The underlying aggregator (e.g. for merging side shards).
+    pub fn aggregator(&self) -> &Aggregator {
+        &self.aggregator
+    }
+
+    /// Checkpoint generation: how many checkpoints this lineage has
+    /// written (survives resume).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Batches ingested across the stream's whole lineage.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Reports collected across the stream's whole lineage.
+    pub fn reports(&self) -> u64 {
+        self.aggregator.reports()
     }
 }
 
@@ -539,6 +769,93 @@ mod tests {
         let mismatched = ldp_mechanisms::randomized_response(5, 1.0, &Matrix::identity(5)).unwrap();
         let err = Pipeline::for_workload(Histogram::new(6)).deploy(mismatched);
         assert!(matches!(err, Err(LdpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn every_terminal_rejects_bad_epsilon_uniformly() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let opt = Pipeline::for_workload(Histogram::new(4))
+                .epsilon(eps)
+                .optimized(&OptimizerConfig::quick(1));
+            assert!(
+                matches!(opt, Err(LdpError::InvalidEpsilon(_))),
+                "optimized at eps {eps}"
+            );
+            let base = Pipeline::for_workload(Histogram::new(4))
+                .epsilon(eps)
+                .baseline(Baseline::RandomizedResponse);
+            assert!(
+                matches!(base, Err(LdpError::InvalidEpsilon(_))),
+                "baseline at eps {eps}"
+            );
+            let e = 1.0_f64.exp();
+            let z = e + 3.0;
+            let q = Matrix::from_fn(4, 4, |o, u| if o == u { e / z } else { 1.0 / z });
+            let strat = Pipeline::for_workload(Histogram::new(4))
+                .epsilon(eps)
+                .strategy(StrategyMatrix::new(q).unwrap());
+            assert!(
+                matches!(strat, Err(LdpError::InvalidEpsilon(_))),
+                "strategy at eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_checkpoint_resume_round_trip() {
+        let deployment = Pipeline::for_workload(Prefix::new(8))
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let mut stream = deployment.stream();
+        stream.ingest_batch(&[0, 1, 2, 3]).unwrap();
+        stream.ingest_batch(&[4, 5]).unwrap();
+        let bytes = stream.checkpoint();
+        assert_eq!(stream.epoch(), 1);
+
+        let mut resumed = deployment.resume(&bytes).unwrap();
+        assert_eq!(resumed.epoch(), 1);
+        assert_eq!(resumed.batches(), 2);
+        assert_eq!(resumed.reports(), 6);
+        resumed.ingest_batch(&[6, 7]).unwrap();
+
+        let mut uninterrupted = deployment.stream();
+        for batch in [&[0usize, 1, 2, 3][..], &[4, 5], &[6, 7]] {
+            uninterrupted.ingest_batch(batch).unwrap();
+        }
+        assert_eq!(
+            resumed.aggregator().counts(),
+            uninterrupted.aggregator().counts()
+        );
+        assert_eq!(
+            resumed.estimate().data_vector(),
+            uninterrupted.estimate().data_vector()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_foreign_deployment_checkpoint() {
+        let a = Pipeline::for_workload(Prefix::new(8))
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let b = Pipeline::for_workload(Prefix::new(8))
+            .epsilon(2.0) // different budget → different binding
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let mut stream = a.stream();
+        stream.ingest_batch(&[0, 1]).unwrap();
+        let bytes = stream.checkpoint();
+        assert!(a.resume(&bytes).is_ok());
+        assert!(matches!(
+            b.resume(&bytes).unwrap_err(),
+            ldp_store::StoreError::Malformed(_)
+        ));
+        // Corrupted bytes are a codec error, not a panic.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        assert!(a.resume(&corrupt).is_err());
     }
 
     #[test]
