@@ -1,0 +1,168 @@
+//! Ad-hoc query serving throughput over schema-first deployments.
+//!
+//! Three cells, covering the serving story end to end:
+//!
+//! 1. **`deploy`** — a real deployment (baseline selected with
+//!    `--baseline`, parsed via `Baseline::from_str`) over a 3-attribute
+//!    schema: measures `Estimate::answer` throughput (resolution + row
+//!    assembly + dot + per-query variance) and full-workload extraction
+//!    via the allocation-free `Estimate::answers_into`, asserting one
+//!    answer bit-identical to the explicit-matrix path first.
+//! 2. **`adhoc_1e4`** — the workload-layer serving hot path
+//!    (`Schema::answer_with`: resolve + assemble + dot, no variance) at
+//!    |Ω| = 10⁴ (age × sex × state).
+//! 3. **`adhoc_1e6`** — the same at |Ω| = 10⁶ over a 4-attribute schema,
+//!    the scale where anything non-structured would have stopped working
+//!    long ago (a dense Gram would be 8 TB).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin schema_serving -- \
+//!     [--quick] [--baseline rr] [--bench] [--out BENCH_SCHEMA_SERVING.json]
+//! ```
+//!
+//! `--bench` writes the JSON report to `--out`.
+
+use std::time::Instant;
+
+use ldp::prelude::*;
+use ldp_bench::args::Args;
+use ldp_bench::report::banner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Answers `queries` round-robin against `answer` until at least
+/// `min_iters` calls have run, returning answers/second.
+fn throughput(min_iters: usize, queries: &[Query], mut answer: impl FnMut(&Query) -> f64) -> f64 {
+    let mut sink = 0.0f64;
+    let t = Instant::now();
+    let mut calls = 0usize;
+    while calls < min_iters {
+        for q in queries {
+            sink += answer(q);
+            calls += 1;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert!(sink.is_finite(), "answers must stay finite");
+    calls as f64 / secs
+}
+
+fn adhoc_queries(age_max: usize) -> Vec<Query> {
+    vec![
+        Query::total(),
+        Query::range("age", age_max / 4..age_max / 2),
+        Query::equals("sex", 1).and_range("age", 0..age_max / 3),
+        Query::predicate("age", |v| v % 2 == 0),
+    ]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let out_path = args.get_or("out", "BENCH_SCHEMA_SERVING.json".to_string());
+    let baseline: Baseline = args
+        .get_or("baseline", "randomized-response".to_string())
+        .parse()
+        .expect("valid --baseline name");
+
+    // --- 1. Deployment-level serving with error bars. ------------------
+    let (age, state) = if quick { (8, 4) } else { (16, 8) };
+    let schema = Schema::new([("age", age), ("sex", 2), ("state", state)]);
+    let n = schema.domain_size();
+    let deployment = Pipeline::for_schema(schema)
+        .queries([
+            Query::marginal(["age", "sex"]),
+            Query::range("age", 1..age - 1),
+            Query::total(),
+        ])
+        .epsilon(1.0)
+        .baseline(baseline)
+        .expect("baseline deployment");
+    let mut rng = StdRng::seed_from_u64(5);
+    let estimate = deployment.simulate(&DataVector::uniform(n, 200_000.0), &mut rng);
+
+    // Correctness anchor: the served value is bit-identical to the
+    // explicit-matrix path at the range query's row (cells come first).
+    let range_query = Query::range("age", 1..age - 1);
+    let reference = deployment
+        .workload()
+        .matrix()
+        .matvec(estimate.data_vector());
+    let served = estimate.answer(&range_query).expect("scalar query");
+    assert_eq!(
+        served.value.to_bits(),
+        reference[age * 2].to_bits(),
+        "answer() must match the matrix path bitwise"
+    );
+
+    let queries = adhoc_queries(age);
+    let answers_per_s = throughput(if quick { 2_000 } else { 20_000 }, &queries, |q| {
+        estimate.answer(q).expect("valid query").value
+    });
+    let mut buf = Vec::new();
+    let extract_iters = if quick { 500 } else { 5_000 };
+    let t = Instant::now();
+    for _ in 0..extract_iters {
+        estimate.answers_into(&mut buf);
+    }
+    let extracts_per_s = extract_iters as f64 / t.elapsed().as_secs_f64();
+    banner(
+        "schema_serving",
+        &format!(
+            "deploy n={n} ({baseline}): {answers_per_s:.0} ad-hoc answers/s \
+             (±stddev attached), {extracts_per_s:.0} full extractions/s \
+             ({} queries each)",
+            deployment.workload().num_queries()
+        ),
+    );
+
+    // --- 2. Workload-layer ad-hoc answers at |Ω| = 10⁴. ----------------
+    let census = Schema::new([("age", 100), ("sex", 2), ("state", 50)]);
+    let x4: Vec<f64> = (0..census.domain_size())
+        .map(|u| ((u * 31 + 7) % 101) as f64)
+        .collect();
+    let mut scratch = Vec::new();
+    let queries4 = adhoc_queries(100);
+    let qps_1e4 = throughput(if quick { 400 } else { 4_000 }, &queries4, |q| {
+        census
+            .answer_with(q, &x4, &mut scratch)
+            .expect("valid query")
+    });
+    banner(
+        "schema_serving",
+        &format!("adhoc |Ω|=1e4: {qps_1e4:.0} answers/s"),
+    );
+
+    // --- 3. Workload-layer ad-hoc answers at |Ω| = 10⁶. ----------------
+    let wide = Schema::new([("age", 100), ("income", 50), ("state", 50), ("group", 4)]);
+    assert_eq!(wide.domain_size(), 1_000_000);
+    let x6: Vec<f64> = (0..wide.domain_size())
+        .map(|u| ((u * 17 + 3) % 257) as f64)
+        .collect();
+    let queries6 = vec![
+        Query::total(),
+        Query::range("age", 18..65),
+        Query::range("income", 10..40).and_equals("group", 2),
+        Query::predicate("state", |v| v % 5 == 0).and_range("age", 30..60),
+    ];
+    let qps_1e6 = throughput(if quick { 24 } else { 200 }, &queries6, |q| {
+        wide.answer_with(q, &x6, &mut scratch).expect("valid query")
+    });
+    banner(
+        "schema_serving",
+        &format!("adhoc |Ω|=1e6 (4 attributes): {qps_1e6:.0} answers/s"),
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"ldp-bench-schema-serving/1\",\n  \"quick\": {quick},\n  \
+         \"deploy\": {{\n    \"n\": {n},\n    \"answers_per_s\": {answers_per_s:.0},\n    \
+         \"extracts_per_s\": {extracts_per_s:.0}\n  }},\n  \
+         \"adhoc_1e4\": {{\n    \"n\": 10000,\n    \"answers_per_s\": {qps_1e4:.0}\n  }},\n  \
+         \"adhoc_1e6\": {{\n    \"n\": 1000000,\n    \"answers_per_s\": {qps_1e6:.0}\n  }}\n}}\n"
+    );
+    println!("{json}");
+    if args.flag("bench") {
+        std::fs::write(&out_path, &json).expect("write report JSON");
+        banner("schema_serving", &format!("wrote {out_path}"));
+    }
+}

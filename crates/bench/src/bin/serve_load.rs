@@ -19,18 +19,28 @@
 //! ```text
 //! cargo run --release -p ldp-bench --bin serve_load -- \
 //!     [--quick] [--reports N] [--batch B] [--restarts R] \
-//!     [--dir DIR] [--bench] [--out BENCH_SERVE.json]
+//!     [--dir DIR] [--bench] [--out BENCH_SERVE.json] \
+//!     [--check BENCH_SERVE.json] [--tolerance 0.2]
 //! ```
 //!
 //! `--dir` holds the registry and checkpoint files (default: a
 //! process-unique directory under the system temp dir, removed at
 //! exit). `--bench` writes the JSON report to `--out`.
+//!
+//! `--check <baseline.json>` turns the run into a **perf gate** (the CI
+//! perf-smoke job): the cold-vs-warm deploy ratio `deploy.warm_speedup`
+//! must reach at least `tolerance ×` the committed baseline value or the
+//! process exits non-zero. The default tolerance of 0.2 is deliberately
+//! generous — a registry that stops skipping PGD collapses the ratio to
+//! ~1, orders of magnitude below any floor, while CI noise moves it by
+//! percents.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ldp::prelude::*;
 use ldp_bench::args::Args;
+use ldp_bench::baseline::{json_number, GateCheck};
 use ldp_bench::report::banner;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -167,5 +177,34 @@ fn main() {
     }
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
+    }
+    if let Some(baseline_path) = args.value("check") {
+        let tolerance = args.get_or("tolerance", 0.2f64);
+        check_against_baseline(baseline_path, &json, tolerance);
+    }
+}
+
+/// Gates the cold-vs-warm deploy ratio against a committed baseline
+/// report and exits non-zero on a regression beyond the tolerance.
+fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
+    let committed = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let read = |doc: &str| {
+        json_number(doc, "deploy", "warm_speedup")
+            .unwrap_or_else(|| panic!("deploy.warm_speedup missing from report"))
+    };
+    let check = GateCheck {
+        metric: "deploy.warm_speedup".into(),
+        baseline: read(&committed),
+        fresh: read(fresh),
+        tolerance,
+    };
+    banner("perf-gate", &check.verdict());
+    if !check.passes() {
+        banner(
+            "perf-gate",
+            "registry warm-start speedup regressed beyond tolerance vs the committed baseline",
+        );
+        std::process::exit(1);
     }
 }

@@ -48,6 +48,15 @@ pub enum LdpError {
     },
     /// Numerical optimization failed to produce a usable result.
     OptimizationFailed(String),
+    /// An ad-hoc query could not be resolved or answered against the
+    /// deployment (unknown attribute, out-of-range value, non-scalar
+    /// shape, or a deployment without a schema). Serving paths fail
+    /// closed with this instead of panicking on user input.
+    InvalidQuery(String),
+    /// No closed-form baseline mechanism goes by this name (raised when
+    /// parsing baseline selections from CLI flags or environment
+    /// variables).
+    UnknownBaseline(String),
 }
 
 impl fmt::Display for LdpError {
@@ -89,6 +98,10 @@ impl fmt::Display for LdpError {
                 )
             }
             LdpError::OptimizationFailed(msg) => write!(f, "optimization failed: {msg}"),
+            LdpError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            LdpError::UnknownBaseline(name) => {
+                write!(f, "unknown baseline mechanism '{name}'")
+            }
         }
     }
 }

@@ -233,6 +233,10 @@ impl Deployable for FactorizationMechanism {
     fn num_outputs(&self) -> usize {
         self.strategy.num_outputs()
     }
+
+    fn strategy(&self) -> Option<&StrategyMatrix> {
+        Some(FactorizationMechanism::strategy(self))
+    }
 }
 
 #[cfg(test)]

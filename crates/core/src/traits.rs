@@ -111,6 +111,16 @@ pub trait Deployable: LdpMechanism {
 
     /// Number of possible reports `m` (rows of the strategy matrix).
     fn num_outputs(&self) -> usize;
+
+    /// The public strategy matrix `Q`, for mechanisms that are
+    /// strategy-based (every factorization mechanism is). Per-query
+    /// variance analysis — e.g. the error bar on a single *ad-hoc* query
+    /// answer — needs the per-type output distributions, which only `Q`
+    /// carries; mechanisms that cannot expose one return `None` and
+    /// forgo that analysis.
+    fn strategy(&self) -> Option<&crate::StrategyMatrix> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -41,8 +41,8 @@ mod tridiagonal;
 pub use cholesky::Cholesky;
 pub use eigh::{eigh, SymmetricEigen};
 pub use linop::{
-    dense_of, fwht, linop_matmul, psd_max_abs, DenseOp, DiagOp, Gram, KroneckerOp, LinOp, ScaledOp,
-    StructuredGram, SumOp,
+    dense_of, fwht, linop_matmul, psd_max_abs, DenseOp, DiagOp, Gram, KroneckerOp, LinOp,
+    RankOneOp, ScaledOp, StructuredGram, SumOp,
 };
 pub use lu::Lu;
 pub use matrix::Matrix;

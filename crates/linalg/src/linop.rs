@@ -22,7 +22,7 @@
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
-use crate::{axpy, Matrix};
+use crate::{axpy, dot, Matrix};
 
 /// A real linear operator `A : ℝᶜ → ℝʳ` exposed through matrix-vector
 /// products. Implementations with structure (diagonal, Kronecker,
@@ -434,6 +434,70 @@ impl LinOp for SumOp {
     }
 }
 
+/// The symmetric rank-one operator `v·vᵀ` — the Gram matrix of a single
+/// query row `v` (`G = vᵀv` for the 1 × n workload `W = vᵀ`), stored in
+/// `O(n)` with `O(n)` products. This is what keeps schema-level selection
+/// queries (range/predicate indicators over one attribute) structured:
+/// their Grams never materialize the `n × n` outer product.
+#[derive(Clone, Debug)]
+pub struct RankOneOp {
+    v: Vec<f64>,
+}
+
+impl RankOneOp {
+    /// The operator `v·vᵀ`.
+    ///
+    /// # Panics
+    /// Panics if `v` is empty.
+    pub fn new(v: Vec<f64>) -> Self {
+        assert!(!v.is_empty(), "rank-one operator needs a non-empty vector");
+        Self { v }
+    }
+
+    /// The generating vector `v`.
+    pub fn vector(&self) -> &[f64] {
+        &self.v
+    }
+}
+
+impl LinOp for RankOneOp {
+    fn rows(&self) -> usize {
+        self.v.len()
+    }
+    fn cols(&self) -> usize {
+        self.v.len()
+    }
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.v.len());
+        assert_eq!(out.len(), self.v.len());
+        let s = dot(&self.v, x);
+        for (o, &vi) in out.iter_mut().zip(&self.v) {
+            *o = vi * s;
+        }
+    }
+    fn t_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        // v·vᵀ is symmetric.
+        self.matvec_into(x, out);
+    }
+    fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.v.len(),
+            "buffer must hold one entry per row"
+        );
+        let vj = self.v[j];
+        for (o, &vi) in out.iter_mut().zip(&self.v) {
+            *o = vi * vj;
+        }
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        self.v.iter().map(|&vi| vi * vi).collect()
+    }
+    fn trace(&self) -> f64 {
+        dot(&self.v, &self.v)
+    }
+}
+
 /// The Kronecker product `A ⊗ B` as an implicit operator: products use the
 /// reshape identity `(A ⊗ B) vec(Xᵀ) = vec((A X Bᵀ)ᵀ)`, costing
 /// `O(c₁·cost(B) + r₂·cost(A))` instead of the `r₁r₂ × c₁c₂` dense
@@ -471,6 +535,23 @@ impl KroneckerOp {
             right,
             scratch: Mutex::new(KroneckerScratch::default()),
         }
+    }
+
+    /// Right-folds `factors` into nested Kronecker operators,
+    /// `f₀ ⊗ (f₁ ⊗ (… ⊗ f_{k−1}))`, matching the row-major flattening of a
+    /// multi-attribute domain (`u = u₀·n₁⋯n_{k−1} + …`). A single factor
+    /// is returned unchanged — no wrapper, no copy.
+    ///
+    /// # Panics
+    /// Panics if `factors` is empty.
+    pub fn chain(mut factors: Vec<Arc<dyn LinOp>>) -> Arc<dyn LinOp> {
+        let mut acc = factors
+            .pop()
+            .expect("Kronecker chain needs at least one factor");
+        while let Some(f) = factors.pop() {
+            acc = Arc::new(KroneckerOp::new(f, acc));
+        }
+        acc
     }
 
     /// The left factor.
@@ -1105,6 +1186,41 @@ mod tests {
         assert_op_matches_dense(&scaled, &a.scaled(2.5), 1e-12);
         let sum = SumOp::new(vec![Arc::new(a.clone()), Arc::new(b.clone())]);
         assert_op_matches_dense(&sum, &(&a + &b), 1e-12);
+    }
+
+    #[test]
+    fn rank_one_matches_dense_outer_product() {
+        let v = vec![1.0, 0.0, -2.0, 0.5];
+        let op = RankOneOp::new(v.clone());
+        let dense = Matrix::from_fn(4, 4, |i, j| v[i] * v[j]);
+        assert_op_matches_dense(&op, &dense, 1e-12);
+        assert_eq!(LinOp::diagonal(&op), vec![1.0, 0.0, 4.0, 0.25]);
+        assert_eq!(op.vector(), &v[..]);
+        // Indicator rows (the schema-query case) materialize exactly.
+        let ind = RankOneOp::new(vec![0.0, 1.0, 1.0]);
+        let expect = Matrix::from_fn(3, 3, |i, j| if i > 0 && j > 0 { 1.0 } else { 0.0 });
+        assert_eq!(op_to_dense(&ind), expect);
+    }
+
+    fn op_to_dense(op: &dyn LinOp) -> Matrix {
+        op.materialize()
+    }
+
+    #[test]
+    fn kronecker_chain_matches_nested_dense() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64 + 1.0);
+        let b = Matrix::from_fn(3, 3, |i, j| ((i + 2 * j) % 4) as f64 - 1.0);
+        let c = Matrix::from_fn(2, 2, |i, j| (i as f64 - j as f64) * 0.5 + 1.0);
+        let chain = KroneckerOp::chain(vec![
+            Arc::new(a.clone()) as Arc<dyn LinOp>,
+            Arc::new(b.clone()),
+            Arc::new(c.clone()),
+        ]);
+        let dense = a.kronecker(&b.kronecker(&c));
+        assert_op_matches_dense(&*chain, &dense, 1e-12);
+        // A single factor passes through untouched.
+        let single = KroneckerOp::chain(vec![Arc::new(a.clone()) as Arc<dyn LinOp>]);
+        assert_eq!(single.materialize(), a);
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub enum StoreError {
     /// Structurally invalid payload (bad lengths, inconsistent
     /// dimensions, trailing bytes).
     Malformed(String),
+    /// A checkpoint decoded cleanly but is bound to a *different*
+    /// deployment — its binding fingerprint (workload schema/queries,
+    /// mechanism dimensions, budget, reconstruction bits) disagrees with
+    /// the deployment trying to resume it. Resuming would silently pair
+    /// counts with the wrong reconstruction, so this fails closed.
+    BindingMismatch {
+        /// Binding fingerprint carried by the checkpoint.
+        checkpoint: u64,
+        /// Binding fingerprint of the resuming deployment.
+        deployment: u64,
+    },
     /// Filesystem failure in the registry (message carries the
     /// `std::io::Error` text).
     Io(String),
@@ -114,6 +125,14 @@ impl fmt::Display for StoreError {
                 "snapshot corrupt: stored checksum {stored:#018x}, computed {computed:#018x}"
             ),
             StoreError::Malformed(msg) => write!(f, "malformed snapshot payload: {msg}"),
+            StoreError::BindingMismatch {
+                checkpoint,
+                deployment,
+            } => write!(
+                f,
+                "checkpoint was written by a different deployment \
+                 (binding {checkpoint:#018x}, this deployment is {deployment:#018x})"
+            ),
             StoreError::Io(msg) => write!(f, "registry I/O failure: {msg}"),
             StoreError::Mechanism(e) => write!(f, "decoded state failed validation: {e}"),
         }

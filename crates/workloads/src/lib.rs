@@ -8,6 +8,14 @@
 //! ([`Total`], [`WidthRange`], [`Dense`], [`Stacked`]) useful in examples
 //! and tests.
 //!
+//! **Schema-first workloads.** Real applications declare a multi-attribute
+//! domain, not a flat `[n]`: [`Schema`] names the attributes
+//! (`Schema::new([("age", 100), ("sex", 2), ("state", 50)])`), [`Query`]
+//! expresses marginals, ranges, and predicates over them by name, and
+//! [`SchemaWorkload`] lowers a query set to a union of Kronecker products
+//! whose Gram stays structured at any domain size — see the [`schema`] and
+//! [`query`] modules.
+//!
 //! **The Gram matrix is the first-class citizen.** Every quantity the
 //! factorization mechanism needs — variance, objective, optimizer
 //! gradient, lower bound — depends on `W` only through `G = WᵀW` (`n × n`)
@@ -30,7 +38,9 @@ mod dense;
 mod marginals;
 mod parity;
 mod product;
+pub mod query;
 mod range;
+pub mod schema;
 pub mod workload;
 
 pub use combinatorics::{binomial, krawtchouk};
@@ -38,7 +48,9 @@ pub use dense::{Dense, Stacked};
 pub use marginals::{AllMarginals, KWayMarginals};
 pub use parity::Parity;
 pub use product::Product;
+pub use query::{Query, ResolvedQuery, SchemaWorkload};
 pub use range::{AllRange, Histogram, Prefix, Total, WidthRange};
+pub use schema::{Domain, Schema, SchemaError};
 pub use workload::Workload;
 
 /// Re-export of the matrix type used by workload APIs.

@@ -1,0 +1,918 @@
+//! The query DSL over a [`Schema`] and its lowering to a structured
+//! union-of-Kronecker-products workload.
+//!
+//! A [`Query`] is a conjunction of per-attribute conditions:
+//!
+//! * [`Query::marginal`] — one counting query per combination of values
+//!   of the listed attributes (a contingency table / marginal);
+//! * [`Query::range`] / [`Query::equals`] / [`Query::values`] /
+//!   [`Query::predicate`] — restrict an attribute to a subset of values;
+//! * attributes a query does not mention are summed out;
+//! * [`Query::total`] — the single total-count query.
+//!
+//! Conditions compose with `and_*` chaining: `Query::marginal(["sex"])
+//! .and_range("age", 18..65)` is the sex breakdown among 18–64 year
+//! olds.
+//!
+//! Lowering is per-attribute: each query becomes a Kronecker product of
+//! small per-attribute factors (identity for marginal attributes, a 0/1
+//! indicator row for selections, the all-ones row for summed-out
+//! attributes), and a query *set* becomes the vertical union of those
+//! products — [`SchemaWorkload`]. Its Gram is carried as a
+//! [`SumOp`] of [`KroneckerOp`] chains over the factors' structured
+//! Grams, so nothing densifies no matter how large the product domain
+//! gets (|Ω| = 10⁶ costs kilobytes, not terabytes).
+//!
+//! ```
+//! use ldp_workloads::{Query, Schema, SchemaWorkload, Workload};
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(Schema::new([("age", 100), ("sex", 2), ("state", 50)]));
+//! let workload = SchemaWorkload::new(
+//!     Arc::clone(&schema),
+//!     &[
+//!         Query::marginal(["age", "sex"]),             // 200 cells
+//!         Query::range("age", 18..65),                 // one adult-count query
+//!         Query::total(),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(workload.domain_size(), 10_000);
+//! assert_eq!(workload.num_queries(), 202);
+//! // Ad-hoc scalar answers evaluate against any data vector without
+//! // materializing a single workload row permanently:
+//! let x = vec![1.0; 10_000];
+//! let adults = schema.answer(&Query::range("age", 18..65), &x).unwrap();
+//! assert_eq!(adults, (65.0 - 18.0) * 2.0 * 50.0);
+//! ```
+
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::{Arc, Mutex};
+
+use ldp_linalg::{dot, Gram, KroneckerOp, LinOp, RankOneOp, StructuredGram, SumOp};
+
+use crate::schema::{Schema, SchemaError};
+use crate::Workload;
+
+/// A per-attribute condition inside a [`Query`].
+#[derive(Clone)]
+enum Condition {
+    /// One query per value of this attribute (contingency dimension).
+    Marginal,
+    /// Restrict to the half-open value range `[lo, hi)`.
+    Range { lo: usize, hi: Option<usize> },
+    /// Restrict to an explicit value set.
+    Values(Vec<usize>),
+    /// Restrict to the values satisfying a predicate (evaluated at
+    /// resolution time against the attribute's actual domain).
+    Predicate(Arc<dyn Fn(usize) -> bool + Send + Sync>),
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Marginal => write!(f, "Marginal"),
+            Condition::Range { lo, hi } => write!(f, "Range({lo}..{hi:?})"),
+            Condition::Values(v) => write!(f, "Values({v:?})"),
+            Condition::Predicate(_) => write!(f, "Predicate(..)"),
+        }
+    }
+}
+
+/// One declarative counting query (or query group) over a [`Schema`],
+/// built by name and lowered against a concrete schema on demand.
+///
+/// Queries are cheap to clone and `Send + Sync`, so a serving tier can
+/// parse them from user requests and answer them against a live
+/// [`Estimate`](../../ldp/pipeline/struct.Estimate.html) concurrently.
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    conditions: Vec<(String, Condition)>,
+    label: Option<String>,
+}
+
+impl Query {
+    /// The single total-count query (no conditions: every attribute is
+    /// summed out).
+    pub fn total() -> Self {
+        Self::default()
+    }
+
+    /// The marginal (contingency table) over the listed attributes: one
+    /// counting query per combination of their values, with every other
+    /// attribute summed out. Cells enumerate in schema attribute order.
+    pub fn marginal<N: Into<String>>(attributes: impl IntoIterator<Item = N>) -> Self {
+        let mut q = Self::total();
+        for a in attributes {
+            q.conditions.push((a.into(), Condition::Marginal));
+        }
+        q
+    }
+
+    /// A single query counting users whose `attribute` lies in `range`
+    /// (any `RangeBounds`, e.g. `18..65`, `..10`, `90..`).
+    pub fn range(attribute: impl Into<String>, range: impl RangeBounds<usize>) -> Self {
+        Self::total().and_range(attribute, range)
+    }
+
+    /// A single query counting users with `attribute == value`.
+    pub fn equals(attribute: impl Into<String>, value: usize) -> Self {
+        Self::total().and_equals(attribute, value)
+    }
+
+    /// A single query counting users whose `attribute` is in `values`.
+    pub fn values(attribute: impl Into<String>, values: impl IntoIterator<Item = usize>) -> Self {
+        Self::total().and_values(attribute, values)
+    }
+
+    /// A single query counting users whose `attribute` satisfies
+    /// `predicate` (evaluated against the attribute's domain when the
+    /// query is resolved).
+    pub fn predicate(
+        attribute: impl Into<String>,
+        predicate: impl Fn(usize) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self::total().and_predicate(attribute, predicate)
+    }
+
+    /// Adds a marginal dimension over `attribute`.
+    pub fn and_marginal(mut self, attribute: impl Into<String>) -> Self {
+        self.conditions
+            .push((attribute.into(), Condition::Marginal));
+        self
+    }
+
+    /// Adds a range restriction on `attribute`.
+    pub fn and_range(
+        mut self,
+        attribute: impl Into<String>,
+        range: impl RangeBounds<usize>,
+    ) -> Self {
+        // Saturating arithmetic keeps pathological bounds (e.g. an
+        // inclusive usize::MAX end) on the typed-error path at resolve
+        // time instead of overflowing here.
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.saturating_add(1),
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => Some(v.saturating_add(1)),
+            Bound::Excluded(&v) => Some(v),
+            Bound::Unbounded => None,
+        };
+        self.conditions
+            .push((attribute.into(), Condition::Range { lo, hi }));
+        self
+    }
+
+    /// Adds an equality restriction on `attribute`.
+    pub fn and_equals(self, attribute: impl Into<String>, value: usize) -> Self {
+        self.and_values(attribute, [value])
+    }
+
+    /// Adds a value-set restriction on `attribute`.
+    pub fn and_values(
+        mut self,
+        attribute: impl Into<String>,
+        values: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let mut v: Vec<usize> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        self.conditions
+            .push((attribute.into(), Condition::Values(v)));
+        self
+    }
+
+    /// Adds a predicate restriction on `attribute`.
+    pub fn and_predicate(
+        mut self,
+        attribute: impl Into<String>,
+        predicate: impl Fn(usize) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.conditions
+            .push((attribute.into(), Condition::Predicate(Arc::new(predicate))));
+        self
+    }
+
+    /// Sets a human-readable label used in workload names and error
+    /// messages (defaults to a canonical description of the conditions).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Resolves the query against a schema: validates every attribute
+    /// name and value, evaluates predicates, and produces the
+    /// per-attribute factor structure evaluation and Gram assembly use.
+    ///
+    /// # Errors
+    /// Any [`SchemaError`] raised by name/value validation.
+    pub fn resolve(&self, schema: &Schema) -> Result<ResolvedQuery, SchemaError> {
+        let k = schema.num_attributes();
+        let mut factors: Vec<Factor> = schema
+            .domain()
+            .sizes()
+            .iter()
+            .map(|&n| Factor::All(n))
+            .collect();
+        for (name, condition) in &self.conditions {
+            let a = schema
+                .index_of(name)
+                .ok_or_else(|| SchemaError::UnknownAttribute {
+                    attribute: name.clone(),
+                })?;
+            if !matches!(factors[a], Factor::All(_)) {
+                return Err(SchemaError::DuplicateAttribute {
+                    attribute: name.clone(),
+                });
+            }
+            let size = schema.domain().size_of(a);
+            factors[a] = match condition {
+                Condition::Marginal => Factor::Cells(size),
+                Condition::Range { lo, hi } => {
+                    let hi = hi.unwrap_or(size);
+                    if hi > size {
+                        return Err(SchemaError::ValueOutOfRange {
+                            attribute: name.clone(),
+                            value: hi - 1,
+                            size,
+                        });
+                    }
+                    if *lo >= hi {
+                        return Err(SchemaError::EmptySelection {
+                            attribute: name.clone(),
+                        });
+                    }
+                    Factor::select(size, (*lo..hi).collect())
+                }
+                Condition::Values(values) => {
+                    if values.is_empty() {
+                        return Err(SchemaError::EmptySelection {
+                            attribute: name.clone(),
+                        });
+                    }
+                    if let Some(&bad) = values.iter().find(|&&v| v >= size) {
+                        return Err(SchemaError::ValueOutOfRange {
+                            attribute: name.clone(),
+                            value: bad,
+                            size,
+                        });
+                    }
+                    Factor::select(size, values.clone())
+                }
+                Condition::Predicate(p) => {
+                    let values: Vec<usize> = (0..size).filter(|&v| p(v)).collect();
+                    if values.is_empty() {
+                        return Err(SchemaError::EmptySelection {
+                            attribute: name.clone(),
+                        });
+                    }
+                    Factor::select(size, values)
+                }
+            };
+        }
+        let mut rows = 1usize;
+        let mut row_strides = vec![1usize; k];
+        for (a, f) in factors.iter().enumerate().rev() {
+            row_strides[a] = rows;
+            rows = rows
+                .checked_mul(f.rows())
+                .expect("query row count overflows usize");
+        }
+        let canonical = describe(schema, &factors);
+        let label = self.label.clone().unwrap_or_else(|| canonical.clone());
+        Ok(ResolvedQuery {
+            factors,
+            row_strides,
+            rows,
+            label,
+            canonical,
+        })
+    }
+}
+
+/// Canonical description of a resolved condition list, e.g.
+/// `age[cells] & state{0,2,4} & *` — deterministic, so it can participate
+/// in the workload name (and hence the strategy-cache fingerprint).
+fn describe(schema: &Schema, factors: &[Factor]) -> String {
+    let parts: Vec<String> = schema
+        .names()
+        .iter()
+        .zip(factors)
+        .filter_map(|(name, f)| match f {
+            Factor::All(_) => None,
+            Factor::Cells(_) => Some(format!("{name}[cells]")),
+            Factor::Select { values, .. } => {
+                let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                Some(format!("{name}{{{}}}", vals.join(",")))
+            }
+        })
+        .collect();
+    if parts.is_empty() {
+        "total".to_string()
+    } else {
+        parts.join(" & ")
+    }
+}
+
+/// One per-attribute factor of a resolved query: the tiny workload whose
+/// Kronecker product with the other attributes' factors is the query
+/// group.
+#[derive(Clone, Debug)]
+enum Factor {
+    /// The all-ones row (attribute summed out): 1 query, `Total` Gram.
+    All(usize),
+    /// The identity (marginal dimension): `n_a` queries, `Histogram` Gram.
+    Cells(usize),
+    /// A 0/1 indicator row over a value subset: 1 query, rank-one Gram.
+    Select {
+        /// Attribute cardinality.
+        size: usize,
+        /// Selected values (sorted, deduplicated, all `< size`).
+        values: Vec<usize>,
+        /// The indicator row itself, precomputed for row assembly.
+        indicator: Arc<Vec<f64>>,
+    },
+}
+
+impl Factor {
+    fn select(size: usize, values: Vec<usize>) -> Self {
+        let mut indicator = vec![0.0; size];
+        for &v in &values {
+            indicator[v] = 1.0;
+        }
+        Self::Select {
+            size,
+            values,
+            indicator: Arc::new(indicator),
+        }
+    }
+
+    /// Attribute cardinality (columns of the factor).
+    fn size(&self) -> usize {
+        match *self {
+            Factor::All(n) | Factor::Cells(n) | Factor::Select { size: n, .. } => n,
+        }
+    }
+
+    /// Queries this factor contributes (rows of the factor).
+    fn rows(&self) -> usize {
+        match *self {
+            Factor::Cells(n) => n,
+            Factor::All(_) | Factor::Select { .. } => 1,
+        }
+    }
+
+    /// The factor's Gram operator, structured in closed form.
+    fn gram_op(&self) -> Arc<dyn LinOp> {
+        match self {
+            Factor::All(n) => Arc::new(StructuredGram::constant(*n, 1.0)),
+            Factor::Cells(n) => Arc::new(StructuredGram::scaled_identity(*n, 1.0)),
+            Factor::Select { indicator, .. } => Arc::new(RankOneOp::new((**indicator).clone())),
+        }
+    }
+}
+
+/// A [`Query`] resolved against a concrete [`Schema`]: one factor per
+/// attribute (in schema order), ready for row assembly, evaluation, and
+/// Gram composition. This is the paper's "Kronecker product workload"
+/// building block; a [`SchemaWorkload`] is a union of these.
+#[derive(Clone, Debug)]
+pub struct ResolvedQuery {
+    factors: Vec<Factor>,
+    /// Row-major strides over the factors' row counts.
+    row_strides: Vec<usize>,
+    rows: usize,
+    label: String,
+    /// The canonical description (independent of any user label) — the
+    /// identity that participates in fingerprints and bindings.
+    canonical: String,
+}
+
+impl ResolvedQuery {
+    /// Number of counting queries this group produces (marginal cells
+    /// enumerate in schema attribute order).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the group is a single counting query — the shape ad-hoc
+    /// serving answers with one number.
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1
+    }
+
+    /// The deterministic description (or user label) of this group.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The canonical, label-independent description of the conditions —
+    /// the group's semantic identity (what fingerprints hash).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The group's Gram operator: the Kronecker chain of the factors'
+    /// structured Grams — `O(Σ_a n_a)` storage for an `Π_a n_a` domain.
+    pub fn gram_op(&self) -> Arc<dyn LinOp> {
+        KroneckerOp::chain(self.factors.iter().map(Factor::gram_op).collect())
+    }
+
+    /// Writes query row `row` (a 0/1 vector over the flattened domain)
+    /// into `out`. The entries are exact zeros and ones — products of
+    /// per-attribute indicator entries — so every consumer (evaluation,
+    /// the default `matrix()` assembly, ad-hoc answers) sees bit-identical
+    /// rows.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` or `out` is not domain-sized.
+    pub fn fill_row(&self, row: usize, out: &mut [f64]) {
+        assert!(row < self.rows, "row {row} out of range");
+        let n: usize = self.factors.iter().map(Factor::size).product();
+        assert_eq!(out.len(), n, "buffer must be domain-sized");
+        // Kronecker expansion, in place: grow the row one attribute at a
+        // time from the back of each block (backward iteration keeps the
+        // expansion collision-free in a single buffer).
+        out[0] = 1.0;
+        let mut len = 1usize;
+        for (a, f) in self.factors.iter().enumerate() {
+            let r = (row / self.row_strides[a]) % f.rows();
+            let na = f.size();
+            match f {
+                Factor::All(_) => {
+                    for i in (0..len).rev() {
+                        let base = out[i];
+                        out[i * na..(i + 1) * na].fill(base);
+                    }
+                }
+                Factor::Cells(_) => {
+                    for i in (0..len).rev() {
+                        let base = out[i];
+                        out[i * na..(i + 1) * na].fill(0.0);
+                        out[i * na + r] = base;
+                    }
+                }
+                Factor::Select { indicator, .. } => {
+                    for i in (0..len).rev() {
+                        let base = out[i];
+                        for (o, &ind) in out[i * na..(i + 1) * na].iter_mut().zip(indicator.iter())
+                        {
+                            *o = base * ind;
+                        }
+                    }
+                }
+            }
+            len *= na;
+        }
+    }
+
+    /// The value of query row `row` on data vector `x`, through one
+    /// reused scratch row: `scratch` is resized to the domain and
+    /// overwritten. The arithmetic is the same per-row `dot` the explicit
+    /// matrix path uses, so the result is bit-identical to
+    /// `matrix().matvec(x)[row]`.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` or `x` is not domain-sized.
+    pub fn value_of(&self, row: usize, x: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        // No clear(): fill_row overwrites every entry, so after the first
+        // call the resize is a no-op and the hot path skips an O(n)
+        // zeroing pass.
+        scratch.resize(x.len(), 0.0);
+        self.fill_row(row, scratch);
+        dot(scratch, x)
+    }
+}
+
+impl Schema {
+    /// Answers a scalar query (range/equals/values/predicate/total
+    /// conjunctions) against a data vector over this schema's domain —
+    /// the ad-hoc serving hot path. `O(n)` per call; no workload matrix
+    /// is ever formed.
+    ///
+    /// # Errors
+    /// Any resolution error, or [`SchemaError::NotScalar`] for marginal
+    /// queries (those belong in the deployed workload).
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the schema's domain size.
+    pub fn answer(&self, query: &Query, x: &[f64]) -> Result<f64, SchemaError> {
+        let mut scratch = Vec::new();
+        self.answer_with(query, x, &mut scratch)
+    }
+
+    /// [`Schema::answer`] through a caller-owned scratch buffer, so tight
+    /// serving loops are allocation-free after the first call.
+    ///
+    /// # Errors
+    /// As [`Schema::answer`].
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the schema's domain size.
+    pub fn answer_with(
+        &self,
+        query: &Query,
+        x: &[f64],
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, SchemaError> {
+        assert_eq!(
+            x.len(),
+            self.domain_size(),
+            "data vector must be domain-sized"
+        );
+        let resolved = query.resolve(self)?;
+        if !resolved.is_scalar() {
+            return Err(SchemaError::NotScalar {
+                rows: resolved.rows(),
+            });
+        }
+        Ok(resolved.value_of(0, x, scratch))
+    }
+}
+
+/// A union of Kronecker-product query groups over a [`Schema`] — the
+/// workload [`Pipeline::for_schema`](../../ldp/pipeline/struct.Pipeline.html)
+/// deploys.
+///
+/// Three views, all structured:
+///
+/// * **Gram** — a [`SumOp`] over the groups' [`KroneckerOp`] chains of
+///   per-attribute structured Grams (`O(Σ n_a)` storage per group);
+/// * **evaluation** — per-row assembly through one reused scratch row
+///   plus the shared `dot` kernel, bit-identical to the explicit matrix
+///   path;
+/// * **matrix** — the default on-demand assembly (escape hatch only).
+///
+/// The workload's [`Workload::fingerprint`] is the trait default — name
+/// (schema + canonical query descriptions) plus Gram probe — so repeat
+/// deployments of an equal schema/query set hit the
+/// `StrategyRegistry` warm path.
+pub struct SchemaWorkload {
+    schema: Arc<Schema>,
+    groups: Vec<ResolvedQuery>,
+    name: String,
+    /// Label-independent identity (schema plus canonical group
+    /// descriptions): what [`Workload::fingerprint`] hashes, so display
+    /// labels never alias two different query sets and never invalidate
+    /// caches or checkpoint bindings on rename.
+    canonical: String,
+    /// Reused row-assembly scratch (same `try_lock` discipline as
+    /// [`SumOp`]: contended callers fall back to a local buffer).
+    scratch: Mutex<Vec<f64>>,
+}
+
+impl SchemaWorkload {
+    /// Lowers `queries` against `schema`. Every query becomes one
+    /// Kronecker-product group; the workload is their vertical union.
+    ///
+    /// # Errors
+    /// [`SchemaError::NoQueries`] for an empty list, or any resolution
+    /// error (unknown attribute, out-of-range value, empty selection,
+    /// duplicate condition).
+    pub fn new(schema: Arc<Schema>, queries: &[Query]) -> Result<Self, SchemaError> {
+        if queries.is_empty() {
+            return Err(SchemaError::NoQueries);
+        }
+        let groups: Vec<ResolvedQuery> = queries
+            .iter()
+            .map(|q| q.resolve(&schema))
+            .collect::<Result<_, _>>()?;
+        let labels: Vec<&str> = groups.iter().map(ResolvedQuery::label).collect();
+        let name = format!("Schema[{}]{{{}}}", schema.describe(), labels.join("; "));
+        let canonicals: Vec<&str> = groups.iter().map(ResolvedQuery::canonical).collect();
+        let canonical = format!("Schema[{}]{{{}}}", schema.describe(), canonicals.join("; "));
+        Ok(Self {
+            schema,
+            groups,
+            name,
+            canonical,
+            scratch: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The resolved query groups, in declaration order.
+    pub fn groups(&self) -> &[ResolvedQuery] {
+        &self.groups
+    }
+
+    /// The shared schema handle.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+}
+
+impl Workload for SchemaWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn domain_size(&self) -> usize {
+        self.schema.domain_size()
+    }
+    fn num_queries(&self) -> usize {
+        self.groups.iter().map(ResolvedQuery::rows).sum()
+    }
+    fn gram(&self) -> Gram {
+        let terms: Vec<Arc<dyn LinOp>> = self.groups.iter().map(ResolvedQuery::gram_op).collect();
+        Gram::from_arc(Arc::new(SumOp::new(terms)))
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_queries()];
+        self.evaluate_into(x, &mut out);
+        out
+    }
+    fn evaluate_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.domain_size());
+        assert_eq!(out.len(), self.num_queries());
+        let mut local = Vec::new();
+        let mut guard = self.scratch.try_lock();
+        let scratch: &mut Vec<f64> = match guard {
+            Ok(ref mut g) => g,
+            Err(_) => &mut local,
+        };
+        let mut idx = 0;
+        for group in &self.groups {
+            for row in 0..group.rows() {
+                out[idx] = group.value_of(row, x, scratch);
+                idx += 1;
+            }
+        }
+    }
+    fn schema(&self) -> Option<&Schema> {
+        Some(&self.schema)
+    }
+    fn fingerprint_with_gram(&self, gram: &Gram) -> u64 {
+        // Hash the canonical identity, not the display name: user labels
+        // are presentation only, so renaming one never invalidates the
+        // strategy cache or a checkpoint binding, and two *different*
+        // query sets can never alias by sharing labels.
+        crate::workload::fingerprint_of(
+            &self.canonical,
+            self.domain_size(),
+            self.num_queries(),
+            gram,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::conformance::assert_conformant;
+    use ldp_linalg::Matrix;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new([("age", 5), ("sex", 2), ("state", 3)]))
+    }
+
+    #[test]
+    fn marginal_matches_hand_built_table() {
+        let s = schema();
+        let w = SchemaWorkload::new(Arc::clone(&s), &[Query::marginal(["age", "sex"])]).unwrap();
+        assert_eq!(w.num_queries(), 10);
+        // One user of each type: every (age, sex) cell counts 3 states.
+        let x = vec![1.0; 30];
+        assert_eq!(w.evaluate(&x), vec![3.0; 10]);
+        // A single user lands in exactly one cell, in schema order
+        // (age-major, then sex).
+        let mut x = vec![0.0; 30];
+        x[s.user_type(&[("age", 3), ("sex", 1), ("state", 2)])
+            .unwrap()] = 1.0;
+        let answers = w.evaluate(&x);
+        let mut expected = vec![0.0; 10];
+        expected[3 * 2 + 1] = 1.0;
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn range_and_predicate_and_total() {
+        let s = schema();
+        let queries = [
+            Query::range("age", 1..4),
+            Query::predicate("state", |v| v % 2 == 0),
+            Query::total(),
+            Query::equals("sex", 1).and_range("age", 3..),
+        ];
+        let w = SchemaWorkload::new(Arc::clone(&s), &queries).unwrap();
+        assert_eq!(w.num_queries(), 4);
+        let x = vec![1.0; 30];
+        let a = w.evaluate(&x);
+        assert_eq!(a[0], 3.0 * 2.0 * 3.0); // ages 1..4, all sexes/states
+        assert_eq!(a[1], 5.0 * 2.0 * 2.0); // states {0, 2}
+        assert_eq!(a[2], 30.0);
+        assert_eq!(a[3], 2.0 * 1.0 * 3.0); // ages {3,4} × sex 1 × all states
+    }
+
+    #[test]
+    fn schema_workload_is_conformant() {
+        let s = schema();
+        let w = SchemaWorkload::new(
+            s,
+            &[
+                Query::marginal(["sex", "state"]),
+                Query::range("age", 0..2),
+                Query::total(),
+                Query::values("state", [0, 2]),
+            ],
+        )
+        .unwrap();
+        assert_conformant(&w);
+    }
+
+    #[test]
+    fn gram_is_structured_and_matches_dense_reference() {
+        let s = schema();
+        let w = SchemaWorkload::new(s, &[Query::marginal(["age"]), Query::range("state", 1..3)])
+            .unwrap();
+        let gram = w.gram();
+        // The operator is a SumOp over Kronecker chains — never a dense
+        // matrix.
+        assert!(gram.op().as_dense().is_none());
+        let dense = w.matrix().gram();
+        assert!(gram.to_dense().max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn scalar_answers_match_matrix_rows_bitwise() {
+        let s = schema();
+        let queries = [
+            Query::range("age", 2..5).and_equals("sex", 0),
+            Query::predicate("state", |v| v != 1),
+            Query::total(),
+        ];
+        let w = SchemaWorkload::new(Arc::clone(&s), &queries).unwrap();
+        let mat = w.matrix();
+        let x: Vec<f64> = (0..30).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+        let reference = mat.matvec(&x);
+        for (i, q) in queries.iter().enumerate() {
+            let ad_hoc = s.answer(q, &x).unwrap();
+            assert_eq!(ad_hoc.to_bits(), reference[i].to_bits(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn resolution_errors_are_typed() {
+        let s = schema();
+        let x = vec![0.0; 30];
+        assert!(matches!(
+            s.answer(&Query::range("zip", 0..1), &x),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            s.answer(&Query::range("age", 3..9), &x),
+            Err(SchemaError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.answer(&Query::range("age", 3..3), &x),
+            Err(SchemaError::EmptySelection { .. })
+        ));
+        // Pathological bounds stay on the typed-error path (no overflow
+        // panic): an inclusive usize::MAX end saturates and is reported
+        // as out of range for the attribute.
+        assert!(matches!(
+            s.answer(&Query::range("age", 0..=usize::MAX), &x),
+            Err(SchemaError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.answer(&Query::predicate("age", |_| false), &x),
+            Err(SchemaError::EmptySelection { .. })
+        ));
+        assert!(matches!(
+            s.answer(&Query::marginal(["age"]), &x),
+            Err(SchemaError::NotScalar { rows: 5 })
+        ));
+        assert!(matches!(
+            s.answer(&Query::equals("age", 1).and_equals("age", 2), &x),
+            Err(SchemaError::DuplicateAttribute { .. })
+        ));
+        assert!(matches!(
+            SchemaWorkload::new(schema(), &[]),
+            Err(SchemaError::NoQueries)
+        ));
+    }
+
+    #[test]
+    fn names_are_deterministic_and_discriminating() {
+        let build = |hi| {
+            SchemaWorkload::new(schema(), &[Query::range("age", 0..hi), Query::total()]).unwrap()
+        };
+        assert_eq!(build(3).name(), build(3).name());
+        assert_ne!(build(3).name(), build(4).name());
+        assert!(build(3).name().contains("age:5,sex:2,state:3"));
+        // Labels override the canonical description.
+        let labeled =
+            SchemaWorkload::new(schema(), &[Query::range("age", 0..3).with_label("minors")])
+                .unwrap();
+        assert!(labeled.name().contains("minors"));
+    }
+
+    #[test]
+    fn labels_are_display_only_never_identity() {
+        // Renaming a label must not invalidate fingerprints (caches,
+        // checkpoint bindings)…
+        let plain =
+            SchemaWorkload::new(schema(), &[Query::range("age", 0..3), Query::total()]).unwrap();
+        let labeled = SchemaWorkload::new(
+            schema(),
+            &[
+                Query::range("age", 0..3).with_label("minors"),
+                Query::total(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plain.fingerprint(), labeled.fingerprint());
+        assert_ne!(plain.name(), labeled.name());
+
+        // …and two *different* query sets must never alias through
+        // shared labels (the per-group canonical descriptions, not the
+        // labels, are the identity).
+        let a = SchemaWorkload::new(
+            schema(),
+            &[
+                Query::range("age", 0..2).with_label("p"),
+                Query::range("age", 1..3).with_label("q"),
+            ],
+        )
+        .unwrap();
+        let b = SchemaWorkload::new(
+            schema(),
+            &[
+                Query::range("age", 1..3).with_label("p"),
+                Query::range("age", 0..2).with_label("q"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.name(), b.name(), "display names intentionally collide");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.groups()[0].canonical(), b.groups()[1].canonical());
+    }
+
+    #[test]
+    fn fingerprint_stable_across_instances() {
+        let build = || {
+            SchemaWorkload::new(
+                schema(),
+                &[Query::marginal(["age", "sex"]), Query::range("state", 0..2)],
+            )
+            .unwrap()
+        };
+        assert_eq!(build().fingerprint(), build().fingerprint());
+        let other = SchemaWorkload::new(schema(), &[Query::marginal(["age", "sex"])]).unwrap();
+        assert_ne!(build().fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn large_domain_stays_implicit() {
+        // |Ω| = 10⁴: Gram construction, probes, and ad-hoc answers are
+        // all O(n) or better — this test is fast because nothing is n².
+        let s = Arc::new(Schema::new([("age", 100), ("sex", 2), ("state", 50)]));
+        let w = SchemaWorkload::new(
+            Arc::clone(&s),
+            &[
+                Query::marginal(["age", "sex"]),
+                Query::range("age", 18..65),
+                Query::total(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.domain_size(), 10_000);
+        assert_eq!(w.num_queries(), 202);
+        let gram = w.gram();
+        assert!(gram.op().as_dense().is_none());
+        assert_eq!(gram.trace(), w.frobenius_sq());
+        let x = vec![1.0; 10_000];
+        assert_eq!(s.answer(&Query::total(), &x).unwrap(), 10_000.0);
+        assert_eq!(
+            s.answer(&Query::range("age", 18..65).and_equals("sex", 1), &x)
+                .unwrap(),
+            47.0 * 50.0
+        );
+    }
+
+    #[test]
+    fn single_attribute_schema_degenerates_to_one_dim() {
+        let s = Arc::new(Schema::new([("bin", 8)]));
+        let w = SchemaWorkload::new(s, &[Query::marginal(["bin"]), Query::total()]).unwrap();
+        assert_conformant(&w);
+        let hist = crate::Stacked::new(vec![
+            Box::new(crate::Histogram::new(8)),
+            Box::new(crate::Total::new(8)),
+        ]);
+        assert!(w.gram().to_dense().max_abs_diff(&hist.gram().to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_row_for_marginal_cells() {
+        // Explicit check of the documented cell order against the dense
+        // reference on a 2 × 3 schema.
+        let s = Arc::new(Schema::new([("a", 2), ("b", 3)]));
+        let w = SchemaWorkload::new(s, &[Query::marginal(["b"])]).unwrap();
+        let m = w.matrix();
+        // Cell for b = j selects columns with u % 3 == j.
+        let expect = Matrix::from_fn(3, 6, |j, u| if u % 3 == j { 1.0 } else { 0.0 });
+        assert_eq!(m, expect);
+    }
+}

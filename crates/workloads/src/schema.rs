@@ -1,0 +1,436 @@
+//! Named multi-attribute domains: the schema-first front end.
+//!
+//! The paper's headline setting is a *high-dimensional* domain — the
+//! Cartesian product of several categorical attributes — with workloads
+//! expressed as unions of Kronecker products over it. [`Schema`] is the
+//! user-facing description of such a domain (named attributes with
+//! cardinalities), and [`Domain`] is the underlying row-major index
+//! arithmetic (sizes, strides, flatten/unflatten) every structured
+//! operator relies on.
+//!
+//! ```
+//! use ldp_workloads::Schema;
+//!
+//! let schema = Schema::new([("age", 100), ("sex", 2), ("state", 50)]);
+//! assert_eq!(schema.domain_size(), 10_000);
+//! // User type = row-major flattened coordinates, by name or position.
+//! let u = schema.user_type(&[("age", 30), ("sex", 1), ("state", 7)]).unwrap();
+//! assert_eq!(u, schema.domain().flatten(&[30, 1, 7]));
+//! assert_eq!(schema.domain().unflatten(u), vec![30, 1, 7]);
+//! ```
+//!
+//! Queries over a schema are built with [`Query`](crate::Query) and
+//! lowered to a structured [`SchemaWorkload`](crate::SchemaWorkload) —
+//! see the `query` module.
+
+use std::fmt;
+
+/// Errors raised when resolving names, values, or queries against a
+/// [`Schema`]. These are *dynamic* errors — ad-hoc queries may come from
+/// end users at serving time, so resolution must fail closed with a typed
+/// error rather than panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The named attribute does not exist in the schema.
+    UnknownAttribute {
+        /// The name that failed to resolve.
+        attribute: String,
+    },
+    /// A value (or range endpoint) lies outside the attribute's domain.
+    ValueOutOfRange {
+        /// Attribute the value was given for.
+        attribute: String,
+        /// The offending value.
+        value: usize,
+        /// The attribute's cardinality.
+        size: usize,
+    },
+    /// A query names the same attribute twice.
+    DuplicateAttribute {
+        /// The repeated name.
+        attribute: String,
+    },
+    /// A range or predicate selects no value at all — the query would be
+    /// identically zero, which is almost certainly a mistake.
+    EmptySelection {
+        /// Attribute whose selection is empty.
+        attribute: String,
+    },
+    /// A workload was requested with no queries.
+    NoQueries,
+    /// The query produces multiple values where a scalar was required
+    /// (ad-hoc serving answers one number per query).
+    NotScalar {
+        /// Number of values the query produces.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownAttribute { attribute } => {
+                write!(f, "unknown attribute '{attribute}'")
+            }
+            SchemaError::ValueOutOfRange {
+                attribute,
+                value,
+                size,
+            } => write!(
+                f,
+                "value {value} is out of range for attribute '{attribute}' (size {size})"
+            ),
+            SchemaError::DuplicateAttribute { attribute } => {
+                write!(f, "attribute '{attribute}' appears more than once")
+            }
+            SchemaError::EmptySelection { attribute } => write!(
+                f,
+                "selection on attribute '{attribute}' matches no value; \
+                 the query would be identically zero"
+            ),
+            SchemaError::NoQueries => write!(f, "a schema workload needs at least one query"),
+            SchemaError::NotScalar { rows } => write!(
+                f,
+                "query produces {rows} values, not a scalar; marginal queries \
+                 belong in the deployed workload (read them via Estimate::answers)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Row-major index arithmetic over a multi-attribute domain: per-attribute
+/// sizes, strides, and flatten/unflatten between coordinates and the
+/// flattened user type `u ∈ [n]` every mechanism operates on.
+///
+/// Attribute `a`'s stride is the product of all later attributes' sizes,
+/// so `u = Σ_a coords[a]·stride(a)` — the same layout
+/// [`KroneckerOp`](ldp_linalg::KroneckerOp) and
+/// [`Product`](crate::Product) use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    sizes: Vec<usize>,
+    strides: Vec<usize>,
+    total: usize,
+}
+
+impl Domain {
+    /// A domain with the given per-attribute sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty, any size is zero, or the total size
+    /// overflows `usize`.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        assert!(!sizes.is_empty(), "domain needs at least one attribute");
+        let mut strides = vec![1usize; sizes.len()];
+        let mut total = 1usize;
+        for (a, &size) in sizes.iter().enumerate().rev() {
+            assert!(size > 0, "attribute {a} has an empty domain");
+            strides[a] = total;
+            total = total
+                .checked_mul(size)
+                .expect("domain size overflows usize");
+        }
+        Self {
+            sizes,
+            strides,
+            total,
+        }
+    }
+
+    /// Total flattened size `n = Π_a n_a`.
+    pub fn size(&self) -> usize {
+        self.total
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Per-attribute sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of attribute `a`.
+    pub fn size_of(&self, a: usize) -> usize {
+        self.sizes[a]
+    }
+
+    /// Row-major stride of attribute `a` (the product of all later
+    /// attributes' sizes).
+    pub fn stride(&self, a: usize) -> usize {
+        self.strides[a]
+    }
+
+    /// Flattens per-attribute coordinates into the user type `u`.
+    ///
+    /// # Panics
+    /// Panics if `coords` has the wrong length or any coordinate is out
+    /// of range.
+    pub fn flatten(&self, coords: &[usize]) -> usize {
+        assert_eq!(
+            coords.len(),
+            self.sizes.len(),
+            "one coordinate per attribute"
+        );
+        let mut u = 0;
+        for ((&c, &size), &stride) in coords.iter().zip(&self.sizes).zip(&self.strides) {
+            assert!(c < size, "coordinate {c} out of range (size {size})");
+            u += c * stride;
+        }
+        u
+    }
+
+    /// Writes the per-attribute coordinates of user type `index` into
+    /// `out`.
+    ///
+    /// # Panics
+    /// Panics if `index >= size()` or `out.len() != num_attributes()`.
+    pub fn unflatten_into(&self, index: usize, out: &mut [usize]) {
+        assert!(index < self.total, "index {index} out of range");
+        assert_eq!(out.len(), self.sizes.len(), "one slot per attribute");
+        for ((o, &size), &stride) in out.iter_mut().zip(&self.sizes).zip(&self.strides) {
+            *o = (index / stride) % size;
+        }
+    }
+
+    /// The per-attribute coordinates of user type `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= size()`.
+    pub fn unflatten(&self, index: usize) -> Vec<usize> {
+        let mut out = vec![0; self.sizes.len()];
+        self.unflatten_into(index, &mut out);
+        out
+    }
+}
+
+/// A named multi-attribute domain: the declaration an application starts
+/// from. `Schema::new([("age", 100), ("sex", 2), ("state", 50)])` declares
+/// three categorical attributes whose Cartesian product is the user-type
+/// domain; [`Query`](crate::Query) objects are resolved against it by
+/// attribute name.
+///
+/// Cheap to clone is not a goal (the pipeline shares it behind an `Arc`);
+/// equality is structural, so two schemas with the same attribute list
+/// are interchangeable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    domain: Domain,
+}
+
+impl Schema {
+    /// Declares a schema from `(name, cardinality)` pairs, in storage
+    /// order (the first attribute is the most significant in the
+    /// flattened index).
+    ///
+    /// # Panics
+    /// Panics if the list is empty, a cardinality is zero, a name
+    /// repeats, or the total domain size overflows `usize`.
+    pub fn new<N: Into<String>>(attributes: impl IntoIterator<Item = (N, usize)>) -> Self {
+        let mut names = Vec::new();
+        let mut sizes = Vec::new();
+        for (name, size) in attributes {
+            let name = name.into();
+            assert!(!names.contains(&name), "duplicate attribute name '{name}'");
+            names.push(name);
+            sizes.push(size);
+        }
+        Self {
+            domain: Domain::new(sizes),
+            names,
+        }
+    }
+
+    /// The underlying index arithmetic.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Total flattened domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.domain.size()
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Attribute names, in storage order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The position of attribute `name`, if it exists.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The cardinality of attribute `name`.
+    ///
+    /// # Errors
+    /// [`SchemaError::UnknownAttribute`] if the name does not resolve.
+    pub fn size_of(&self, name: &str) -> Result<usize, SchemaError> {
+        self.index_of(name)
+            .map(|a| self.domain.size_of(a))
+            .ok_or_else(|| SchemaError::UnknownAttribute {
+                attribute: name.to_string(),
+            })
+    }
+
+    /// Flattens named coordinates into the user type `u` — the value a
+    /// client reports. Every attribute must be given exactly once, in
+    /// any order.
+    ///
+    /// # Errors
+    /// [`SchemaError::UnknownAttribute`] for a name outside the schema,
+    /// [`SchemaError::DuplicateAttribute`] for a name given twice, or
+    /// [`SchemaError::ValueOutOfRange`] for a value at or above the
+    /// attribute's cardinality.
+    ///
+    /// # Panics
+    /// Panics if the number of pairs differs from the number of
+    /// attributes (a user type is only defined when every attribute has
+    /// exactly one value).
+    pub fn user_type(&self, values: &[(&str, usize)]) -> Result<usize, SchemaError> {
+        assert_eq!(
+            values.len(),
+            self.names.len(),
+            "every attribute needs exactly one value"
+        );
+        let mut coords = vec![usize::MAX; self.names.len()];
+        for &(name, value) in values {
+            let a = self
+                .index_of(name)
+                .ok_or_else(|| SchemaError::UnknownAttribute {
+                    attribute: name.to_string(),
+                })?;
+            if coords[a] != usize::MAX {
+                return Err(SchemaError::DuplicateAttribute {
+                    attribute: name.to_string(),
+                });
+            }
+            let size = self.domain.size_of(a);
+            if value >= size {
+                return Err(SchemaError::ValueOutOfRange {
+                    attribute: name.to_string(),
+                    value,
+                    size,
+                });
+            }
+            coords[a] = value;
+        }
+        Ok(self.domain.flatten(&coords))
+    }
+
+    /// A deterministic one-line description, e.g. `age:100,sex:2,state:50`
+    /// — part of the schema workload's stable fingerprint.
+    pub fn describe(&self) -> String {
+        self.names
+            .iter()
+            .zip(self.domain.sizes())
+            .map(|(n, s)| format!("{n}:{s}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_strides_and_flatten_round_trip() {
+        let d = Domain::new(vec![4, 3, 5]);
+        assert_eq!(d.size(), 60);
+        assert_eq!(d.stride(0), 15);
+        assert_eq!(d.stride(1), 5);
+        assert_eq!(d.stride(2), 1);
+        for u in 0..60 {
+            assert_eq!(d.flatten(&d.unflatten(u)), u);
+        }
+        assert_eq!(d.flatten(&[3, 2, 4]), 59);
+        assert_eq!(d.unflatten(0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn domain_rejects_zero_size() {
+        let _ = Domain::new(vec![3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn domain_rejects_overflow() {
+        let _ = Domain::new(vec![usize::MAX, 3]);
+    }
+
+    #[test]
+    fn schema_lookup_and_user_type() {
+        let s = Schema::new([("age", 100), ("sex", 2), ("state", 50)]);
+        assert_eq!(s.domain_size(), 10_000);
+        assert_eq!(s.num_attributes(), 3);
+        assert_eq!(s.index_of("sex"), Some(1));
+        assert_eq!(s.index_of("zip"), None);
+        assert_eq!(s.size_of("state").unwrap(), 50);
+        assert!(matches!(
+            s.size_of("zip"),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+
+        // Named coordinates flatten in schema order regardless of pair order.
+        let u = s
+            .user_type(&[("state", 7), ("age", 30), ("sex", 1)])
+            .unwrap();
+        assert_eq!(u, 30 * 100 + 50 + 7); // age·stride(age) + sex·stride(sex) + state
+        assert_eq!(s.domain().unflatten(u), vec![30, 1, 7]);
+
+        assert!(matches!(
+            s.user_type(&[("age", 100), ("sex", 0), ("state", 0)]),
+            Err(SchemaError::ValueOutOfRange { value: 100, .. })
+        ));
+        assert!(matches!(
+            s.user_type(&[("age", 1), ("age", 2), ("state", 0)]),
+            Err(SchemaError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn schema_rejects_duplicate_names() {
+        let _ = Schema::new([("a", 2), ("a", 3)]);
+    }
+
+    #[test]
+    fn describe_is_deterministic() {
+        let s = Schema::new([("age", 100), ("sex", 2)]);
+        assert_eq!(s.describe(), "age:100,sex:2");
+        assert_eq!(
+            s.describe(),
+            Schema::new([("age", 100), ("sex", 2)]).describe()
+        );
+    }
+
+    #[test]
+    fn errors_display_key_fields() {
+        assert!(SchemaError::UnknownAttribute {
+            attribute: "zip".into()
+        }
+        .to_string()
+        .contains("zip"));
+        assert!(SchemaError::ValueOutOfRange {
+            attribute: "age".into(),
+            value: 120,
+            size: 100
+        }
+        .to_string()
+        .contains("120"));
+        assert!(SchemaError::NotScalar { rows: 7 }.to_string().contains('7'));
+        assert!(SchemaError::NoQueries.to_string().contains("at least one"));
+    }
+}

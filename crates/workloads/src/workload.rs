@@ -3,6 +3,8 @@
 use ldp_linalg::stablehash::Fnv64;
 use ldp_linalg::{Gram, Matrix};
 
+use crate::schema::Schema;
+
 /// A workload of `p` linear counting queries over a domain of `n` user
 /// types (Definition 2.3 / Section 2.1).
 ///
@@ -115,37 +117,54 @@ pub trait Workload {
         self.fingerprint_with_gram(&self.gram())
     }
 
+    /// The named multi-attribute schema this workload was declared over,
+    /// if any. Schema-first workloads
+    /// ([`SchemaWorkload`](crate::SchemaWorkload)) return their schema so
+    /// deployments can resolve and answer *ad-hoc* [`Query`](crate::Query)s
+    /// against live estimates; flat workloads return `None`.
+    fn schema(&self) -> Option<&Schema> {
+        None
+    }
+
     /// [`Workload::fingerprint`] over an already-constructed Gram
     /// operator — `gram` must be this workload's own [`Workload::gram`]
     /// (possibly cloned; the handle is `Arc`-backed and cheap). This is
     /// the method to override when customizing fingerprints; the
     /// zero-argument form always delegates here.
     fn fingerprint_with_gram(&self, gram: &Gram) -> u64 {
-        let mut h = Fnv64::new();
-        h.write_str("ldp-workload-fingerprint/1");
-        h.write_str(&self.name());
-        h.write_u64(self.domain_size() as u64);
-        h.write_u64(self.num_queries() as u64);
-        for d in gram.diagonal() {
-            h.write_f64(d);
-        }
-        // A fixed pseudo-random probe vector (LCG; no RNG dependency)
-        // exercises the off-diagonal structure.
-        let n = self.domain_size();
-        let mut state = 0x2545_f491_4f6c_dd1d_u64;
-        let probe: Vec<f64> = (0..n)
-            .map(|_| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 40) as f64) / ((1u64 << 24) as f64) - 0.5
-            })
-            .collect();
-        for v in gram.matvec(&probe) {
-            h.write_f64(v);
-        }
-        h.finish()
+        fingerprint_of(&self.name(), self.domain_size(), self.num_queries(), gram)
     }
+}
+
+/// The fingerprint token stream behind [`Workload::fingerprint_with_gram`]:
+/// an identity string plus dimensions plus Gram probe bits. Exposed so
+/// implementations that override the method (e.g. to hash a canonical,
+/// display-independent identity instead of their display name) produce
+/// values in the same family without duplicating the probe logic.
+pub fn fingerprint_of(identity: &str, domain_size: usize, num_queries: usize, gram: &Gram) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("ldp-workload-fingerprint/1");
+    h.write_str(identity);
+    h.write_u64(domain_size as u64);
+    h.write_u64(num_queries as u64);
+    for d in gram.diagonal() {
+        h.write_f64(d);
+    }
+    // A fixed pseudo-random probe vector (LCG; no RNG dependency)
+    // exercises the off-diagonal structure.
+    let mut state = 0x2545_f491_4f6c_dd1d_u64;
+    let probe: Vec<f64> = (0..domain_size)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f64) / ((1u64 << 24) as f64) - 0.5
+        })
+        .collect();
+    for v in gram.matvec(&probe) {
+        h.write_f64(v);
+    }
+    h.finish()
 }
 
 /// Shared test helpers asserting the three views of a workload agree.

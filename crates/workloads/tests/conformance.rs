@@ -12,10 +12,12 @@
 //! `G·x == Wᵀ(W·x)` identity that exercises the operator matvec on
 //! non-unit inputs.
 
+use std::sync::Arc;
+
 use ldp_workloads::workload::conformance::assert_conformant;
 use ldp_workloads::{
-    AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
-    Total, WidthRange, Workload,
+    AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Query,
+    Schema, SchemaWorkload, Stacked, Total, WidthRange, Workload,
 };
 use proptest::prelude::*;
 
@@ -135,6 +137,23 @@ params in (1usize..17, 0.1..4.0f64, 0.1..4.0f64) => {
         (c1, Box::new(Histogram::new(n)) as Box<dyn Workload + Send + Sync>),
         (c2, Box::new(Prefix::new(n)) as Box<dyn Workload + Send + Sync>),
     ])
+});
+
+// Schema-first workloads: the SumOp-of-Kronecker-chains Gram of a random
+// multi-attribute query set (marginals, ranges, value sets, totals)
+// against the dense reference on the flattened domain.
+workload_suite!(schema_conformance, cases = 12,
+params in (1usize..5, 1usize..4, 1usize..4, 0usize..4) => {
+    let (a, b, c, pick) = params;
+    let schema = Arc::new(Schema::new([("x", a), ("y", b), ("z", c)]));
+    let mut queries = vec![Query::total(), Query::marginal(["y", "z"])];
+    match pick {
+        0 => queries.push(Query::marginal(["x"])),
+        1 => queries.push(Query::range("x", 0..a)),
+        2 => queries.push(Query::values("z", [c - 1])),
+        _ => queries.push(Query::predicate("y", |v| v % 2 == 0).and_range("x", a - 1..)),
+    }
+    SchemaWorkload::new(schema, &queries).unwrap()
 });
 
 // A doubly nested composite — Product of a Stacked and a Parity workload —

@@ -1,0 +1,124 @@
+//! Census-style schema-first deployment: declare a multi-attribute
+//! domain, declare the queries you care about by name, optimize a
+//! mechanism for exactly that workload, then serve both the deployed
+//! queries and *ad-hoc* follow-up questions with analytic error bars.
+//!
+//! ```text
+//! cargo run --release --example census
+//! LDP_BASELINE=rr cargo run --release --example census   # baseline instead of PGD
+//! ```
+//!
+//! The `LDP_BASELINE` environment variable selects a closed-form
+//! baseline by name (`rr`, `hadamard`, `hierarchical` — parsed with
+//! `Baseline::from_str`); unset, the strategy is optimized for the
+//! declared workload (Algorithm 2).
+
+use ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The domain, by name: 12 age brackets × 2 sexes × 4 regions.
+    let (ages, regions) = (12usize, 4usize);
+    let schema = Schema::new([("age", ages), ("sex", 2), ("region", regions)]);
+    let n = schema.domain_size();
+
+    // 2. The declared workload: the questions the deployment must answer
+    //    well. Everything lowers to a union of Kronecker products whose
+    //    Gram stays structured — no n × n matrix is ever formed.
+    let pipeline = Pipeline::for_schema(schema.clone())
+        .queries([
+            Query::marginal(["age", "sex"]).with_label("age x sex table"),
+            Query::marginal(["region"]).with_label("region totals"),
+            Query::range("age", 3..9).with_label("working-age count"),
+            Query::total(),
+        ])
+        .epsilon(1.0);
+
+    // 3. Mechanism: optimized for this workload, or a named baseline
+    //    from the environment.
+    let deployment = match std::env::var("LDP_BASELINE") {
+        Ok(name) => {
+            let baseline: Baseline = name.parse()?;
+            eprintln!("deploying baseline: {baseline}");
+            pipeline.baseline(baseline)?
+        }
+        Err(_) => {
+            eprintln!("optimizing a strategy for the declared workload (Algorithm 2)…");
+            pipeline.optimized(&OptimizerConfig::quick(7))?
+        }
+    };
+    eprintln!(
+        "users needed for 1% normalized variance: {:.0}",
+        deployment.sample_complexity(0.01)
+    );
+
+    // 4. A synthetic population over the product domain (counts by
+    //    (age, sex, region) cell), reported once per user.
+    let mut counts = vec![0.0; n];
+    for a in 0..ages {
+        for s in 0..2 {
+            for r in 0..regions {
+                let u = schema.user_type(&[("age", a), ("sex", s), ("region", r)])?;
+                // A lumpy joint distribution: mid-age bulge, region skew.
+                counts[u] = (60.0 - (a as f64 - 5.0).powi(2) * 1.5) * (1.0 + r as f64 * 0.4)
+                    + if s == 1 { 10.0 } else { 0.0 };
+            }
+        }
+    }
+    let population = DataVector::from_counts(counts);
+    let mut rng = StdRng::seed_from_u64(42);
+    let estimate = deployment.simulate(&population, &mut rng);
+    eprintln!(
+        "collected {} randomized reports (ε = {})",
+        estimate.reports(),
+        deployment.epsilon()
+    );
+
+    // 5. Deployed answers: the full workload, extracted allocation-free,
+    //    then WNNLS-refined into a consistent non-negative population.
+    let mut answers = Vec::new();
+    estimate.answers_into(&mut answers);
+    let consistent = estimate.consistent();
+    let region_offset = ages * 2; // region totals follow the age×sex cells
+    eprint!("estimated region totals:");
+    for r in 0..regions {
+        eprint!(" {:.0}", consistent.answers()[region_offset + r]);
+    }
+    eprintln!(" (truth: per-region sums of the synthetic population)");
+
+    // 6. Ad-hoc serving: questions nobody declared up front, resolved by
+    //    attribute name against the live estimate, each with its exact
+    //    worst-case error bar.
+    for (what, query) in [
+        (
+            "working-age women",
+            Query::range("age", 3..9).and_equals("sex", 1),
+        ),
+        (
+            "region 2 seniors",
+            Query::equals("region", 2).and_range("age", 9..),
+        ),
+        ("even age brackets", Query::predicate("age", |v| v % 2 == 0)),
+        ("everyone", Query::total()),
+    ] {
+        let QueryAnswer { value, stddev, .. } = estimate.answer(&query)?;
+        eprintln!("  {what}: {value:.0} ± {stddev:.0}");
+    }
+
+    // 7. The same serving path stays live on a running stream.
+    let client = deployment.client();
+    let mut stream = deployment.stream();
+    let reports: Vec<usize> = (0..5_000)
+        .map(|i| client.respond(i % n, &mut rng))
+        .collect();
+    stream.ingest_batch(&reports)?;
+    let live = stream.answer(&Query::total())?;
+    eprintln!(
+        "live stream after {} reports: total {:.0} ± {:.0}",
+        stream.reports(),
+        live.value,
+        live.stddev
+    );
+    Ok(())
+}

@@ -1,5 +1,6 @@
-//! Quickstart: the full workload → optimize → deploy → estimate → WNNLS
-//! flow through the `Pipeline` API, compared against randomized response.
+//! Quickstart: declare a schema and its queries, optimize, deploy,
+//! estimate, serve ad-hoc questions — then the advanced flat-workload
+//! path (the paper's Prefix CDF suite) for comparison.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -10,15 +11,67 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    // The analyst cares about the empirical CDF over a 32-bin domain.
-    let n = 32;
+    // ── Schema-first: the front door ────────────────────────────────────
+    // The analyst declares a named multi-attribute domain and the
+    // queries that matter; the pipeline lowers them to a structured
+    // union of Kronecker products and optimizes a mechanism for exactly
+    // that workload.
     let epsilon = 1.0;
-
-    println!("workload: Prefix ({n} queries over {n} types)");
+    let schema = Schema::new([("age", 8), ("device", 4)]);
+    let n = schema.domain_size();
+    println!("schema:   age:8 x device:4  (|domain| = {n})");
     println!("privacy:  epsilon = {epsilon}\n");
 
-    // Optimize a strategy for exactly this workload (Algorithm 2) and
-    // deploy it; do the same with the randomized-response baseline.
+    let deployment = Pipeline::for_schema(schema.clone())
+        .queries([
+            Query::marginal(["age", "device"]),
+            Query::range("age", 2..6).with_label("mid-age"),
+            Query::total(),
+        ])
+        .epsilon(epsilon)
+        .optimized(&OptimizerConfig::quick(42))
+        .expect("optimization succeeds");
+
+    // Collect: users randomize on-device, the aggregator counts reports.
+    let client = deployment.client();
+    let mut aggregator = deployment.aggregator();
+    let mut rng = StdRng::seed_from_u64(2);
+    for age in 0..8 {
+        for device in 0..4 {
+            let u = schema
+                .user_type(&[("age", age), ("device", device)])
+                .expect("in-domain");
+            for _ in 0..(50 + 30 * age + 10 * device) {
+                aggregator
+                    .ingest(client.respond(u, &mut rng))
+                    .expect("in-range report");
+            }
+        }
+    }
+    let estimate = deployment.estimate(&aggregator);
+    println!("collected N = {} reports", estimate.reports());
+
+    // Deployed answers (allocation-free extraction) + ad-hoc serving
+    // with analytic error bars — no redeployment, resolved by name.
+    let mut answers = Vec::new();
+    estimate.answers_into(&mut answers);
+    println!("deployed workload answers: {} values", answers.len());
+    for (what, query) in [
+        (
+            "mid-age on device 3",
+            Query::range("age", 2..6).and_equals("device", 3),
+        ),
+        ("odd age brackets", Query::predicate("age", |v| v % 2 == 1)),
+    ] {
+        let QueryAnswer { value, stddev, .. } =
+            estimate.answer(&query).expect("resolvable scalar query");
+        println!("  ad hoc, {what}: {value:.0} ± {stddev:.0}");
+    }
+
+    // ── Advanced: flat workloads ────────────────────────────────────────
+    // Explicit 1-D workloads (the paper's suites) use the flat path; here
+    // the Prefix/CDF workload, optimized vs the RR baseline.
+    let n = 32;
     let optimized = Pipeline::for_workload(Prefix::new(n))
         .epsilon(epsilon)
         .optimized(&OptimizerConfig::new(42).with_iterations(150))
@@ -33,13 +86,12 @@ fn main() {
     let alpha = 0.01;
     let sc_opt = optimized.sample_complexity(alpha);
     let sc_rr = rr.sample_complexity(alpha);
-    println!("sample complexity at alpha = {alpha}:");
+    println!("\nflat Prefix({n}) sample complexity at alpha = {alpha}:");
     println!("  optimized            {sc_opt:>12.0} users");
     println!("  randomized response  {sc_rr:>12.0} users");
-    println!("  improvement          {:>12.2}x\n", sc_rr / sc_opt);
+    println!("  improvement          {:>12.2}x", sc_rr / sc_opt);
 
-    // Run the local protocol on a synthetic population: every user
-    // randomizes on-device via a Client, reports land in an aggregator.
+    // Run the local protocol on a synthetic population and post-process.
     let data = ldp::data::zipf_shape(n, 1.0).sample(50_000, &mut StdRng::seed_from_u64(1));
     let client = optimized.client();
     let mut aggregator = optimized.aggregator();
@@ -51,11 +103,10 @@ fn main() {
                 .expect("in-range report");
         }
     }
-
     let estimate = optimized.estimate(&aggregator);
-    println!("ran protocol on N = {} users", estimate.reports());
     println!(
-        "analytic per-query stddev: {:.1} users",
+        "ran protocol on N = {} users; analytic per-query stddev {:.1}",
+        estimate.reports(),
         estimate.per_query_stddev()
     );
 
@@ -72,9 +123,7 @@ fn main() {
         "worst CDF-point error:     {:.3}% of the population",
         100.0 * max_rel(&estimate.answers())
     );
-
-    // Post-process with WNNLS for consistent, non-negative answers.
-    let consistent = estimate.consistent();
+    let consistent = estimate.consistent(); // WNNLS refinement
     println!(
         "after WNNLS:               {:.3}% of the population",
         100.0 * max_rel(&consistent.answers())

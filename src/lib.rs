@@ -10,17 +10,24 @@
 //!
 //! ## Quickstart
 //!
-//! The paper's workflow is one conceptual pipeline — declare a workload,
-//! optimize a strategy for it, deploy clients, aggregate reports, estimate
-//! and post-process — and [`Pipeline`] expresses it as one fluent flow:
+//! Applications start from a **schema**: named attributes whose product
+//! is the user-type domain, with queries declared by name. The pipeline
+//! lowers them to a union of Kronecker products (structured end to end —
+//! nothing densifies at any domain size), optimizes an ε-LDP mechanism
+//! for exactly those queries, and the resulting deployment also serves
+//! *ad-hoc* questions with analytic error bars:
 //!
 //! ```
 //! use ldp::prelude::*;
 //! use rand::SeedableRng;
 //!
-//! // 1. Declare the queries you care about and the privacy budget, then
-//! //    optimize an ε-LDP mechanism for exactly that workload.
-//! let deployment = Pipeline::for_workload(Prefix::new(16)) // CDF over 16 bins
+//! // 1. Declare the domain and the queries you care about, by name.
+//! let deployment = Pipeline::for_schema(Schema::new([("age", 8), ("sex", 2)]))
+//!     .queries([
+//!         Query::marginal(["age", "sex"]),   // the full contingency table
+//!         Query::range("age", 2..6),         // plus a range you'll watch
+//!         Query::total(),
+//!     ])
 //!     .epsilon(1.0)
 //!     .optimized(&OptimizerConfig::quick(7))
 //!     .unwrap();
@@ -30,12 +37,16 @@
 //! assert!(deployment.sample_complexity(0.01).is_finite());
 //!
 //! // 3. Users randomize locally; shards aggregate concurrently.
+//! let schema = deployment.schema().unwrap();
 //! let client = deployment.client();
 //! let mut shard = deployment.shard(); // one per thread in production
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! for user_type in 0..16 {
-//!     for _ in 0..50 {
-//!         shard.ingest(client.respond(user_type, &mut rng)).unwrap();
+//! for age in 0..8 {
+//!     for sex in 0..2 {
+//!         let user_type = schema.user_type(&[("age", age), ("sex", sex)]).unwrap();
+//!         for _ in 0..50 {
+//!             shard.ingest(client.respond(user_type, &mut rng)).unwrap();
+//!         }
 //!     }
 //! }
 //!
@@ -43,27 +54,51 @@
 //! let aggregator = deployment.merge([shard]).unwrap();
 //! let estimate = deployment.estimate(&aggregator);
 //! assert_eq!(estimate.reports(), 800);
-//! assert_eq!(estimate.answers().len(), 16);          // Wx̂
+//! assert_eq!(estimate.answers().len(), 18);          // Wx̂: 16 cells + 2
 //! let consistent = estimate.consistent();            // WNNLS refinement
 //! assert!(consistent.data_vector().iter().all(|&v| v >= 0.0));
+//!
+//! // 5. Ad-hoc serving: questions nobody declared up front, resolved by
+//! //    name against the live estimate, each with its exact error bar.
+//! let QueryAnswer { value, stddev, .. } = estimate
+//!     .answer(&Query::range("age", 2..6).and_equals("sex", 1))
+//!     .unwrap();
+//! assert!(value.is_finite() && stddev >= 0.0);
 //! ```
 //!
 //! Multi-threaded collection is first-class: a [`Deployment`] is
 //! `Send + Sync + Clone`, clients share precomputed alias tables, and
 //! [`prelude::AggregatorShard`]s (integer counts) merge bit-exactly — see
 //! `examples/sharded_aggregation.rs` and the `sharded_ingestion` bench.
-//! The crate-level entry points used above remain available for manual
-//! plumbing: [`prelude::optimized_mechanism`], [`prelude::Client`],
+//!
+//! ### Advanced: flat workloads
+//!
+//! The schema front end sits on top of the flat [`Pipeline::for_workload`]
+//! path, which remains the right entry point for explicit 1-D workloads
+//! (the paper's Prefix/All-Range/marginal suites, hand-built matrices,
+//! `Product`/`Stacked` composites):
+//!
+//! ```
+//! use ldp::prelude::*;
+//! let deployment = Pipeline::for_workload(Prefix::new(16)) // CDF over 16 bins
+//!     .epsilon(1.0)
+//!     .baseline(Baseline::RandomizedResponse)
+//!     .unwrap();
+//! assert_eq!(deployment.workload().num_queries(), 16);
+//! ```
+//!
+//! The crate-level entry points remain available for manual plumbing:
+//! [`prelude::optimized_mechanism`], [`prelude::Client`],
 //! [`prelude::Aggregator`], [`prelude::wnnls`].
 //!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`pipeline`] | `Pipeline` → `Deployment` → `Estimate`: the top-level deployment API |
+//! | [`pipeline`] | `Pipeline` → `Deployment` → `Estimate`: the top-level deployment API, schema front door, ad-hoc query serving |
 //! | [`linalg`] | dense matrices, Jacobi eigendecomposition, SVD, pinv, Cholesky, LU |
 //! | [`core`] | data vectors, strategy matrices, factorization mechanism, client/shard/aggregator protocol, variance/complexity/bounds |
-//! | [`workloads`] | Histogram, Prefix, All Range, marginals, Parity, custom/stacked |
+//! | [`workloads`] | `Schema`/`Query` DSL over multi-attribute domains; Histogram, Prefix, All Range, marginals, Parity, custom/stacked |
 //! | [`mechanisms`] | RR, Hadamard, Hierarchical, Fourier, RAPPOR, Subset Selection, local Matrix Mechanism |
 //! | [`opt`] | Algorithm 1 (projection), Algorithm 2 (projected gradient descent) |
 //! | [`estimation`] | WNNLS consistency post-processing, variance simulation |
@@ -81,11 +116,15 @@ pub use ldp_workloads as workloads;
 
 pub mod pipeline;
 
-pub use pipeline::{Baseline, Deployment, Estimate, Pipeline, StreamIngestor};
+pub use pipeline::{
+    Baseline, Deployment, Estimate, Pipeline, QueryAnswer, SchemaPipeline, StreamIngestor,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::pipeline::{Baseline, Deployment, Estimate, Pipeline, StreamIngestor};
+    pub use crate::pipeline::{
+        Baseline, Deployment, Estimate, Pipeline, QueryAnswer, SchemaPipeline, StreamIngestor,
+    };
     pub use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
     pub use ldp_core::{
         DataVector, Deployable, FactorizationMechanism, LdpError, LdpMechanism, ResponseVector,
@@ -100,7 +139,7 @@ pub mod prelude {
     pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig, Workspace};
     pub use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
     pub use ldp_workloads::{
-        AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Stacked,
-        Total, WidthRange, Workload,
+        AllMarginals, AllRange, Dense, Domain, Histogram, KWayMarginals, Parity, Prefix, Product,
+        Query, Schema, SchemaError, SchemaWorkload, Stacked, Total, WidthRange, Workload,
     };
 }

@@ -1,15 +1,28 @@
-//! The top-level deployment pipeline: one fluent path from *workload* to
-//! *consistent estimates*, replacing the hand-threaded five-crate flow
-//! (`gram()` → `OptimizerConfig` → `FactorizationMechanism` → `Client`/
-//! `Aggregator` → `evaluate()`/`wnnls`).
+//! The top-level deployment pipeline: one fluent path from *schema* (or
+//! flat workload) to *consistent estimates* and *ad-hoc query serving*,
+//! replacing the hand-threaded five-crate flow (`gram()` →
+//! `OptimizerConfig` → `FactorizationMechanism` → `Client`/`Aggregator`
+//! → `evaluate()`/`wnnls`).
 //!
 //! ```text
-//! Pipeline::for_workload(w).epsilon(ε).optimized(&cfg)   // or .baseline(..) / .strategy(..)
+//! Pipeline::for_schema(schema).queries([...])            // the schema-first front door
+//!         .epsilon(ε).optimized(&cfg)                    // or .baseline(..) / .strategy(..)
 //!         └─> Deployment ──clients()──> many threads/devices
 //!                       ──shards()───> concurrent ingestion ──merge()──> Aggregator
 //!                       ──estimate()─> Estimate { x̂, Wx̂, variance, complexity }
-//!                                            └─.consistent()─> WNNLS-refined Estimate
+//!                                            ├─.answer(&Query)─> QueryAnswer {value, ±stddev}
+//!                                            └─.consistent()──> WNNLS-refined Estimate
 //! ```
+//!
+//! A [`Schema`] names the attributes of a multi-dimensional domain;
+//! [`Query`] objects (marginals, ranges, predicates, totals) lower to a
+//! union of Kronecker products whose Gram stays structured at any domain
+//! size. Deployments built this way additionally serve **ad-hoc**
+//! questions: [`Deployment::answer`] / [`Estimate::answer`] /
+//! [`StreamIngestor::answer`] resolve a [`Query`] by name at call time
+//! and return the estimated count with its exact analytic error bar —
+//! no workload matrix, no redeployment. [`Pipeline::for_workload`]
+//! remains the advanced path for flat (non-schema) workloads.
 //!
 //! A [`Deployment`] is cheap to clone (an `Arc`) and `Send + Sync`; the
 //! [`Client`]s it hands out share the mechanism's precomputed alias
@@ -69,12 +82,12 @@ use ldp_core::{
 };
 use ldp_estimation::{wnnls, WnnlsOptions};
 use ldp_linalg::stablehash::Fnv64;
-use ldp_linalg::Gram;
+use ldp_linalg::{dot, Gram, Matrix};
 use ldp_mechanisms::{hadamard_response, hierarchical, randomized_response};
 use ldp_opt::{optimized_mechanism, OptimizerConfig};
 use ldp_store::snapshot::{decode_checkpoint, encode_checkpoint, IngestCheckpoint};
 use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
-use ldp_workloads::Workload;
+use ldp_workloads::{Query, Schema, SchemaWorkload, Workload};
 use rand::RngCore;
 
 /// Closed-form mechanisms a pipeline can deploy without running the
@@ -82,8 +95,22 @@ use rand::RngCore;
 /// (ldp-core) over its Table-1 strategy matrix, with the
 /// workload-optimal reconstruction of Theorem 3.10.
 ///
+/// The enum is non-exhaustive — future PRs add baselines — so bench bins
+/// and examples select one by name ([`Baseline::from_str`]) instead of
+/// matching exhaustively:
+///
+/// ```
+/// use ldp::prelude::*;
+/// let b: Baseline = "randomized-response".parse().unwrap();
+/// assert_eq!(b, Baseline::RandomizedResponse);
+/// assert_eq!("rr".parse::<Baseline>().unwrap(), b);
+/// assert!("nonsense".parse::<Baseline>().is_err());
+/// ```
+///
 /// [`FactorizationMechanism`]: ldp_core::FactorizationMechanism
+/// [`Baseline::from_str`]: std::str::FromStr
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Baseline {
     /// Warner's randomized response (`m = n`).
     RandomizedResponse,
@@ -91,6 +118,35 @@ pub enum Baseline {
     HadamardResponse,
     /// Hierarchical / tree-based mechanism (Cormode et al.).
     Hierarchical,
+}
+
+impl std::str::FromStr for Baseline {
+    type Err = LdpError;
+
+    /// Parses a baseline name as used on CLI flags and environment
+    /// variables. Case, `-`, `_`, and spaces are ignored; common
+    /// shorthands (`rr`, `hadamard`, `tree`) are accepted.
+    fn from_str(s: &str) -> Result<Self, LdpError> {
+        let mut norm = s.trim().to_ascii_lowercase();
+        norm.retain(|c| !matches!(c, '-' | '_' | ' '));
+        match norm.as_str() {
+            "rr" | "randomizedresponse" => Ok(Baseline::RandomizedResponse),
+            "hr" | "hadamard" | "hadamardresponse" => Ok(Baseline::HadamardResponse),
+            "hier" | "tree" | "hierarchical" => Ok(Baseline::Hierarchical),
+            _ => Err(LdpError::UnknownBaseline(s.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for Baseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Baseline::RandomizedResponse => "randomized-response",
+            Baseline::HadamardResponse => "hadamard-response",
+            Baseline::Hierarchical => "hierarchical",
+        };
+        write!(f, "{name}")
+    }
 }
 
 /// Builder for a [`Deployment`]: declare the workload, set the privacy
@@ -105,8 +161,38 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Starts a pipeline for a workload. The privacy budget defaults to
-    /// `ε = 1.0`; set it explicitly with [`Pipeline::epsilon`].
+    /// Starts a schema-first pipeline: declare the multi-attribute
+    /// domain, then the queries — the front door for everything with
+    /// more than one attribute.
+    ///
+    /// ```
+    /// use ldp::prelude::*;
+    ///
+    /// let deployment = Pipeline::for_schema(Schema::new([("age", 16), ("sex", 2)]))
+    ///     .queries([
+    ///         Query::marginal(["age"]),
+    ///         Query::range("age", 4..12).and_equals("sex", 1),
+    ///         Query::total(),
+    ///     ])
+    ///     .epsilon(1.0)
+    ///     .baseline(Baseline::RandomizedResponse)
+    ///     .unwrap();
+    /// assert_eq!(deployment.workload().num_queries(), 18);
+    /// assert!(deployment.schema().is_some()); // ad-hoc `answer()` available
+    /// ```
+    pub fn for_schema(schema: Schema) -> SchemaPipeline {
+        SchemaPipeline {
+            schema: Arc::new(schema),
+        }
+    }
+
+    /// Starts a pipeline for an explicit flat workload over `[n]` — the
+    /// advanced path for workloads that are not schema-shaped (paper
+    /// suites, hand-built matrices, composites). Schema-declared
+    /// applications should prefer [`Pipeline::for_schema`], which also
+    /// unlocks ad-hoc [`Deployment::answer`] serving. The privacy budget
+    /// defaults to `ε = 1.0`; set it explicitly with
+    /// [`Pipeline::epsilon`].
     pub fn for_workload(workload: impl Workload + Send + Sync + 'static) -> Self {
         Self::for_shared_workload(Arc::new(workload))
     }
@@ -233,6 +319,51 @@ impl Pipeline {
     }
 }
 
+/// The schema stage of a schema-first pipeline: holds the declared
+/// [`Schema`] and waits for the query set. Produced by
+/// [`Pipeline::for_schema`]; consumed by [`SchemaPipeline::queries`].
+pub struct SchemaPipeline {
+    schema: Arc<Schema>,
+}
+
+impl SchemaPipeline {
+    /// Lowers `queries` to a structured [`SchemaWorkload`] (a union of
+    /// Kronecker products — nothing densifies at any domain size) and
+    /// continues the pipeline with it.
+    ///
+    /// # Panics
+    /// Panics on an invalid query set (unknown attribute, out-of-range
+    /// value, empty selection, no queries) — declaring the deployed
+    /// workload is developer code, and a misdeclared workload must fail
+    /// loudly. Dynamic sources should use
+    /// [`SchemaPipeline::try_queries`].
+    pub fn queries(self, queries: impl IntoIterator<Item = Query>) -> Pipeline {
+        self.try_queries(queries)
+            .unwrap_or_else(|e| panic!("invalid schema workload: {e}"))
+    }
+
+    /// [`SchemaPipeline::queries`] with a typed error instead of a panic,
+    /// for query sets assembled from configuration or user input.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidQuery`] describing the first query that failed
+    /// to resolve.
+    pub fn try_queries(
+        self,
+        queries: impl IntoIterator<Item = Query>,
+    ) -> Result<Pipeline, LdpError> {
+        let queries: Vec<Query> = queries.into_iter().collect();
+        let workload = SchemaWorkload::new(Arc::clone(&self.schema), &queries)
+            .map_err(|e| LdpError::InvalidQuery(e.to_string()))?;
+        Ok(Pipeline::for_shared_workload(Arc::new(workload)))
+    }
+
+    /// The declared schema (shared handle).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
 struct DeploymentInner {
     workload: Arc<dyn Workload + Send + Sync>,
     /// The workload's Gram *operator* — structured workloads (prefix,
@@ -262,6 +393,18 @@ pub struct Deployment {
     inner: Arc<DeploymentInner>,
 }
 
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("workload", &self.inner.workload.name())
+            .field("domain_size", &self.inner.workload.domain_size())
+            .field("num_outputs", &self.inner.mechanism.num_outputs())
+            .field("epsilon", &self.inner.mechanism.epsilon())
+            .field("schema", &self.inner.workload.schema().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Deployment {
     fn assemble(
         workload: Arc<dyn Workload + Send + Sync>,
@@ -288,12 +431,17 @@ impl Deployment {
     }
 
     /// The checkpoint-binding fingerprint, computed on first use (it
-    /// hashes every bit of the reconstruction matrix).
+    /// hashes the workload's semantic fingerprint — schema, queries, Gram
+    /// bits — plus every bit of the reconstruction matrix). Two
+    /// deployments of the *same* mechanism for *different* workloads
+    /// therefore bind differently: a checkpoint can never resume into a
+    /// deployment that would answer different questions with its counts.
     fn binding(&self) -> u64 {
         *self.inner.binding.get_or_init(|| {
             let mechanism = &self.inner.mechanism;
             let mut h = Fnv64::new();
-            h.write_str("ldp-deployment-binding/1");
+            h.write_str("ldp-deployment-binding/2");
+            h.write_u64(self.inner.workload.fingerprint_with_gram(&self.inner.gram));
             h.write_u64(self.inner.workload.domain_size() as u64);
             h.write_u64(mechanism.num_outputs() as u64);
             h.write_f64(mechanism.epsilon());
@@ -406,19 +554,20 @@ impl Deployment {
     ///
     /// # Errors
     /// Any codec defect ([`StoreError::Truncated`],
-    /// [`StoreError::ChecksumMismatch`], …), or
-    /// [`StoreError::Malformed`] if the checkpoint was written by a
-    /// *different* deployment (binding fingerprint mismatch) or its
-    /// counts disagree with this mechanism's output dimension.
+    /// [`StoreError::ChecksumMismatch`], …);
+    /// [`StoreError::BindingMismatch`] if the checkpoint was written by a
+    /// *different* deployment — a different workload schema/query set,
+    /// mechanism, or budget (the binding fingerprint covers all of them);
+    /// or [`StoreError::Malformed`] if its counts disagree with this
+    /// mechanism's output dimension.
     pub fn resume(&self, checkpoint: &[u8]) -> Result<StreamIngestor, StoreError> {
         let cp = decode_checkpoint(checkpoint)?;
         let binding = self.binding();
         if cp.binding != binding {
-            return Err(StoreError::Malformed(format!(
-                "checkpoint was written by a different deployment \
-                 (binding {:#018x}, this deployment is {binding:#018x})",
-                cp.binding
-            )));
+            return Err(StoreError::BindingMismatch {
+                checkpoint: cp.binding,
+                deployment: binding,
+            });
         }
         let shard = AggregatorShard::from_counts(cp.counts);
         let aggregator =
@@ -468,6 +617,34 @@ impl Deployment {
     /// The workload this deployment answers.
     pub fn workload(&self) -> &(dyn Workload + Send + Sync) {
         &*self.inner.workload
+    }
+
+    /// The schema this deployment was declared over, when it was built
+    /// through [`Pipeline::for_schema`] — the prerequisite for ad-hoc
+    /// [`Deployment::answer`] serving.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.inner.workload.schema()
+    }
+
+    /// Answers one *ad-hoc* scalar query against the aggregator's current
+    /// state: resolves `query` by attribute name, evaluates it through
+    /// the structured row-assembly path (the workload matrix is never
+    /// materialized), and attaches the exact worst-case error bar at the
+    /// observed report count. Convenience for
+    /// `self.estimate(aggregator).answer(query)` — serving tiers that
+    /// answer many queries per estimate should hold the [`Estimate`] and
+    /// call [`Estimate::answer`] directly.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidQuery`] if the deployment has no schema, the
+    /// query does not resolve against it, or the query is not scalar
+    /// (marginals belong in the deployed workload).
+    ///
+    /// # Panics
+    /// Panics if the aggregator belongs to a different deployment (as
+    /// [`Deployment::estimate`]).
+    pub fn answer(&self, aggregator: &Aggregator, query: &Query) -> Result<QueryAnswer, LdpError> {
+        self.estimate(aggregator).answer(query)
     }
 
     /// The workload's Gram operator `G = WᵀW` — structured (implicit)
@@ -589,6 +766,17 @@ impl StreamIngestor {
         self.deployment.estimate(&self.aggregator)
     }
 
+    /// Answers one ad-hoc scalar query against the live stream's current
+    /// state — the serving path for long-running collection services
+    /// (dashboards, APIs) that field questions while reports keep
+    /// arriving.
+    ///
+    /// # Errors
+    /// As [`Estimate::answer`].
+    pub fn answer(&self, query: &Query) -> Result<QueryAnswer, LdpError> {
+        self.estimate().answer(query)
+    }
+
     /// The deployment this stream collects for.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
@@ -616,10 +804,27 @@ impl StreamIngestor {
     }
 }
 
+/// One ad-hoc query answer with its analytic error bar: the estimated
+/// count, its exact worst-case variance at the observed report count
+/// (Theorem 3.4 specialized to a single query row), and the standard
+/// deviation — the "±so-many users" an application displays next to the
+/// number.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryAnswer {
+    /// The estimated answer `w·x̂`.
+    pub value: f64,
+    /// Worst-case variance of the answer over user-type distributions at
+    /// the estimate's report count.
+    pub variance: f64,
+    /// `variance.sqrt()` — the error bar in user-count units.
+    pub stddev: f64,
+}
+
 /// The terminal product of a pipeline: the unbiased data-vector estimate
 /// `x̂` together with everything an analyst reads off it — workload
-/// answers `Wx̂`, analytic variance and sample complexity at the observed
-/// report count, and WNNLS consistency refinement.
+/// answers `Wx̂`, ad-hoc query answers, analytic variance and sample
+/// complexity at the observed report count, and WNNLS consistency
+/// refinement.
 #[derive(Clone)]
 pub struct Estimate {
     inner: Arc<DeploymentInner>,
@@ -642,6 +847,80 @@ impl Estimate {
     /// workloads with millions of queries never materialize `W`.
     pub fn answers(&self) -> Vec<f64> {
         self.inner.workload.evaluate(&self.xhat)
+    }
+
+    /// [`Estimate::answers`] into a caller-owned buffer (cleared and
+    /// resized to `num_queries()`), so repeated answer extraction — a
+    /// dashboard refreshing against a live stream, a bench loop — is
+    /// allocation-free after the first call.
+    pub fn answers_into(&self, out: &mut Vec<f64>) {
+        // No clear(): evaluate_into overwrites every slot, so repeated
+        // extraction skips the redundant zeroing pass too.
+        out.resize(self.inner.workload.num_queries(), 0.0);
+        self.inner.workload.evaluate_into(&self.xhat, out);
+    }
+
+    /// Answers one *ad-hoc* scalar query — a range, predicate, equality,
+    /// or total over the deployment's schema, resolved by attribute name
+    /// at call time. The value is computed through the same structured
+    /// row-assembly `dot` the workload matrix path uses, so it is
+    /// **bit-identical** to `workload.matrix().matvec(x̂)` at the query's
+    /// row — without ever materializing the matrix. The error bar is the
+    /// exact worst-case variance of this one query at the observed report
+    /// count (Theorem 3.4 with `G = wwᵀ`).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidQuery`] if the deployment carries no schema
+    /// (build it with [`Pipeline::for_schema`]), the query fails to
+    /// resolve (unknown attribute, out-of-range value, empty selection),
+    /// the query is not scalar, or the mechanism exposes no strategy for
+    /// the variance analysis.
+    pub fn answer(&self, query: &Query) -> Result<QueryAnswer, LdpError> {
+        let schema = self.inner.workload.schema().ok_or_else(|| {
+            LdpError::InvalidQuery(
+                "deployment workload carries no schema; declare it with \
+                 Pipeline::for_schema to serve ad-hoc queries"
+                    .into(),
+            )
+        })?;
+        let resolved = query
+            .resolve(schema)
+            .map_err(|e| LdpError::InvalidQuery(e.to_string()))?;
+        if !resolved.is_scalar() {
+            return Err(LdpError::InvalidQuery(format!(
+                "query '{}' produces {} values; ad-hoc serving answers scalar \
+                 queries — deploy marginals in the workload and read \
+                 Estimate::answers",
+                resolved.label(),
+                resolved.rows()
+            )));
+        }
+        let n = self.inner.workload.domain_size();
+        let mut w = vec![0.0; n];
+        resolved.fill_row(0, &mut w);
+        let value = dot(&w, &self.xhat);
+
+        // Per-user-type variance of the single query `w` (Theorem 3.4
+        // with the 1 × m reduced workload V = (Kᵀw)ᵀ): exactly the
+        // `ldp-core` variance machinery, so ad-hoc error bars can never
+        // drift from the deployed-workload analysis.
+        let mechanism = &self.inner.mechanism;
+        let strategy = mechanism.strategy().ok_or_else(|| {
+            LdpError::InvalidQuery(
+                "mechanism exposes no strategy matrix; per-query variance \
+                 is unavailable"
+                    .into(),
+            )
+        })?;
+        let v = mechanism.reconstruction_matrix().t_matvec(&w);
+        let v_row = Matrix::from_vec(1, v.len(), v);
+        let profile = variance::variance_profile_explicit(&v_row, strategy.matrix());
+        let variance = variance::worst_case_variance(&profile, self.reports as f64);
+        Ok(QueryAnswer {
+            value,
+            variance,
+            stddev: variance.sqrt(),
+        })
     }
 
     /// Number of reports this estimate is based on.
@@ -849,13 +1128,154 @@ mod tests {
         assert!(a.resume(&bytes).is_ok());
         assert!(matches!(
             b.resume(&bytes).unwrap_err(),
-            ldp_store::StoreError::Malformed(_)
+            ldp_store::StoreError::BindingMismatch { .. }
         ));
         // Corrupted bytes are a codec error, not a panic.
         let mut corrupt = bytes.clone();
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0xff;
         assert!(a.resume(&corrupt).is_err());
+    }
+
+    #[test]
+    fn schema_pipeline_deploys_and_answers_ad_hoc() {
+        let deployment = Pipeline::for_schema(Schema::new([("age", 4), ("sex", 2)]))
+            .queries([Query::marginal(["age"]), Query::total()])
+            .epsilon(2.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        assert_eq!(deployment.workload().num_queries(), 5);
+        let schema = deployment.schema().expect("schema-first deployment");
+        assert_eq!(schema.domain_size(), 8);
+
+        // Collect a little data and serve ad-hoc questions off it.
+        let client = deployment.client();
+        let mut agg = deployment.aggregator();
+        let mut rng = StdRng::seed_from_u64(9);
+        let adult = schema.user_type(&[("age", 3), ("sex", 1)]).unwrap();
+        for _ in 0..400 {
+            agg.ingest(client.respond(adult, &mut rng)).unwrap();
+        }
+        let estimate = deployment.estimate(&agg);
+        let total = estimate.answer(&Query::total()).unwrap();
+        assert!(total.variance >= 0.0 && total.stddev == total.variance.sqrt());
+        let cell = estimate
+            .answer(&Query::equals("age", 3).and_equals("sex", 1))
+            .unwrap();
+        // Most of the mass should land on the true cell at ε = 2.
+        assert!(cell.value > 100.0, "cell {}", cell.value);
+        // Deployment::answer is the same computation.
+        let via_deployment = deployment.answer(&agg, &Query::total()).unwrap();
+        assert_eq!(via_deployment, total);
+
+        // answers_into matches answers, allocation-free on reuse.
+        let mut buf = Vec::new();
+        estimate.answers_into(&mut buf);
+        assert_eq!(buf, estimate.answers());
+        estimate.answers_into(&mut buf);
+        assert_eq!(buf, estimate.answers());
+    }
+
+    #[test]
+    fn answer_value_is_bit_identical_to_matrix_evaluate() {
+        let deployment = Pipeline::for_schema(Schema::new([("a", 3), ("b", 2), ("c", 2)]))
+            .queries([
+                Query::range("a", 1..3),
+                Query::equals("b", 0).and_values("c", [1]),
+                Query::total(),
+            ])
+            .epsilon(1.0)
+            .baseline(Baseline::HadamardResponse)
+            .unwrap();
+        let client = deployment.client();
+        let mut agg = deployment.aggregator();
+        let mut rng = StdRng::seed_from_u64(4);
+        for u in 0..12 {
+            for _ in 0..40 {
+                agg.ingest(client.respond(u, &mut rng)).unwrap();
+            }
+        }
+        let estimate = deployment.estimate(&agg);
+        let reference = deployment
+            .workload()
+            .matrix()
+            .matvec(estimate.data_vector());
+        let queries = [
+            Query::range("a", 1..3),
+            Query::equals("b", 0).and_values("c", [1]),
+            Query::total(),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let got = estimate.answer(q).unwrap().value;
+            assert_eq!(got.to_bits(), reference[i].to_bits(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn answer_fails_closed_on_bad_queries_and_flat_deployments() {
+        let deployment = Pipeline::for_schema(Schema::new([("age", 4), ("sex", 2)]))
+            .queries([Query::total()])
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let estimate = deployment.estimate(&deployment.aggregator());
+        for bad in [
+            Query::range("zip", 0..1), // unknown attribute
+            Query::range("age", 2..9), // out of range
+            Query::range("age", 2..2), // empty selection
+            Query::marginal(["age"]),  // not scalar
+        ] {
+            assert!(
+                matches!(estimate.answer(&bad), Err(LdpError::InvalidQuery(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        // Flat deployments have no schema to resolve against.
+        let flat = Pipeline::for_workload(Histogram::new(8))
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        assert!(flat.schema().is_none());
+        let err = flat
+            .estimate(&flat.aggregator())
+            .answer(&Query::total())
+            .unwrap_err();
+        assert!(matches!(err, LdpError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn stream_answers_live_queries() {
+        let deployment = Pipeline::for_schema(Schema::new([("kind", 4)]))
+            .queries([Query::marginal(["kind"])])
+            .epsilon(1.0)
+            .baseline(Baseline::RandomizedResponse)
+            .unwrap();
+        let mut stream = deployment.stream();
+        stream.ingest_batch(&[0, 1, 2, 3, 3]).unwrap();
+        let a = stream.answer(&Query::total()).unwrap();
+        let b = stream.estimate().answer(&Query::total()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_parses_from_strings() {
+        for (name, expect) in [
+            ("rr", Baseline::RandomizedResponse),
+            ("Randomized-Response", Baseline::RandomizedResponse),
+            ("randomized_response", Baseline::RandomizedResponse),
+            ("hadamard", Baseline::HadamardResponse),
+            ("HR", Baseline::HadamardResponse),
+            ("hierarchical", Baseline::Hierarchical),
+            ("Tree", Baseline::Hierarchical),
+        ] {
+            assert_eq!(name.parse::<Baseline>().unwrap(), expect, "{name}");
+            // Display round-trips through FromStr.
+            assert_eq!(expect.to_string().parse::<Baseline>().unwrap(), expect);
+        }
+        assert!(matches!(
+            "laplace".parse::<Baseline>(),
+            Err(LdpError::UnknownBaseline(_))
+        ));
     }
 
     #[test]

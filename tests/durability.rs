@@ -259,6 +259,66 @@ fn registry_distinguishes_workloads_not_instances() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A checkpoint is bound to the *workload*, not just the mechanism: two
+/// deployments of the same baseline (identical strategy, reconstruction,
+/// budget, dimensions) for different workloads — or different schema
+/// query sets — must refuse each other's checkpoints with the typed
+/// [`StoreError::BindingMismatch`], never silently resume.
+#[test]
+fn resume_rejects_checkpoint_from_different_workload_fingerprint() {
+    // Same n, same ε, same mechanism (RR only depends on n and ε) —
+    // only the workload differs.
+    let histogram = Pipeline::for_workload(Histogram::new(16))
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    let prefix = Pipeline::for_workload(Prefix::new(16))
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    assert_eq!(
+        histogram.mechanism().reconstruction_matrix().as_slice(),
+        prefix.mechanism().reconstruction_matrix().as_slice(),
+        "precondition: identical mechanisms, so only the workload can discriminate"
+    );
+
+    let mut stream = histogram.stream();
+    stream.ingest_batch(&[0, 1, 2, 3]).unwrap();
+    let checkpoint = stream.checkpoint();
+
+    // The owner resumes fine; the foreign workload is refused, typed.
+    assert!(histogram.resume(&checkpoint).is_ok());
+    let err = prefix.resume(&checkpoint).unwrap_err();
+    assert!(
+        matches!(err, StoreError::BindingMismatch { .. }),
+        "expected BindingMismatch, got {err:?}"
+    );
+
+    // Schema deployments: the binding covers the query set, so the same
+    // schema with different queries is also a different deployment.
+    let schema = || Schema::new([("age", 8), ("sex", 2)]);
+    let a = Pipeline::for_schema(schema())
+        .queries([Query::marginal(["age"])])
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    let b = Pipeline::for_schema(schema())
+        .queries([Query::marginal(["age"]), Query::total()])
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    let mut stream = a.stream();
+    stream.ingest_batch(&[0, 5, 9]).unwrap();
+    let checkpoint = stream.checkpoint();
+    let mut resumed = a.resume(&checkpoint).unwrap();
+    resumed.ingest_batch(&[1]).unwrap();
+    assert_eq!(resumed.reports(), 4);
+    assert!(matches!(
+        b.resume(&checkpoint).unwrap_err(),
+        StoreError::BindingMismatch { .. }
+    ));
+}
+
 /// Checkpoints written under one thread override resume correctly under
 /// another: worker count is unobservable in durable state.
 #[test]
