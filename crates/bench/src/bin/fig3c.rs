@@ -16,6 +16,8 @@
 //! claim is the O(n³) growth rate (also the subject of the Criterion
 //! bench `iteration.rs`).
 
+// Figure 3c measures wall-clock per-iteration time by design.
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use ldp_bench::report::{banner, fmt, write_csv};

@@ -22,6 +22,8 @@
 //!
 //! `--bench` writes the JSON report to `--out`.
 
+// Serving benchmarks measure wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use ldp::prelude::*;

@@ -35,6 +35,8 @@
 //! ~1, orders of magnitude below any floor, while CI noise moves it by
 //! percents.
 
+// Load tests measure wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
 use std::path::PathBuf;
 use std::time::Instant;
 

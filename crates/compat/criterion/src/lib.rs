@@ -4,6 +4,8 @@
 //! iteration over a warmup-calibrated batch. No statistical outlier
 //! analysis or HTML reports — see `crates/compat/README.md`.
 
+// A benchmark harness is the sanctioned home of the wall clock.
+#![allow(clippy::disallowed_methods)]
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -15,7 +17,7 @@ const TARGET_MEASURE: Duration = Duration::from_millis(600);
 const WARMUP_ITERS: u64 = 2;
 
 /// The top-level harness handle passed to every benchmark function.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Criterion {}
 
 impl Criterion {
@@ -36,6 +38,7 @@ impl Criterion {
 }
 
 /// Identifier for one measurement within a group.
+#[derive(Debug)]
 pub struct BenchmarkId {
     label: String,
 }
@@ -57,6 +60,7 @@ impl BenchmarkId {
 }
 
 /// A group of related measurements sharing a name prefix.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
@@ -101,6 +105,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Anything usable as a measurement name (a `&str` or a [`BenchmarkId`]).
+#[derive(Debug)]
 pub struct BenchId(String);
 
 impl From<&str> for BenchId {
@@ -116,6 +121,7 @@ impl From<BenchmarkId> for BenchId {
 }
 
 /// Passed to the measured closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
     /// Mean nanoseconds per iteration, filled in by `iter`.
@@ -182,6 +188,10 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher), sample_size: usize) {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        // Bench binaries have no downstream crates, so the generated
+        // entry point is always "unreachable" pub.
+        #[allow(unreachable_pub)]
+        #[doc = "Runs every benchmark in this group."]
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+

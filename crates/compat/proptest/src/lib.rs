@@ -61,6 +61,12 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
 
@@ -112,6 +118,14 @@ pub mod collection {
     pub struct VecStrategy<S> {
         element: S,
         size: usize,
+    }
+
+    impl<S> std::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("VecStrategy")
+                .field("size", &self.size)
+                .finish_non_exhaustive()
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -55,6 +55,7 @@ impl<R: RngCore + ?Sized> RngCore for Box<R> {
 
 /// The standard distribution: uniform over a type's natural range
 /// (`[0, 1)` for floats).
+#[derive(Debug, Clone, Copy)]
 pub struct Standard;
 
 /// A distribution that can sample values of type `T`.

@@ -125,7 +125,7 @@ pub fn eigh(a: &Matrix) -> SymmetricEigen {
 
     // Sort ascending by eigenvalue, permuting eigenvector columns to match.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| m[(i, i)].total_cmp(&m[(j, j)]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

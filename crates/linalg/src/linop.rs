@@ -20,6 +20,7 @@
 //! used by workload APIs.
 
 use std::borrow::Cow;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use crate::{axpy, dot, Matrix};
@@ -311,6 +312,15 @@ pub struct ScaledOp {
     inner: Arc<dyn LinOp>,
 }
 
+impl fmt::Debug for ScaledOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScaledOp")
+            .field("alpha", &self.alpha)
+            .field("shape", &self.inner.shape())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ScaledOp {
     /// The operator `alpha · inner`.
     pub fn new(alpha: f64, inner: Arc<dyn LinOp>) -> Self {
@@ -366,6 +376,15 @@ impl LinOp for ScaledOp {
 pub struct SumOp {
     terms: Vec<Arc<dyn LinOp>>,
     scratch: Mutex<Vec<f64>>,
+}
+
+impl fmt::Debug for SumOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SumOp")
+            .field("terms", &self.terms.len())
+            .field("shape", &self.terms[0].shape())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SumOp {
@@ -515,6 +534,15 @@ pub struct KroneckerOp {
     scratch: Mutex<KroneckerScratch>,
 }
 
+impl fmt::Debug for KroneckerOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KroneckerOp")
+            .field("left_shape", &self.left.shape())
+            .field("right_shape", &self.right.shape())
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Default)]
 struct KroneckerScratch {
     t: Vec<f64>,
@@ -547,6 +575,8 @@ impl KroneckerOp {
     pub fn chain(mut factors: Vec<Arc<dyn LinOp>>) -> Arc<dyn LinOp> {
         let mut acc = factors
             .pop()
+            // ldp-lint: allow(no-unwrap-in-lib) -- documented `# Panics` contract:
+            // an empty chain is a caller bug, not a runtime condition.
             .expect("Kronecker chain needs at least one factor");
         while let Some(f) = factors.pop() {
             acc = Arc::new(KroneckerOp::new(f, acc));
@@ -802,6 +832,7 @@ pub fn fwht(data: &mut [f64]) {
 
 /// Closed-form Gram-matrix families of the paper's workload suite, stored
 /// in `O(n)` (or `O(1)`) space with `O(n)`–`O(n log n)` products.
+#[derive(Debug)]
 pub enum StructuredGram {
     /// `G = s·I` — Histogram (`s = 1`) and full Parity (`s = n`).
     ScaledIdentity {
@@ -1027,6 +1058,14 @@ impl LinOp for StructuredGram {
 #[derive(Clone)]
 pub struct Gram {
     op: Arc<dyn LinOp>,
+}
+
+impl fmt::Debug for Gram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gram")
+            .field("n", &self.op.rows())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Gram {

@@ -136,7 +136,7 @@ pub fn svd(a: &Matrix) -> Svd {
         .enumerate()
         .map(|(j, col)| (crate::norm2(col), j))
         .collect();
-    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN singular value"));
+    entries.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let k = cols.min(rows);
     let mut u = Matrix::zeros(rows, k);

@@ -62,7 +62,7 @@ pub fn eigh_ql(a: &Matrix) -> SymmetricEigen {
 
     // Sort ascending, permuting eigenvector columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

@@ -1,0 +1,254 @@
+//! ldp-lint — contract-enforcing static analysis for the ldp workspace.
+//!
+//! The repo's core promise — Matrix-Mechanism deployments whose estimates
+//! are bit-identical across thread counts, restarts, and checkpoint cuts —
+//! rests on a handful of source-level contracts that dynamic tests can
+//! only sample. This crate walks the workspace tree with a hand-rolled
+//! line analyzer (no `syn` in the offline build environment) and enforces
+//! them as named, individually suppressable lints:
+//!
+//! | code | name | contract |
+//! |------|------|----------|
+//! | `L1` | `no-unordered-iteration` | no `HashMap`/`HashSet` in fingerprint/codec/snapshot/stablehash modules |
+//! | `L2` | `safety-comment` | `unsafe` only in kernel allowlist modules, always under `// SAFETY:` |
+//! | `L3` | `no-wall-clock-or-entropy` | no `Instant::now`/`SystemTime`/ambient RNG in library code |
+//! | `L4` | `codec-layout-discipline` | codec numeric layout goes through `to_le_bytes`/`from_le_bytes` |
+//! | `L5` | `no-unwrap-in-lib` | no `unwrap()`/`expect(..)`/`panic!` in library code |
+//! | `L6` | `public-doc-coverage` | every `pub fn`/`struct`/`enum`/`trait` in library crates is documented |
+//!
+//! A diagnostic can be silenced only by an inline directive that names
+//! the lint *and* gives a reason:
+//!
+//! ```text
+//! // ldp-lint: allow(no-unwrap-in-lib) -- poisoning only possible if a worker panicked
+//! ```
+//!
+//! Suppressions are counted and reported (CI surfaces the count in the
+//! job summary), a directive without a reason is itself a diagnostic,
+//! and a directive that never matches a firing lint is flagged as
+//! unused — the allow-list can only grow deliberately.
+//!
+//! Run it with `cargo run -p ldp-lint -- --check`; see `crates/lint/README.md`
+//! for the per-lint rationale and before/after examples.
+
+pub mod lints;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use lints::LintId;
+pub use source::{Line, SourceFile};
+
+/// Path policy for a lint run. All matching is on workspace-relative
+/// paths with forward slashes; `skip` and the per-lint lists match by
+/// substring, `lib_roots`/`lib_exempt` by prefix.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path substrings excluded from the walk entirely (build output,
+    /// VCS metadata, the lint fixture corpus).
+    pub skip: Vec<String>,
+    /// Prefixes of paths holding library code, the surface where L3, L5
+    /// and L6 apply. Within these, files under `tests/`, `benches/`,
+    /// `examples/`, `bin/` or `fixtures/` segments, `main.rs`, and
+    /// `build.rs` are not library code, and `#[cfg(test)]` regions are
+    /// always exempt.
+    pub lib_roots: Vec<String>,
+    /// Prefixes exempt from the library-code lints even though they live
+    /// under a `lib_roots` prefix (the bench harness and the offline
+    /// compat shims).
+    pub lib_exempt: Vec<String>,
+    /// L1: path substrings of byte-stable modules, where unordered
+    /// containers are forbidden.
+    pub byte_stable: Vec<String>,
+    /// L2: path substrings of kernel modules where `unsafe` is permitted
+    /// (under a `// SAFETY:` comment). Everywhere else it is rejected
+    /// outright.
+    pub unsafe_allowlist: Vec<String>,
+    /// L4: path substrings of codec modules under layout discipline.
+    pub codec_modules: Vec<String>,
+}
+
+impl Config {
+    /// The policy for this workspace, as documented in the README's
+    /// "Static analysis & contracts" section.
+    pub fn workspace() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+        Config {
+            skip: s(&["target/", ".git/", "crates/lint/tests/fixtures/"]),
+            lib_roots: s(&["src/", "crates/"]),
+            lib_exempt: s(&["crates/compat/", "crates/bench/"]),
+            byte_stable: s(&[
+                "stablehash",
+                "fingerprint",
+                "crates/store/src/codec.rs",
+                "crates/store/src/snapshot.rs",
+                "crates/store/src/registry.rs",
+            ]),
+            unsafe_allowlist: s(&["crates/linalg/src/simd", "crates/linalg/src/kernels"]),
+            codec_modules: s(&["crates/store/src/codec.rs", "crates/store/src/snapshot.rs"]),
+        }
+    }
+
+    /// True when `rel_path` contains any of the given substrings.
+    pub fn matches_any(rel_path: &str, patterns: &[String]) -> bool {
+        patterns.iter().any(|p| rel_path.contains(p.as_str()))
+    }
+
+    /// True when `rel_path` is library code (see [`Config::lib_roots`]).
+    pub fn is_lib(&self, rel_path: &str) -> bool {
+        if !self
+            .lib_roots
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+        {
+            return false;
+        }
+        if self
+            .lib_exempt
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+        {
+            return false;
+        }
+        let non_lib_segment = rel_path
+            .split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "bin" | "fixtures"));
+        let file = rel_path.rsplit('/').next().unwrap_or(rel_path);
+        !non_lib_segment && file != "main.rs" && file != "build.rs"
+    }
+}
+
+/// A single lint finding, printed rustc-style:
+/// `path:line: warning[L5/no-unwrap-in-lib]: message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Lint code (`L1`..`L6`, or `L0` for directive problems).
+    pub code: &'static str,
+    /// Lint name as used in `allow(…)` directives.
+    pub name: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: warning[{}/{}]: {}",
+            self.path, self.line, self.code, self.name, self.message
+        )
+    }
+}
+
+/// An inline suppression that matched at least one firing lint.
+#[derive(Debug, Clone)]
+pub struct UsedSuppression {
+    /// Workspace-relative path of the suppressed line.
+    pub path: String,
+    /// 1-indexed line the suppression applied to.
+    pub line: usize,
+    /// The suppressed lint.
+    pub lint: LintId,
+    /// The mandatory written reason.
+    pub reason: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Unsuppressed findings, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressions that matched a firing lint, in path/line order.
+    pub suppressions: Vec<UsedSuppression>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when the tree is clean under the policy.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root` (or `root` itself when it is a
+/// file) and returns the combined report.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_root(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    let base = if root.is_file() {
+        root.parent().unwrap_or_else(|| Path::new(""))
+    } else {
+        root
+    };
+    let mut report = Report::default();
+    for rel in files {
+        let text = fs::read_to_string(base.join(&rel))?;
+        let analyzed = source::analyze(&rel, &text);
+        lints::lint_file(&analyzed, config, &mut report);
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths in sorted order,
+/// honoring `config.skip`. Sorted traversal keeps the report ordering —
+/// like everything else in this workspace — deterministic.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    if dir.is_file() {
+        if let Some(rel) = rel_path(root, dir) {
+            out.push(rel);
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(rel) = rel_path(root, &path) else {
+            continue;
+        };
+        let probe = if path.is_dir() {
+            format!("{rel}/")
+        } else {
+            rel.clone()
+        };
+        if Config::matches_any(&probe, &config.skip) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes `path` relative to `root` with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_str()?;
+    if s.is_empty() {
+        return path.file_name().and_then(|n| n.to_str()).map(String::from);
+    }
+    Some(s.replace('\\', "/"))
+}

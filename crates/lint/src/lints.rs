@@ -1,0 +1,545 @@
+//! The six contract lints and the suppression-directive machinery.
+//!
+//! Each lint is a line-oriented token scan over the stripped code text
+//! produced by [`crate::source`]; see the crate docs and
+//! `crates/lint/README.md` for the catalog and rationale.
+
+use crate::source::SourceFile;
+use crate::{Config, Diagnostic, Report, UsedSuppression};
+
+/// Identifier of one contract lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintId {
+    /// L1 — no `HashMap`/`HashSet` in byte-stable modules.
+    UnorderedIteration,
+    /// L2 — `unsafe` only in allowlisted kernel modules, under `// SAFETY:`.
+    SafetyComment,
+    /// L3 — no wall clock or ambient entropy in library code.
+    WallClockOrEntropy,
+    /// L4 — codec layout goes through `to_le_bytes`/`from_le_bytes`.
+    CodecLayout,
+    /// L5 — no `unwrap()`/`expect(..)`/`panic!` in library code.
+    UnwrapInLib,
+    /// L6 — public items in library crates carry doc comments.
+    DocCoverage,
+}
+
+impl LintId {
+    /// All lints, in catalog order.
+    pub const ALL: [LintId; 6] = [
+        LintId::UnorderedIteration,
+        LintId::SafetyComment,
+        LintId::WallClockOrEntropy,
+        LintId::CodecLayout,
+        LintId::UnwrapInLib,
+        LintId::DocCoverage,
+    ];
+
+    /// The short code used in diagnostics (`L1`..`L6`).
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::UnorderedIteration => "L1",
+            LintId::SafetyComment => "L2",
+            LintId::WallClockOrEntropy => "L3",
+            LintId::CodecLayout => "L4",
+            LintId::UnwrapInLib => "L5",
+            LintId::DocCoverage => "L6",
+        }
+    }
+
+    /// The name accepted by `// ldp-lint: allow(<name>) -- <reason>`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::UnorderedIteration => "no-unordered-iteration",
+            LintId::SafetyComment => "safety-comment",
+            LintId::WallClockOrEntropy => "no-wall-clock-or-entropy",
+            LintId::CodecLayout => "codec-layout-discipline",
+            LintId::UnwrapInLib => "no-unwrap-in-lib",
+            LintId::DocCoverage => "public-doc-coverage",
+        }
+    }
+
+    /// Resolves an `allow(…)` name back to a lint.
+    pub fn from_name(name: &str) -> Option<LintId> {
+        LintId::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+/// The marker that introduces a suppression directive.
+const DIRECTIVE: &str = "ldp-lint:";
+
+/// A parsed suppression directive awaiting a matching diagnostic.
+#[derive(Debug)]
+struct Slot {
+    /// 1-indexed line the directive suppresses (`None` when the directive
+    /// trails the file with no code line after it).
+    target: Option<usize>,
+    /// 1-indexed line the directive was written on.
+    decl: usize,
+    lint: LintId,
+    reason: String,
+    used: bool,
+}
+
+/// Per-file lint pass: parses directives, runs L1–L6, resolves
+/// suppressions, and appends to `report`.
+pub fn lint_file(file: &SourceFile, config: &Config, report: &mut Report) {
+    let mut ctx = FileCtx {
+        file,
+        diags: Vec::new(),
+        slots: Vec::new(),
+    };
+    parse_directives(&mut ctx);
+    no_unordered_iteration(&mut ctx, config);
+    safety_comment(&mut ctx, config);
+    no_wall_clock_or_entropy(&mut ctx, config);
+    codec_layout_discipline(&mut ctx, config);
+    no_unwrap_in_lib(&mut ctx, config);
+    public_doc_coverage(&mut ctx, config);
+    for slot in &ctx.slots {
+        if slot.used {
+            report.suppressions.push(UsedSuppression {
+                path: file.rel_path.clone(),
+                line: slot.target.unwrap_or(slot.decl),
+                lint: slot.lint,
+                reason: slot.reason.clone(),
+            });
+        } else {
+            ctx.diags.push(Diagnostic {
+                path: file.rel_path.clone(),
+                line: slot.decl,
+                code: "L0",
+                name: "unused-suppression",
+                message: format!(
+                    "suppression for {} never matched a diagnostic; remove it",
+                    slot.lint.name()
+                ),
+            });
+        }
+    }
+    ctx.diags.sort_by_key(|d| d.line);
+    report.diagnostics.append(&mut ctx.diags);
+}
+
+/// Working state while linting one file.
+struct FileCtx<'a> {
+    file: &'a SourceFile,
+    diags: Vec<Diagnostic>,
+    slots: Vec<Slot>,
+}
+
+impl FileCtx<'_> {
+    /// Records a finding at 1-indexed `line`, unless an unused matching
+    /// suppression slot covers it.
+    fn report(&mut self, line: usize, lint: LintId, message: String) {
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.target == Some(line) && s.lint == lint)
+        {
+            slot.used = true;
+            return;
+        }
+        self.diags.push(Diagnostic {
+            path: self.file.rel_path.clone(),
+            line,
+            code: lint.code(),
+            name: lint.name(),
+            message,
+        });
+    }
+
+    /// Emits an `L0` directive-syntax diagnostic (never suppressable).
+    fn directive_error(&mut self, line: usize, message: String) {
+        self.diags.push(Diagnostic {
+            path: self.file.rel_path.clone(),
+            line,
+            code: "L0",
+            name: "suppression-syntax",
+            message,
+        });
+    }
+}
+
+/// Parses `// ldp-lint: allow(<name>) -- <reason>` directives. A
+/// directive on a code line suppresses that line; a directive on a
+/// comment-only line suppresses the next code line (stacking with other
+/// pending directives).
+fn parse_directives(ctx: &mut FileCtx<'_>) {
+    let mut pending: Vec<usize> = Vec::new(); // indices into ctx.slots
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let comment = line.comment.trim_start();
+        // Doc comments only *document* the directive syntax; a live
+        // suppression must be a plain comment.
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        if let Some(pos) = line.comment.find(DIRECTIVE) {
+            let rest = line.comment[pos + DIRECTIVE.len()..].trim();
+            match parse_allow(rest) {
+                Ok((lint, reason)) => {
+                    let target = line.has_code().then_some(line_no);
+                    ctx.slots.push(Slot {
+                        target,
+                        decl: line_no,
+                        lint,
+                        reason,
+                        used: false,
+                    });
+                    if target.is_none() {
+                        pending.push(ctx.slots.len() - 1);
+                    }
+                }
+                Err(msg) => ctx.directive_error(line_no, msg),
+            }
+        } else if !line.has_code() && !pending.is_empty() {
+            // Plain comment lines between a directive and its code line
+            // continue the written reason.
+            let cont = line.comment.trim_start().trim_start_matches('/').trim();
+            if !cont.is_empty() {
+                if let Some(&slot) = pending.last() {
+                    let reason = &mut ctx.slots[slot].reason;
+                    reason.push(' ');
+                    reason.push_str(cont);
+                }
+            }
+        }
+        if line.has_code() && !pending.is_empty() {
+            for &slot in &pending {
+                ctx.slots[slot].target = Some(line_no);
+            }
+            pending.clear();
+        }
+    }
+}
+
+/// Parses the `allow(<name>) -- <reason>` tail of a directive.
+fn parse_allow(rest: &str) -> Result<(LintId, String), String> {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed directive; expected `{DIRECTIVE} allow(<lint>) -- <reason>`"
+        ));
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unterminated `allow(`".to_string());
+    };
+    let name = inner[..close].trim();
+    let Some(lint) = LintId::from_name(name) else {
+        let known: Vec<&str> = LintId::ALL.iter().map(|l| l.name()).collect();
+        return Err(format!(
+            "unknown lint `{name}`; known lints: {}",
+            known.join(", ")
+        ));
+    };
+    let tail = inner[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err(format!(
+            "suppression of {} carries no reason; write `-- <why this is sound>`",
+            lint.name()
+        ));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "suppression of {} carries an empty reason; write `-- <why this is sound>`",
+            lint.name()
+        ));
+    }
+    Ok((lint, reason.to_string()))
+}
+
+/// True when `code` contains `token` as a whole identifier (not embedded
+/// in a longer identifier).
+fn has_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(token) {
+        let start = from + at;
+        let end = start + token.len();
+        let before = code[..start].chars().next_back();
+        let after = code[end..].chars().next();
+        let ident = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !ident(before) && !ident(after) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// L1 — in byte-stable modules (fingerprints, codecs, snapshots), any
+/// reference to an unordered container is rejected: iteration order would
+/// leak allocator state into bytes that must be stable.
+fn no_unordered_iteration(ctx: &mut FileCtx<'_>, config: &Config) {
+    if !Config::matches_any(&ctx.file.rel_path, &config.byte_stable) {
+        return;
+    }
+    let references_unordered =
+        ctx.file.lines.iter().any(|l| {
+            !l.in_test && (has_token(&l.code, "HashMap") || has_token(&l.code, "HashSet"))
+        });
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if has_token(&line.code, "HashMap") || has_token(&line.code, "HashSet") {
+            ctx.report(
+                idx + 1,
+                LintId::UnorderedIteration,
+                "unordered container in a byte-stable module; use BTreeMap/BTreeSet or a Vec"
+                    .to_string(),
+            );
+        } else if references_unordered
+            && [
+                ".iter()",
+                ".keys()",
+                ".values()",
+                ".drain()",
+                ".into_iter()",
+            ]
+            .iter()
+            .any(|p| line.code.contains(p))
+        {
+            ctx.report(
+                idx + 1,
+                LintId::UnorderedIteration,
+                "iteration in a byte-stable module that references an unordered container"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// L2 — `unsafe` is only permitted in allowlisted kernel modules, and
+/// every occurrence must sit under a `// SAFETY:` comment (or a
+/// `# Safety` doc section for `unsafe fn`).
+fn safety_comment(ctx: &mut FileCtx<'_>, config: &Config) {
+    for idx in 0..ctx.file.lines.len() {
+        let line = &ctx.file.lines[idx];
+        if !has_token(&line.code, "unsafe") {
+            continue;
+        }
+        if !Config::matches_any(&ctx.file.rel_path, &config.unsafe_allowlist) {
+            ctx.report(
+                idx + 1,
+                LintId::SafetyComment,
+                "`unsafe` outside the kernel-module allowlist".to_string(),
+            );
+        } else if !has_safety_comment(ctx.file, idx) {
+            ctx.report(
+                idx + 1,
+                LintId::SafetyComment,
+                "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            );
+        }
+    }
+}
+
+/// True when the line at `idx` (0-indexed) carries or is preceded by a
+/// `SAFETY:` / `# Safety` annotation within its contiguous block of
+/// comment and attribute lines.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    let is_safety = |c: &str| c.contains("SAFETY:") || c.contains("# Safety");
+    if is_safety(&file.lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &file.lines[j];
+        if is_safety(&line.comment) {
+            return true;
+        }
+        let code = line.code.trim();
+        let attribute = code.starts_with("#[");
+        let comment_only = code.is_empty() && !line.comment.is_empty();
+        if !attribute && !comment_only {
+            return false;
+        }
+    }
+    false
+}
+
+/// L3 — wall-clock time and ambient entropy are forbidden in library
+/// code: determinism paths thread explicit seeds, and timing lives in
+/// the bench harness.
+fn no_wall_clock_or_entropy(ctx: &mut FileCtx<'_>, config: &Config) {
+    if !config.is_lib(&ctx.file.rel_path) {
+        return;
+    }
+    const SUBSTRINGS: [&str; 3] = ["Instant::now", "SystemTime", "std::time"];
+    const TOKENS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let hit = SUBSTRINGS
+            .iter()
+            .find(|p| line.code.contains(*p))
+            .copied()
+            .or_else(|| TOKENS.iter().find(|t| has_token(&line.code, t)).copied());
+        if let Some(what) = hit {
+            ctx.report(
+                idx + 1,
+                LintId::WallClockOrEntropy,
+                format!("`{what}` in library code; thread explicit seeds/timers instead"),
+            );
+        }
+    }
+}
+
+/// Cast-target types whose layout must go through `to_le_bytes` /
+/// `from_le_bytes` in codec modules.
+const FIXED_WIDTH: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64",
+];
+
+/// L4 — in codec modules, numeric layout must be explicit: a bare
+/// fixed-width `as` cast on a line that neither uses `*_le_bytes` nor a
+/// `put_*` buffer helper is rejected.
+fn codec_layout_discipline(ctx: &mut FileCtx<'_>, config: &Config) {
+    if !Config::matches_any(&ctx.file.rel_path, &config.codec_modules) {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains("_le_bytes") || code.contains("put_") {
+            continue;
+        }
+        for target in cast_targets(code) {
+            if FIXED_WIDTH.contains(&target.as_str()) {
+                ctx.report(
+                    idx + 1,
+                    LintId::CodecLayout,
+                    format!(
+                        "bare `as {target}` in codec layout code; go through \
+                         to_le_bytes/from_le_bytes or a put_* helper"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects the type tokens following `as` casts in `code`.
+fn cast_targets(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(" as ") {
+        let after = &code[from + at + 4..];
+        let target: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !target.is_empty() {
+            out.push(target);
+        }
+        from += at + 4;
+    }
+    out
+}
+
+/// L5 — library code never panics on recoverable conditions: `unwrap()`,
+/// `expect(..)` and `panic!` are rejected outside tests; typed errors
+/// exist, use them.
+fn no_unwrap_in_lib(ctx: &mut FileCtx<'_>, config: &Config) {
+    if !config.is_lib(&ctx.file.rel_path) {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut hits: Vec<&str> = Vec::new();
+        if code.contains(".unwrap()") {
+            hits.push(".unwrap()");
+        }
+        if code.contains(".expect(") {
+            hits.push(".expect(..)");
+        }
+        if has_token(code, "panic") && code.contains("panic!") {
+            hits.push("panic!");
+        }
+        for what in hits {
+            ctx.report(
+                idx + 1,
+                LintId::UnwrapInLib,
+                format!("`{what}` in library code; return a typed error instead"),
+            );
+        }
+    }
+}
+
+/// Item introducers L6 requires documentation for (after the `pub `
+/// prefix is stripped).
+const PUB_ITEMS: [&str; 8] = [
+    "fn ",
+    "async fn ",
+    "const fn ",
+    "unsafe fn ",
+    "struct ",
+    "enum ",
+    "trait ",
+    "unsafe trait ",
+];
+
+/// L6 — every `pub fn`/`pub struct`/`pub enum`/`pub trait` in library
+/// crates carries a doc comment (`///`, `//!` block above, or `#[doc]`).
+fn public_doc_coverage(ctx: &mut FileCtx<'_>, config: &Config) {
+    if !config.is_lib(&ctx.file.rel_path) {
+        return;
+    }
+    for idx in 0..ctx.file.lines.len() {
+        let line = &ctx.file.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        if !PUB_ITEMS.iter().any(|p| rest.starts_with(p)) {
+            continue;
+        }
+        if !has_doc_comment(ctx.file, idx) {
+            let item: String = rest
+                .chars()
+                .take_while(|c| *c != '(' && *c != '<' && *c != '{' && *c != ';')
+                .collect();
+            ctx.report(
+                idx + 1,
+                LintId::DocCoverage,
+                format!(
+                    "undocumented public item `pub {}`; add a doc comment",
+                    item.trim_end()
+                ),
+            );
+        }
+    }
+}
+
+/// True when the item starting at `idx` (0-indexed) has a doc comment in
+/// the contiguous run of attribute/comment lines directly above it.
+fn has_doc_comment(file: &SourceFile, idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &file.lines[j];
+        let code = line.code.trim();
+        let comment = line.comment.trim_start();
+        if comment.starts_with("///") || comment.starts_with("//!") || code.starts_with("#[doc") {
+            return true;
+        }
+        let attribute = code.starts_with("#[") || (code.ends_with(']') && !code.contains('='));
+        let comment_only = code.is_empty() && !comment.is_empty();
+        if !attribute && !comment_only {
+            return false;
+        }
+    }
+    false
+}

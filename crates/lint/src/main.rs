@@ -1,0 +1,179 @@
+//! `ldp-lint` CLI — walks the workspace and enforces the contract lints.
+//!
+//! ```text
+//! cargo run -p ldp-lint --              # report, exit 0
+//! cargo run -p ldp-lint -- --check      # report, exit 1 on any warning
+//! cargo run -p ldp-lint -- --root DIR   # lint a different tree
+//! cargo run -p ldp-lint -- --summary F  # also write a markdown summary to F
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ldp_lint::{lint_root, Config, Report};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ldp-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command line.
+struct Args {
+    check: bool,
+    root: Option<PathBuf>,
+    summary: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        check: false,
+        root: None,
+        summary: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--summary" => {
+                let v = it.next().ok_or("--summary needs a path")?;
+                args.summary = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ldp-lint: contract-enforcing static analysis\n\
+                     usage: ldp-lint [--check] [--root DIR] [--summary FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => workspace_root()?,
+    };
+    let config = Config::workspace();
+    let report = lint_root(&root, &config).map_err(|e| e.to_string())?;
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    print!("{}", render_summary(&report, &root));
+    if let Some(path) = &args.summary {
+        let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        f.write_all(render_markdown(&report).as_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    if args.check && !report.is_clean() {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Renders the human/CI summary: warning count, suppression count, and
+/// the full suppression table (path, lint, reason) so reviewers watch
+/// the allow-list grow.
+fn render_summary(report: &Report, root: &Path) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ldp-lint: {} file(s) scanned under {}: {} warning(s), {} suppression(s) in use\n",
+        report.files,
+        root.display(),
+        report.diagnostics.len(),
+        report.suppressions.len(),
+    ));
+    if !report.suppressions.is_empty() {
+        let mut per_lint: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &report.suppressions {
+            *per_lint.entry(s.lint.name()).or_insert(0) += 1;
+        }
+        let counts: Vec<String> = per_lint
+            .iter()
+            .map(|(name, count)| format!("{name}: {count}"))
+            .collect();
+        out.push_str(&format!("suppressions by lint: {}\n", counts.join(", ")));
+        for s in &report.suppressions {
+            out.push_str(&format!(
+                "  allowed[{}/{}] {}:{} -- {}\n",
+                s.lint.code(),
+                s.lint.name(),
+                s.path,
+                s.line,
+                s.reason
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the `--summary` file as markdown for CI job summaries: the
+/// headline counts plus the full suppression table.
+fn render_markdown(report: &Report) -> String {
+    let mut out = String::from("## ldp-lint\n\n");
+    out.push_str(&format!(
+        "{} file(s) scanned — **{} warning(s)**, **{} suppression(s)** in use\n\n",
+        report.files,
+        report.diagnostics.len(),
+        report.suppressions.len(),
+    ));
+    if !report.diagnostics.is_empty() {
+        out.push_str("| location | lint | message |\n|---|---|---|\n");
+        for d in &report.diagnostics {
+            out.push_str(&format!(
+                "| `{}:{}` | {}/{} | {} |\n",
+                d.path, d.line, d.code, d.name, d.message
+            ));
+        }
+        out.push('\n');
+    }
+    if !report.suppressions.is_empty() {
+        out.push_str("### Suppressions (each carries a written reason)\n\n");
+        out.push_str("| location | lint | reason |\n|---|---|---|\n");
+        for s in &report.suppressions {
+            out.push_str(&format!(
+                "| `{}:{}` | {}/{} | {} |\n",
+                s.path,
+                s.line,
+                s.lint.code(),
+                s.lint.name(),
+                s.reason
+            ));
+        }
+    }
+    out
+}
+
+/// Finds the workspace root by walking up from the current directory to
+/// the first `Cargo.toml` declaring `[workspace]`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".to_string());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Line-level lexical analysis: comment/string stripping and
+//! `#[cfg(test)]` region tracking.
+//!
+//! ldp-lint runs in the offline build environment, so `syn` and rustc
+//! internals are out of reach. Instead of a full parse, every file goes
+//! through a hand-rolled character scan that is exact about the only
+//! three questions the lints ask of a line: *what is code*, *what is
+//! comment*, and *is this test-only*. Token scans performed by the lints
+//! then operate on the stripped code text, so a `panic!` inside a string
+//! literal or a doc example never fires a diagnostic.
+
+/// One analyzed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments removed and string/char literal contents
+    /// blanked to spaces (delimiters are kept so the shape of the code
+    /// survives). Lint token scans run against this.
+    pub code: String,
+    /// Comment text on the line, including the `//` / `/*` markers.
+    /// Suppression directives and `SAFETY:` annotations are read from
+    /// here.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the line carries any non-comment source text.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+/// A fully analyzed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Analyzed lines in file order; diagnostics report them 1-indexed.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state carried across characters (and lines, for multi-line
+/// constructs: block comments, plain and raw string literals).
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal with `hashes` leading `#`s.
+    Raw { hashes: usize },
+    /// Inside a (possibly nested) `/* … */` block comment.
+    Block { depth: usize },
+}
+
+/// Lexes `text` into analyzed lines and marks `#[cfg(test)]` regions.
+pub fn analyze(rel_path: &str, text: &str) -> SourceFile {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    line.comment.push_str("/*");
+                    state = State::Block { depth: 1 };
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && raw_string_hashes(&chars, i + 1).is_some() {
+                    let hashes = raw_string_hashes(&chars, i + 1).unwrap_or(0);
+                    line.code.push('r');
+                    line.code.push('"');
+                    state = State::Raw { hashes };
+                    i += 2 + hashes;
+                } else if c == '\'' {
+                    i = scan_quote(&chars, i, &mut line.code);
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() && next != Some('\n') {
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Raw { hashes } => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Block { depth } => {
+                if c == '/' && next == Some('*') {
+                    line.comment.push_str("/*");
+                    state = State::Block { depth: depth + 1 };
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    line.comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block { depth: depth - 1 }
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    mark_cfg_test(&mut lines);
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+/// If `chars[from..]` is the `#…#"` opener of a raw string (the `r` has
+/// already been consumed), returns the number of `#`s.
+fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(j - from)
+}
+
+/// True when a `"` at `close - 1` is followed by `hashes` `#`s, closing a
+/// raw string literal.
+fn closes_raw(chars: &[char], close: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(close + k) == Some(&'#'))
+}
+
+/// Scans a `'` at position `i`: a char literal has its contents blanked,
+/// a lifetime keeps only the quote. Returns the next scan position.
+fn scan_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    code.push('\'');
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: '\n', '\'', '\u{…}'.
+        let mut j = i + 2;
+        code.push(' ');
+        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+            code.push(' ');
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            code.push('\'');
+            j += 1;
+        }
+        j
+    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1).is_some() {
+        // Plain char literal: 'x'.
+        code.push(' ');
+        code.push('\'');
+        i + 3
+    } else {
+        // Lifetime: 'a — keep the quote, scan on.
+        i + 1
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` item (attribute line through
+/// the matching closing brace) as test-only.
+fn mark_cfg_test(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_start: Option<i64> = None;
+    for line in lines.iter_mut() {
+        if line.code.trim_start().starts_with("#[cfg(test)]") {
+            pending = true;
+            line.in_test = true;
+        }
+        let opens = line.code.matches('{').count() as i64;
+        let closes = line.code.matches('}').count() as i64;
+        if pending && opens > 0 && region_start.is_none() {
+            region_start = Some(depth);
+            pending = false;
+        }
+        depth += opens - closes;
+        if let Some(start) = region_start {
+            line.in_test = true;
+            if depth <= start {
+                region_start = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<String> {
+        analyze("t.rs", text)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_into_comment_text() {
+        let f = analyze("t.rs", "let x = 1; // trailing panic!()\n");
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert_eq!(f.lines[0].comment, "// trailing panic!()");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes("let s = \"panic! // not a comment\";\n");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].contains('"'));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let c = codes("let s = r#\"unwrap() \"# ; let t = \"\\\"panic!\";\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn multi_line_block_comments_hide_code_tokens() {
+        let c = codes("a(); /* panic!\n still comment\n */ b();\n");
+        assert!(c[0].starts_with("a(); "));
+        assert!(!c.concat().contains("panic"));
+        assert!(c[2].contains("b();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let c = codes("let c = 'x'; fn f<'a>(s: &'a str) {}\n");
+        assert!(!c[0].contains('x'));
+        assert!(c[0].contains("'a"));
+        assert!(c[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked_to_closing_brace() {
+        let f = analyze(
+            "t.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n",
+        );
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let c = codes("let s = \"first\nunwrap()\nlast\"; end();\n");
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("end();"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixture-corpus tests: every lint has a firing and a clean fixture,
+//! and the suppression directive grammar is exercised end to end.
+//!
+//! Each fixture is linted as a standalone file under a corpus-local
+//! [`Config`] whose path markers live in the *file names*
+//! (`stablehash_*`, `kernels_*`, `codec_*`), so one file pins down one
+//! policy decision.
+
+use std::path::{Path, PathBuf};
+
+use ldp_lint::{lint_root, Config, Report};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_config() -> Config {
+    let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+    Config {
+        skip: Vec::new(),
+        lib_roots: s(&[""]),
+        lib_exempt: Vec::new(),
+        byte_stable: s(&["stablehash"]),
+        unsafe_allowlist: s(&["kernels"]),
+        codec_modules: s(&["codec"]),
+    }
+}
+
+fn lint_fixture(rel: &str) -> Report {
+    lint_root(&fixtures_root().join(rel), &fixture_config())
+        .unwrap_or_else(|e| panic!("fixture {rel} unreadable: {e}"))
+}
+
+/// The `(line, code)` pairs of every diagnostic, in report order.
+fn findings(report: &Report) -> Vec<(usize, &'static str)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.code))
+        .collect()
+}
+
+fn assert_clean(rel: &str) {
+    let report = lint_fixture(rel);
+    assert!(
+        report.is_clean(),
+        "{rel} should be clean, got:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn l1_fires_on_unordered_containers_in_byte_stable_modules() {
+    let report = lint_fixture("l1/stablehash_firing.rs");
+    assert_eq!(findings(&report), vec![(3, "L1"), (6, "L1"), (8, "L1")]);
+}
+
+#[test]
+fn l1_clean_on_ordered_containers() {
+    assert_clean("l1/stablehash_clean.rs");
+}
+
+#[test]
+fn l2_fires_on_unsafe_outside_allowlist_even_with_safety_comment() {
+    let report = lint_fixture("l2/firing_outside.rs");
+    assert_eq!(findings(&report), vec![(6, "L2")]);
+    assert!(report.diagnostics[0].message.contains("allowlist"));
+}
+
+#[test]
+fn l2_fires_on_allowlisted_unsafe_without_safety_comment() {
+    let report = lint_fixture("l2/kernels_firing.rs");
+    assert_eq!(findings(&report), vec![(5, "L2")]);
+    assert!(report.diagnostics[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn l2_clean_on_allowlisted_unsafe_under_safety_comment() {
+    assert_clean("l2/kernels_clean.rs");
+}
+
+#[test]
+fn l3_fires_on_wall_clock_in_lib_code() {
+    let report = lint_fixture("l3/firing.rs");
+    assert_eq!(findings(&report), vec![(3, "L3"), (7, "L3")]);
+}
+
+#[test]
+fn l3_clean_on_explicit_seeds() {
+    assert_clean("l3/clean.rs");
+}
+
+#[test]
+fn l4_fires_on_bare_cast_in_codec_module() {
+    let report = lint_fixture("l4/codec_firing.rs");
+    assert_eq!(findings(&report), vec![(5, "L4")]);
+    assert!(report.diagnostics[0].message.contains("as u64"));
+}
+
+#[test]
+fn l4_clean_on_le_bytes_layout() {
+    assert_clean("l4/codec_clean.rs");
+}
+
+#[test]
+fn l5_fires_on_panic_unwrap_expect() {
+    let report = lint_fixture("l5/firing.rs");
+    assert_eq!(findings(&report), vec![(6, "L5"), (8, "L5"), (13, "L5")]);
+}
+
+#[test]
+fn l5_clean_on_typed_errors_and_exempts_cfg_test() {
+    // The fixture unwraps inside `#[cfg(test)]` — that must not fire.
+    assert_clean("l5/clean.rs");
+}
+
+#[test]
+fn l6_fires_on_undocumented_public_items() {
+    let report = lint_fixture("l6/firing.rs");
+    assert_eq!(findings(&report), vec![(3, "L6"), (5, "L6")]);
+}
+
+#[test]
+fn l6_clean_on_documented_surface() {
+    assert_clean("l6/clean.rs");
+}
+
+#[test]
+fn suppression_with_reason_silences_and_is_reported() {
+    let report = lint_fixture("suppress/used.rs");
+    assert!(report.is_clean(), "the directive should silence L5");
+    assert_eq!(report.suppressions.len(), 1);
+    let s = &report.suppressions[0];
+    assert_eq!(s.lint.code(), "L5");
+    assert_eq!(s.line, 10, "suppression binds to the code line");
+    // Continuation comment lines extend the recorded reason.
+    assert_eq!(
+        s.reason,
+        "documented `# Panics` contract exercised by the suppression fixtures."
+    );
+}
+
+#[test]
+fn directive_without_reason_is_a_syntax_diagnostic() {
+    let report = lint_fixture("suppress/missing_reason.rs");
+    assert_eq!(findings(&report), vec![(5, "L0")]);
+    assert!(report.diagnostics[0].message.contains("no reason"));
+}
+
+#[test]
+fn directive_with_unknown_lint_is_a_syntax_diagnostic() {
+    let report = lint_fixture("suppress/unknown_lint.rs");
+    assert_eq!(findings(&report), vec![(5, "L0")]);
+    assert!(report.diagnostics[0].message.contains("no-such-lint"));
+    assert!(report.diagnostics[0].message.contains("known lints"));
+}
+
+#[test]
+fn unused_suppression_is_flagged() {
+    let report = lint_fixture("suppress/unused.rs");
+    assert_eq!(findings(&report), vec![(5, "L0")]);
+    assert_eq!(report.diagnostics[0].name, "unused-suppression");
+    assert!(report.suppressions.is_empty());
+}
+
+#[test]
+fn whole_corpus_walk_is_deterministic_and_complete() {
+    let report = lint_root(&fixtures_root(), &fixture_config()).unwrap();
+    assert_eq!(report.files, 17, "every fixture file is scanned");
+    let again = lint_root(&fixtures_root(), &fixture_config()).unwrap();
+    let render = |r: &Report| {
+        r.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&report), render(&again), "sorted walk is stable");
+}

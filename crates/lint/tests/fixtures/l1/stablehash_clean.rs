@@ -1,0 +1,12 @@
+//! Fixture: ordered containers keep byte-stable modules deterministic.
+
+use std::collections::BTreeMap;
+
+/// Hashes the values in key order.
+pub fn fingerprint(values: &BTreeMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in values.iter() {
+        acc ^= v.wrapping_add(k.len() as u64);
+    }
+    acc
+}

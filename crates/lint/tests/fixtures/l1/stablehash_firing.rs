@@ -1,0 +1,12 @@
+//! Fixture: unordered containers inside a byte-stable module.
+
+use std::collections::HashMap;
+
+/// Hashes the values. Fires L1: iteration order is allocator state.
+pub fn fingerprint(values: &HashMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in values.iter() {
+        acc ^= v.wrapping_add(k.len() as u64);
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` outside the kernel allowlist.
+
+/// Reads the first element without a bounds check.
+pub fn first(xs: &[f64]) -> f64 {
+    // SAFETY: caller promises xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

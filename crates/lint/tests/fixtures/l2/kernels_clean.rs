@@ -1,0 +1,10 @@
+//! Fixture: allowlisted `unsafe` under `SAFETY:` / `# Safety`.
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `xs` must be non-empty.
+pub unsafe fn first_unchecked(xs: &[f64]) -> f64 {
+    // SAFETY: the caller upholds the non-empty contract.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+//! Fixture: allowlisted module, but the safety comment is missing.
+
+/// Reads the first element without a bounds check.
+pub fn first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+//! Fixture: determinism-friendly library code — explicit seeds only.
+
+/// One splitmix-style step over an explicit seed.
+pub fn next_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall clock in library code.
+
+use std::time::Instant;
+
+/// Times one call of `f`.
+pub fn timed(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}

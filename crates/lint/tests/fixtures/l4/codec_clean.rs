@@ -1,0 +1,11 @@
+//! Fixture: explicit little-endian layout in codec code.
+
+/// Packs a length header as 8 little-endian bytes.
+pub fn header(len: u64) -> [u8; 8] {
+    len.to_le_bytes()
+}
+
+/// Reads the length header back.
+pub fn read_header(bytes: [u8; 8]) -> u64 {
+    u64::from_le_bytes(bytes)
+}

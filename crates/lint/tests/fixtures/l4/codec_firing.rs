@@ -1,0 +1,6 @@
+//! Fixture: bare fixed-width cast in codec layout code.
+
+/// Packs a length header. Fires L4: layout via a bare cast.
+pub fn header(len: usize) -> u64 {
+    len as u64
+}

@@ -1,0 +1,17 @@
+//! Fixture: typed errors in library code; tests may unwrap.
+
+/// Parses a decimal count.
+///
+/// # Errors
+/// Returns the integer parse error on malformed input.
+pub fn parse_count(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse_count("7").unwrap(), 7);
+    }
+}

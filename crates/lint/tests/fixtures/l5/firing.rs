@@ -1,0 +1,14 @@
+//! Fixture: panicking operators in library code.
+
+/// Parses a decimal count. Fires L5 twice: panic and unwrap.
+pub fn parse_count(s: &str) -> u64 {
+    if s.is_empty() {
+        panic!("empty count");
+    }
+    s.parse().unwrap()
+}
+
+/// Front element. Fires L5: expect.
+pub fn front(xs: &[u64]) -> u64 {
+    xs.first().copied().expect("non-empty")
+}

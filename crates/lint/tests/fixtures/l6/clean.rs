@@ -1,0 +1,9 @@
+//! Fixture: documented public surface; private items need no docs.
+
+/// A documented marker type.
+pub struct Documented;
+
+/// A documented function.
+pub fn documented() {}
+
+fn private_needs_no_docs() {}

@@ -1,0 +1,5 @@
+//! Fixture: undocumented public surface.
+
+pub struct Undocumented;
+
+pub fn undocumented() {}

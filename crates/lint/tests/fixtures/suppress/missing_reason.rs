@@ -1,0 +1,7 @@
+//! Fixture: a directive without the mandatory reason.
+
+/// Constant one.
+pub fn one() -> u64 {
+    // ldp-lint: allow(no-unwrap-in-lib)
+    1
+}

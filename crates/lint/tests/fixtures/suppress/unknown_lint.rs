@@ -1,0 +1,7 @@
+//! Fixture: a directive naming a lint that does not exist.
+
+/// Constant two.
+pub fn two() -> u64 {
+    // ldp-lint: allow(no-such-lint) -- because
+    2
+}

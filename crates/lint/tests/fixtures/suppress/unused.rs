@@ -1,0 +1,7 @@
+//! Fixture: a suppression that matches no firing lint.
+
+/// Adds one.
+pub fn add_one(x: u64) -> u64 {
+    // ldp-lint: allow(no-unwrap-in-lib) -- nothing actually fires here
+    x + 1
+}

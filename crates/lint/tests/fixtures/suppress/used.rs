@@ -1,0 +1,11 @@
+//! Fixture: a live suppression with a written reason.
+
+/// Front element.
+///
+/// # Panics
+/// Panics when `xs` is empty.
+pub fn front(xs: &[u64]) -> u64 {
+    // ldp-lint: allow(no-unwrap-in-lib) -- documented `# Panics`
+    // contract exercised by the suppression fixtures.
+    xs.first().copied().expect("non-empty")
+}

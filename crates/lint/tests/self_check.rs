@@ -1,0 +1,33 @@
+//! The live workspace must stay clean under the workspace lint policy —
+//! the same run CI performs with `cargo run -p ldp-lint -- --check`.
+
+use std::path::Path;
+
+use ldp_lint::{lint_root, Config};
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_root(&root, &Config::workspace()).expect("workspace tree readable");
+    assert!(report.files > 50, "walk saw only {} files", report.files);
+    assert!(
+        report.is_clean(),
+        "ldp-lint found {} warning(s) on the live tree:\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} suppression of {} has an empty reason",
+            s.path,
+            s.line,
+            s.lint.name()
+        );
+    }
+}

@@ -94,6 +94,8 @@ impl Fourier {
                 q[(2 * t_idx + 1, u)] = p_minus;
             }
         }
+        // ldp-lint: allow(no-unwrap-in-lib) -- invariant: each column splits
+        // mass p₊/p₋ over paired outputs summing to 1 by construction.
         StrategyMatrix::new(q).expect("Fourier strategy is always valid")
     }
 

@@ -37,6 +37,8 @@ pub fn hadamard_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
             1.0 / z
         }
     }))
+    // ldp-lint: allow(no-unwrap-in-lib) -- invariant: entries are e^ε/z and
+    // 1/z with z = (e^ε + 1)·n/2, stochastic by construction.
     .expect("Hadamard response is always a valid strategy")
 }
 

@@ -68,6 +68,8 @@ pub fn hierarchical_strategy(n: usize, b: usize, epsilon: f64) -> StrategyMatrix
             }
         }
     }
+    // ldp-lint: allow(no-unwrap-in-lib) -- invariant: each column mixes one
+    // randomized-response block per level with weights 1/levels.
     StrategyMatrix::new(q).expect("hierarchical strategy is always valid")
 }
 

@@ -21,6 +21,8 @@ pub fn randomized_response_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
             }
         },
     ))
+    // ldp-lint: allow(no-unwrap-in-lib) -- invariant: rows are e^ε/z and 1/z
+    // with z = e^ε + n − 1, so columns sum to 1 by construction.
     .expect("randomized response is always a valid strategy")
 }
 

@@ -40,6 +40,8 @@ pub fn rappor_strategy(n: usize, epsilon: f64) -> StrategyMatrix {
         let h = (o ^ (1usize << u)).count_ones() as i32;
         keep.powi(n as i32 - h) * flip.powi(h)
     });
+    // ldp-lint: allow(no-unwrap-in-lib) -- invariant: each column is a
+    // product of per-bit Bernoulli distributions, stochastic by construction.
     StrategyMatrix::new(q).expect("RAPPOR strategy is always valid")
 }
 

@@ -56,6 +56,8 @@ pub fn subset_selection_strategy(n: usize, d: usize, epsilon: f64) -> StrategyMa
             q[(row, u)] = if s >> u & 1 == 1 { e / z } else { 1.0 / z };
         }
     }
+    // ldp-lint: allow(no-unwrap-in-lib) -- invariant: each column weights
+    // subsets by e^ε/z or 1/z with z normalizing over all subsets.
     StrategyMatrix::new(q).expect("subset selection is always a valid strategy")
 }
 

@@ -225,6 +225,15 @@ pub struct Workspace {
     gram_buf: Option<Matrix>,
 }
 
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("m", &self.q.rows())
+            .field("n", &self.q.cols())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Workspace {
     /// Buffers for `m`-output strategies over an `n`-type domain.
     pub fn new(m: usize, n: usize) -> Self {
@@ -324,7 +333,11 @@ pub fn optimize_strategy_with(
     let result = {
         let g: &Matrix = match &owned {
             Some(buf) => buf,
-            None => gram.as_dense().expect("checked dense above"),
+            None => gram.as_dense().ok_or_else(|| {
+                LdpError::OptimizationFailed(
+                    "Gram operator offered no dense view and no materialization".to_string(),
+                )
+            })?,
         };
         let restarts = config.restarts.max(1);
         let pool = ldp_parallel::pool();

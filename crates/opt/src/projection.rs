@@ -225,7 +225,7 @@ fn solve_lambda(r: &[f64], z: &[f64], exp_eps: f64, breakpoints: &mut Vec<(f64, 
         breakpoints.push((z[o] - r[o], 1.0));
         breakpoints.push((exp_eps * z[o] - r[o], -1.0));
     }
-    breakpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN breakpoint"));
+    breakpoints.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Below every breakpoint, φ(λ) = Σ z (all at lower clip), slope 0.
     let mut phi: f64 = z.iter().sum();

@@ -136,6 +136,8 @@ impl Pool {
                 break;
             }
             let value = f(i);
+            // ldp-lint: allow(no-unwrap-in-lib) -- poisoning requires a worker
+            // panic, which the thread scope re-raises at join anyway.
             let mut guard = slots_ref.lock().expect("no poisoned workers");
             guard[i] = Some(value);
         };
@@ -150,6 +152,9 @@ impl Pool {
         });
         slots
             .into_iter()
+            // ldp-lint: allow(no-unwrap-in-lib) -- invariant: the fetch_add
+            // work loop terminates only after every index in 0..count is
+            // claimed and filled.
             .map(|s| s.expect("all indices computed"))
             .collect()
     }
@@ -203,6 +208,8 @@ impl Pool {
         let f = &f;
         std::thread::scope(|scope| {
             let mut chunks = chunks.into_iter();
+            // ldp-lint: allow(no-unwrap-in-lib) -- invariant: the workers <= 1
+            // early return above guarantees at least one chunk exists.
             let own = chunks.next().expect("workers >= 2");
             for (offset, chunk) in chunks {
                 scope.spawn(move || {
@@ -228,6 +235,8 @@ impl Pool {
         }
         let queue = Mutex::new(tasks.into_iter());
         let work = || loop {
+            // ldp-lint: allow(no-unwrap-in-lib) -- poisoning requires a worker
+            // panic, which the thread scope re-raises at join anyway.
             let task = queue.lock().expect("no poisoned workers").next();
             match task {
                 Some(task) => task(),

@@ -49,6 +49,28 @@ pub enum RecordKind {
     Checkpoint = 4,
 }
 
+impl RecordKind {
+    /// The tag as written on the wire (the header's `kind:u16` field).
+    /// Every encode/compare site goes through here, so the enum-to-layout
+    /// cast exists exactly once.
+    fn wire_tag(self) -> u16 {
+        // ldp-lint: allow(codec-layout-discipline) -- the `#[repr(u16)]`
+        // discriminant *is* the wire tag; this is the one sanctioned cast.
+        self as u16
+    }
+}
+
+/// Decodes up to 8 little-endian bytes into a `u64`. Callers guarantee
+/// `b.len() == 8` (via `take(8)` or explicit bounds checks); a shorter
+/// slice zero-extends instead of panicking, keeping the decode path free
+/// of panic branches.
+fn u64_le(b: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = b.len().min(8);
+    buf[..n].copy_from_slice(&b[..n]);
+    u64::from_le_bytes(buf)
+}
+
 /// Errors raised by snapshot encoding/decoding and the strategy registry.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StoreError {
@@ -205,7 +227,7 @@ impl Writer {
         let mut out = Vec::with_capacity(payload.len() + 24);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&(kind as u16).to_le_bytes());
+        out.extend_from_slice(&kind.wire_tag().to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&payload);
         let checksum = fnv1a64(&out);
@@ -241,7 +263,7 @@ impl<'a> Reader<'a> {
     /// [`StoreError::Truncated`] if fewer than 8 bytes remain.
     pub fn get_u64(&mut self) -> Result<u64, StoreError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64_le(b))
     }
 
     /// Reads an `f64` by exact bit pattern.
@@ -337,7 +359,7 @@ pub fn open(bytes: &[u8], expected: RecordKind) -> Result<Reader<'_>, StoreError
         });
     }
     let kind_raw = u16::from_le_bytes([bytes[6], bytes[7]]);
-    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let payload_len = u64_le(&bytes[8..16]) as usize;
     let total = HEADER
         .checked_add(payload_len)
         .and_then(|t| t.checked_add(8))
@@ -354,7 +376,7 @@ pub fn open(bytes: &[u8], expected: RecordKind) -> Result<Reader<'_>, StoreError
             bytes.len() - total
         )));
     }
-    let stored = u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
+    let stored = u64_le(&bytes[total - 8..]);
     let computed = fnv1a64(&bytes[..total - 8]);
     if stored != computed {
         return Err(StoreError::ChecksumMismatch { stored, computed });
@@ -362,9 +384,9 @@ pub fn open(bytes: &[u8], expected: RecordKind) -> Result<Reader<'_>, StoreError
     // Kind is checked *after* the checksum so a bit flip in the tag reads
     // as corruption, not as a confusing wrong-kind report; past this
     // point a mismatched tag really is a caller/record type confusion.
-    if kind_raw != expected as u16 {
+    if kind_raw != expected.wire_tag() {
         return Err(StoreError::WrongKind {
-            expected: expected as u16,
+            expected: expected.wire_tag(),
             found: kind_raw,
         });
     }

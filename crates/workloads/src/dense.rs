@@ -77,6 +77,16 @@ pub struct Stacked {
     n: usize,
 }
 
+impl std::fmt::Debug for Stacked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stacked")
+            .field("name", &self.name)
+            .field("parts", &self.parts.len())
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Stacked {
     /// Stacks equally weighted workloads.
     ///

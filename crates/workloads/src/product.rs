@@ -27,6 +27,14 @@ pub struct Product {
     right: Box<dyn Workload + Send + Sync>,
 }
 
+impl std::fmt::Debug for Product {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Product")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Product {
     /// `left ⊗ right` over the domain of size
     /// `left.domain_size() · right.domain_size()`.

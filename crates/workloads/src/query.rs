@@ -280,7 +280,7 @@ impl Query {
             row_strides[a] = rows;
             rows = rows
                 .checked_mul(f.rows())
-                .expect("query row count overflows usize");
+                .ok_or(SchemaError::RowCountOverflow)?;
         }
         let canonical = describe(schema, &factors);
         let label = self.label.clone().unwrap_or_else(|| canonical.clone());
@@ -563,6 +563,15 @@ pub struct SchemaWorkload {
     /// Reused row-assembly scratch (same `try_lock` discipline as
     /// [`SumOp`]: contended callers fall back to a local buffer).
     scratch: Mutex<Vec<f64>>,
+}
+
+impl fmt::Debug for SchemaWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemaWorkload")
+            .field("name", &self.name)
+            .field("groups", &self.groups.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SchemaWorkload {

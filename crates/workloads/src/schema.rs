@@ -64,6 +64,9 @@ pub enum SchemaError {
         /// Number of values the query produces.
         rows: usize,
     },
+    /// The query's row count (product of per-attribute factor rows)
+    /// overflows `usize`.
+    RowCountOverflow,
 }
 
 impl fmt::Display for SchemaError {
@@ -94,6 +97,9 @@ impl fmt::Display for SchemaError {
                 "query produces {rows} values, not a scalar; marginal queries \
                  belong in the deployed workload (read them via Estimate::answers)"
             ),
+            SchemaError::RowCountOverflow => {
+                write!(f, "query row count overflows usize")
+            }
         }
     }
 }
@@ -130,6 +136,9 @@ impl Domain {
             strides[a] = total;
             total = total
                 .checked_mul(size)
+                // ldp-lint: allow(no-unwrap-in-lib) -- documented `# Panics`
+                // constructor: an overflowing domain is a caller bug, and
+                // `Schema::new` validates sizes before reaching here.
                 .expect("domain size overflows usize");
         }
         Self {

@@ -16,6 +16,8 @@
 //! LDP_THREADS=8 cargo run --release --example sharded_aggregation
 //! ```
 
+// The example prints wall-clock ingest timings for illustration.
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use ldp::prelude::*;

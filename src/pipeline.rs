@@ -74,6 +74,7 @@
 //! assert!(consistent.data_vector().iter().all(|&v| v >= 0.0));
 //! ```
 
+use std::fmt;
 use std::sync::Arc;
 
 use ldp_core::protocol::{Aggregator, AggregatorShard, Client};
@@ -158,6 +159,15 @@ impl std::fmt::Display for Baseline {
 pub struct Pipeline {
     workload: Arc<dyn Workload + Send + Sync>,
     epsilon: f64,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("workload", &self.workload.name())
+            .field("epsilon", &self.epsilon)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Pipeline {
@@ -326,6 +336,14 @@ pub struct SchemaPipeline {
     schema: Arc<Schema>,
 }
 
+impl fmt::Debug for SchemaPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemaPipeline")
+            .field("schema", &self.schema)
+            .finish()
+    }
+}
+
 impl SchemaPipeline {
     /// Lowers `queries` to a structured [`SchemaWorkload`] (a union of
     /// Kronecker products — nothing densifies at any domain size) and
@@ -339,6 +357,9 @@ impl SchemaPipeline {
     /// [`SchemaPipeline::try_queries`].
     pub fn queries(self, queries: impl IntoIterator<Item = Query>) -> Pipeline {
         self.try_queries(queries)
+            // ldp-lint: allow(no-unwrap-in-lib) -- documented `# Panics`
+            // front door for statically declared workloads; dynamic query
+            // sets go through `try_queries` (the typed-error path).
             .unwrap_or_else(|e| panic!("invalid schema workload: {e}"))
     }
 
@@ -830,6 +851,15 @@ pub struct Estimate {
     inner: Arc<DeploymentInner>,
     xhat: Vec<f64>,
     reports: u64,
+}
+
+impl fmt::Debug for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Estimate")
+            .field("n", &self.xhat.len())
+            .field("reports", &self.reports)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Estimate {
