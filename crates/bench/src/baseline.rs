@@ -23,6 +23,19 @@ pub fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts a top-level `"key": "<string>"` value from a baseline JSON
+/// document. Returns `None` when the key is absent or its value is not a
+/// quoted string. Used by the perf gate to compare like-with-like (the
+/// recorded kernel backend) before trusting numeric ratios.
+pub fn json_string(text: &str, key: &str) -> Option<String> {
+    let key_pos = find_key(text, key, 0)?;
+    let colon = text[key_pos..].find(':')? + key_pos;
+    let rest = text[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
 /// Byte offset just past the quoted key `"name"` at nesting depth one,
 /// scanning from `from`.
 fn find_key(text: &str, name: &str, from: usize) -> Option<usize> {
@@ -108,6 +121,16 @@ mod tests {
     fn absent_paths_are_none() {
         assert_eq!(json_number(DOC, "matmul", "missing"), None);
         assert_eq!(json_number(DOC, "missing", "n"), None);
+    }
+
+    #[test]
+    fn extracts_top_level_strings() {
+        assert_eq!(
+            json_string(DOC, "schema").as_deref(),
+            Some("ldp-bench-kernels/1")
+        );
+        assert_eq!(json_string(DOC, "backend"), None, "absent key");
+        assert_eq!(json_string(DOC, "matmul"), None, "object, not a string");
     }
 
     #[test]

@@ -7,11 +7,21 @@
 //! * **matmul** — GFLOP/s of the seed's naive i-k-j kernel vs the
 //!   blocked kernel at n = 512, single-threaded and at N workers
 //!   (bit-identity across worker counts asserted before timing);
+//! * **dot** — GFLOP/s of the dispatched dot-product kernel;
+//! * **fwht** — element-passes/s of the in-place Walsh–Hadamard
+//!   transform (`n log₂ n` butterfly elements per transform);
 //! * **pgd** — optimizer iterations/s of a multi-restart PGD run
 //!   (restarts parallelize; the outputs are asserted byte-equal across
 //!   worker counts);
 //! * **ingestion** — reports/s of `Deployment::aggregate` over a
 //!   pre-drawn randomized-report stream (exactness asserted).
+//!
+//! Every run records the active kernel backend (`"backend"`) so baseline
+//! comparisons are like-with-like: `--check` skips the perf gate with a
+//! loud warning when the committed baseline was measured under a
+//! different backend (e.g. an AVX2 baseline checked on a scalar-only
+//! host), instead of failing spuriously. On 1-core hosts the `"nt_mode"`
+//! field marks the N-worker columns as spawn-overhead measurements.
 //!
 //! ```text
 //! cargo run --release -p ldp-bench --bin kernels -- --bench \
@@ -34,10 +44,10 @@
 
 use ldp::prelude::*;
 use ldp_bench::args::Args;
-use ldp_bench::baseline::{json_number, GateCheck};
+use ldp_bench::baseline::{json_number, json_string, GateCheck};
 use ldp_bench::kernels::{matmul_gflops, naive_matmul_into, test_matrix, time_secs};
 use ldp_bench::report::banner;
-use ldp_linalg::Matrix;
+use ldp_linalg::{fwht, Matrix};
 use ldp_opt::{optimize_strategy, OptimizerConfig};
 use ldp_parallel::set_thread_override;
 use ldp_workloads::Prefix;
@@ -51,17 +61,41 @@ fn main() {
     let threads = args.get_or("threads", 4usize).max(2);
     let out_path = args.get_or("out", "BENCH_KERNELS.json".to_string());
 
+    let backend = ldp_linalg::kernels::backend().as_str();
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let nt_mode = if hardware == 1 {
+        "spawn-overhead"
+    } else {
+        "parallel-speedup"
+    };
+    banner(
+        "kernels",
+        &format!("kernel backend: {backend}, hardware threads: {hardware}"),
+    );
+    if hardware == 1 {
+        banner(
+            "kernels",
+            &format!(
+                "1-core host: the @{threads}T columns measure scoped-spawn \
+                 overhead, not parallel speedup (nt_speedup < 1 is expected)"
+            ),
+        );
+    }
+
     let matmul = measure_matmul(quick, threads);
+    let dot = measure_dot(quick);
+    let fwht_section = measure_fwht(quick);
     let pgd = measure_pgd(quick, threads);
     let ingestion = measure_ingestion(quick, threads);
     set_thread_override(None);
 
-    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
-        "{{\n  \"schema\": \"ldp-bench-kernels/1\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"ldp-bench-kernels/2\",\n  \"quick\": {quick},\n  \
+         \"backend\": \"{backend}\",\n  \
          \"hardware_threads\": {hardware},\n  \"measured_threads\": {threads},\n  \
-         \"note\": \"N-worker numbers only speed up on multi-core hardware; on a 1-core host they include scoped-spawn overhead. Bit-identity across worker counts is asserted before every measurement.\",\n\
-         {matmul},\n{pgd},\n{ingestion}\n}}\n"
+         \"nt_mode\": \"{nt_mode}\",\n  \
+         \"note\": \"N-worker numbers only speed up on multi-core hardware; on a 1-core host (nt_mode = spawn-overhead) they measure scoped-spawn cost, so nt_speedup < 1 is expected and not a regression. Bit-identity across worker counts is asserted before every measurement. Perf columns are only comparable between runs with the same backend.\",\n\
+         {matmul},\n{dot},\n{fwht_section},\n{pgd},\n{ingestion}\n}}\n"
     );
     println!("{json}");
     if args.flag("bench") {
@@ -76,9 +110,32 @@ fn main() {
 
 /// Compares this run's measurements against a committed baseline JSON
 /// and exits non-zero on a regression beyond the tolerance.
+///
+/// The comparison is only meaningful like-with-like: if the baseline
+/// records a different kernel backend than this run used (or predates
+/// the `"backend"` field), the gate is skipped with a loud warning
+/// instead of failing spuriously — e.g. an AVX2 baseline must not gate a
+/// scalar-only fallback host.
 fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
     let baseline = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let fresh_backend = json_string(fresh, "backend").expect("fresh run records its backend");
+    let baseline_backend = json_string(&baseline, "backend");
+    if baseline_backend.as_deref() != Some(fresh_backend.as_str()) {
+        banner(
+            "perf-gate",
+            &format!(
+                "WARNING: backend mismatch — baseline {} vs measured '{fresh_backend}'; \
+                 the numbers are not comparable, SKIPPING the perf gate. \
+                 Re-record the baseline on this host class to restore gating.",
+                baseline_backend.map_or_else(
+                    || "records no backend (pre-/2 schema)".into(),
+                    |b| format!("'{b}'")
+                ),
+            ),
+        );
+        return;
+    }
     let metric = |section: &str, key: &str| -> GateCheck {
         let path = format!("{section}.{key}");
         let read = |doc: &str, which: &str| {
@@ -158,6 +215,64 @@ fn measure_matmul(quick: bool, threads: usize) -> String {
             ("nt_speedup", blocked_nt / blocked_1t),
         ],
     )
+}
+
+/// GFLOP/s of the dispatched dot-product kernel (2 flops per element),
+/// single-threaded: `dot` is the innermost primitive under Cholesky,
+/// `matvec`, and `matmul_t`, so its lane throughput is worth a column of
+/// its own.
+fn measure_dot(quick: bool) -> String {
+    let len: usize = if quick { 1 << 14 } else { 1 << 16 };
+    let reps = if quick { 200 } else { 100 };
+    let a: Vec<f64> = (0..len)
+        .map(|i| ((i * 13 + 5) % 19) as f64 * 0.03)
+        .collect();
+    let b: Vec<f64> = (0..len).map(|i| ((i * 7 + 2) % 23) as f64 * 0.04).collect();
+    set_thread_override(Some(1));
+    // 16 dots per timed call so each call is comfortably above timer
+    // granularity even on fast hosts.
+    let inner = 16;
+    let secs = time_secs(reps, || {
+        for _ in 0..inner {
+            std::hint::black_box(ldp_linalg::dot(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+            ));
+        }
+    });
+    let gflops = (2 * len * inner) as f64 / secs / 1e9;
+    banner(
+        "kernels",
+        &format!("dot len={len}: {gflops:.2} GFLOP/s @1T"),
+    );
+    json_object("dot", &[("len", len as f64), ("dot_gflops", gflops)])
+}
+
+/// Million butterfly element-passes per second of the in-place FWHT
+/// (`n log₂ n` element-passes per transform), single-threaded.
+fn measure_fwht(quick: bool) -> String {
+    let n: usize = if quick { 1 << 14 } else { 1 << 16 };
+    let reps = 40;
+    // The transform is unnormalized, so repeated application grows the
+    // entries by up to ×n per pass; starting near 1e-150 keeps ~40
+    // timed applications comfortably finite without rescaling between
+    // calls (which would pollute the timing).
+    let mut data: Vec<f64> = (0..n)
+        .map(|i| (((i * 11 + 3) % 17) as f64 - 8.0) * 1e-150)
+        .collect();
+    set_thread_override(Some(1));
+    let secs = time_secs(reps, || fwht(std::hint::black_box(&mut data)));
+    assert!(
+        data.iter().all(|v| v.is_finite()),
+        "FWHT bench overflowed; shrink reps or the initial magnitude"
+    );
+    let passes = n as f64 * (n.trailing_zeros() as f64);
+    let melems = passes / secs / 1e6;
+    banner(
+        "kernels",
+        &format!("fwht n={n}: {melems:.1}M element-passes/s @1T"),
+    );
+    json_object("fwht", &[("n", n as f64), ("fwht_melems_per_s", melems)])
 }
 
 fn measure_pgd(quick: bool, threads: usize) -> String {

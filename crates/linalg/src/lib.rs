@@ -25,21 +25,30 @@
 //!   systems.
 //! * [`Lu`] — LU factorization with partial pivoting for general systems.
 //!
-//! Everything is pure safe Rust with no external BLAS/LAPACK dependency;
-//! the sizes used by the paper (n ≤ 4096, m = 4n) are comfortably in range.
+//! The hot loops dispatch through the [`kernels`] backend layer: a
+//! portable scalar backend (the reference semantics, always compiled)
+//! and a runtime-detected AVX2+FMA backend, selectable via `LDP_KERNEL`.
+//! All `unsafe` in the workspace is confined to the two kernel modules;
+//! everything else is pure safe Rust with no external BLAS/LAPACK
+//! dependency. The sizes used by the paper (n ≤ 4096, m = 4n) are
+//! comfortably in range.
 
 mod cholesky;
 mod eigh;
+pub mod kernels;
 mod linop;
 mod lu;
 mod matrix;
 mod pinv;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 pub mod stablehash;
 mod svd;
 mod tridiagonal;
 
 pub use cholesky::Cholesky;
 pub use eigh::{eigh, SymmetricEigen};
+pub use kernels::{axpy, dot, Backend};
 pub use linop::{
     dense_of, fwht, linop_matmul, psd_max_abs, DenseOp, DiagOp, Gram, KroneckerOp, LinOp,
     RankOneOp, ScaledOp, StructuredGram, SumOp,
@@ -53,47 +62,10 @@ pub use tridiagonal::{eigh_auto, eigh_ql};
 /// Machine-level tolerance scale used across decompositions.
 pub(crate) const EPS: f64 = f64::EPSILON;
 
-/// Dot product of two equal-length slices.
-///
-/// Unrolled into four independent accumulator lanes so LLVM can
-/// vectorize the reduction; the lane combination order is fixed
-/// (`(l0+l1)+(l2+l3)`, then the scalar tail), so the result is
-/// deterministic for given inputs — it does not depend on call site,
-/// blocking, or thread count.
-#[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f64; 4];
-    let a_chunks = a.chunks_exact(4);
-    let b_chunks = b.chunks_exact(4);
-    let a_tail = a_chunks.remainder();
-    let b_tail = b_chunks.remainder();
-    for (ca, cb) in a_chunks.zip(b_chunks) {
-        lanes[0] += ca[0] * cb[0];
-        lanes[1] += ca[1] * cb[1];
-        lanes[2] += ca[2] * cb[2];
-        lanes[3] += ca[3] * cb[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        tail += x * y;
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
-}
-
 /// Euclidean norm of a slice.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
-}
-
-/// `y += alpha * x` over equal-length slices.
-#[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
 }
 
 #[cfg(test)]

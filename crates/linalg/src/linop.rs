@@ -23,6 +23,7 @@ use std::borrow::Cow;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use crate::kernels::fwht_butterfly;
 use crate::{axpy, dot, Matrix};
 
 /// A real linear operator `A : ℝᶜ → ℝʳ` exposed through matrix-vector
@@ -770,15 +771,6 @@ impl LinOp for KroneckerOp {
 /// work (`n` adds) must amortize tens of microseconds of spawns — at
 /// 2¹⁷ elements a pass is ~100 µs of memory-bound traffic.
 const FWHT_PAR_MIN: usize = 1 << 17;
-
-/// One butterfly pass over a matched pair of half-blocks.
-fn fwht_butterfly(lo: &mut [f64], hi: &mut [f64]) {
-    for (a, b) in lo.iter_mut().zip(hi) {
-        let (x, y) = (*a, *b);
-        *a = x + y;
-        *b = x - y;
-    }
-}
 
 /// In-place fast Walsh–Hadamard transform (unnormalized; applying it twice
 /// multiplies by `data.len()`).

@@ -4,20 +4,24 @@
 //! ## Kernel design
 //!
 //! The three dense products ([`Matrix::matmul_into`],
-//! [`Matrix::t_matmul_into`], [`Matrix::matmul_t`]) run a shared blocked
-//! micro-kernel: the output is tiled into `MR = 4` row panels, the inner
-//! (`k`) dimension into `KC`-wide blocks, and the output columns into
+//! [`Matrix::t_matmul_into`], [`Matrix::matmul_t`]) dispatch through the
+//! [`crate::kernels`] backend layer to a shared blocked micro-kernel:
+//! the output is tiled into `MR = 4` row panels, the inner (`k`)
+//! dimension into `KC`-wide blocks, and the output columns into
 //! `NC`-wide blocks, so the four live output rows plus the streamed
 //! operand row stay in L1 while each loaded value feeds four
-//! multiply-adds. The innermost loop is four independent `c += a·b`
-//! streams over contiguous slices, which LLVM autovectorizes. `AᵀB`
-//! additionally packs each `KC × MR` operand panel into a small
-//! stack buffer so its strided column reads happen once per block.
+//! multiply-adds. On the scalar backend the innermost loop is four
+//! independent `c += a·b` streams over contiguous slices, which LLVM
+//! autovectorizes; the AVX2+FMA backend replaces the inner loops with
+//! explicit 4×8 register tiles (see [`crate::kernels`] for selection and
+//! the contract). `AᵀB` additionally packs each `KC × MR` operand panel
+//! into a small stack buffer so its strided column reads happen once per
+//! block.
 //!
 //! ## Determinism contract
 //!
-//! Every element of every product is accumulated in strictly ascending
-//! `k` order no matter how the loops are blocked or which thread owns
+//! Within a backend, every element of every product is accumulated in a
+//! fixed order no matter how the loops are blocked or which thread owns
 //! the row: blocking reorders *independent* output elements and row
 //! groupings only, never the summation order inside one element. Large
 //! products are parallelized by handing each worker a contiguous range
@@ -28,18 +32,9 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use crate::kernels::{matmul_rows, matmul_t_rows, t_matmul_rows};
 use crate::{dot, svd};
 
-/// Rows per micro panel: four output rows share every loaded operand.
-const MR: usize = 4;
-/// Inner-dimension block: one operand panel of `KC` rows is consumed
-/// per block while the output tile stays resident.
-const KC: usize = 128;
-/// Output-column block: `MR` output row chunks of `NC` doubles (16 KiB)
-/// plus one streamed operand chunk fit in L1. Tuned with `KC` via the
-/// `kernels` bench (`crates/bench/benches/kernels.rs`): {128, 512} beat
-/// the other {128, 256} × {128, 256, 512} combinations at n = 512.
-const NC: usize = 512;
 /// Minimum multiply-add count before a product is worth threading
 /// (scoped spawns cost tens of microseconds; this is ~0.5 ms of work).
 const PAR_MIN_FLOPS: usize = 1 << 20;
@@ -567,148 +562,6 @@ impl Matrix {
             .iter()
             .zip(&other.data)
             .fold(0.0, |acc, (a, b)| acc.max((a - b).abs()))
-    }
-}
-
-/// Blocked `C[rows] += A[row0 + rows] · B` over a contiguous range of
-/// output rows (`out` covers `out.len() / n` rows starting at `row0`).
-/// `a` is `(row0 + rows) × k` (only the owned rows are read), `b` is
-/// `k × n`. `out` must be zeroed. Every output element accumulates in
-/// strictly ascending `k` order regardless of blocking or row grouping.
-fn matmul_rows(a: &[f64], b: &[f64], k: usize, n: usize, row0: usize, out: &mut [f64]) {
-    let rows = out.len() / n;
-    let mut jc = 0;
-    while jc < n {
-        let jw = NC.min(n - jc);
-        let mut kc = 0;
-        while kc < k {
-            let kw = KC.min(k - kc);
-            let mut i = 0;
-            while i + MR <= rows {
-                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
-                let (c1, rest) = rest.split_at_mut(n);
-                let (c2, c3) = rest.split_at_mut(n);
-                let (c0, c1, c2, c3) = (
-                    &mut c0[jc..jc + jw],
-                    &mut c1[jc..jc + jw],
-                    &mut c2[jc..jc + jw],
-                    &mut c3[jc..jc + jw],
-                );
-                let a0 = &a[(row0 + i) * k..][..k];
-                let a1 = &a[(row0 + i + 1) * k..][..k];
-                let a2 = &a[(row0 + i + 2) * k..][..k];
-                let a3 = &a[(row0 + i + 3) * k..][..k];
-                for kk in kc..kc + kw {
-                    let brow = &b[kk * n + jc..][..jw];
-                    let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                    for ((((o0, o1), o2), o3), &bv) in c0
-                        .iter_mut()
-                        .zip(c1.iter_mut())
-                        .zip(c2.iter_mut())
-                        .zip(c3.iter_mut())
-                        .zip(brow)
-                    {
-                        *o0 += x0 * bv;
-                        *o1 += x1 * bv;
-                        *o2 += x2 * bv;
-                        *o3 += x3 * bv;
-                    }
-                }
-                i += MR;
-            }
-            while i < rows {
-                let crow = &mut out[i * n + jc..][..jw];
-                let arow = &a[(row0 + i) * k..][..k];
-                for kk in kc..kc + kw {
-                    let brow = &b[kk * n + jc..][..jw];
-                    let x = arow[kk];
-                    for (o, &bv) in crow.iter_mut().zip(brow) {
-                        *o += x * bv;
-                    }
-                }
-                i += 1;
-            }
-            kc += kw;
-        }
-        jc += jw;
-    }
-}
-
-/// Blocked `C[rows] += (Aᵀ)[col0 + rows] · B` over a contiguous range of
-/// `AᵀB` output rows (= columns `col0..` of the `r × c` matrix `a`).
-/// Each `KC × MR` panel of `a`'s strided columns is packed into a stack
-/// buffer once per block. `out` must be zeroed; every element
-/// accumulates in strictly ascending `r` order.
-fn t_matmul_rows(a: &[f64], c: usize, b: &[f64], n: usize, r: usize, col0: usize, out: &mut [f64]) {
-    let rows = out.len() / n;
-    let mut pack = [0.0f64; KC * MR];
-    let mut jc = 0;
-    while jc < n {
-        let jw = NC.min(n - jc);
-        let mut kc = 0;
-        while kc < r {
-            let kw = KC.min(r - kc);
-            let mut i = 0;
-            while i + MR <= rows {
-                for kk in 0..kw {
-                    let arow = &a[(kc + kk) * c..][..c];
-                    for (p, slot) in pack[kk * MR..(kk + 1) * MR].iter_mut().enumerate() {
-                        *slot = arow[col0 + i + p];
-                    }
-                }
-                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
-                let (c1, rest) = rest.split_at_mut(n);
-                let (c2, c3) = rest.split_at_mut(n);
-                let (c0, c1, c2, c3) = (
-                    &mut c0[jc..jc + jw],
-                    &mut c1[jc..jc + jw],
-                    &mut c2[jc..jc + jw],
-                    &mut c3[jc..jc + jw],
-                );
-                for kk in 0..kw {
-                    let brow = &b[(kc + kk) * n + jc..][..jw];
-                    let panel = &pack[kk * MR..(kk + 1) * MR];
-                    let (x0, x1, x2, x3) = (panel[0], panel[1], panel[2], panel[3]);
-                    for ((((o0, o1), o2), o3), &bv) in c0
-                        .iter_mut()
-                        .zip(c1.iter_mut())
-                        .zip(c2.iter_mut())
-                        .zip(c3.iter_mut())
-                        .zip(brow)
-                    {
-                        *o0 += x0 * bv;
-                        *o1 += x1 * bv;
-                        *o2 += x2 * bv;
-                        *o3 += x3 * bv;
-                    }
-                }
-                i += MR;
-            }
-            while i < rows {
-                let crow = &mut out[i * n + jc..][..jw];
-                for kk in 0..kw {
-                    let x = a[(kc + kk) * c + col0 + i];
-                    let brow = &b[(kc + kk) * n + jc..][..jw];
-                    for (o, &bv) in crow.iter_mut().zip(brow) {
-                        *o += x * bv;
-                    }
-                }
-                i += 1;
-            }
-            kc += kw;
-        }
-        jc += jw;
-    }
-}
-
-/// `C[rows] = A[row0 + rows] · Bᵀ` over a contiguous range of output
-/// rows: each entry is one [`dot`] of two contiguous length-`k` rows.
-fn matmul_t_rows(a: &[f64], b: &[f64], k: usize, p: usize, row0: usize, out: &mut [f64]) {
-    for (i, crow) in out.chunks_mut(p).enumerate() {
-        let arow = &a[(row0 + i) * k..][..k];
-        for (j, o) in crow.iter_mut().enumerate() {
-            *o = dot(arow, &b[j * k..][..k]);
-        }
     }
 }
 

@@ -1,0 +1,525 @@
+//! AVX2+FMA lane implementations of the hot kernels (x86-64 only).
+//!
+//! This module and [`crate::kernels`] are the only places in the
+//! workspace where `unsafe` is permitted (the ldp-lint L2 allowlist).
+//! Nothing here is chosen at compile time: every function carries
+//! `#[target_feature(enable = "avx2", enable = "fma")]` and is `unsafe`
+//! to call, and the *only* caller is the dispatch layer in
+//! [`crate::kernels`], which selects this backend strictly after
+//! `is_x86_feature_detected!("avx2")` and `...("fma")` both report true.
+//!
+//! ## Determinism rules (per-backend contract)
+//!
+//! Within the AVX2 backend, results must be bit-identical at every
+//! thread count and for every blocking/panel grouping, exactly like the
+//! scalar backend. The rules that guarantee it:
+//!
+//! * **Elementwise independence** — vector lanes never interact: a
+//!   `vfmadd` is four independent scalar FMAs, so how elements are
+//!   grouped into registers (8-wide strip, 4-wide strip, or remainder)
+//!   cannot change any element's value.
+//! * **Fused tails** — every scalar remainder loop uses
+//!   [`f64::mul_add`], the exact operation a vector lane performs, so an
+//!   element's arithmetic does not depend on whether it landed in a
+//!   vector body or a tail. This matters because [`ldp_parallel`] chunk
+//!   boundaries fall at arbitrary offsets.
+//! * **Fixed accumulation shape** — each matmul output element
+//!   accumulates one register-resident partial sum per `KC` block
+//!   (ascending `k` inside the block, FMA per step) and adds it to the
+//!   output once per block, identically in the 4-row panel, the
+//!   remainder-row, and every column-strip variant.
+//! * **Integer ops are exact** — the FWHT butterfly (add/sub only) and
+//!   the `u64` helpers are bit-identical to scalar by construction.
+//!
+//! Cross-backend bit-equality with the scalar kernels is *not* claimed:
+//! FMA skips the intermediate rounding of `mul`-then-`add`, so scalar
+//! and AVX2 results legitimately differ by a few ulps. See the README
+//! "Kernel backends" section.
+
+use core::arch::x86_64::{
+    __m256d, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_blendv_epi8, _mm256_cmpgt_epi64,
+    _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_loadu_si256, _mm256_set1_epi64x, _mm256_set1_pd,
+    _mm256_setzero_pd, _mm256_setzero_si256, _mm256_storeu_pd, _mm256_storeu_si256, _mm256_sub_pd,
+    _mm256_xor_si256,
+};
+
+use crate::kernels::{KC, MR, NC};
+
+/// Dot product with one 4-lane FMA accumulator; lane combination order
+/// matches the scalar kernel (`(l0+l1)+(l2+l3)` plus a fused tail).
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (runtime-detected by the caller).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_pd();
+    for i in 0..chunks {
+        // SAFETY: i < n/4, so the 4 doubles at offset 4·i are in bounds
+        // for both equal-length slices.
+        let (av, bv) = unsafe {
+            (
+                _mm256_loadu_pd(ap.add(4 * i)),
+                _mm256_loadu_pd(bp.add(4 * i)),
+            )
+        };
+        acc = _mm256_fmadd_pd(av, bv, acc);
+    }
+    let mut lanes = [0.0f64; 4];
+    // SAFETY: `lanes` is exactly 4 doubles.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
+    let mut tail = 0.0;
+    for i in 4 * chunks..n {
+        tail = a[i].mul_add(b[i], tail);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// `y += alpha * x`, fused in both the vector body and the scalar tail
+/// so chunk boundaries cannot change any element's rounding.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (runtime-detected by the caller).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let chunks = n / 4;
+    let av = _mm256_set1_pd(alpha);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    for i in 0..chunks {
+        // SAFETY: i < n/4, so the 4 doubles at offset 4·i are in bounds
+        // for both equal-length slices; x and y never alias (&/&mut).
+        unsafe {
+            let xv = _mm256_loadu_pd(xp.add(4 * i));
+            let yv = _mm256_loadu_pd(yp.add(4 * i));
+            _mm256_storeu_pd(yp.add(4 * i), _mm256_fmadd_pd(av, xv, yv));
+        }
+    }
+    for i in 4 * chunks..n {
+        y[i] = alpha.mul_add(x[i], y[i]);
+    }
+}
+
+/// One FWHT butterfly pass over a matched pair of half-blocks.
+/// Pure add/sub — bit-identical to the scalar butterfly.
+///
+/// # Safety
+/// The CPU must support AVX2 (runtime-detected by the caller).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn fwht_butterfly(lo: &mut [f64], hi: &mut [f64]) {
+    debug_assert_eq!(lo.len(), hi.len());
+    let n = lo.len();
+    let chunks = n / 4;
+    let lp = lo.as_mut_ptr();
+    let hp = hi.as_mut_ptr();
+    for i in 0..chunks {
+        // SAFETY: i < n/4 keeps offset 4·i in bounds for both
+        // equal-length halves; lo and hi are disjoint (&mut).
+        unsafe {
+            let x = _mm256_loadu_pd(lp.add(4 * i));
+            let y = _mm256_loadu_pd(hp.add(4 * i));
+            _mm256_storeu_pd(lp.add(4 * i), _mm256_add_pd(x, y));
+            _mm256_storeu_pd(hp.add(4 * i), _mm256_sub_pd(x, y));
+        }
+    }
+    for i in 4 * chunks..n {
+        let (x, y) = (lo[i], hi[i]);
+        lo[i] = x + y;
+        hi[i] = x - y;
+    }
+}
+
+/// `acc[i] = acc[i].wrapping_add(src[i])` — the shard-merge loop.
+/// Integer addition: exact, bit-identical to scalar.
+///
+/// # Safety
+/// The CPU must support AVX2 (runtime-detected by the caller).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn add_u64(acc: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    let n = acc.len();
+    let chunks = n / 4;
+    let ap = acc.as_mut_ptr();
+    let sp = src.as_ptr();
+    for i in 0..chunks {
+        // SAFETY: i < n/4 keeps the 4 u64s at offset 4·i in bounds for
+        // both equal-length slices; unaligned load/store intrinsics.
+        unsafe {
+            let a = _mm256_loadu_si256(ap.add(4 * i).cast::<__m256i>());
+            let s = _mm256_loadu_si256(sp.add(4 * i).cast::<__m256i>());
+            _mm256_storeu_si256(ap.add(4 * i).cast::<__m256i>(), _mm256_add_epi64(a, s));
+        }
+    }
+    for i in 4 * chunks..n {
+        acc[i] = acc[i].wrapping_add(src[i]);
+    }
+}
+
+/// Maximum of a `u64` slice (0 when empty) — the batch-validation scan.
+/// AVX2 has no unsigned 64-bit compare, so both operands are biased by
+/// `i64::MIN` (an XOR) to map unsigned order onto the signed
+/// `_mm256_cmpgt_epi64`.
+///
+/// # Safety
+/// The CPU must support AVX2 (runtime-detected by the caller).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn max_u64(data: &[u64]) -> u64 {
+    let n = data.len();
+    let chunks = n / 4;
+    let dp = data.as_ptr();
+    let sign = _mm256_set1_epi64x(i64::MIN);
+    let mut best = _mm256_setzero_si256();
+    for i in 0..chunks {
+        // SAFETY: i < n/4 keeps the 4 u64s at offset 4·i in bounds.
+        let v = unsafe { _mm256_loadu_si256(dp.add(4 * i).cast::<__m256i>()) };
+        let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(v, sign), _mm256_xor_si256(best, sign));
+        best = _mm256_blendv_epi8(best, v, gt);
+    }
+    let mut lanes = [0u64; 4];
+    // SAFETY: `lanes` is exactly 4 u64s (32 bytes).
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), best) };
+    let mut max = lanes.iter().fold(0u64, |m, &v| m.max(v));
+    for &v in &data[4 * chunks..] {
+        max = max.max(v);
+    }
+    max
+}
+
+/// Adds vector `v` into the 4 doubles at `c` (read-modify-write).
+///
+/// # Safety
+/// `c` must be valid for reads and writes of 4 doubles; AVX2 required.
+#[target_feature(enable = "avx2")]
+unsafe fn add_store(c: *mut f64, v: __m256d) {
+    // SAFETY: forwarded contract — `c` covers 4 doubles.
+    unsafe { _mm256_storeu_pd(c, _mm256_add_pd(_mm256_loadu_pd(c), v)) };
+}
+
+/// Register-tiled 4-row micro-kernel over one `kc` block: accumulates
+/// `c{0..3}[j] += Σ_kk a{0..3}[kk] · b[(b_row0+kk)·n + jc + j]` with one
+/// FMA accumulator set per column strip, then a single add into `c`.
+/// `a0..a3` are contiguous length-`kw` row slices (packed by the caller
+/// when the source is strided); `c0..c3` are the `jw`-wide output row
+/// segments starting at column `jc`.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA, and `b` must contain rows
+/// `b_row0..b_row0 + a0.len()` of an `n`-column row-major matrix with
+/// columns `jc..jc + c0.len()` in bounds.
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_4(
+    a0: &[f64],
+    a1: &[f64],
+    a2: &[f64],
+    a3: &[f64],
+    b: &[f64],
+    n: usize,
+    b_row0: usize,
+    jc: usize,
+    c0: &mut [f64],
+    c1: &mut [f64],
+    c2: &mut [f64],
+    c3: &mut [f64],
+) {
+    let kw = a0.len();
+    let jw = c0.len();
+    let bp = b.as_ptr();
+    let mut j = 0;
+    while j + 8 <= jw {
+        let mut acc = [_mm256_setzero_pd(); 8];
+        for kk in 0..kw {
+            // SAFETY: caller guarantees row b_row0+kk and columns
+            // jc+j..jc+j+8 are in bounds of the n-column matrix `b`.
+            let (b0, b1) = unsafe {
+                let base = bp.add((b_row0 + kk) * n + jc + j);
+                (_mm256_loadu_pd(base), _mm256_loadu_pd(base.add(4)))
+            };
+            let x0 = _mm256_set1_pd(a0[kk]);
+            acc[0] = _mm256_fmadd_pd(x0, b0, acc[0]);
+            acc[1] = _mm256_fmadd_pd(x0, b1, acc[1]);
+            let x1 = _mm256_set1_pd(a1[kk]);
+            acc[2] = _mm256_fmadd_pd(x1, b0, acc[2]);
+            acc[3] = _mm256_fmadd_pd(x1, b1, acc[3]);
+            let x2 = _mm256_set1_pd(a2[kk]);
+            acc[4] = _mm256_fmadd_pd(x2, b0, acc[4]);
+            acc[5] = _mm256_fmadd_pd(x2, b1, acc[5]);
+            let x3 = _mm256_set1_pd(a3[kk]);
+            acc[6] = _mm256_fmadd_pd(x3, b0, acc[6]);
+            acc[7] = _mm256_fmadd_pd(x3, b1, acc[7]);
+        }
+        // SAFETY: j+8 <= jw, so each row segment holds 8 doubles at j.
+        unsafe {
+            add_store(c0.as_mut_ptr().add(j), acc[0]);
+            add_store(c0.as_mut_ptr().add(j + 4), acc[1]);
+            add_store(c1.as_mut_ptr().add(j), acc[2]);
+            add_store(c1.as_mut_ptr().add(j + 4), acc[3]);
+            add_store(c2.as_mut_ptr().add(j), acc[4]);
+            add_store(c2.as_mut_ptr().add(j + 4), acc[5]);
+            add_store(c3.as_mut_ptr().add(j), acc[6]);
+            add_store(c3.as_mut_ptr().add(j + 4), acc[7]);
+        }
+        j += 8;
+    }
+    while j + 4 <= jw {
+        let mut acc = [_mm256_setzero_pd(); 4];
+        for kk in 0..kw {
+            // SAFETY: caller guarantees row b_row0+kk and columns
+            // jc+j..jc+j+4 are in bounds of the n-column matrix `b`.
+            let b0 = unsafe { _mm256_loadu_pd(bp.add((b_row0 + kk) * n + jc + j)) };
+            acc[0] = _mm256_fmadd_pd(_mm256_set1_pd(a0[kk]), b0, acc[0]);
+            acc[1] = _mm256_fmadd_pd(_mm256_set1_pd(a1[kk]), b0, acc[1]);
+            acc[2] = _mm256_fmadd_pd(_mm256_set1_pd(a2[kk]), b0, acc[2]);
+            acc[3] = _mm256_fmadd_pd(_mm256_set1_pd(a3[kk]), b0, acc[3]);
+        }
+        // SAFETY: j+4 <= jw, so each row segment holds 4 doubles at j.
+        unsafe {
+            add_store(c0.as_mut_ptr().add(j), acc[0]);
+            add_store(c1.as_mut_ptr().add(j), acc[1]);
+            add_store(c2.as_mut_ptr().add(j), acc[2]);
+            add_store(c3.as_mut_ptr().add(j), acc[3]);
+        }
+        j += 4;
+    }
+    while j < jw {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for kk in 0..kw {
+            let bv = b[(b_row0 + kk) * n + jc + j];
+            s0 = a0[kk].mul_add(bv, s0);
+            s1 = a1[kk].mul_add(bv, s1);
+            s2 = a2[kk].mul_add(bv, s2);
+            s3 = a3[kk].mul_add(bv, s3);
+        }
+        c0[j] += s0;
+        c1[j] += s1;
+        c2[j] += s2;
+        c3[j] += s3;
+        j += 1;
+    }
+}
+
+/// Single-row variant of [`micro_4`] — per-element arithmetic is
+/// identical, so panel rows and remainder rows agree bitwise.
+///
+/// # Safety
+/// Same contract as [`micro_4`] for `a` (length `kw`) and `c`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_1(a: &[f64], b: &[f64], n: usize, b_row0: usize, jc: usize, c: &mut [f64]) {
+    let kw = a.len();
+    let jw = c.len();
+    let bp = b.as_ptr();
+    let mut j = 0;
+    while j + 8 <= jw {
+        let mut acc = [_mm256_setzero_pd(); 2];
+        for (kk, &ak) in a.iter().enumerate() {
+            // SAFETY: caller guarantees row b_row0+kk and columns
+            // jc+j..jc+j+8 are in bounds of the n-column matrix `b`.
+            let (b0, b1) = unsafe {
+                let base = bp.add((b_row0 + kk) * n + jc + j);
+                (_mm256_loadu_pd(base), _mm256_loadu_pd(base.add(4)))
+            };
+            let x = _mm256_set1_pd(ak);
+            acc[0] = _mm256_fmadd_pd(x, b0, acc[0]);
+            acc[1] = _mm256_fmadd_pd(x, b1, acc[1]);
+        }
+        // SAFETY: j+8 <= jw, so the row segment holds 8 doubles at j.
+        unsafe {
+            add_store(c.as_mut_ptr().add(j), acc[0]);
+            add_store(c.as_mut_ptr().add(j + 4), acc[1]);
+        }
+        j += 8;
+    }
+    while j + 4 <= jw {
+        let mut acc = _mm256_setzero_pd();
+        for (kk, &ak) in a.iter().enumerate() {
+            // SAFETY: caller guarantees row b_row0+kk and columns
+            // jc+j..jc+j+4 are in bounds of the n-column matrix `b`.
+            let b0 = unsafe { _mm256_loadu_pd(bp.add((b_row0 + kk) * n + jc + j)) };
+            acc = _mm256_fmadd_pd(_mm256_set1_pd(ak), b0, acc);
+        }
+        // SAFETY: j+4 <= jw, so the row segment holds 4 doubles at j.
+        unsafe { add_store(c.as_mut_ptr().add(j), acc) };
+        j += 4;
+    }
+    while j < jw {
+        let mut s = 0.0f64;
+        for kk in 0..kw {
+            s = a[kk].mul_add(b[(b_row0 + kk) * n + jc + j], s);
+        }
+        c[j] += s;
+        j += 1;
+    }
+}
+
+/// AVX2 counterpart of the scalar blocked `matmul_rows`: identical
+/// `NC`/`KC`/`MR` blocking, register-tiled micro-kernel inner loops.
+/// `out` (zeroed, covering `out.len() / n` rows starting at `row0`)
+/// accumulates `A[row0..] · B`.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA. Slice geometry is the same as the
+/// scalar kernel's: `a` holds at least `row0 + rows` rows of length `k`,
+/// `b` is `k × n`, `out.len()` is a multiple of `n`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_rows(
+    a: &[f64],
+    b: &[f64],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out: &mut [f64],
+) {
+    let rows = out.len() / n;
+    let mut jc = 0;
+    while jc < n {
+        let jw = NC.min(n - jc);
+        let mut kc = 0;
+        while kc < k {
+            let kw = KC.min(k - kc);
+            let mut i = 0;
+            while i + MR <= rows {
+                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let a0 = &a[(row0 + i) * k + kc..][..kw];
+                let a1 = &a[(row0 + i + 1) * k + kc..][..kw];
+                let a2 = &a[(row0 + i + 2) * k + kc..][..kw];
+                let a3 = &a[(row0 + i + 3) * k + kc..][..kw];
+                // SAFETY: b is k × n with kc+kw <= k and jc+jw <= n, so
+                // every (row, column) the micro-kernel touches is in
+                // bounds; AVX2+FMA forwarded from this fn's contract.
+                unsafe {
+                    micro_4(
+                        a0,
+                        a1,
+                        a2,
+                        a3,
+                        b,
+                        n,
+                        kc,
+                        jc,
+                        &mut c0[jc..jc + jw],
+                        &mut c1[jc..jc + jw],
+                        &mut c2[jc..jc + jw],
+                        &mut c3[jc..jc + jw],
+                    );
+                }
+                i += MR;
+            }
+            while i < rows {
+                let arow = &a[(row0 + i) * k + kc..][..kw];
+                let crow = &mut out[i * n + jc..][..jw];
+                // SAFETY: same geometry argument as the panel case.
+                unsafe { micro_1(arow, b, n, kc, jc, crow) };
+                i += 1;
+            }
+            kc += kw;
+        }
+        jc += jw;
+    }
+}
+
+/// AVX2 counterpart of the scalar blocked `t_matmul_rows` (`AᵀB` over a
+/// contiguous range of output rows = columns `col0..` of `a`). Strided
+/// `a` columns are packed into four contiguous stack rows per panel so
+/// the same micro-kernel as [`matmul_rows`] applies.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA. Slice geometry as the scalar
+/// kernel: `a` is `r × c` with `col0 + out.len() / n <= c`, `b` is
+/// `r × n`, `out.len()` is a multiple of `n`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn t_matmul_rows(
+    a: &[f64],
+    c: usize,
+    b: &[f64],
+    n: usize,
+    r: usize,
+    col0: usize,
+    out: &mut [f64],
+) {
+    let rows = out.len() / n;
+    let (mut p0, mut p1, mut p2, mut p3) = ([0.0f64; KC], [0.0f64; KC], [0.0f64; KC], [0.0f64; KC]);
+    let mut jc = 0;
+    while jc < n {
+        let jw = NC.min(n - jc);
+        let mut kc = 0;
+        while kc < r {
+            let kw = KC.min(r - kc);
+            let mut i = 0;
+            while i + MR <= rows {
+                for kk in 0..kw {
+                    let base = (kc + kk) * c + col0 + i;
+                    p0[kk] = a[base];
+                    p1[kk] = a[base + 1];
+                    p2[kk] = a[base + 2];
+                    p3[kk] = a[base + 3];
+                }
+                let (c0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                // SAFETY: b is r × n with kc+kw <= r and jc+jw <= n, so
+                // every (row, column) the micro-kernel touches is in
+                // bounds; AVX2+FMA forwarded from this fn's contract.
+                unsafe {
+                    micro_4(
+                        &p0[..kw],
+                        &p1[..kw],
+                        &p2[..kw],
+                        &p3[..kw],
+                        b,
+                        n,
+                        kc,
+                        jc,
+                        &mut c0[jc..jc + jw],
+                        &mut c1[jc..jc + jw],
+                        &mut c2[jc..jc + jw],
+                        &mut c3[jc..jc + jw],
+                    );
+                }
+                i += MR;
+            }
+            while i < rows {
+                for (kk, slot) in p0[..kw].iter_mut().enumerate() {
+                    *slot = a[(kc + kk) * c + col0 + i];
+                }
+                let crow = &mut out[i * n + jc..][..jw];
+                // SAFETY: same geometry argument as the panel case.
+                unsafe { micro_1(&p0[..kw], b, n, kc, jc, crow) };
+                i += 1;
+            }
+            kc += kw;
+        }
+        jc += jw;
+    }
+}
+
+/// AVX2 counterpart of the scalar `matmul_t_rows` (`A·Bᵀ` over a
+/// contiguous range of output rows): one [`dot`] per output entry.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA. Slice geometry as the scalar
+/// kernel: `a` holds at least `row0 + out.len() / p` rows of length `k`,
+/// `b` is `p × k`, `out.len()` is a multiple of `p`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_t_rows(
+    a: &[f64],
+    b: &[f64],
+    k: usize,
+    p: usize,
+    row0: usize,
+    out: &mut [f64],
+) {
+    for (i, crow) in out.chunks_mut(p).enumerate() {
+        let arow = &a[(row0 + i) * k..][..k];
+        for (j, o) in crow.iter_mut().enumerate() {
+            // SAFETY: AVX2+FMA forwarded from this fn's contract.
+            *o = unsafe { dot(arow, &b[j * k..][..k]) };
+        }
+    }
+}

@@ -21,7 +21,7 @@ fn fixture_config() -> Config {
         lib_roots: s(&[""]),
         lib_exempt: Vec::new(),
         byte_stable: s(&["stablehash"]),
-        unsafe_allowlist: s(&["kernels"]),
+        unsafe_allowlist: s(&["kernels", "simd"]),
         codec_modules: s(&["codec"]),
     }
 }
@@ -82,6 +82,18 @@ fn l2_fires_on_allowlisted_unsafe_without_safety_comment() {
 #[test]
 fn l2_clean_on_allowlisted_unsafe_under_safety_comment() {
     assert_clean("l2/kernels_clean.rs");
+}
+
+#[test]
+fn l2_clean_on_simd_module_unsafe_under_safety_comment() {
+    assert_clean("l2/simd_clean.rs");
+}
+
+#[test]
+fn l2_fires_on_kernel_dispatch_unsafe_outside_both_allowlist_markers() {
+    let report = lint_fixture("l2/dispatch_firing.rs");
+    assert_eq!(findings(&report), vec![(8, "L2")]);
+    assert!(report.diagnostics[0].message.contains("allowlist"));
 }
 
 #[test]
@@ -171,7 +183,7 @@ fn unused_suppression_is_flagged() {
 #[test]
 fn whole_corpus_walk_is_deterministic_and_complete() {
     let report = lint_root(&fixtures_root(), &fixture_config()).unwrap();
-    assert_eq!(report.files, 17, "every fixture file is scanned");
+    assert_eq!(report.files, 19, "every fixture file is scanned");
     let again = lint_root(&fixtures_root(), &fixture_config()).unwrap();
     let render = |r: &Report| {
         r.diagnostics

@@ -1,0 +1,9 @@
+//! Fixture: intrinsics-style `unsafe` in a dispatch file *outside* the
+//! `simd`/`kernels` allowlist — fires even with a `SAFETY:` comment,
+//! because unsafe code must live in the allowlisted kernel modules.
+
+/// Calls a vector kernel directly instead of going through the backend.
+pub fn call_kernel(xs: &[f64]) -> f64 {
+    // SAFETY: avx2 was detected at startup.
+    unsafe { *xs.get_unchecked(0) }
+}

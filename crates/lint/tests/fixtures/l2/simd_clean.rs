@@ -1,0 +1,16 @@
+//! Fixture: vector-kernel `unsafe` in the `simd` allowlist module, with
+//! the full `# Safety` contract + `// SAFETY:` discharge the L2 lint
+//! requires — mirrors the shape of `crates/linalg/src/simd.rs`.
+
+/// Sums a slice four lanes at a time.
+///
+/// # Safety
+/// The caller must have verified `avx2` and `fma` support at runtime.
+pub unsafe fn sum_lanes(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for chunk in xs.chunks_exact(4) {
+        // SAFETY: `chunks_exact(4)` guarantees four readable elements.
+        acc += unsafe { chunk.get_unchecked(0) + chunk.get_unchecked(3) };
+    }
+    acc
+}

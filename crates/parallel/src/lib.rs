@@ -18,6 +18,10 @@
 //! * [`Pool::par_tasks`] — runs a prepared list of one-shot closures
 //!   (used where disjointness is hand-carved, e.g. the large-`h`
 //!   Walsh–Hadamard butterflies that pair two distant half-blocks).
+//! * [`set_worker_context`] / [`worker_context`] — one opaque per-thread
+//!   word that pool workers inherit from their spawner, so thread-scoped
+//!   state (ldp-linalg's kernel-backend override) survives into parallel
+//!   sections instead of silently resetting on worker threads.
 //!
 //! ## Thread-count resolution
 //!
@@ -49,6 +53,9 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
     /// Per-thread override installed by [`set_thread_override`].
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Opaque ambient word propagated to pool workers (see
+    /// [`set_worker_context`]).
+    static WORKER_CONTEXT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Process-wide `LDP_THREADS` / hardware default, resolved once.
@@ -75,6 +82,40 @@ fn env_threads() -> usize {
 /// own count without racing on the process environment.
 pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.with(|o| o.set(threads.map_or(0, |t| t.max(1))));
+}
+
+/// Runs `f` with the thread-count override set to `threads`, restoring
+/// the previous override on exit — including on unwind, so a panicking
+/// closure cannot leave the calling thread pinned. The scoped counterpart
+/// of [`set_thread_override`], for callers that must not leak the
+/// override (e.g. a fingerprint probe forcing a serial schedule).
+pub fn with_thread_override<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(threads.map_or(0, |t| t.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Installs an opaque context word that pool workers *inherit* from the
+/// thread that spawns them (`0` = unset, the default). Plain thread-locals
+/// do not cross scoped-spawn boundaries; this one word does, so a crate
+/// can build inheritable thread-scoped state on top of the pool —
+/// `ldp-linalg` stores its per-thread kernel-backend override here so a
+/// backend pinned for a test or a fingerprint probe also governs every
+/// worker that computation spawns. The word is per-thread and restored by
+/// whoever set it; the pool itself only copies it caller → worker.
+pub fn set_worker_context(context: u64) {
+    WORKER_CONTEXT.with(|c| c.set(context));
+}
+
+/// The ambient context word on this thread (see [`set_worker_context`]).
+pub fn worker_context() -> u64 {
+    WORKER_CONTEXT.with(Cell::get)
 }
 
 /// The worker count the next [`pool()`] call on this thread will use.
@@ -141,10 +182,13 @@ impl Pool {
             let mut guard = slots_ref.lock().expect("no poisoned workers");
             guard[i] = Some(value);
         };
+        let context = worker_context();
+        let work = &work;
         std::thread::scope(|scope| {
             for _ in 1..workers {
-                scope.spawn(|| {
+                scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    WORKER_CONTEXT.with(|c| c.set(context));
                     work();
                 });
             }
@@ -206,6 +250,7 @@ impl Pool {
             start += elems;
         }
         let f = &f;
+        let context = worker_context();
         std::thread::scope(|scope| {
             let mut chunks = chunks.into_iter();
             // ldp-lint: allow(no-unwrap-in-lib) -- invariant: the workers <= 1
@@ -214,6 +259,7 @@ impl Pool {
             for (offset, chunk) in chunks {
                 scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    WORKER_CONTEXT.with(|c| c.set(context));
                     f(offset, chunk);
                 });
             }
@@ -243,10 +289,13 @@ impl Pool {
                 None => break,
             }
         };
+        let context = worker_context();
+        let work = &work;
         std::thread::scope(|scope| {
             for _ in 1..workers {
-                scope.spawn(|| {
+                scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    WORKER_CONTEXT.with(|c| c.set(context));
                     work();
                 });
             }
@@ -352,6 +401,38 @@ mod tests {
         assert_ne!(other, 0);
         set_thread_override(None);
         assert_ne!(current_threads(), 0);
+    }
+
+    #[test]
+    fn with_thread_override_is_scoped_and_restores() {
+        set_thread_override(Some(3));
+        let inner = with_thread_override(Some(2), current_threads);
+        assert_eq!(inner, 2);
+        assert_eq!(current_threads(), 3, "previous override restored");
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn worker_context_is_inherited_by_pool_workers() {
+        set_worker_context(42);
+        let seen = Pool::new(4).par_map(8, |_| worker_context());
+        assert!(seen.iter().all(|&c| c == 42), "par_map workers inherit");
+        let mut data = vec![0u64; 12];
+        Pool::new(3).par_chunks(&mut data, 2, |_, chunk| {
+            chunk.fill(worker_context());
+        });
+        assert!(data.iter().all(|&c| c == 42), "par_chunks workers inherit");
+        set_worker_context(0);
+        let seen = Pool::new(4).par_map(4, |_| worker_context());
+        assert!(seen.iter().all(|&c| c == 0), "cleared context propagates");
+    }
+
+    #[test]
+    fn worker_context_does_not_leak_to_unrelated_threads() {
+        set_worker_context(7);
+        let other = std::thread::spawn(worker_context).join().unwrap();
+        assert_eq!(other, 0, "plain spawns never inherit the context");
+        set_worker_context(0);
     }
 
     #[test]

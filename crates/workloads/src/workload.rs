@@ -109,9 +109,14 @@ pub trait Workload {
     /// The default costs one `gram()` construction plus one `O(n)`
     /// diagonal read and one Gram matvec; it never materializes the
     /// `n × n` Gram. Stability: the value is a pure function of the
-    /// workload's floating-point behavior, identical across processes and
-    /// thread counts (Gram matvecs are part of the PR 3 determinism
-    /// contract). Callers that already hold the Gram should use
+    /// workload's floating-point behavior, identical across processes,
+    /// thread counts, *and kernel backends* — the probe runs pinned to
+    /// the scalar backend on a single thread
+    /// ([`ldp_linalg::kernels::with_scalar_serial`]), because
+    /// cross-backend bit-equality is deliberately outside the
+    /// determinism contract (FMA changes rounding) while fingerprints
+    /// must content-address the same strategy everywhere. Callers that
+    /// already hold the Gram should use
     /// [`Workload::fingerprint_with_gram`] to avoid rebuilding it.
     fn fingerprint(&self) -> u64 {
         self.fingerprint_with_gram(&self.gram())
@@ -147,23 +152,30 @@ pub fn fingerprint_of(identity: &str, domain_size: usize, num_queries: usize, gr
     h.write_str(identity);
     h.write_u64(domain_size as u64);
     h.write_u64(num_queries as u64);
-    for d in gram.diagonal() {
-        h.write_f64(d);
-    }
-    // A fixed pseudo-random probe vector (LCG; no RNG dependency)
-    // exercises the off-diagonal structure.
-    let mut state = 0x2545_f491_4f6c_dd1d_u64;
-    let probe: Vec<f64> = (0..domain_size)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 40) as f64) / ((1u64 << 24) as f64) - 0.5
-        })
-        .collect();
-    for v in gram.matvec(&probe) {
-        h.write_f64(v);
-    }
+    // The probe bits must be identical on every machine that shares a
+    // cache or checkpoint, so the floating-point reads run pinned to the
+    // scalar backend on one thread — the exact arithmetic the committed
+    // golden fingerprints were produced with, independent of LDP_KERNEL
+    // and CPU feature detection.
+    ldp_linalg::kernels::with_scalar_serial(|| {
+        for d in gram.diagonal() {
+            h.write_f64(d);
+        }
+        // A fixed pseudo-random probe vector (LCG; no RNG dependency)
+        // exercises the off-diagonal structure.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let probe: Vec<f64> = (0..domain_size)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f64) / ((1u64 << 24) as f64) - 0.5
+            })
+            .collect();
+        for v in gram.matvec(&probe) {
+            h.write_f64(v);
+        }
+    });
     h.finish()
 }
 

@@ -114,6 +114,26 @@ fn fingerprints_match_committed_golden_values() {
     );
 }
 
+/// Fingerprints content-address cached strategies across machines, so
+/// they must not depend on the ambient kernel backend: `fingerprint_of`
+/// pins its Gram probe to scalar+serial internally. This asserts the
+/// pinning holds under every backend the host supports (on an AVX2 host
+/// the ambient default is the AVX2 backend — the golden table above
+/// already proves that case — and this sweep additionally pins it under
+/// explicit overrides).
+#[test]
+fn fingerprints_are_backend_independent() {
+    let reference = observed();
+    for backend in ldp_linalg::Backend::available() {
+        let under = ldp_linalg::kernels::with_backend(backend, observed);
+        assert_eq!(
+            under, reference,
+            "fingerprints drifted under the {backend} backend; the probe \
+             must stay pinned to scalar+serial arithmetic"
+        );
+    }
+}
+
 #[test]
 fn fingerprints_are_pairwise_distinct() {
     let observed = observed();

@@ -14,11 +14,18 @@
 //! neither the `MR = 4` micro panel, the `KC`/`NC` blocks, nor any
 //! worker count — and sit just above the kernels' parallelization
 //! thresholds so the multi-worker runs genuinely partition.
+//!
+//! The contract is *per kernel backend*: the whole 1/2/4-worker sweep
+//! runs once under every backend the host supports (scalar always; AVX2
+//! where detected), with a separate 1-worker baseline per backend —
+//! thread-count invariance must hold inside each backend, while
+//! cross-backend bit-equality is deliberately not claimed (FMA changes
+//! rounding).
 
 use std::sync::Arc;
 
 use ldp::prelude::*;
-use ldp_linalg::{fwht, KroneckerOp, StructuredGram};
+use ldp_linalg::{fwht, Backend, KroneckerOp, StructuredGram};
 use ldp_parallel::set_thread_override;
 use ldp_workloads::Workload;
 use rand::rngs::StdRng;
@@ -27,16 +34,24 @@ use rand::SeedableRng;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Runs `f` under each worker count and asserts every result is
-/// byte-identical to the 1-worker run.
+/// byte-identical to the 1-worker run, repeating the whole sweep under
+/// every kernel backend this host supports.
 fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
-    set_thread_override(Some(1));
-    let baseline = f();
-    for threads in THREAD_COUNTS {
-        set_thread_override(Some(threads));
-        let got = f();
-        assert_eq!(got, baseline, "{label}: {threads} workers diverged");
+    for backend in Backend::available() {
+        ldp_linalg::kernels::with_backend(backend, || {
+            set_thread_override(Some(1));
+            let baseline = f();
+            for threads in THREAD_COUNTS {
+                set_thread_override(Some(threads));
+                let got = f();
+                assert_eq!(
+                    got, baseline,
+                    "{label}: {threads} workers diverged on backend {backend}"
+                );
+            }
+            set_thread_override(None);
+        });
     }
-    set_thread_override(None);
 }
 
 fn dense(rows: usize, cols: usize, salt: usize) -> Matrix {
