@@ -46,7 +46,11 @@ impl Fingerprint {
 
     /// [`Fingerprint::of`] for a caller that already constructed the
     /// workload's Gram operator — avoids rebuilding it (Gram assembly is
-    /// real work for dense/marginal workloads).
+    /// real work for dense/marginal workloads). `gram` must be the
+    /// workload's own [`Workload::gram`], whose entry bits are
+    /// backend-independent by that method's contract — a dense operator
+    /// materialized under the ambient kernel backend would key
+    /// differently across hosts and orphan every cached strategy.
     pub fn with_gram(
         workload: &dyn Workload,
         gram: &Gram,

@@ -51,7 +51,17 @@ impl Workload for Dense {
         self.w.rows()
     }
     fn gram(&self) -> Gram {
-        Gram::dense(self.w.gram())
+        // WᵀW is materialized through the float matmul kernels, and FMA
+        // makes their rounding backend-dependent — but the entry *bits*
+        // of this Gram feed fingerprints (strategy-cache keys, checkpoint
+        // bindings) wherever a caller holds the handle, so the
+        // materialization is pinned to the scalar backend: the entries
+        // are a pure function of `W` on every machine. Thread-count
+        // invariance within a backend is already guaranteed by the
+        // determinism contract, so only the backend needs pinning.
+        ldp_linalg::kernels::with_backend(ldp_linalg::Backend::Scalar, || {
+            Gram::dense(self.w.gram())
+        })
     }
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         self.w.matvec(x)

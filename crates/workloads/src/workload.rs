@@ -37,6 +37,14 @@ pub trait Workload {
     /// where possible. Call [`Gram::to_dense`] only as an explicit
     /// opt-in; every analytic consumer works through matrix-vector
     /// products.
+    ///
+    /// Implementations that materialize entries through the float
+    /// kernels (a matmul rather than a closed form) must pin that
+    /// materialization to the scalar backend
+    /// ([`ldp_linalg::kernels::with_backend`]): the returned operator's
+    /// entry bits are hashed by [`Workload::fingerprint_with_gram`] into
+    /// strategy-cache keys and checkpoint bindings, so they must be
+    /// identical on every machine regardless of the ambient backend.
     fn gram(&self) -> Gram;
 
     /// Evaluates all queries: returns `Wx` (length `p`).
@@ -110,16 +118,22 @@ pub trait Workload {
     /// diagonal read and one Gram matvec; it never materializes the
     /// `n × n` Gram. Stability: the value is a pure function of the
     /// workload's floating-point behavior, identical across processes,
-    /// thread counts, *and kernel backends* — the probe runs pinned to
-    /// the scalar backend on a single thread
+    /// thread counts, *and kernel backends* — the whole default,
+    /// including the [`Workload::gram`] construction itself, runs pinned
+    /// to the scalar backend on a single thread
     /// ([`ldp_linalg::kernels::with_scalar_serial`]), because
     /// cross-backend bit-equality is deliberately outside the
     /// determinism contract (FMA changes rounding) while fingerprints
-    /// must content-address the same strategy everywhere. Callers that
+    /// must content-address the same strategy everywhere. Pinning the
+    /// construction too matters for workloads whose Gram materializes
+    /// entries through the float kernels (e.g. [`Dense`](crate::Dense)'s
+    /// `WᵀW` matmul): the probe reads those entry bits verbatim, so they
+    /// must not carry the ambient backend's rounding. Callers that
     /// already hold the Gram should use
-    /// [`Workload::fingerprint_with_gram`] to avoid rebuilding it.
+    /// [`Workload::fingerprint_with_gram`] to avoid rebuilding it — see
+    /// its backend-independence requirement on the passed operator.
     fn fingerprint(&self) -> u64 {
-        self.fingerprint_with_gram(&self.gram())
+        ldp_linalg::kernels::with_scalar_serial(|| self.fingerprint_with_gram(&self.gram()))
     }
 
     /// The named multi-attribute schema this workload was declared over,
@@ -136,6 +150,17 @@ pub trait Workload {
     /// (possibly cloned; the handle is `Arc`-backed and cheap). This is
     /// the method to override when customizing fingerprints; the
     /// zero-argument form always delegates here.
+    ///
+    /// Backend independence: the probe reads the operator's stored
+    /// entry bits (diagonal + matvec) pinned to scalar arithmetic, but
+    /// it cannot un-round entries that were *materialized* under another
+    /// backend. [`Workload::gram`] implementations therefore pin any
+    /// float-kernel materialization themselves (as [`Dense`](crate::Dense)
+    /// does), which makes every `gram()` handle safe to pass here; an
+    /// operator built some other way must have machine-independent bits
+    /// (closed-form entries, or construction under
+    /// [`ldp_linalg::kernels::with_scalar_serial`]) or the resulting
+    /// fingerprint will differ across hosts and orphan caches.
     fn fingerprint_with_gram(&self, gram: &Gram) -> u64 {
         fingerprint_of(&self.name(), self.domain_size(), self.num_queries(), gram)
     }

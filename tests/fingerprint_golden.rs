@@ -28,6 +28,15 @@ fn observed() -> Vec<(&'static str, u64)> {
         &[1.0, 0.0, 1.0, 0.0],
         &[0.0, 2.0, 0.0, 2.0],
     ]));
+    // Inexact weights (0.11·k + 0.25 is not a dyadic rational), so the
+    // WᵀW materialization actually rounds: if Dense's Gram assembly ever
+    // ran under the ambient backend, FMA contraction would flip result
+    // bits and the backend-independence sweep below would catch it. The
+    // exact-integer `dense` above can never detect that — every product
+    // is exactly representable, so FMA changes nothing.
+    let dense_inexact = Dense::new(Matrix::from_fn(6, 8, |i, j| {
+        (i * 8 + j) as f64 * 0.11 + 0.25
+    }));
     let product = Product::new(Box::new(Histogram::new(4)), Box::new(Prefix::new(4)));
     let stacked = Stacked::new(vec![Box::new(Histogram::new(16)), Box::new(Total::new(16))]);
     let schema = Arc::new(Schema::new([("age", 8), ("sex", 2)]));
@@ -51,6 +60,7 @@ fn observed() -> Vec<(&'static str, u64)> {
         ("KWayMarginals(3,2)", KWayMarginals::new(3, 2).fingerprint()),
         ("Parity(3,<=2)", Parity::up_to(3, 2).fingerprint()),
         ("Dense(2x4)", dense.fingerprint()),
+        ("Dense(6x8,inexact)", dense_inexact.fingerprint()),
         ("Product(Hist4 x Prefix4)", product.fingerprint()),
         ("Stacked(Hist16 + Total16)", stacked.fingerprint()),
         ("SchemaWorkload(age8 x sex2)", schema_workload.fingerprint()),
@@ -63,7 +73,7 @@ fn observed() -> Vec<(&'static str, u64)> {
 
 /// The committed fingerprints. Regenerate with
 /// `cargo test --test fingerprint_golden -- --nocapture print_fingerprints`.
-const GOLDEN: [(&str, u64); 13] = [
+const GOLDEN: [(&str, u64); 14] = [
     ("Histogram(16)", 0xd4ee89c438ebbda8),
     ("Prefix(16)", 0xd525c013cbf8ddda),
     ("AllRange(16)", 0x255aa356a0de5f51),
@@ -73,6 +83,7 @@ const GOLDEN: [(&str, u64); 13] = [
     ("KWayMarginals(3,2)", 0x18f2b100cc38dcca),
     ("Parity(3,<=2)", 0xc1d43005d00acc52),
     ("Dense(2x4)", 0xf3ab458f2a7a5d7f),
+    ("Dense(6x8,inexact)", 0x4b29b859b6953649),
     ("Product(Hist4 x Prefix4)", 0x7958e89d85f0a458),
     ("Stacked(Hist16 + Total16)", 0x8b48a8323e842de1),
     ("SchemaWorkload(age8 x sex2)", 0x9009379dd8f43349),
@@ -115,12 +126,16 @@ fn fingerprints_match_committed_golden_values() {
 }
 
 /// Fingerprints content-address cached strategies across machines, so
-/// they must not depend on the ambient kernel backend: `fingerprint_of`
-/// pins its Gram probe to scalar+serial internally. This asserts the
-/// pinning holds under every backend the host supports (on an AVX2 host
-/// the ambient default is the AVX2 backend — the golden table above
-/// already proves that case — and this sweep additionally pins it under
-/// explicit overrides).
+/// they must not depend on the ambient kernel backend: the whole
+/// `Workload::fingerprint` default — Gram construction included — runs
+/// under `with_scalar_serial`, and `Dense::gram` pins its `WᵀW`
+/// materialization so even externally-held Gram handles carry
+/// machine-independent bits. This asserts the pinning holds under every
+/// backend the host supports (on an AVX2 host the ambient default is
+/// the AVX2 backend — the golden table above already proves that case —
+/// and this sweep additionally pins it under explicit overrides). The
+/// inexact-weight Dense entry is the canary: its `WᵀW` products round,
+/// so a missing pin shows up as FMA-flipped bits here.
 #[test]
 fn fingerprints_are_backend_independent() {
     let reference = observed();
