@@ -61,8 +61,11 @@ fn matching_brace(text: &str, open: usize) -> Option<usize> {
     None
 }
 
-/// One perf-gate comparison: `fresh` must reach at least
-/// `tolerance × baseline` or the run counts as a regression.
+/// One perf-gate comparison. For throughput-style metrics (the default),
+/// `fresh` must reach at least `tolerance × baseline`; for latency-style
+/// metrics (`lower_is_better`), `fresh` must stay at or below
+/// `baseline / tolerance`. Either way `tolerance` < 1 loosens the gate
+/// symmetrically, so one knob serves both orientations.
 #[derive(Clone, Debug)]
 pub struct GateCheck {
     /// `section.key` path of the metric.
@@ -71,25 +74,37 @@ pub struct GateCheck {
     pub baseline: f64,
     /// Value measured by this run.
     pub fresh: f64,
-    /// Minimum acceptable `fresh / baseline` ratio.
+    /// Gate looseness in `(0, 1]`: the floor is `tolerance × baseline`
+    /// (or the ceiling `baseline / tolerance` when lower is better).
     pub tolerance: f64,
+    /// Orientation: `true` for metrics where smaller is better
+    /// (wall-clock seconds), `false` for rates and speedups.
+    pub lower_is_better: bool,
 }
 
 impl GateCheck {
     /// Whether the fresh measurement clears the gate.
     pub fn passes(&self) -> bool {
-        self.fresh >= self.tolerance * self.baseline
+        if self.lower_is_better {
+            self.fresh <= self.baseline / self.tolerance
+        } else {
+            self.fresh >= self.tolerance * self.baseline
+        }
     }
 
     /// Human-readable verdict line for CI logs.
     pub fn verdict(&self) -> String {
+        let (bound, limit) = if self.lower_is_better {
+            ("ceiling", self.baseline / self.tolerance)
+        } else {
+            ("floor", self.tolerance * self.baseline)
+        };
         format!(
-            "{} {}: fresh {:.4} vs baseline {:.4} (floor {:.4})",
+            "{} {}: fresh {:.4} vs baseline {:.4} ({bound} {limit:.4})",
             if self.passes() { "ok  " } else { "FAIL" },
             self.metric,
             self.fresh,
             self.baseline,
-            self.tolerance * self.baseline
         )
     }
 }
@@ -140,11 +155,37 @@ mod tests {
             baseline: 1.5,
             fresh: 1.4,
             tolerance: 0.5,
+            lower_is_better: false,
         };
         assert!(pass.passes());
         assert!(pass.verdict().starts_with("ok"));
         let fail = GateCheck { fresh: 0.6, ..pass };
         assert!(!fail.passes());
         assert!(fail.verdict().starts_with("FAIL"));
+    }
+
+    #[test]
+    fn gate_check_lower_is_better() {
+        let pass = GateCheck {
+            metric: "deploy.cold_s".into(),
+            baseline: 0.2,
+            fresh: 0.5,
+            tolerance: 0.5,
+            lower_is_better: true,
+        };
+        // Ceiling is baseline / tolerance = 0.4 — 0.5 regresses past it.
+        assert!(!pass.passes());
+        assert!(pass.verdict().contains("ceiling"));
+        let ok = GateCheck {
+            fresh: 0.39,
+            ..pass.clone()
+        };
+        assert!(ok.passes());
+        // A faster-than-baseline run always clears a latency gate.
+        let faster = GateCheck {
+            fresh: 0.05,
+            ..pass
+        };
+        assert!(faster.passes());
     }
 }

@@ -52,14 +52,12 @@ fn main() {
         let config = OptimizerConfig {
             num_outputs: Some(m),
             iterations,
-            restarts: 1,
-            step_size: None,
             search_iterations: if quick { 6 } else { 10 },
-            initial_strategy: None,
-            seed: seed
-                .wrapping_add(trial as u64)
-                .wrapping_add((m_idx as u64) << 16)
-                .wrapping_add((w_idx as u64) << 32),
+            ..OptimizerConfig::new(
+                seed.wrapping_add(trial as u64)
+                    .wrapping_add((m_idx as u64) << 16)
+                    .wrapping_add((w_idx as u64) << 32),
+            )
         };
         let mech = optimized_mechanism(&gram, epsilon, &config).expect("optimizer succeeds");
         let profile = mech.variance_profile(&gram);

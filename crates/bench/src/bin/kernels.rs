@@ -147,6 +147,7 @@ fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
             fresh: read(fresh, "fresh"),
             metric: path,
             tolerance,
+            lower_is_better: false,
         }
     };
     let checks = [
@@ -281,13 +282,11 @@ fn measure_pgd(quick: bool, threads: usize) -> String {
     let restarts = 4;
     let gram = Prefix::new(n).gram();
     let config = OptimizerConfig {
-        num_outputs: None,
         iterations,
         restarts,
         step_size: Some(0.05),
         search_iterations: 0,
-        seed: 7,
-        initial_strategy: None,
+        ..OptimizerConfig::new(7)
     };
 
     set_thread_override(Some(1));

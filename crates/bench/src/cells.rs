@@ -164,13 +164,9 @@ pub fn build_mechanism(
             // worse than RR — relevant in the high-ε regime where RR is
             // already near-optimal). Keep whichever converges lower.
             let base = OptimizerConfig {
-                num_outputs: None,
                 iterations: effort.optimizer_iterations,
-                restarts: 1,
-                step_size: None,
                 search_iterations: effort.search_iterations,
-                seed,
-                initial_strategy: None,
+                ..OptimizerConfig::new(seed)
             };
             let random =
                 ldp_opt::optimize_strategy(gram, epsilon, &base).expect("optimizer succeeds");

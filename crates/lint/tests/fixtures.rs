@@ -90,6 +90,21 @@ fn l2_clean_on_simd_module_unsafe_under_safety_comment() {
 }
 
 #[test]
+fn l2_fires_on_unsafe_in_optimizer_numeric_module() {
+    // The quasi-Newton optimizer class is deliberately unsafe-free;
+    // `lbfgs` is not an allowlist marker, so even SAFETY-commented
+    // unsafe fires there.
+    let report = lint_fixture("l2/lbfgs_firing.rs");
+    assert_eq!(findings(&report), vec![(9, "L2")]);
+    assert!(report.diagnostics[0].message.contains("allowlist"));
+}
+
+#[test]
+fn l2_clean_on_unsafe_free_optimizer_numeric_module() {
+    assert_clean("l2/lbfgs_clean.rs");
+}
+
+#[test]
 fn l2_fires_on_kernel_dispatch_unsafe_outside_both_allowlist_markers() {
     let report = lint_fixture("l2/dispatch_firing.rs");
     assert_eq!(findings(&report), vec![(8, "L2")]);
@@ -183,7 +198,7 @@ fn unused_suppression_is_flagged() {
 #[test]
 fn whole_corpus_walk_is_deterministic_and_complete() {
     let report = lint_root(&fixtures_root(), &fixture_config()).unwrap();
-    assert_eq!(report.files, 19, "every fixture file is scanned");
+    assert_eq!(report.files, 21, "every fixture file is scanned");
     let again = lint_root(&fixtures_root(), &fixture_config()).unwrap();
     let render = |r: &Report| {
         r.diagnostics

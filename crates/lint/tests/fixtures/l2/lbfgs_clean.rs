@@ -1,0 +1,14 @@
+//! Fixture: an unsafe-free quasi-Newton numeric module — the optimizer
+//! class stays outside the kernel allowlist and needs no unsafe at all.
+
+/// One two-loop-recursion inner product over a curvature pair.
+pub fn curvature_dot(s: &[f64], y: &[f64]) -> f64 {
+    s.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Scales a direction in place by a bit-stable factor.
+pub fn scale_direction(d: &mut [f64], gamma: f64) {
+    for v in d.iter_mut() {
+        *v *= gamma;
+    }
+}

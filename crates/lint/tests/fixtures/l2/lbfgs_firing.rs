@@ -1,0 +1,12 @@
+//! Fixture: `unsafe` creeping into an optimizer numeric module — the
+//! allowlist reserves unsafe for `kernels`/`simd`, not descent code.
+
+/// Sums a slice without bounds checks.
+pub fn unchecked_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        // SAFETY: i < xs.len() by the loop bound.
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}

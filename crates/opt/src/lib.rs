@@ -21,6 +21,11 @@
 //! * [`objective`] — the loss `L(Q)` and its analytic gradient `∇_Q L`.
 //! * [`pgd`] — Algorithm 2 with random initialization, step-size search,
 //!   and multi-restart support.
+//! * [`lbfgs`] — a projected L-BFGS alternative to Algorithm 2's descent
+//!   loop (quasi-Newton directions, Armijo line search on the projected
+//!   path, convergence-based stopping), selected via
+//!   [`pgd::Algorithm::Lbfgs`]; it reaches PGD-quality objectives in
+//!   several-fold fewer objective evaluations.
 //!
 //! The high-level entry point is [`optimize_strategy`] /
 //! [`optimized_mechanism`]:
@@ -36,13 +41,14 @@
 //! assert_eq!(mech.domain_size(), 8);
 //! ```
 
+pub mod lbfgs;
 pub mod objective;
 pub mod pgd;
 pub mod projection;
 
 pub use objective::{ObjectiveEvaluation, ObjectiveWorkspace};
 pub use pgd::{
-    optimize_strategy, optimize_strategy_with, optimized_mechanism, OptimizationResult,
+    optimize_strategy, optimize_strategy_with, optimized_mechanism, Algorithm, OptimizationResult,
     OptimizerConfig, Workspace,
 };
 pub use projection::{

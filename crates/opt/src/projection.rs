@@ -37,6 +37,14 @@
 
 use ldp_linalg::Matrix;
 
+/// Minimum `m·n` before the column loop fans out across the thread pool:
+/// scoped-thread spawn costs tens of microseconds, so small projections
+/// (every unit-test instance) stay on the allocation-free serial path.
+/// Bit-identity does not depend on this constant — the parallel path
+/// computes every column with the serial arithmetic — it only gates when
+/// parallelism pays.
+const PAR_MIN_WORK: usize = 8_192;
+
 /// How a coordinate ended up after projection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ClipState {
@@ -127,12 +135,14 @@ impl ProjectionJacobian {
     }
 }
 
-/// Reusable scratch for [`project_columns_into`] (breakpoint list and one
-/// column buffer), so repeated projections allocate nothing.
+/// Reusable scratch for [`project_columns_into`] (breakpoint list, one
+/// column buffer, and the per-column multipliers of the parallel path),
+/// so repeated projections allocate nothing on the serial path.
 #[derive(Clone, Debug, Default)]
 pub struct ProjectionScratch {
     breakpoints: Vec<(f64, f64)>,
     col: Vec<f64>,
+    lambdas: Vec<f64>,
 }
 
 impl ProjectionScratch {
@@ -188,6 +198,48 @@ pub fn project_columns_into(
     );
 
     jacobian.reset(m, n, exp_eps);
+    let pool = ldp_parallel::pool();
+    if pool.threads() > 1 && m * n >= PAR_MIN_WORK {
+        // Parallel path: the expensive part of a column — the sorted
+        // breakpoint scan — depends only on that column of `r` and the
+        // shared `z`, so the multipliers are computed one column per
+        // granule with nothing shared between workers. Each λ_u is
+        // produced by exactly the arithmetic the serial loop runs on
+        // exactly the same inputs, so the result is bit-identical at
+        // every thread count (the crate-wide determinism contract). The
+        // cheap clip/classify pass then runs serially below.
+        scratch.lambdas.clear();
+        scratch.lambdas.resize(n, 0.0);
+        pool.par_chunks(&mut scratch.lambdas, 1, |u0, chunk| {
+            let mut col = vec![0.0; m];
+            let mut breakpoints = Vec::with_capacity(2 * m);
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let u = u0 + i;
+                for (o, c) in col.iter_mut().enumerate() {
+                    *c = r[(o, u)];
+                }
+                *slot = solve_lambda(&col, z, exp_eps, &mut breakpoints);
+            }
+        });
+        for u in 0..n {
+            let lambda = scratch.lambdas[u];
+            let col_states = &mut jacobian.states[u * m..(u + 1) * m];
+            for o in 0..m {
+                let (lo, hi) = (z[o], exp_eps * z[o]);
+                let v = r[(o, u)] + lambda;
+                let (clipped, state) = if v <= lo {
+                    (lo, ClipState::Lower)
+                } else if v >= hi {
+                    (hi, ClipState::Upper)
+                } else {
+                    (v, ClipState::Active)
+                };
+                q[(o, u)] = clipped;
+                col_states[o] = state;
+            }
+        }
+        return;
+    }
     scratch.col.clear();
     scratch.col.resize(m, 0.0);
     for u in 0..n {
@@ -427,6 +479,34 @@ mod tests {
                 grad[j]
             );
         }
+    }
+
+    #[test]
+    fn parallel_path_is_bit_identical_to_serial() {
+        // m·n = 128·80 = 10 240 crosses PAR_MIN_WORK, so the multi-worker
+        // runs genuinely take the fan-out λ path; the 1-worker run takes
+        // the serial loop. Byte equality, not approximate.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (m, n, eps) = (128usize, 80usize, 1.0);
+        assert!(m * n >= PAR_MIN_WORK, "instance must engage the pool");
+        let z = feasible_z(m, eps);
+        let r = Matrix::from_fn(m, n, |_, _| rng.gen_range(-0.5..1.5));
+        let run = || {
+            let mut q = Matrix::zeros(m, n);
+            let mut jac = ProjectionJacobian::empty();
+            let mut scratch = ProjectionScratch::new();
+            project_columns_into(&r, &z, eps, &mut q, &mut jac, &mut scratch);
+            let grad = Matrix::from_fn(m, n, |o, u| ((o * 7 + u) % 5) as f64 - 2.0);
+            (q.as_slice().to_vec(), jac.backprop_z(&grad))
+        };
+        ldp_parallel::set_thread_override(Some(1));
+        let serial = run();
+        for workers in [2usize, 4] {
+            ldp_parallel::set_thread_override(Some(workers));
+            let parallel = run();
+            assert_eq!(parallel, serial, "projection diverged at {workers} workers");
+        }
+        ldp_parallel::set_thread_override(None);
     }
 
     #[test]

@@ -136,7 +136,9 @@ pub mod prelude {
         hadamard_response, hierarchical, randomized_response, Calibration, Fourier,
         LocalMatrixMechanism,
     };
-    pub use ldp_opt::{optimize_strategy, optimized_mechanism, OptimizerConfig, Workspace};
+    pub use ldp_opt::{
+        optimize_strategy, optimized_mechanism, Algorithm, OptimizerConfig, Workspace,
+    };
     pub use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
     pub use ldp_workloads::{
         AllMarginals, AllRange, Dense, Domain, Histogram, KWayMarginals, Parity, Prefix, Product,

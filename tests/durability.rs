@@ -181,7 +181,8 @@ fn registry_warm_hit_is_bit_identical_and_skips_pgd() {
         restarts: 2,
         search_iterations: 4,
         ..OptimizerConfig::quick(11)
-    };
+    }
+    .with_env_algorithm();
     let epsilon = 1.0;
 
     // Registry-free reference: what a plain optimization produces.
@@ -235,7 +236,8 @@ fn registry_distinguishes_workloads_not_instances() {
         iterations: 12,
         search_iterations: 3,
         ..OptimizerConfig::quick(5)
-    };
+    }
+    .with_env_algorithm();
 
     let (_, o1) = registry
         .get_or_optimize(&Prefix::new(8), 1.0, &config)

@@ -1,0 +1,152 @@
+//! Objective parity of the L-BFGS strategy optimizer against projected
+//! gradient descent on every conformance workload family.
+//!
+//! The acceptance contract for [`ldp_opt::Algorithm::Lbfgs`] is twofold,
+//! and both halves are asserted per family:
+//!
+//! 1. **Quality** — from the same seeded initialization, the converged
+//!    L-BFGS objective is no worse than the PGD objective beyond a
+//!    `1e-6` relative slack (it is usually strictly better, since PGD
+//!    runs a fixed iteration budget while L-BFGS runs to convergence).
+//! 2. **Cost** — L-BFGS reaches that objective in at least 3× fewer
+//!    objective/gradient evaluations ([`OptimizationResult::evaluations`]
+//!    counts every `evaluate_into` call, including line-search trials
+//!    and step-size search probes, summed across restarts).
+//!
+//! Instances are fixed (not property-drawn): the point is one
+//! deterministic, reviewable number pair per family, not coverage of the
+//! constructor space — `crates/workloads/tests/conformance.rs` owns that.
+
+use std::sync::Arc;
+
+use ldp_linalg::Matrix;
+use ldp_opt::{optimize_strategy, OptimizationResult, OptimizerConfig};
+use ldp_workloads::{
+    AllMarginals, AllRange, Dense, Histogram, KWayMarginals, Parity, Prefix, Product, Query,
+    Schema, SchemaWorkload, Stacked, Total, WidthRange, Workload,
+};
+
+/// Relative slack on the objective comparison: L-BFGS stops on its own
+/// convergence criteria, so tiny last-iterate differences are expected.
+const REL_TOL: f64 = 1e-6;
+
+/// Runs both algorithms from the same seed and asserts the parity
+/// contract described in the module docs.
+fn assert_parity(workload: &dyn Workload, seed: u64) -> (OptimizationResult, OptimizationResult) {
+    let name = workload.name();
+    let gram = workload.gram();
+    let epsilon = 1.0;
+    let pgd = optimize_strategy(&gram, epsilon, &OptimizerConfig::new(seed))
+        .unwrap_or_else(|e| panic!("{name}: PGD failed: {e}"));
+    let lbfgs = optimize_strategy(&gram, epsilon, &OptimizerConfig::lbfgs(seed))
+        .unwrap_or_else(|e| panic!("{name}: L-BFGS failed: {e}"));
+    assert!(
+        lbfgs.objective <= pgd.objective * (1.0 + REL_TOL),
+        "{name}: L-BFGS objective {} worse than PGD {} beyond {REL_TOL} relative",
+        lbfgs.objective,
+        pgd.objective,
+    );
+    assert!(
+        lbfgs.evaluations * 3 <= pgd.evaluations,
+        "{name}: L-BFGS used {} evaluations, PGD used {} — less than 3x savings",
+        lbfgs.evaluations,
+        pgd.evaluations,
+    );
+    lbfgs
+        .strategy
+        .check_ldp(epsilon)
+        .unwrap_or_else(|e| panic!("{name}: L-BFGS strategy violates the privacy constraint: {e}"));
+    (pgd, lbfgs)
+}
+
+#[test]
+fn histogram_parity() {
+    assert_parity(&Histogram::new(8), 7);
+}
+
+#[test]
+fn total_parity() {
+    assert_parity(&Total::new(8), 7);
+}
+
+#[test]
+fn prefix_parity() {
+    assert_parity(&Prefix::new(8), 7);
+}
+
+#[test]
+fn all_range_parity() {
+    assert_parity(&AllRange::new(8), 7);
+}
+
+#[test]
+fn width_range_parity() {
+    assert_parity(&WidthRange::new(8, 3), 7);
+}
+
+#[test]
+fn parity_workload_parity() {
+    assert_parity(&Parity::up_to(3, 2), 7);
+}
+
+#[test]
+fn all_marginals_parity() {
+    assert_parity(&AllMarginals::new(3), 7);
+}
+
+#[test]
+fn k_way_marginals_parity() {
+    assert_parity(&KWayMarginals::new(3, 2), 7);
+}
+
+#[test]
+fn dense_parity() {
+    let w = Dense::new(Matrix::from_fn(5, 8, |i, j| {
+        ((i * 13 + j * 5) % 11) as f64 * 0.4 - 1.7
+    }));
+    assert_parity(&w, 7);
+}
+
+#[test]
+fn product_parity() {
+    let w = Product::new(Box::new(Prefix::new(3)), Box::new(AllRange::new(3)));
+    assert_parity(&w, 7);
+}
+
+#[test]
+fn stacked_parity() {
+    let w = Stacked::weighted(vec![
+        (
+            1.5,
+            Box::new(Histogram::new(8)) as Box<dyn Workload + Send + Sync>,
+        ),
+        (
+            0.5,
+            Box::new(Prefix::new(8)) as Box<dyn Workload + Send + Sync>,
+        ),
+    ]);
+    assert_parity(&w, 7);
+}
+
+#[test]
+fn schema_parity() {
+    let schema = Arc::new(Schema::new([("x", 3), ("y", 2)]));
+    let queries = [
+        Query::total(),
+        Query::marginal(["y"]),
+        Query::range("x", 0..2),
+    ];
+    let w = SchemaWorkload::new(schema, &queries).unwrap();
+    assert_parity(&w, 7);
+}
+
+#[test]
+fn nested_composite_parity() {
+    let left = Stacked::new(vec![
+        Box::new(Histogram::new(3)) as Box<dyn Workload + Send + Sync>,
+        Box::new(Total::new(3)) as Box<dyn Workload + Send + Sync>,
+    ]);
+    let right = Parity::up_to(2, 1);
+    let w = Product::new(Box::new(left), Box::new(right));
+    assert_parity(&w, 7);
+}

@@ -145,6 +145,45 @@ fn pgd_restarts_bit_identical_across_threads() {
 }
 
 #[test]
+fn lbfgs_bit_identical_across_threads() {
+    // n = 48 → m = 192, so m·n = 9216 crosses the projection's parallel
+    // threshold: every line-search retraction inside the L-BFGS descent
+    // runs the fan-out λ path at 2 and 4 workers. History bits pin the
+    // stopping decisions (plateau + gradient tol), not just the argmin.
+    let gram = Prefix::new(48).gram();
+    let config = OptimizerConfig::lbfgs(23);
+    assert_thread_invariant("lbfgs descent", || {
+        let result = optimize_strategy(&gram, 1.0, &config).expect("optimizer succeeds");
+        (
+            result.objective.to_bits(),
+            result.evaluations,
+            result
+                .history
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            result.strategy.matrix().as_slice().to_vec(),
+        )
+    });
+}
+
+#[test]
+fn lbfgs_restarts_bit_identical_across_threads() {
+    // Multi-restart argmin reduction under the quasi-Newton descent,
+    // mirroring `pgd_restarts_bit_identical_across_threads`.
+    let gram = Prefix::new(9).gram();
+    let config = OptimizerConfig::lbfgs(23).with_restarts(3);
+    assert_thread_invariant("lbfgs restarts", || {
+        let result = optimize_strategy(&gram, 1.0, &config).expect("optimizer succeeds");
+        (
+            result.objective.to_bits(),
+            result.evaluations,
+            result.strategy.matrix().as_slice().to_vec(),
+        )
+    });
+}
+
+#[test]
 fn pipeline_aggregate_bit_identical_and_exact() {
     let deployment = Pipeline::for_workload(Prefix::new(16))
         .epsilon(1.0)

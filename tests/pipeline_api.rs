@@ -19,11 +19,12 @@ fn workload(kind: usize, n: usize) -> Box<dyn Workload + Send + Sync> {
 }
 
 /// A cheap optimizer configuration keeping the property tests fast.
+/// Honors `LDP_TEST_ALGORITHM` so CI can sweep the suite under L-BFGS.
 fn quick_config(seed: u64) -> OptimizerConfig {
     let mut config = OptimizerConfig::quick(seed);
     config.iterations = 30;
     config.search_iterations = 4;
-    config
+    config.with_env_algorithm()
 }
 
 proptest! {
