@@ -15,10 +15,18 @@
 //!    estimates must be **byte-equal**; the restart run's throughput
 //!    (checkpoint overhead included) is recorded next to the
 //!    uninterrupted one.
+//! 3. **TCP serving** (the `ldp-serve` tentpole) — the same deployment
+//!    is hosted by an in-process [`ldp_serve::Server`] and hammered by a
+//!    closed-loop load generator: `--clients N` concurrent connections
+//!    submit the report stream over the wire (reports/s), then answer
+//!    the deployed workload repeatedly (answers/s). The N-connection
+//!    run's answers must be **byte-equal** to a single connection
+//!    submitting every batch — the serving determinism contract, gated
+//!    on every run.
 //!
 //! ```text
 //! cargo run --release -p ldp-bench --bin serve_load -- \
-//!     [--quick] [--reports N] [--batch B] [--restarts R] \
+//!     [--quick] [--reports N] [--batch B] [--restarts R] [--clients C] \
 //!     [--dir DIR] [--bench] [--out BENCH_SERVE.json] \
 //!     [--check BENCH_SERVE.json] [--tolerance 0.2]
 //! ```
@@ -67,6 +75,7 @@ use ldp::prelude::*;
 use ldp_bench::args::Args;
 use ldp_bench::baseline::{json_number, json_string, GateCheck};
 use ldp_bench::report::banner;
+use ldp_serve::{ServeClient, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -230,9 +239,96 @@ fn main() {
         ),
     );
 
+    // --- 3. TCP serving: N concurrent connections over the wire. -------
+    // The same deployment, fronted by the real daemon stack (frame
+    // codec, connection workers, per-connection shards, merge barrier).
+    let clients: usize = args.get_or("clients", if quick { 4 } else { 8 });
+    let wire_reports: Vec<u64> = reports.iter().map(|&r| r as u64).collect();
+    let client_chunks: Vec<&[u64]> = wire_reports
+        .chunks(total.div_ceil(clients).max(1))
+        .collect();
+
+    let spawn_server = || {
+        let mut server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            dir: None,
+            workers: clients + 1,
+        })
+        .expect("bind serve socket");
+        server.host("bench", warm.clone()).expect("host deployment");
+        let addr = server.local_addr();
+        (addr, server.spawn().expect("spawn server"))
+    };
+
+    // Reference: one connection submits everything.
+    let (addr, handle) = spawn_server();
+    let mut lone = ServeClient::connect(addr).expect("connect");
+    for chunk in &client_chunks {
+        for b in chunk.chunks(batch) {
+            lone.submit("bench", b).expect("submit");
+        }
+    }
+    let reference = lone.answers("bench").expect("answers");
+    lone.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+
+    // Load run: the same batches race in over `clients` connections.
+    let (addr, handle) = spawn_server();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in &client_chunks {
+            scope.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                for b in chunk.chunks(batch) {
+                    c.submit("bench", b).expect("submit");
+                }
+            });
+        }
+    });
+    let serve_ingest_secs = t.elapsed().as_secs_f64();
+
+    // Closed-loop answer phase against the fully merged state.
+    let answer_rounds: usize = if quick { 25 } else { 100 };
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                for _ in 0..answer_rounds {
+                    let a = c.answers("bench").expect("answers");
+                    assert_eq!(a.reports, total as u64);
+                }
+            });
+        }
+    });
+    let serve_answer_secs = t.elapsed().as_secs_f64();
+    let total_answers = clients * answer_rounds;
+
+    let mut probe = ServeClient::connect(addr).expect("connect");
+    let loaded = probe.answers("bench").expect("answers");
+    probe.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+
+    let reference_bits: Vec<u64> = reference.answers.iter().map(|a| a.to_bits()).collect();
+    let loaded_bits: Vec<u64> = loaded.answers.iter().map(|a| a.to_bits()).collect();
+    assert_eq!(
+        reference_bits, loaded_bits,
+        "{clients} connections must be byte-equal to one"
+    );
+    let serve_reports_per_s = total as f64 / serve_ingest_secs;
+    let serve_answers_per_s = total_answers as f64 / serve_answer_secs;
+    banner(
+        "serve_load",
+        &format!(
+            "serve: {clients} clients over TCP — {:.2}M reports/s ingest, \
+             {serve_answers_per_s:.0} workload answers/s; N-vs-1 connections byte-equal",
+            serve_reports_per_s / 1e6,
+        ),
+    );
+
     let backend = ldp_linalg::kernels::backend().as_str();
     let json = format!(
-        "{{\n  \"schema\": \"ldp-bench-serve/2\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"ldp-bench-serve/3\",\n  \"quick\": {quick},\n  \
          \"backend\": \"{backend}\",\n  \
          \"deploy\": {{\n    \"cold_s\": {cold_secs:.4},\n    \
          \"warm_s\": {warm_secs:.6},\n    \"warm_speedup\": {:.1},\n    \
@@ -242,7 +338,11 @@ fn main() {
          \"target_speedup\": {target_speedup:.2}\n  }},\n  \
          \"ingest\": {{\n    \"reports\": {total},\n    \
          \"restart_cycles\": {checkpoints},\n    \"checkpoint_bytes\": {checkpoint_bytes},\n    \
-         \"reports_per_s\": {:.0},\n    \"reports_per_s_resumed\": {:.0}\n  }}\n}}\n",
+         \"reports_per_s\": {:.0},\n    \"reports_per_s_resumed\": {:.0}\n  }},\n  \
+         \"serve\": {{\n    \"clients\": {clients},\n    \
+         \"reports_per_s\": {serve_reports_per_s:.0},\n    \
+         \"answers\": {total_answers},\n    \
+         \"answers_per_s\": {serve_answers_per_s:.0}\n  }}\n}}\n",
         cold_secs / warm_secs.max(1e-9),
         pgd_run.objective,
         total as f64 / uninterrupted_secs,
@@ -296,6 +396,23 @@ fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
     if baseline_backend.as_deref() == Some(fresh_backend.as_str()) {
         checks.push(metric("cold_s", true));
         checks.push(metric("cold_lbfgs_s", true));
+        // The TCP serving throughputs (schema /3) are wall-clock too:
+        // gate them like-with-like only, and only against a baseline
+        // that has them.
+        for key in ["reports_per_s", "answers_per_s"] {
+            if let (Some(baseline), Some(fresh)) = (
+                json_number(&committed, "serve", key),
+                json_number(fresh, "serve", key),
+            ) {
+                checks.push(GateCheck {
+                    metric: format!("serve.{key}"),
+                    baseline,
+                    fresh,
+                    tolerance,
+                    lower_is_better: false,
+                });
+            }
+        }
     } else {
         banner(
             "perf-gate",

@@ -159,10 +159,19 @@ impl Client {
 
 /// Validates a batch of reports against an output count, returning the
 /// first offending report if any.
-fn validate_batch(reports: &[usize], num_outputs: usize) -> Result<(), LdpError> {
-    // Fast path: a branchless vectorized max clears the whole batch in
-    // one sweep; only a failing batch pays the scan for the first
-    // offender (identical observable behavior, error included).
+/// Validates a report batch against an output range without ingesting
+/// it: every report must be `< num_outputs`. This is the admission check
+/// [`AggregatorShard::ingest_batch`] runs internally, exported so a
+/// serving front door can reject a bad batch *before* taking any
+/// aggregation lock.
+///
+/// A branchless vectorized max clears the whole batch in one sweep; only
+/// a failing batch pays the scan for the first offender (identical
+/// observable behavior, error included).
+///
+/// # Errors
+/// [`LdpError::DimensionMismatch`] naming the first invalid report.
+pub fn validate_reports(reports: &[usize], num_outputs: usize) -> Result<(), LdpError> {
     if reports.is_empty() || ldp_linalg::kernels::max_usize(reports) < num_outputs {
         return Ok(());
     }
@@ -244,7 +253,7 @@ impl AggregatorShard {
     /// [`LdpError::DimensionMismatch`] naming the first invalid report;
     /// the shard is unchanged.
     pub fn ingest_batch(&mut self, reports: &[usize]) -> Result<(), LdpError> {
-        validate_batch(reports, self.counts.len())?;
+        validate_reports(reports, self.counts.len())?;
         for &r in reports {
             self.counts[r] += 1;
         }
@@ -270,6 +279,26 @@ impl AggregatorShard {
     pub fn merge(mut self, other: AggregatorShard) -> Result<AggregatorShard, LdpError> {
         self.add_assign(&other)?;
         Ok(self)
+    }
+
+    /// Drains another shard into this one: `other`'s counts are added
+    /// here (exact integer addition) and `other` is reset to empty *in
+    /// place* — no allocation on either side. This is the flush primitive
+    /// a long-lived collector (one shard per connection or per thread)
+    /// uses to hand accumulated counts to a central aggregator and keep
+    /// collecting into the same buffer.
+    ///
+    /// Because the addition is exact and commutative, draining N shards
+    /// in any order yields totals bit-identical to one sequential shard
+    /// fed the same reports.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shards disagree on the
+    /// number of outputs; both shards are unchanged.
+    pub fn merge_from(&mut self, other: &mut AggregatorShard) -> Result<(), LdpError> {
+        self.add_assign(other)?;
+        other.counts.fill(0);
+        Ok(())
     }
 
     /// Adds another shard's counts into this one, leaving `self`
@@ -377,6 +406,17 @@ impl Aggregator {
     /// number of outputs; the aggregator is unchanged.
     pub fn merge(&mut self, shard: AggregatorShard) -> Result<(), LdpError> {
         self.shard.add_assign(&shard)
+    }
+
+    /// Drains a shard collected elsewhere into this aggregator and resets
+    /// it in place (see [`AggregatorShard::merge_from`]) — the
+    /// allocation-free flush path for long-lived per-connection shards.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shard disagrees on the
+    /// number of outputs; both sides are unchanged.
+    pub fn merge_from(&mut self, shard: &mut AggregatorShard) -> Result<(), LdpError> {
+        self.shard.merge_from(shard)
     }
 
     /// Number of reports collected so far.
@@ -629,5 +669,67 @@ mod tests {
         let client = Client::new(mech.strategy().clone());
         let mut rng = StdRng::seed_from_u64(0);
         let _ = client.respond(7, &mut rng);
+    }
+
+    #[test]
+    fn validate_reports_names_first_offender() {
+        assert!(validate_reports(&[], 4).is_ok());
+        assert!(validate_reports(&[0, 3, 1], 4).is_ok());
+        match validate_reports(&[0, 9, 7], 4) {
+            Err(LdpError::DimensionMismatch {
+                expected, actual, ..
+            }) => {
+                assert_eq!(expected, 4);
+                assert_eq!(actual, 9, "first offender, not the max");
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_from_drains_exactly_and_resets_in_place() {
+        let mut central = AggregatorShard::new(4);
+        central.ingest_batch(&[0, 1, 1]).unwrap();
+        let mut conn = AggregatorShard::new(4);
+        conn.ingest_batch(&[2, 3, 3, 3]).unwrap();
+        central.merge_from(&mut conn).unwrap();
+        assert_eq!(central.counts(), &[1, 2, 1, 3]);
+        assert_eq!(conn.counts(), &[0, 0, 0, 0], "drained in place");
+        assert_eq!(conn.reports(), 0);
+        // The drained shard keeps collecting into the same buffer.
+        conn.ingest(0).unwrap();
+        central.merge_from(&mut conn).unwrap();
+        assert_eq!(central.counts(), &[2, 2, 1, 3]);
+        // Mismatched widths leave both sides untouched.
+        let mut narrow = AggregatorShard::new(2);
+        narrow.ingest(1).unwrap();
+        assert!(central.merge_from(&mut narrow).is_err());
+        assert_eq!(narrow.counts(), &[0, 1], "not drained on error");
+        assert_eq!(central.counts(), &[2, 2, 1, 3]);
+    }
+
+    #[test]
+    fn drained_shards_match_sequential_aggregation_bitwise() {
+        let k = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64 * 0.21 - 0.4);
+        let reports = [0usize, 4, 2, 2, 1, 3, 4, 4, 0, 2, 1, 1];
+        let mut sequential = Aggregator::from_reconstruction(k.clone());
+        sequential.ingest_batch(&reports).unwrap();
+        // Split across three "connection" shards drained in a different
+        // order than they ingested.
+        let mut agg = Aggregator::from_reconstruction(k);
+        let mut shards = [
+            AggregatorShard::new(5),
+            AggregatorShard::new(5),
+            AggregatorShard::new(5),
+        ];
+        for (i, &r) in reports.iter().enumerate() {
+            shards[i % 3].ingest(r).unwrap();
+        }
+        for s in shards.iter_mut().rev() {
+            agg.merge_from(s).unwrap();
+        }
+        assert_eq!(agg.counts(), sequential.counts());
+        let (a, b) = (agg.estimate(), sequential.estimate());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -22,6 +22,9 @@
 //!   word that pool workers inherit from their spawner, so thread-scoped
 //!   state (ldp-linalg's kernel-backend override) survives into parallel
 //!   sections instead of silently resetting on worker threads.
+//! * [`WorkQueue`] — a closable blocking MPMC queue for the opposite
+//!   shape of parallelism: long-lived worker loops draining work that
+//!   arrives over time (the ldp-serve connection pool).
 //!
 //! ## Thread-count resolution
 //!
@@ -47,6 +50,10 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+pub mod queue;
+
+pub use queue::WorkQueue;
 
 thread_local! {
     /// True on threads spawned by a [`Pool`] — nested calls stay serial.

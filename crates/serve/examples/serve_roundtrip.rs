@@ -1,0 +1,110 @@
+//! A complete client round trip against an ldp-serve daemon.
+//!
+//! By default this example is fully self-contained: it spawns an
+//! in-process [`Server`] on an ephemeral port, then connects to it like
+//! any external client would. Set `LDP_SERVE_ADDR=host:port` to aim the
+//! client at an already-running `ldp-served` daemon instead (the CI
+//! serve-smoke job does exactly that); the daemon must host a
+//! deployment named `survey` with schema `color=3,size=2`:
+//!
+//! ```text
+//! ldp-served --addr 127.0.0.1:7700 --deploy survey:color=3,size=2 &
+//! LDP_SERVE_ADDR=127.0.0.1:7700 cargo run -p ldp-serve --example serve_roundtrip
+//! ```
+
+use ldp::prelude::*;
+use ldp_serve::{ServeClient, Server, ServerConfig};
+use rand::SeedableRng;
+
+fn main() {
+    // The same deployment the daemon default builds for
+    // `--deploy survey:color=3,size=2`: full contingency table + total.
+    let deployment = Pipeline::for_schema(Schema::new([("color", 3), ("size", 2)]))
+        .queries([Query::marginal(["color", "size"]), Query::total()])
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .expect("deploy");
+    let binding = deployment.binding();
+
+    // External daemon if LDP_SERVE_ADDR is set, in-process otherwise.
+    let external = std::env::var("LDP_SERVE_ADDR").ok();
+    let (addr, handle) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let mut server = Server::bind(ServerConfig::default()).expect("bind");
+            server.host("survey", deployment.clone()).expect("host");
+            let addr = server.local_addr().to_string();
+            (addr, Some(server.spawn().expect("spawn")))
+        }
+    };
+    println!("connecting to {addr}");
+    let mut client = ServeClient::connect(addr.as_str()).expect("connect");
+
+    // Identity handshake: the daemon's binding fingerprint must match
+    // the deployment we built locally — proof we're talking to a server
+    // that answers exactly our questions.
+    let info = client.info().expect("info");
+    let hosted = info
+        .iter()
+        .find(|d| d.name == "survey")
+        .expect("daemon hosts 'survey'");
+    assert_eq!(
+        hosted.binding, binding,
+        "binding mismatch: the daemon hosts a different deployment"
+    );
+    println!(
+        "hosted: {} (n = {}, m = {}, ε = {}, binding {:#018x})",
+        hosted.name, hosted.domain_size, hosted.num_outputs, hosted.epsilon, hosted.binding
+    );
+
+    // Privatize a small population locally and submit it in batches.
+    let ldp_client = deployment.client();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let population: Vec<u64> = (0..3000)
+        .map(|i| ldp_client.respond(i % 6, &mut rng) as u64)
+        .collect();
+    for batch in population.chunks(500) {
+        let ack = client.submit("survey", batch).expect("submit");
+        println!(
+            "submitted {} reports ({} pending merge)",
+            ack.accepted, ack.pending
+        );
+    }
+
+    // Ad-hoc questions over the wire.
+    for (label, query) in [
+        ("color == 0", Query::equals("color", 0)),
+        ("size == 1", Query::equals("size", 1)),
+        (
+            "color ∈ {0, 2} and size == 0",
+            Query::values("color", [0, 2]).and_equals("size", 0),
+        ),
+    ] {
+        let a = client.answer("survey", &query).expect("answer");
+        println!(
+            "{label}: {:.1} ± {:.1} users (from {} reports)",
+            a.value, a.stddev, a.reports
+        );
+    }
+
+    // The full deployed workload in one call.
+    let all = client.answers("survey").expect("answers");
+    println!(
+        "workload answers ({} queries, {} reports): {:?}",
+        all.answers.len(),
+        all.reports,
+        all.answers.iter().map(|a| a.round()).collect::<Vec<_>>()
+    );
+
+    // Checkpoint (durable when the daemon has --dir).
+    let ack = client.checkpoint("survey").expect("checkpoint");
+    println!("checkpoint epoch {} ({} bytes)", ack.epoch, ack.bytes);
+
+    // Only shut down servers we started; an external daemon may have
+    // other clients (CI shuts it down explicitly after this example).
+    if let Some(handle) = handle {
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exit");
+        println!("in-process server shut down cleanly");
+    }
+}

@@ -1,0 +1,233 @@
+//! The blocking client handle for the ldp-serve protocol.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ldp_workloads::Query;
+
+use crate::wire::{read_frame, write_frame, DeploymentInfo, Message, WireError, WireQuery};
+
+/// The acknowledgement for an accepted report batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// Reports counted from this batch (all of them; admission is
+    /// atomic).
+    pub accepted: u64,
+    /// Reports sitting in this connection's server-side shard awaiting
+    /// the next merge barrier.
+    pub pending: u64,
+}
+
+/// One ad-hoc query answer from the server, with its analytic error bar.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeAnswer {
+    /// The estimated count `w·x̂`.
+    pub value: f64,
+    /// Worst-case variance at the observed report count.
+    pub variance: f64,
+    /// `sqrt(variance)` — the ± error bar in user-count units.
+    pub stddev: f64,
+    /// Reports contributing to the estimate.
+    pub reports: u64,
+}
+
+/// The full deployed-workload evaluation `W·x̂`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadAnswers {
+    /// One answer per workload query, in workload order, exact bits as
+    /// computed server-side.
+    pub answers: Vec<f64>,
+    /// Reports contributing to the estimate.
+    pub reports: u64,
+}
+
+/// The acknowledgement for a durable checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointAck {
+    /// Checkpoint generation after this write.
+    pub epoch: u64,
+    /// Snapshot record size in bytes.
+    pub bytes: u64,
+}
+
+/// A blocking connection to an ldp-serve daemon: one request in flight
+/// at a time, framed per `docs/WIRE_PROTOCOL.md`.
+///
+/// ```
+/// use ldp::prelude::*;
+/// use ldp_serve::{Server, ServerConfig, ServeClient};
+///
+/// // An in-process server on an ephemeral port.
+/// let deployment = Pipeline::for_schema(Schema::new([("bin", 4)]))
+///     .queries([Query::marginal(["bin"])])
+///     .epsilon(1.0)
+///     .baseline(Baseline::RandomizedResponse)
+///     .unwrap();
+/// let mut server = Server::bind(ServerConfig::default()).unwrap();
+/// server.host("demo", deployment).unwrap();
+/// let handle = server.spawn().unwrap();
+///
+/// // Submit privatized reports, ask a question, shut down.
+/// let mut client = ServeClient::connect(handle.addr()).unwrap();
+/// client.submit("demo", &[0, 1, 2, 3, 3]).unwrap();
+/// let answer = client.answer("demo", &Query::equals("bin", 3)).unwrap();
+/// assert_eq!(answer.reports, 5);
+/// assert!(answer.value.is_finite() && answer.stddev >= 0.0);
+/// client.shutdown().unwrap();
+/// handle.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] if the TCP connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self { reader, writer })
+    }
+
+    /// One request/response exchange. Error frames surface as
+    /// [`WireError::Remote`]; any other unexpected kind as
+    /// [`WireError::UnexpectedKind`] via the caller's match.
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, WireError> {
+        write_frame(&mut self.writer, request)?;
+        match read_frame(&mut self.reader)? {
+            Some(Message::Error { code, message }) => Err(WireError::Remote { code, message }),
+            Some(response) => Ok(response),
+            None => Err(WireError::Truncated {
+                needed: 16,
+                remaining: 0,
+            }),
+        }
+    }
+
+    /// Describes every deployment the server hosts: identity (including
+    /// the binding fingerprint, for end-to-end verification against a
+    /// local [`Deployment::binding`](ldp::pipeline::Deployment::binding))
+    /// and live merged counters.
+    ///
+    /// # Errors
+    /// Any [`WireError`], including [`WireError::Remote`] server errors.
+    pub fn info(&mut self) -> Result<Vec<DeploymentInfo>, WireError> {
+        match self.roundtrip(&Message::Info)? {
+            Message::InfoOk { deployments } => Ok(deployments),
+            other => unexpected("InfoOk", &other),
+        }
+    }
+
+    /// Submits one batch of privatized reports (mechanism outputs in
+    /// `0..num_outputs`). Admission is atomic: the whole batch counts or
+    /// none of it does.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] with [`ErrorCode::BadBatch`]
+    /// (out-of-range report — nothing counted) or
+    /// [`ErrorCode::UnknownDeployment`]; any transport-level
+    /// [`WireError`].
+    ///
+    /// [`ErrorCode::BadBatch`]: crate::wire::ErrorCode::BadBatch
+    /// [`ErrorCode::UnknownDeployment`]: crate::wire::ErrorCode::UnknownDeployment
+    pub fn submit(&mut self, deployment: &str, reports: &[u64]) -> Result<SubmitAck, WireError> {
+        let request = Message::Submit {
+            deployment: deployment.to_string(),
+            reports: reports.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Message::SubmitOk { accepted, pending } => Ok(SubmitAck { accepted, pending }),
+            other => unexpected("SubmitOk", &other),
+        }
+    }
+
+    /// Answers one ad-hoc scalar query against the deployment's current
+    /// merged state (the server runs a merge barrier first, so every
+    /// batch acknowledged on any connection is included).
+    ///
+    /// # Errors
+    /// [`WireError::UnencodableQuery`] for predicate queries;
+    /// [`WireError::Remote`] with [`ErrorCode::BadQuery`] if the query
+    /// does not resolve server-side; any transport-level [`WireError`].
+    ///
+    /// [`ErrorCode::BadQuery`]: crate::wire::ErrorCode::BadQuery
+    pub fn answer(&mut self, deployment: &str, query: &Query) -> Result<ServeAnswer, WireError> {
+        let request = Message::Query {
+            deployment: deployment.to_string(),
+            query: WireQuery::from_query(query)?,
+        };
+        match self.roundtrip(&request)? {
+            Message::QueryOk {
+                value,
+                variance,
+                stddev,
+                reports,
+            } => Ok(ServeAnswer {
+                value,
+                variance,
+                stddev,
+                reports,
+            }),
+            other => unexpected("QueryOk", &other),
+        }
+    }
+
+    /// Evaluates the full deployed workload `W·x̂` at the current merged
+    /// state. The bits are exactly what an in-process
+    /// [`Estimate::answers`](ldp::pipeline::Estimate::answers) would
+    /// produce — the wire carries `f64::to_bits`, never a decimal
+    /// rendering.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] or any transport-level [`WireError`].
+    pub fn answers(&mut self, deployment: &str) -> Result<WorkloadAnswers, WireError> {
+        let request = Message::Answers {
+            deployment: deployment.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Message::AnswersOk { answers, reports } => Ok(WorkloadAnswers { answers, reports }),
+            other => unexpected("AnswersOk", &other),
+        }
+    }
+
+    /// Merges every connection's shard and persists a durable snapshot
+    /// (when the server has a snapshot directory). After the
+    /// acknowledgement, a `kill -9` loses nothing up to this barrier.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] or any transport-level [`WireError`].
+    pub fn checkpoint(&mut self, deployment: &str) -> Result<CheckpointAck, WireError> {
+        let request = Message::Checkpoint {
+            deployment: deployment.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Message::CheckpointOk { epoch, bytes } => Ok(CheckpointAck { epoch, bytes }),
+            other => unexpected("CheckpointOk", &other),
+        }
+    }
+
+    /// Asks the server to shut down: stop accepting, drain connections,
+    /// persist final snapshots, exit.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] or any transport-level [`WireError`].
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.roundtrip(&Message::Shutdown)? {
+            Message::ShutdownOk => Ok(()),
+            other => unexpected("ShutdownOk", &other),
+        }
+    }
+}
+
+fn unexpected<T>(expected: &'static str, found: &Message) -> Result<T, WireError> {
+    Err(WireError::UnexpectedKind {
+        expected,
+        found: found.kind_name(),
+    })
+}

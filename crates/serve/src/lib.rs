@@ -1,0 +1,69 @@
+//! ldp-serve: the network front door for an LDP deployment.
+//!
+//! Everything below `crates/serve` turns the in-process
+//! [`Deployment`](ldp::pipeline::Deployment) / `StreamIngestor` pipeline
+//! into a long-running daemon:
+//!
+//! - [`wire`] — the versioned, checksummed, length-prefixed frame codec
+//!   (magic `LDPW`), the TCP sibling of the `ldp-store` snapshot codec.
+//!   Byte-level spec: `docs/WIRE_PROTOCOL.md`.
+//! - [`Server`] — a multi-threaded `TcpListener` daemon hosting named
+//!   deployments, with per-connection aggregation shards merged exactly
+//!   at every checkpoint/query barrier, and atomic snapshot persistence
+//!   for crash recovery.
+//! - [`ServeClient`] — the blocking request/response handle: submit
+//!   report batches, ask ad-hoc queries, evaluate the deployed
+//!   workload, checkpoint, shut down.
+//! - `ldp-served` — the packaged daemon binary (`src/main.rs`).
+//!
+//! # The determinism contract, over TCP
+//!
+//! Counts are integers and merges are exact, so the daemon inherits the
+//! repo-wide bit-determinism contract: **N concurrent connections
+//! produce answers byte-equal to one connection submitting every batch
+//! itself**, at any worker count and any kernel backend; and a daemon
+//! killed (`SIGKILL`) after a checkpoint, relaunched from the snapshot,
+//! and fed the remaining batches answers **byte-equal to a process that
+//! never died**. `tests/server.rs` and `tests/restart.rs` assert both.
+//!
+//! # A complete round trip
+//!
+//! ```
+//! use ldp::prelude::*;
+//! use ldp_serve::{ServeClient, Server, ServerConfig};
+//!
+//! // Deploy a schema'd pipeline and host it on an ephemeral port.
+//! let deployment = Pipeline::for_schema(Schema::new([("color", 3), ("size", 2)]))
+//!     .queries([Query::marginal(["color"]), Query::total()])
+//!     .epsilon(1.0)
+//!     .baseline(Baseline::RandomizedResponse)
+//!     .unwrap();
+//! let binding = deployment.binding();
+//! let mut server = Server::bind(ServerConfig::default()).unwrap();
+//! server.host("survey", deployment).unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! // Connect, verify we reached the deployment we meant to, submit.
+//! let mut client = ServeClient::connect(handle.addr()).unwrap();
+//! let info = client.info().unwrap();
+//! assert_eq!(info[0].name, "survey");
+//! assert_eq!(info[0].binding, binding); // end-to-end identity check
+//! client.submit("survey", &[0, 1, 2, 3, 4, 5]).unwrap();
+//!
+//! // Ad-hoc question and full workload evaluation.
+//! let red = client.answer("survey", &Query::equals("color", 0)).unwrap();
+//! assert_eq!(red.reports, 6);
+//! let all = client.answers("survey").unwrap();
+//! assert_eq!(all.answers.len(), 4); // 3 marginal cells + 1 total
+//!
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{CheckpointAck, ServeAnswer, ServeClient, SubmitAck, WorkloadAnswers};
+pub use server::{ServeError, Server, ServerConfig, ServerHandle};
+pub use wire::{DeploymentInfo, ErrorCode, Message, WireError, WireQuery};

@@ -1,0 +1,169 @@
+//! `ldp-served` — the packaged LDP serving daemon.
+//!
+//! ```text
+//! ldp-served --addr 127.0.0.1:7700 --dir ./snapshots \
+//!     --deploy survey:color=3,size=2:eps=1.0:baseline=rr
+//! ```
+//!
+//! Each `--deploy` hosts one schema'd deployment whose workload is the
+//! full contingency table over its attributes plus the total count. The
+//! daemon prints `ldp-served listening on ADDR` once it accepts
+//! connections (tooling parses this line to learn an ephemeral port),
+//! resumes any snapshot found under `--dir`, and exits when a client
+//! sends `Shutdown` — persisting final snapshots on the way out.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ldp::prelude::*;
+use ldp_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: ldp-served [OPTIONS] --deploy SPEC [--deploy SPEC ...]
+
+options:
+  --addr HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral port)
+  --dir DIR          snapshot directory; enables checkpoint persistence
+                     and resume-on-start
+  --workers N        connection worker threads (default: compute pool size)
+
+deploy spec:
+  NAME:attr=K,attr=K[,...][:eps=F][:baseline=rr|hadamard|hier]
+  e.g.  survey:color=3,size=2:eps=1.0:baseline=rr
+  The deployed workload is the full contingency table over the listed
+  attributes plus the total count; ad-hoc queries may ask anything the
+  schema can express.
+";
+
+struct DeploySpec {
+    name: String,
+    attributes: Vec<(String, usize)>,
+    epsilon: f64,
+    baseline: Baseline,
+}
+
+fn parse_deploy(spec: &str) -> Result<DeploySpec, String> {
+    let mut parts = spec.split(':');
+    let name = parts
+        .next()
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| format!("deploy spec {spec:?}: missing name"))?
+        .to_string();
+    let schema_part = parts
+        .next()
+        .ok_or_else(|| format!("deploy spec {spec:?}: missing schema (attr=K,...)"))?;
+    let mut attributes = Vec::new();
+    for pair in schema_part.split(',') {
+        let (attr, k) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("deploy spec {spec:?}: bad attribute {pair:?}"))?;
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("deploy spec {spec:?}: bad cardinality {k:?}"))?;
+        attributes.push((attr.to_string(), k));
+    }
+    if attributes.is_empty() {
+        return Err(format!("deploy spec {spec:?}: empty schema"));
+    }
+    let mut epsilon = 1.0;
+    let mut baseline = Baseline::RandomizedResponse;
+    for extra in parts {
+        if let Some(e) = extra.strip_prefix("eps=") {
+            epsilon = e
+                .parse()
+                .map_err(|_| format!("deploy spec {spec:?}: bad epsilon {e:?}"))?;
+        } else if let Some(b) = extra.strip_prefix("baseline=") {
+            baseline = match b {
+                "rr" => Baseline::RandomizedResponse,
+                "hadamard" => Baseline::HadamardResponse,
+                "hier" => Baseline::Hierarchical,
+                other => {
+                    return Err(format!(
+                        "deploy spec {spec:?}: unknown baseline {other:?} (rr|hadamard|hier)"
+                    ))
+                }
+            };
+        } else {
+            return Err(format!("deploy spec {spec:?}: unknown option {extra:?}"));
+        }
+    }
+    Ok(DeploySpec {
+        name,
+        attributes,
+        epsilon,
+        baseline,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut dir: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut specs: Vec<DeploySpec> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers: bad count {v:?}"))?;
+            }
+            "--deploy" => specs.push(parse_deploy(&value("--deploy")?)?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if specs.is_empty() {
+        return Err(format!("at least one --deploy is required\n\n{USAGE}"));
+    }
+
+    let mut server =
+        Server::bind(ServerConfig { addr, dir, workers }).map_err(|e| e.to_string())?;
+    for spec in specs {
+        let schema = Schema::new(spec.attributes.clone());
+        let attribute_names: Vec<String> = spec.attributes.iter().map(|(n, _)| n.clone()).collect();
+        let deployment = Pipeline::for_schema(schema)
+            .queries([Query::marginal(attribute_names), Query::total()])
+            .epsilon(spec.epsilon)
+            .baseline(spec.baseline)
+            .map_err(|e| format!("deploy {:?}: {e}", spec.name))?;
+        let resumed = server
+            .host(&spec.name, deployment)
+            .map_err(|e| format!("deploy {:?}: {e}", spec.name))?;
+        println!(
+            "ldp-served hosting {:?}{}",
+            spec.name,
+            if resumed {
+                " (resumed from snapshot)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("ldp-served listening on {}", server.local_addr());
+    // Tooling (tests, CI) waits for the line above before connecting.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ldp-served: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

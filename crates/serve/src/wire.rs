@@ -1,0 +1,1062 @@
+//! The ldp-serve wire protocol: versioned, checksummed, length-prefixed
+//! binary frames over a byte stream.
+//!
+//! Every frame shares one envelope, the TCP sibling of the `ldp-store`
+//! snapshot codec (same discipline: explicit little-endian layout, FNV-1a
+//! checksum, strict decode with a distinct typed error per defect class):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "LDPW"
+//! 4       2     version (u16 LE) — currently 1
+//! 6       2     kind tag (u16 LE) — one Message variant
+//! 8       8     payload length (u64 LE)
+//! 16      len   payload (message-specific, see docs/WIRE_PROTOCOL.md)
+//! 16+len  8     FNV-1a 64 checksum (u64 LE) over bytes [0, 16+len)
+//! ```
+//!
+//! Decoding is strict: truncation, a stray magic, version skew, an
+//! oversized length prefix, a checksum mismatch, an unknown kind tag, and
+//! malformed payload contents each produce a *distinct* [`WireError`] —
+//! never a panic, never a silent partial read. The kind tag is validated
+//! only **after** the checksum, so a bit flip in the tag reads as the
+//! corruption it is rather than as a mysterious unknown message.
+//!
+//! The full byte-level specification with worked hex dumps lives in
+//! `docs/WIRE_PROTOCOL.md`; this module is its executable form.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use ldp_linalg::stablehash::fnv1a64;
+use ldp_workloads::{Query, QueryTerm};
+
+/// Frame magic: `LDPW` ("LDP wire"), distinct from the snapshot codec's
+/// `LDPS` so a stored record can never be replayed as a live frame.
+pub const MAGIC: [u8; 4] = *b"LDPW";
+
+/// Current protocol version. Bump on any layout change; decoders reject
+/// other versions with [`WireError::UnsupportedVersion`].
+pub const VERSION: u16 = 1;
+
+/// Ceiling on the payload-length prefix (64 MiB). A corrupt or hostile
+/// length can therefore never induce a giant allocation or a read that
+/// hangs draining gigabytes.
+pub const MAX_PAYLOAD: u64 = 1 << 26;
+
+/// Envelope bytes before the payload: magic + version + kind + length.
+const HEADER: usize = 4 + 2 + 2 + 8;
+
+/// Trailing checksum bytes.
+const CHECKSUM: usize = 8;
+
+/// Longest accepted deployment-name or attribute-name string.
+const MAX_NAME: usize = 1 << 12;
+
+/// Longest accepted error-message string.
+const MAX_TEXT: usize = 1 << 16;
+
+/// Most conditions accepted in one wire query.
+const MAX_TERMS: usize = 1 << 10;
+
+/// Most deployments accepted in one `InfoOk` frame.
+const MAX_DEPLOYMENTS: usize = 1 << 12;
+
+/// A typed wire-protocol failure. Every decode defect class has its own
+/// variant so servers and clients can react precisely (and tests can
+/// assert the sweep: truncate anywhere, flip any bit, forge any field —
+/// the error names what happened).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The stream ended inside a frame (header, payload, or checksum).
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        remaining: usize,
+    },
+    /// The first four bytes were not `LDPW`.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame declares a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// Version in the frame.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        length: u64,
+        /// The enforced ceiling.
+        limit: u64,
+    },
+    /// The checksum did not match: the frame was corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// The checksum held but the kind tag names no known message.
+    UnknownKind {
+        /// The unrecognized tag.
+        found: u16,
+    },
+    /// A structurally valid frame of the wrong kind arrived (e.g. a
+    /// query response to a submit request).
+    UnexpectedKind {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// What actually arrived.
+        found: &'static str,
+    },
+    /// The envelope held but the payload contents did not parse.
+    Malformed(String),
+    /// The query uses a predicate condition, which cannot cross the wire
+    /// (closures have no byte representation); resolve it into
+    /// [`Query::values`] first.
+    UnencodableQuery,
+    /// The server answered with an error frame.
+    Remote {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// A socket-level failure outside the frame layer.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {remaining}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad frame magic {found:02x?}"),
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (supported: {supported})"
+                )
+            }
+            WireError::Oversized { length, limit } => {
+                write!(f, "payload length {length} exceeds limit {limit}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WireError::UnknownKind { found } => write!(f, "unknown frame kind tag {found}"),
+            WireError::UnexpectedKind { expected, found } => {
+                write!(f, "expected a {expected} frame, got {found}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::UnencodableQuery => {
+                write!(f, "predicate queries cannot be encoded for the wire")
+            }
+            WireError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            WireError::Io(what) => write!(f, "i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Machine-readable failure classes carried by error frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request named a deployment this server does not host.
+    UnknownDeployment,
+    /// A submitted batch failed admission (report out of range); nothing
+    /// was counted.
+    BadBatch,
+    /// The query did not resolve against the deployment's schema (or is
+    /// not scalar).
+    BadQuery,
+    /// The request is recognized but not supported by this server.
+    Unsupported,
+    /// The client broke the request/response protocol (e.g. sent a
+    /// response kind, or a corrupt frame).
+    Protocol,
+    /// The server failed internally; the connection state is suspect.
+    Internal,
+    /// A code minted by a newer peer; preserved verbatim.
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// The numeric tag carried on the wire.
+    pub fn as_tag(self) -> u16 {
+        match self {
+            ErrorCode::UnknownDeployment => 1,
+            ErrorCode::BadBatch => 2,
+            ErrorCode::BadQuery => 3,
+            ErrorCode::Unsupported => 4,
+            ErrorCode::Protocol => 5,
+            ErrorCode::Internal => 6,
+            ErrorCode::Other(tag) => tag,
+        }
+    }
+
+    /// The code for a numeric tag (never fails: unknown tags are
+    /// preserved as [`ErrorCode::Other`]).
+    pub fn from_tag(tag: u16) -> Self {
+        match tag {
+            1 => ErrorCode::UnknownDeployment,
+            2 => ErrorCode::BadBatch,
+            3 => ErrorCode::BadQuery,
+            4 => ErrorCode::Unsupported,
+            5 => ErrorCode::Protocol,
+            6 => ErrorCode::Internal,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+/// One hosted deployment's identity and live counters, as reported in an
+/// [`Message::InfoOk`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeploymentInfo {
+    /// The name requests address it by.
+    pub name: String,
+    /// Domain size `n` (user types).
+    pub domain_size: u64,
+    /// Mechanism output arity `m` (valid reports are `0..m`).
+    pub num_outputs: u64,
+    /// Queries in the deployed workload.
+    pub num_queries: u64,
+    /// Privacy budget ε every report satisfies.
+    pub epsilon: f64,
+    /// The deployment-binding fingerprint — the same value the snapshot
+    /// codec binds checkpoints to, so a client can verify it reconnected
+    /// to the deployment it previously submitted to.
+    pub binding: u64,
+    /// Checkpoints written so far.
+    pub epoch: u64,
+    /// Batches merged into the central stream so far.
+    pub batches: u64,
+    /// Reports merged into the central stream so far.
+    pub reports: u64,
+}
+
+/// A query in wire form: the encodable subset of [`Query`] (marginal,
+/// range, value-set, and total conditions; predicates cannot cross the
+/// wire).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireQuery {
+    terms: Vec<(String, WireTerm)>,
+}
+
+/// One encoded per-attribute condition.
+#[derive(Clone, Debug, PartialEq)]
+enum WireTerm {
+    /// One query per value of the attribute (tag 1).
+    Marginal,
+    /// Restrict to `[lo, hi)`; `hi = None` means the attribute's full
+    /// upper end (tag 2).
+    Range { lo: u64, hi: Option<u64> },
+    /// Restrict to an explicit value set (tag 3).
+    Values(Vec<u64>),
+}
+
+/// Widens a host-side index for the wire. Lossless on every supported
+/// platform (`usize` is at most 64 bits); the *layout* of the value is
+/// still decided by `put_u64`, this is width conversion only.
+fn wide(v: usize) -> u64 {
+    // ldp-lint: allow(codec-layout-discipline) -- width conversion, not
+    // byte layout; the little-endian write happens in put_u64.
+    v as u64
+}
+
+impl WireQuery {
+    /// Encodes a [`Query`] for the wire.
+    ///
+    /// # Errors
+    /// [`WireError::UnencodableQuery`] if the query contains a predicate
+    /// condition (closures have no byte representation).
+    pub fn from_query(query: &Query) -> Result<Self, WireError> {
+        let mut terms = Vec::new();
+        for (name, term) in query.terms() {
+            let wire = match term {
+                QueryTerm::Marginal => WireTerm::Marginal,
+                QueryTerm::Range { lo, hi } => WireTerm::Range {
+                    lo: wide(lo),
+                    hi: hi.map(wide),
+                },
+                QueryTerm::Values(values) => {
+                    WireTerm::Values(values.iter().copied().map(wide).collect())
+                }
+                QueryTerm::Predicate => return Err(WireError::UnencodableQuery),
+            };
+            terms.push((name.to_string(), wire));
+        }
+        Ok(Self { terms })
+    }
+
+    /// Rebuilds the [`Query`] on the receiving side. Values that
+    /// overflow the platform's `usize` are clamped to `usize::MAX`, which
+    /// the schema layer then rejects as out of range with a typed error.
+    pub fn to_query(&self) -> Query {
+        let clamp = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+        let mut query = Query::total();
+        for (name, term) in &self.terms {
+            query = match term {
+                WireTerm::Marginal => query.and_marginal(name.clone()),
+                WireTerm::Range { lo, hi: Some(hi) } => {
+                    query.and_range(name.clone(), clamp(*lo)..clamp(*hi))
+                }
+                WireTerm::Range { lo, hi: None } => query.and_range(name.clone(), clamp(*lo)..),
+                WireTerm::Values(values) => {
+                    query.and_values(name.clone(), values.iter().map(|&v| clamp(v)))
+                }
+            };
+        }
+        query
+    }
+}
+
+/// One protocol message; its variant is the frame's kind tag. Clients
+/// send request kinds and wait for the matching `…Ok` (or
+/// [`Message::Error`]) response; the server never initiates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Server → client: the request failed (tag 1).
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: describe every hosted deployment (tag 2).
+    Info,
+    /// Server → client: the hosted deployments (tag 3).
+    InfoOk {
+        /// One entry per hosted deployment, in hosting order.
+        deployments: Vec<DeploymentInfo>,
+    },
+    /// Client → server: ingest one batch of reports atomically (tag 4).
+    Submit {
+        /// Target deployment name.
+        deployment: String,
+        /// Mechanism outputs, each `< num_outputs`.
+        reports: Vec<u64>,
+    },
+    /// Server → client: the batch was counted (tag 5).
+    SubmitOk {
+        /// Reports accepted (the whole batch; admission is atomic).
+        accepted: u64,
+        /// Reports sitting in this connection's shard awaiting the next
+        /// merge barrier (checkpoint, query, or info).
+        pending: u64,
+    },
+    /// Client → server: answer one ad-hoc scalar query (tag 6).
+    Query {
+        /// Target deployment name.
+        deployment: String,
+        /// The encoded query.
+        query: WireQuery,
+    },
+    /// Server → client: the answer with its analytic error bar (tag 7).
+    QueryOk {
+        /// Estimated count `w·x̂`.
+        value: f64,
+        /// Worst-case variance at the observed report count.
+        variance: f64,
+        /// `sqrt(variance)` — the ± error bar.
+        stddev: f64,
+        /// Reports contributing to the estimate.
+        reports: u64,
+    },
+    /// Client → server: evaluate the full deployed workload (tag 8).
+    Answers {
+        /// Target deployment name.
+        deployment: String,
+    },
+    /// Server → client: the workload answers `W·x̂` (tag 9).
+    AnswersOk {
+        /// One answer per workload query, in workload order, exact bits.
+        answers: Vec<f64>,
+        /// Reports contributing to the estimate.
+        reports: u64,
+    },
+    /// Client → server: merge every connection shard and persist a
+    /// snapshot (tag 10).
+    Checkpoint {
+        /// Target deployment name.
+        deployment: String,
+    },
+    /// Server → client: the checkpoint is durable (tag 11).
+    CheckpointOk {
+        /// Checkpoint generation after this write.
+        epoch: u64,
+        /// Snapshot record size in bytes.
+        bytes: u64,
+    },
+    /// Client → server: stop accepting, drain connections, persist final
+    /// snapshots, exit (tag 12).
+    Shutdown,
+    /// Server → client: shutdown is underway (tag 13).
+    ShutdownOk,
+}
+
+impl Message {
+    /// The frame kind tag for this message.
+    pub fn tag(&self) -> u16 {
+        match self {
+            Message::Error { .. } => 1,
+            Message::Info => 2,
+            Message::InfoOk { .. } => 3,
+            Message::Submit { .. } => 4,
+            Message::SubmitOk { .. } => 5,
+            Message::Query { .. } => 6,
+            Message::QueryOk { .. } => 7,
+            Message::Answers { .. } => 8,
+            Message::AnswersOk { .. } => 9,
+            Message::Checkpoint { .. } => 10,
+            Message::CheckpointOk { .. } => 11,
+            Message::Shutdown => 12,
+            Message::ShutdownOk => 13,
+        }
+    }
+
+    /// Short human name for diagnostics ([`WireError::UnexpectedKind`]).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Error { .. } => "Error",
+            Message::Info => "Info",
+            Message::InfoOk { .. } => "InfoOk",
+            Message::Submit { .. } => "Submit",
+            Message::SubmitOk { .. } => "SubmitOk",
+            Message::Query { .. } => "Query",
+            Message::QueryOk { .. } => "QueryOk",
+            Message::Answers { .. } => "Answers",
+            Message::AnswersOk { .. } => "AnswersOk",
+            Message::Checkpoint { .. } => "Checkpoint",
+            Message::CheckpointOk { .. } => "CheckpointOk",
+            Message::Shutdown => "Shutdown",
+            Message::ShutdownOk => "ShutdownOk",
+        }
+    }
+}
+
+/// Payload writer: explicit little-endian layout, mirroring the
+/// `ldp-store` codec's `Writer` discipline.
+#[derive(Debug, Default)]
+struct Payload {
+    buf: Vec<u8>,
+}
+
+impl Payload {
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// Payload reader: strict, bounds-checked, typed errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < len {
+            return Err(WireError::Truncated {
+                needed: len,
+                remaining: self.bytes.len(),
+            });
+        }
+        let (head, tail) = self.bytes.split_at(len);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a count prefix and validates it against both a semantic
+    /// limit and the bytes actually remaining, so a corrupt count can
+    /// never over-allocate.
+    fn get_len(&mut self, limit: usize, item_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let raw = self.get_u64()?;
+        let len = usize::try_from(raw)
+            .ok()
+            .filter(|&len| len <= limit)
+            .ok_or_else(|| WireError::Malformed(format!("{what} count {raw} exceeds {limit}")))?;
+        if len.saturating_mul(item_bytes) > self.bytes.len() {
+            return Err(WireError::Truncated {
+                needed: len * item_bytes,
+                remaining: self.bytes.len(),
+            });
+        }
+        Ok(len)
+    }
+
+    fn get_str(&mut self, limit: usize, what: &str) -> Result<String, WireError> {
+        let len = self.get_len(limit, 1, what)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn get_u64s(&mut self, limit: usize, what: &str) -> Result<Vec<u64>, WireError> {
+        let len = self.get_len(limit, 8, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    fn get_f64s(&mut self, limit: usize, what: &str) -> Result<Vec<f64>, WireError> {
+        let len = self.get_len(limit, 8, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.bytes.len()
+            )))
+        }
+    }
+}
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut p = Payload::default();
+    match msg {
+        Message::Error { code, message } => {
+            p.put_u16(code.as_tag());
+            p.put_str(message);
+        }
+        Message::Info | Message::Shutdown | Message::ShutdownOk => {}
+        Message::InfoOk { deployments } => {
+            p.put_u64(deployments.len() as u64);
+            for d in deployments {
+                p.put_str(&d.name);
+                p.put_u64(d.domain_size);
+                p.put_u64(d.num_outputs);
+                p.put_u64(d.num_queries);
+                p.put_f64(d.epsilon);
+                p.put_u64(d.binding);
+                p.put_u64(d.epoch);
+                p.put_u64(d.batches);
+                p.put_u64(d.reports);
+            }
+        }
+        Message::Submit {
+            deployment,
+            reports,
+        } => {
+            p.put_str(deployment);
+            p.put_u64s(reports);
+        }
+        Message::SubmitOk { accepted, pending } => {
+            p.put_u64(*accepted);
+            p.put_u64(*pending);
+        }
+        Message::Query { deployment, query } => {
+            p.put_str(deployment);
+            p.put_u64(query.terms.len() as u64);
+            for (name, term) in &query.terms {
+                p.put_str(name);
+                match term {
+                    WireTerm::Marginal => p.put_u16(1),
+                    WireTerm::Range { lo, hi } => {
+                        p.put_u16(2);
+                        p.put_u64(*lo);
+                        match hi {
+                            Some(hi) => {
+                                p.put_u16(1);
+                                p.put_u64(*hi);
+                            }
+                            None => p.put_u16(0),
+                        }
+                    }
+                    WireTerm::Values(values) => {
+                        p.put_u16(3);
+                        p.put_u64s(values);
+                    }
+                }
+            }
+        }
+        Message::QueryOk {
+            value,
+            variance,
+            stddev,
+            reports,
+        } => {
+            p.put_f64(*value);
+            p.put_f64(*variance);
+            p.put_f64(*stddev);
+            p.put_u64(*reports);
+        }
+        Message::Answers { deployment } => p.put_str(deployment),
+        Message::AnswersOk { answers, reports } => {
+            p.put_f64s(answers);
+            p.put_u64(*reports);
+        }
+        Message::Checkpoint { deployment } => p.put_str(deployment),
+        Message::CheckpointOk { epoch, bytes } => {
+            p.put_u64(*epoch);
+            p.put_u64(*bytes);
+        }
+    }
+    p.buf
+}
+
+fn decode_payload(tag: u16, payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cursor::new(payload);
+    let msg = match tag {
+        1 => Message::Error {
+            code: ErrorCode::from_tag(c.get_u16()?),
+            message: c.get_str(MAX_TEXT, "error message")?,
+        },
+        2 => Message::Info,
+        3 => {
+            let count = c.get_len(MAX_DEPLOYMENTS, 8, "deployment list")?;
+            let mut deployments = Vec::with_capacity(count);
+            for _ in 0..count {
+                deployments.push(DeploymentInfo {
+                    name: c.get_str(MAX_NAME, "deployment name")?,
+                    domain_size: c.get_u64()?,
+                    num_outputs: c.get_u64()?,
+                    num_queries: c.get_u64()?,
+                    epsilon: c.get_f64()?,
+                    binding: c.get_u64()?,
+                    epoch: c.get_u64()?,
+                    batches: c.get_u64()?,
+                    reports: c.get_u64()?,
+                });
+            }
+            Message::InfoOk { deployments }
+        }
+        4 => Message::Submit {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+            reports: c.get_u64s(usize::MAX, "report batch")?,
+        },
+        5 => Message::SubmitOk {
+            accepted: c.get_u64()?,
+            pending: c.get_u64()?,
+        },
+        6 => {
+            let deployment = c.get_str(MAX_NAME, "deployment name")?;
+            let count = c.get_len(MAX_TERMS, 2, "query terms")?;
+            let mut terms = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = c.get_str(MAX_NAME, "attribute name")?;
+                let term = match c.get_u16()? {
+                    1 => WireTerm::Marginal,
+                    2 => {
+                        let lo = c.get_u64()?;
+                        let hi = match c.get_u16()? {
+                            0 => None,
+                            1 => Some(c.get_u64()?),
+                            other => {
+                                return Err(WireError::Malformed(format!(
+                                    "bad range-bound marker {other}"
+                                )))
+                            }
+                        };
+                        WireTerm::Range { lo, hi }
+                    }
+                    3 => WireTerm::Values(c.get_u64s(usize::MAX, "value set")?),
+                    other => return Err(WireError::Malformed(format!("unknown term tag {other}"))),
+                };
+                terms.push((name, term));
+            }
+            Message::Query {
+                deployment,
+                query: WireQuery { terms },
+            }
+        }
+        7 => Message::QueryOk {
+            value: c.get_f64()?,
+            variance: c.get_f64()?,
+            stddev: c.get_f64()?,
+            reports: c.get_u64()?,
+        },
+        8 => Message::Answers {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+        },
+        9 => Message::AnswersOk {
+            answers: c.get_f64s(usize::MAX, "workload answers")?,
+            reports: c.get_u64()?,
+        },
+        10 => Message::Checkpoint {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+        },
+        11 => Message::CheckpointOk {
+            epoch: c.get_u64()?,
+            bytes: c.get_u64()?,
+        },
+        12 => Message::Shutdown,
+        13 => Message::ShutdownOk,
+        found => return Err(WireError::UnknownKind { found }),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Seals a raw payload under the envelope with an arbitrary kind tag.
+/// This is the layout primitive [`encode_frame`] uses; it is public so
+/// tests and tooling can forge frames (unknown kinds, future versions)
+/// without re-implementing the checksum.
+pub fn encode_raw_frame(tag: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len() + CHECKSUM);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Encodes one message as a complete frame (envelope + payload +
+/// checksum).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_raw_frame(msg.tag(), &encode_payload(msg))
+}
+
+/// Decodes exactly one frame from a byte slice. Trailing bytes after the
+/// frame are a [`WireError::Malformed`] defect (streams use
+/// [`read_frame`], which consumes exactly one frame).
+///
+/// # Errors
+/// A distinct [`WireError`] per defect class — see the module docs.
+pub fn decode_frame(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut stream = bytes;
+    let msg = read_frame(&mut stream)?.ok_or(WireError::Truncated {
+        needed: HEADER,
+        remaining: 0,
+    })?;
+    if !stream.is_empty() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after frame",
+            stream.len()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Fills `buf` from the reader, distinguishing three outcomes: filled,
+/// clean EOF before any byte (`Ok(false)`), or truncation/IO failure.
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated {
+                    needed: buf.len(),
+                    remaining: filled,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a byte stream. Returns `Ok(None)` on a clean end
+/// of stream at a frame boundary (the peer hung up between requests);
+/// every mid-frame defect is a typed error.
+///
+/// # Errors
+/// A distinct [`WireError`] per defect class — see the module docs.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Message>, WireError> {
+    let mut header = [0u8; HEADER];
+    if !read_fully(r, &mut header)? {
+        return Ok(None);
+    }
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [header[0], header[1], header[2], header[3]],
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let tag = u16::from_le_bytes([header[6], header[7]]);
+    let mut raw_len = [0u8; 8];
+    raw_len.copy_from_slice(&header[8..16]);
+    let length = u64::from_le_bytes(raw_len);
+    if length > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            length,
+            limit: MAX_PAYLOAD,
+        });
+    }
+    // Cannot truncate: bounded by MAX_PAYLOAD above (narrowing casts to
+    // usize are outside L4's fixed-width layout rule).
+    let length = length as usize;
+    let mut body = vec![0u8; length + CHECKSUM];
+    if !read_fully(r, &mut body)? {
+        return Err(WireError::Truncated {
+            needed: HEADER + length + CHECKSUM,
+            remaining: HEADER,
+        });
+    }
+    let (payload, stored_bytes) = body.split_at(length);
+    let mut stored_raw = [0u8; 8];
+    stored_raw.copy_from_slice(stored_bytes);
+    let stored = u64::from_le_bytes(stored_raw);
+    let mut hasher_input = Vec::with_capacity(HEADER + length);
+    hasher_input.extend_from_slice(&header);
+    hasher_input.extend_from_slice(payload);
+    let computed = fnv1a64(&hasher_input);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    // The kind tag is validated only now, under the checksum: a flipped
+    // tag bit is reported as the corruption it is.
+    decode_payload(tag, payload).map(Some)
+}
+
+/// Writes one message as a frame.
+///
+/// # Errors
+/// [`WireError::Io`] if the underlying write fails.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    let frame = encode_frame(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Error {
+                code: ErrorCode::BadBatch,
+                message: "report 9 out of range".into(),
+            },
+            Message::Info,
+            Message::InfoOk {
+                deployments: vec![DeploymentInfo {
+                    name: "census".into(),
+                    domain_size: 16,
+                    num_outputs: 16,
+                    num_queries: 17,
+                    epsilon: 1.0,
+                    binding: 0xfeed_beef_dead_cafe,
+                    epoch: 2,
+                    batches: 7,
+                    reports: 4096,
+                }],
+            },
+            Message::Submit {
+                deployment: "census".into(),
+                reports: vec![0, 3, 3, 15],
+            },
+            Message::SubmitOk {
+                accepted: 4,
+                pending: 4,
+            },
+            Message::Query {
+                deployment: "census".into(),
+                query: WireQuery::from_query(&Query::range("age", 2..6).and_values("sex", [1]))
+                    .unwrap(),
+            },
+            Message::QueryOk {
+                value: 12.5,
+                variance: 3.25,
+                stddev: 1.802,
+                reports: 4096,
+            },
+            Message::Answers {
+                deployment: "census".into(),
+            },
+            Message::AnswersOk {
+                answers: vec![1.0, -2.5, f64::MIN_POSITIVE],
+                reports: 4096,
+            },
+            Message::Checkpoint {
+                deployment: "census".into(),
+            },
+            Message::CheckpointOk {
+                epoch: 3,
+                bytes: 2104,
+            },
+            Message::Shutdown,
+            Message::ShutdownOk,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_exactly() {
+        for msg in sample_messages() {
+            let frame = encode_frame(&msg);
+            assert_eq!(decode_frame(&frame).unwrap(), msg, "{}", msg.kind_name());
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_reads_in_order_then_clean_eof() {
+        let msgs = sample_messages();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&encode_frame(m));
+        }
+        let mut stream = &bytes[..];
+        for m in &msgs {
+            assert_eq!(read_frame(&mut stream).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_frame(&mut stream).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn query_round_trips_through_wire_form() {
+        let query = Query::marginal(["age"])
+            .and_range("income", 3..)
+            .and_values("state", [0, 2, 4]);
+        let wire = WireQuery::from_query(&query).unwrap();
+        let rebuilt = WireQuery::from_query(&wire.to_query()).unwrap();
+        assert_eq!(wire, rebuilt);
+    }
+
+    #[test]
+    fn predicate_queries_are_refused() {
+        let query = Query::predicate("age", |v| v > 3);
+        assert_eq!(
+            WireQuery::from_query(&query).unwrap_err(),
+            WireError::UnencodableQuery
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_reported_after_checksum() {
+        let frame = encode_raw_frame(999, &[]);
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::UnknownKind { found: 999 }
+        );
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut frame = encode_frame(&Message::Info);
+        frame[4] = 2; // version 2
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::UnsupportedVersion {
+                found: 2,
+                supported: VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut frame = encode_frame(&Message::Info);
+        frame[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::Oversized {
+                length: u64::MAX,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_for_slices_and_eof_for_streams() {
+        assert!(matches!(
+            decode_frame(&[]).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_collection_count_cannot_overallocate() {
+        // A Submit frame whose report count claims 2^60 entries but whose
+        // payload is tiny: the count/limit guard must reject before any
+        // allocation happens.
+        let mut p = Payload::default();
+        p.put_str("census");
+        p.put_u64(1 << 60);
+        let frame = encode_raw_frame(4, &p.buf);
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end crash recovery against the real `ldp-served` binary:
+//! `kill -9` the daemon, relaunch it from its snapshot, and assert the
+//! answers are byte-equal to a daemon that never died — at
+//! `LDP_THREADS ∈ {1, 4}` and every kernel backend this CPU supports.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use ldp_linalg::kernels::Backend;
+use ldp_serve::ServeClient;
+
+const DEPLOY: &str = "survey:color=3,size=2:eps=1.0:baseline=rr";
+const NUM_OUTPUTS: u64 = 6;
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Launches `ldp-served` on an ephemeral port and waits for its
+    /// "listening on" line.
+    fn launch(dir: &Path, threads: &str, backend: Backend) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ldp-served"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "3"])
+            .args(["--dir", dir.to_str().unwrap()])
+            .args(["--deploy", DEPLOY])
+            .env("LDP_THREADS", threads)
+            .env("LDP_KERNEL", backend.as_str())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn ldp-served");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before listening")
+                .expect("daemon stdout read");
+            if let Some(addr) = line.strip_prefix("ldp-served listening on ") {
+                break addr.parse().expect("daemon printed a socket address");
+            }
+        };
+        // Keep draining stdout in the background so the daemon never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> ServeClient {
+        ServeClient::connect(self.addr).expect("connect to daemon")
+    }
+
+    /// SIGKILL — no destructors, no flush, the crash the snapshot
+    /// contract exists for.
+    fn kill9(mut self) {
+        self.child.kill().expect("kill -9 daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    /// Graceful stop through the protocol.
+    fn shutdown(mut self) {
+        self.client().shutdown().expect("graceful shutdown");
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+fn batch(b: u64, len: usize) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| (b * 31 + i * 7 + 3) % NUM_OUTPUTS)
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp-served-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One full scenario at a given thread/backend setting, returning the
+/// final workload answers as exact bits.
+fn killed_vs_uninterrupted(threads: &str, backend: Backend) {
+    let tag = format!("{threads}-{backend}");
+
+    // Reference: a daemon that never dies ingests batches 0..8.
+    let dir = fresh_dir(&format!("ref-{tag}"));
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    for b in 0..8 {
+        client.submit("survey", &batch(b, 64)).unwrap();
+    }
+    let reference = client.answers("survey").unwrap();
+    drop(client);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Crash run: ingest 0..4, checkpoint (durable barrier), ingest two
+    // doomed batches that never reach a barrier, then kill -9.
+    let dir = fresh_dir(&format!("crash-{tag}"));
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    for b in 0..4 {
+        client.submit("survey", &batch(b, 64)).unwrap();
+    }
+    let ack = client.checkpoint("survey").unwrap();
+    assert_eq!(ack.epoch, 1);
+    for doomed in [100, 101] {
+        client.submit("survey", &batch(doomed, 64)).unwrap();
+    }
+    drop(client);
+    daemon.kill9();
+
+    // Relaunch from the snapshot: exactly the checkpointed state
+    // survives; re-submit 4..8 and compare bits.
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    let info = client.info().unwrap();
+    assert_eq!(
+        info[0].reports,
+        4 * 64,
+        "[{tag}] resumed state is the checkpoint barrier, no more, no less"
+    );
+    assert_eq!(info[0].epoch, 1, "[{tag}] epoch survives the crash");
+    for b in 4..8 {
+        client.submit("survey", &batch(b, 64)).unwrap();
+    }
+    let resumed = client.answers("survey").unwrap();
+    drop(client);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(reference.reports, resumed.reports, "[{tag}]");
+    let reference_bits: Vec<u64> = reference.answers.iter().map(|a| a.to_bits()).collect();
+    let resumed_bits: Vec<u64> = resumed.answers.iter().map(|a| a.to_bits()).collect();
+    assert_eq!(
+        reference_bits, resumed_bits,
+        "[{tag}] kill -9 + resume must be byte-equal to an uninterrupted run"
+    );
+}
+
+#[test]
+fn kill_dash_nine_resume_is_byte_equal_across_threads_and_backends() {
+    for backend in Backend::available() {
+        for threads in ["1", "4"] {
+            killed_vs_uninterrupted(threads, backend);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Malformed-frame coverage: truncation at every byte boundary,
+//! single-bit flips at every position, oversized length prefixes, and
+//! unknown versions/kinds — each must yield its distinct typed
+//! [`WireError`], and none may panic, hang, or kill the daemon's accept
+//! loop.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ldp::prelude::*;
+use ldp_serve::wire::{
+    decode_frame, encode_frame, encode_raw_frame, Message, WireError, MAX_PAYLOAD, VERSION,
+};
+use ldp_serve::{ServeClient, Server, ServerConfig};
+
+fn sample_frame() -> Vec<u8> {
+    encode_frame(&Message::Submit {
+        deployment: "survey".into(),
+        reports: vec![0, 1, 2, 3, 4, 5],
+    })
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_typed() {
+    let frame = sample_frame();
+    for cut in 0..frame.len() {
+        match decode_frame(&frame[..cut]) {
+            Err(WireError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // The full frame, of course, decodes.
+    decode_frame(&frame).unwrap();
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let frame = sample_frame();
+    for byte in 0..frame.len() {
+        for bit in 0..8 {
+            let mut corrupt = frame.clone();
+            corrupt[byte] ^= 1 << bit;
+            let defect = match decode_frame(&corrupt) {
+                Err(defect) => defect,
+                Ok(msg) => panic!("flip {byte}.{bit} decoded silently as {msg:?}"),
+            };
+            // Defects are classified by region: the envelope's
+            // pre-checksum fields get their own named errors; everything
+            // under the checksum reads as the corruption it is.
+            match byte {
+                0..=3 => assert!(
+                    matches!(defect, WireError::BadMagic { .. }),
+                    "flip {byte}.{bit}: {defect:?}"
+                ),
+                4..=5 => assert!(
+                    matches!(defect, WireError::UnsupportedVersion { .. }),
+                    "flip {byte}.{bit}: {defect:?}"
+                ),
+                // Kind tag (6..8): validated only under the checksum.
+                6..=7 => assert!(
+                    matches!(defect, WireError::ChecksumMismatch { .. }),
+                    "flip {byte}.{bit}: {defect:?}"
+                ),
+                // Length prefix (8..16): oversized, short (truncated),
+                // or long (checksum over shifted bytes).
+                8..=15 => assert!(
+                    matches!(
+                        defect,
+                        WireError::Oversized { .. }
+                            | WireError::Truncated { .. }
+                            | WireError::ChecksumMismatch { .. }
+                            | WireError::Malformed(_)
+                    ),
+                    "flip {byte}.{bit}: {defect:?}"
+                ),
+                // Payload and checksum bytes.
+                _ => assert!(
+                    matches!(defect, WireError::ChecksumMismatch { .. }),
+                    "flip {byte}.{bit}: {defect:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_and_skewed_envelopes_are_refused_up_front() {
+    // Length prefix beyond the cap: refused before any allocation.
+    let mut frame = sample_frame();
+    frame[8..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        decode_frame(&frame).unwrap_err(),
+        WireError::Oversized { length, limit } if length == MAX_PAYLOAD + 1 && limit == MAX_PAYLOAD
+    ));
+
+    // A future protocol version.
+    let mut frame = sample_frame();
+    frame[4..6].copy_from_slice(&9u16.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&frame).unwrap_err(),
+        WireError::UnsupportedVersion { found: 9, supported } if supported == VERSION
+    ));
+
+    // A checksummed frame with an unknown kind tag: the one case where
+    // UnknownKind (not ChecksumMismatch) is the verdict.
+    assert!(matches!(
+        decode_frame(&encode_raw_frame(999, &[])).unwrap_err(),
+        WireError::UnknownKind { found: 999 }
+    ));
+
+    // A well-enveloped frame whose payload lies about its contents.
+    let garbage_payload = encode_raw_frame(4, &[0xff; 3]);
+    assert!(decode_frame(&garbage_payload).is_err());
+}
+
+/// Live-socket abuse: garbage, corrupt frames, and half-frames must
+/// answer with a typed error frame (when writable) or a clean close —
+/// and the accept loop must keep serving well-behaved clients after
+/// every one of them.
+#[test]
+fn abusive_connections_never_take_down_the_accept_loop() {
+    let deployment = Pipeline::for_schema(Schema::new([("bin", 4)]))
+        .queries([Query::marginal(["bin"])])
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    let mut server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: None,
+        workers: 2,
+    })
+    .unwrap();
+    server.host("bins", deployment).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn().unwrap();
+
+    let mut corrupt_frame = encode_frame(&Message::Info);
+    let last = corrupt_frame.len() - 1;
+    corrupt_frame[last] ^= 0x40; // checksum bit flip
+
+    let mut oversized = encode_frame(&Message::Info);
+    oversized[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+
+    let half_frame = sample_frame()[..10].to_vec();
+
+    let abuses: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(), // not our protocol at all
+        corrupt_frame,
+        oversized,
+        encode_raw_frame(999, &[]), // unknown kind
+        half_frame,                 // hang up mid-frame
+        Vec::new(),                 // connect and say nothing
+    ];
+    for abuse in &abuses {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(abuse).unwrap();
+        // Half-close our write side so the server sees EOF and can't
+        // block forever waiting for the rest of a frame.
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        // Drain whatever the server says (an error frame or a clean
+        // close); the point is it responds and moves on.
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+
+        // After every abuse, a well-behaved client still gets served.
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.submit("bins", &[0, 1, 2, 3]).unwrap();
+        let answers = client.answers("bins").unwrap();
+        assert_eq!(answers.answers.len(), 4);
+    }
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let total = client.answers("bins").unwrap();
+    assert_eq!(
+        total.reports,
+        4 * abuses.len() as u64,
+        "every well-behaved batch between abuses was merged"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

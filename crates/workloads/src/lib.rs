@@ -48,7 +48,7 @@ pub use dense::{Dense, Stacked};
 pub use marginals::{AllMarginals, KWayMarginals};
 pub use parity::Parity;
 pub use product::Product;
-pub use query::{Query, ResolvedQuery, SchemaWorkload};
+pub use query::{Query, QueryTerm, ResolvedQuery, SchemaWorkload};
 pub use range::{AllRange, Histogram, Prefix, Total, WidthRange};
 pub use schema::{Domain, Schema, SchemaError};
 pub use workload::Workload;

@@ -80,6 +80,29 @@ impl fmt::Debug for Condition {
     }
 }
 
+/// A borrowed view of one [`Query`] condition, yielded by
+/// [`Query::terms`]. Mirrors the private condition representation
+/// closely enough for a serializer to reconstruct the query through the
+/// public builders ([`Query::and_marginal`], [`Query::and_range`],
+/// [`Query::and_values`]).
+#[derive(Clone, Copy, Debug)]
+pub enum QueryTerm<'a> {
+    /// One query per value of the attribute.
+    Marginal,
+    /// Restrict to the half-open range `[lo, hi)`; `hi = None` means the
+    /// attribute's full upper end.
+    Range {
+        /// Inclusive lower bound.
+        lo: usize,
+        /// Exclusive upper bound, or `None` for the domain's end.
+        hi: Option<usize>,
+    },
+    /// Restrict to an explicit, sorted, deduplicated value set.
+    Values(&'a [usize]),
+    /// An opaque predicate condition; it cannot be serialized.
+    Predicate,
+}
+
 /// One declarative counting query (or query group) over a [`Schema`],
 /// built by name and lowered against a concrete schema on demand.
 ///
@@ -202,6 +225,27 @@ impl Query {
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
         self
+    }
+
+    /// Iterates the query's per-attribute conditions as borrowed
+    /// [`QueryTerm`] views, in insertion order.
+    ///
+    /// This is the introspection surface serializers use: a wire or
+    /// storage codec can walk the terms and re-assemble an equivalent
+    /// query on the other side with the public builders, without access
+    /// to the private condition representation. Predicate conditions
+    /// surface as [`QueryTerm::Predicate`] with the closure withheld —
+    /// they have no byte representation, and encoders reject them.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, QueryTerm<'_>)> {
+        self.conditions.iter().map(|(name, condition)| {
+            let term = match condition {
+                Condition::Marginal => QueryTerm::Marginal,
+                Condition::Range { lo, hi } => QueryTerm::Range { lo: *lo, hi: *hi },
+                Condition::Values(values) => QueryTerm::Values(values),
+                Condition::Predicate(_) => QueryTerm::Predicate,
+            };
+            (name.as_str(), term)
+        })
     }
 
     /// Resolves the query against a schema: validates every attribute

@@ -457,7 +457,13 @@ impl Deployment {
     /// deployments of the *same* mechanism for *different* workloads
     /// therefore bind differently: a checkpoint can never resume into a
     /// deployment that would answer different questions with its counts.
-    fn binding(&self) -> u64 {
+    ///
+    /// Public because serving tiers use it as an end-to-end identity
+    /// check: the ldp-serve daemon reports it in the `Info` handshake so
+    /// a client can verify it is talking to the deployment it previously
+    /// submitted reports to (the same fingerprint the snapshot codec
+    /// enforces on [`Deployment::resume`]).
+    pub fn binding(&self) -> u64 {
         *self.inner.binding.get_or_init(|| {
             let mechanism = &self.inner.mechanism;
             let mut h = Fnv64::new();
@@ -780,6 +786,22 @@ impl StreamIngestor {
             counts: self.aggregator.counts().to_vec(),
             binding: self.deployment.binding(),
         })
+    }
+
+    /// Drains a side shard (one per connection or per thread in a
+    /// serving tier) into the stream and resets it in place, counting the
+    /// batches it accumulated toward the stream's lineage. Exact integer
+    /// addition: absorbing N shards in any order is bit-identical to one
+    /// stream having ingested every batch itself — the merge half of the
+    /// ldp-serve daemon's "N connections byte-equal to one" contract.
+    ///
+    /// # Errors
+    /// [`LdpError::DimensionMismatch`] if the shard disagrees on the
+    /// number of outputs; the stream and the shard are both unchanged.
+    pub fn absorb(&mut self, shard: &mut AggregatorShard, batches: u64) -> Result<(), LdpError> {
+        self.aggregator.merge_from(shard)?;
+        self.batches += batches;
+        Ok(())
     }
 
     /// The current estimate — readable mid-stream, collection continues.
