@@ -1,0 +1,241 @@
+//! Open-domain serving load test: streams millions of frequency-oracle
+//! reports through sharded sparse aggregation, asserting the sparse
+//! determinism contract while measuring throughput.
+//!
+//! What it exercises (the `ldp-sparse` tentpole end-to-end):
+//!
+//! 1. **Sharded ingestion** — the report stream is absorbed through N
+//!    hash-map shards and merged canonically; the resulting checkpoint
+//!    bytes must be **byte-equal** to a single shard absorbing
+//!    everything (gated on every run, not just in CI).
+//! 2. **Snapshot codec** — the merged state round-trips through the
+//!    `RecordKind::SparseCheckpoint` LDPS record; encode/decode times
+//!    and the record size are recorded.
+//! 3. **Serving** — repeated top-k heavy-hitter minings over a
+//!    candidate set and point queries against the merged state
+//!    (answers/s for each).
+//!
+//! ```text
+//! cargo run --release -p ldp-bench --bin sparse_load -- \
+//!     [--quick] [--reports N] [--shards S] [--candidates C] \
+//!     [--bench] [--out BENCH_SPARSE.json] \
+//!     [--check BENCH_SPARSE.json] [--tolerance 0.2]
+//! ```
+//!
+//! `--check <baseline.json>` turns the run into a perf gate (the CI
+//! sparse-smoke job). Every gated metric is wall-clock, so the gate
+//! only runs **like-with-like**: when the baseline records a different
+//! kernel backend than this run measures (or predates the schema), the
+//! gate is skipped with a loud warning instead of failing spuriously —
+//! the same rule as the kernels and serve gates. The byte-equality
+//! assertions always run.
+
+// Load tests measure wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
+use std::time::Instant;
+
+use ldp::sparse::{
+    decode_sparse_checkpoint, encode_sparse_checkpoint, key_hash, SparseCheckpoint,
+    SparseDeployment, SparseShard,
+};
+use ldp_bench::args::Args;
+use ldp_bench::baseline::{json_number, json_string, GateCheck};
+use ldp_bench::report::banner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let total: usize = args.get_or("reports", if quick { 500_000 } else { 2_000_000 });
+    let shards: usize = args.get_or("shards", 4).max(1);
+    let num_candidates: usize = args.get_or("candidates", if quick { 2_000 } else { 10_000 });
+    let out_path = args.get_or("out", "BENCH_SPARSE.json".to_string());
+
+    let deployment = SparseDeployment::hadamard("url", 2.0, 16).expect("valid oracle params");
+    let client = deployment.client();
+
+    // --- 1. Report stream: Zipf-flavored head plus a cold tail. --------
+    let keys: Vec<u64> = (1..=num_candidates)
+        .map(|rank| key_hash(&format!("https://example.com/item/{rank}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = Instant::now();
+    let reports: Vec<u64> = (0..total)
+        .map(|i| {
+            // Ranks repeat with harmonic-ish frequency; every 8th report
+            // is a tail key seen once.
+            let kh = if i % 8 == 7 {
+                key_hash(&format!("https://example.com/tail/{i}"))
+            } else {
+                keys[(i * i) % num_candidates.min(1 + i)]
+            };
+            client.respond_hashed(kh, &mut rng)
+        })
+        .collect();
+    let respond_secs = t.elapsed().as_secs_f64();
+
+    // Sharded ingestion + canonical merge, timed.
+    let ingest = |n: usize| -> (Vec<u8>, f64) {
+        let t = Instant::now();
+        let mut parts: Vec<SparseShard> = (0..n).map(|_| SparseShard::new()).collect();
+        for (chunk, part) in reports
+            .chunks(total.div_ceil(n).max(1))
+            .zip(parts.iter_mut())
+        {
+            part.absorb_batch(chunk);
+        }
+        let mut ingestor = deployment.ingestor();
+        for (idx, part) in parts.iter_mut().enumerate() {
+            // One logical submission split across shards: batch
+            // accounting must not see the sharding.
+            ingestor.absorb(part, u64::from(idx == 0));
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let (epoch, batches, binding, pairs) = ingestor.checkpoint();
+        let record = encode_sparse_checkpoint(&SparseCheckpoint {
+            epoch,
+            batches,
+            binding,
+            reports: total as u64,
+            pairs,
+        });
+        (record, secs)
+    };
+    let (reference_record, _) = ingest(1);
+    let (record, ingest_secs) = ingest(shards);
+    assert_eq!(
+        record, reference_record,
+        "{shards} shards must produce checkpoint bytes byte-equal to 1"
+    );
+    let ingest_per_s = total as f64 / ingest_secs;
+    banner(
+        "sparse_load",
+        &format!(
+            "ingest {total} reports: {:.1}M reports/s through {shards} shards \
+             (randomize {:.1}M/s); {shards}-vs-1 shard checkpoints byte-equal",
+            ingest_per_s / 1e6,
+            total as f64 / respond_secs / 1e6,
+        ),
+    );
+
+    // --- 2. Snapshot codec round trip. ---------------------------------
+    let t = Instant::now();
+    let cp = decode_sparse_checkpoint(&record, deployment.binding()).expect("valid record");
+    let decode_secs = t.elapsed().as_secs_f64();
+    let snapshot_bytes = record.len();
+    banner(
+        "sparse_load",
+        &format!(
+            "snapshot: {snapshot_bytes} B ({} distinct reports), decode {:.1}ms",
+            cp.pairs.len(),
+            decode_secs * 1e3,
+        ),
+    );
+
+    // --- 3. Serving: heavy hitters and point queries. ------------------
+    let hh_rounds = if quick { 10 } else { 40 };
+    let t = Instant::now();
+    let mut admitted = 0usize;
+    for _ in 0..hh_rounds {
+        admitted = deployment.heavy_hitters(&cp.pairs, &keys, 10, 4.0).len();
+    }
+    let hh_secs = t.elapsed().as_secs_f64();
+    assert!(admitted > 0, "the head must clear the admission threshold");
+    let hh_per_s = hh_rounds as f64 / hh_secs;
+
+    let point_rounds = if quick { 200 } else { 1_000 };
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..point_rounds {
+        acc += deployment.point(&cp.pairs, keys[i % keys.len()]);
+    }
+    let point_secs = t.elapsed().as_secs_f64();
+    assert!(acc.is_finite());
+    let points_per_s = point_rounds as f64 / point_secs;
+    banner(
+        "sparse_load",
+        &format!(
+            "serve: {hh_per_s:.1} top-10 minings/s over {num_candidates} candidates \
+             ({admitted} admitted), {points_per_s:.0} point queries/s",
+        ),
+    );
+
+    let backend = ldp_linalg::kernels::backend().as_str();
+    let json = format!(
+        "{{\n  \"schema\": \"ldp-bench-sparse/1\",\n  \"quick\": {quick},\n  \
+         \"backend\": \"{backend}\",\n  \
+         \"ingest\": {{\n    \"reports\": {total},\n    \"shards\": {shards},\n    \
+         \"distinct\": {},\n    \"reports_per_s\": {ingest_per_s:.0}\n  }},\n  \
+         \"snapshot\": {{\n    \"bytes\": {snapshot_bytes},\n    \
+         \"decode_ms\": {:.3}\n  }},\n  \
+         \"query\": {{\n    \"candidates\": {num_candidates},\n    \
+         \"admitted\": {admitted},\n    \"hh_per_s\": {hh_per_s:.1},\n    \
+         \"points_per_s\": {points_per_s:.0}\n  }}\n}}\n",
+        cp.pairs.len(),
+        decode_secs * 1e3,
+    );
+    println!("{json}");
+    if args.flag("bench") {
+        std::fs::write(&out_path, &json).expect("write report JSON");
+        banner("sparse_load", &format!("wrote {out_path}"));
+    }
+    if let Some(baseline_path) = args.value("check") {
+        let tolerance = args.get_or("tolerance", 0.2f64);
+        check_against_baseline(baseline_path, &json, tolerance);
+    }
+}
+
+/// Gates the throughput metrics against a committed baseline, exiting
+/// non-zero on a regression beyond tolerance. All metrics here are
+/// wall-clock, so the whole gate runs like-with-like only: a baseline
+/// recorded under a different kernel backend (or with no backend
+/// field) is skipped with a warning, mirroring the kernels gate.
+fn check_against_baseline(baseline_path: &str, fresh: &str, tolerance: f64) {
+    let committed = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let fresh_backend = json_string(fresh, "backend").expect("fresh run records its backend");
+    let baseline_backend = json_string(&committed, "backend");
+    if baseline_backend.as_deref() != Some(fresh_backend.as_str()) {
+        banner(
+            "perf-gate",
+            &format!(
+                "WARNING: baseline {} vs measured '{fresh_backend}'; \
+                 skipping the wall-clock sparse gates (not comparable)",
+                baseline_backend
+                    .map_or_else(|| "records no backend".into(), |b| format!("backend '{b}'")),
+            ),
+        );
+        return;
+    }
+    let metric = |section: &str, key: &str| -> GateCheck {
+        let read = |doc: &str, which: &str| {
+            json_number(doc, section, key)
+                .unwrap_or_else(|| panic!("{section}.{key} missing from {which} report"))
+        };
+        GateCheck {
+            metric: format!("{section}.{key}"),
+            baseline: read(&committed, "baseline"),
+            fresh: read(fresh, "fresh"),
+            tolerance,
+            lower_is_better: false,
+        }
+    };
+    let checks = [
+        metric("ingest", "reports_per_s"),
+        metric("query", "hh_per_s"),
+        metric("query", "points_per_s"),
+    ];
+    let mut failed = false;
+    for check in &checks {
+        banner("perf-gate", &check.verdict());
+        failed |= !check.passes();
+    }
+    if failed {
+        banner(
+            "perf-gate",
+            "sparse throughput regressed beyond tolerance vs the committed baseline",
+        );
+        std::process::exit(1);
+    }
+}

@@ -87,12 +87,14 @@ impl Config {
                 "crates/store/src/snapshot.rs",
                 "crates/store/src/registry.rs",
                 "crates/serve/src/wire.rs",
+                "crates/sparse/src/snapshot.rs",
             ]),
             unsafe_allowlist: s(&["crates/linalg/src/simd", "crates/linalg/src/kernels"]),
             codec_modules: s(&[
                 "crates/store/src/codec.rs",
                 "crates/store/src/snapshot.rs",
                 "crates/serve/src/wire.rs",
+                "crates/sparse/src/snapshot.rs",
             ]),
         }
     }

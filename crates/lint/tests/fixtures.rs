@@ -20,7 +20,7 @@ fn fixture_config() -> Config {
         skip: Vec::new(),
         lib_roots: s(&[""]),
         lib_exempt: Vec::new(),
-        byte_stable: s(&["stablehash"]),
+        byte_stable: s(&["stablehash", "sparse_snapshot"]),
         unsafe_allowlist: s(&["kernels", "simd"]),
         codec_modules: s(&["codec"]),
     }
@@ -63,6 +63,17 @@ fn l1_fires_on_unordered_containers_in_byte_stable_modules() {
 #[test]
 fn l1_clean_on_ordered_containers() {
     assert_clean("l1/stablehash_clean.rs");
+}
+
+#[test]
+fn l1_fires_on_hash_map_in_sparse_codec_path() {
+    let report = lint_fixture("l1/sparse_snapshot_firing.rs");
+    assert_eq!(findings(&report), vec![(4, "L1"), (8, "L1"), (10, "L1")]);
+}
+
+#[test]
+fn l1_clean_on_sorted_key_sparse_codec_path() {
+    assert_clean("l1/sparse_snapshot_clean.rs");
 }
 
 #[test]
@@ -198,7 +209,7 @@ fn unused_suppression_is_flagged() {
 #[test]
 fn whole_corpus_walk_is_deterministic_and_complete() {
     let report = lint_root(&fixtures_root(), &fixture_config()).unwrap();
-    assert_eq!(report.files, 21, "every fixture file is scanned");
+    assert_eq!(report.files, 23, "every fixture file is scanned");
     let again = lint_root(&fixtures_root(), &fixture_config()).unwrap();
     let render = |r: &Report| {
         r.diagnostics

@@ -1,0 +1,12 @@
+//! Fixture: the sparse checkpoint codec iterates a canonical
+//! sorted-key export, so the bytes cannot see the shard's container.
+
+/// Flattens canonical strictly-ascending `(key, count)` pairs.
+pub fn flatten(pairs: &[(u64, u64)]) -> Vec<u64> {
+    let mut flat = Vec::with_capacity(2 * pairs.len());
+    for &(k, c) in pairs {
+        flat.push(k);
+        flat.push(c);
+    }
+    flat
+}

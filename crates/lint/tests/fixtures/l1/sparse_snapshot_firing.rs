@@ -1,0 +1,15 @@
+//! Fixture: a sparse checkpoint codec that serializes straight out of
+//! its hash map — the exact bug the byte-stable list exists to catch.
+
+use std::collections::HashMap;
+
+/// Flattens shard counts for encoding. Fires L1 twice: the container
+/// and the iteration both leak allocator state into checkpoint bytes.
+pub fn flatten(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut flat = Vec::new();
+    for (k, c) in counts.iter() {
+        flat.push(*k);
+        flat.push(*c);
+    }
+    flat
+}

@@ -3,6 +3,7 @@
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use ldp_sparse::{key_hash, HeavyHitter};
 use ldp_workloads::Query;
 
 use crate::wire::{read_frame, write_frame, DeploymentInfo, Message, WireError, WireQuery};
@@ -38,6 +39,16 @@ pub struct WorkloadAnswers {
     /// computed server-side.
     pub answers: Vec<f64>,
     /// Reports contributing to the estimate.
+    pub reports: u64,
+}
+
+/// The admitted heavy hitters for one open-domain deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeavyHittersAnswer {
+    /// Admitted candidates, ordered by estimate descending with
+    /// key-hash-ascending tie-break, at most the requested `k`.
+    pub hitters: Vec<HeavyHitter>,
+    /// Reports contributing to the estimates.
     pub reports: u64,
 }
 
@@ -209,6 +220,132 @@ impl ServeClient {
         match self.roundtrip(&request)? {
             Message::CheckpointOk { epoch, bytes } => Ok(CheckpointAck { epoch, bytes }),
             other => unexpected("CheckpointOk", &other),
+        }
+    }
+
+    /// Submits one batch of open-domain oracle reports (raw
+    /// [`SparseClient::respond`](ldp_sparse::SparseClient::respond)
+    /// outputs) to a sparse deployment. Admission is atomic: every
+    /// report must be well-formed for the deployment's oracle or none
+    /// of the batch counts.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] with [`ErrorCode::BadBatch`] (malformed
+    /// report), [`ErrorCode::UnknownDeployment`], or
+    /// [`ErrorCode::Unsupported`] (the deployment is dense); any
+    /// transport-level [`WireError`].
+    ///
+    /// [`ErrorCode::BadBatch`]: crate::wire::ErrorCode::BadBatch
+    /// [`ErrorCode::UnknownDeployment`]: crate::wire::ErrorCode::UnknownDeployment
+    /// [`ErrorCode::Unsupported`]: crate::wire::ErrorCode::Unsupported
+    pub fn submit_sparse(
+        &mut self,
+        deployment: &str,
+        reports: &[u64],
+    ) -> Result<SubmitAck, WireError> {
+        let request = Message::SubmitSparse {
+            deployment: deployment.to_string(),
+            reports: reports.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Message::SubmitOk { accepted, pending } => Ok(SubmitAck { accepted, pending }),
+            other => unexpected("SubmitOk", &other),
+        }
+    }
+
+    /// Unbiased point estimate for one open-domain key — the
+    /// convenience form of [`ServeClient::point_hashed`] that hashes
+    /// `key` with [`ldp_sparse::key_hash`] client-side, so the raw key
+    /// string never crosses the wire.
+    ///
+    /// # Errors
+    /// As [`ServeClient::point_hashed`].
+    pub fn point(&mut self, deployment: &str, key: &str) -> Result<ServeAnswer, WireError> {
+        self.point_hashed(deployment, key_hash(key))
+    }
+
+    /// Unbiased point estimate for one pre-hashed open-domain key
+    /// against the deployment's current merged state.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] with [`ErrorCode::UnknownDeployment`] or
+    /// [`ErrorCode::Unsupported`] (the deployment is dense); any
+    /// transport-level [`WireError`].
+    ///
+    /// [`ErrorCode::UnknownDeployment`]: crate::wire::ErrorCode::UnknownDeployment
+    /// [`ErrorCode::Unsupported`]: crate::wire::ErrorCode::Unsupported
+    pub fn point_hashed(
+        &mut self,
+        deployment: &str,
+        key_hash: u64,
+    ) -> Result<ServeAnswer, WireError> {
+        let request = Message::SparsePoint {
+            deployment: deployment.to_string(),
+            key_hash,
+        };
+        match self.roundtrip(&request)? {
+            Message::QueryOk {
+                value,
+                variance,
+                stddev,
+                reports,
+            } => Ok(ServeAnswer {
+                value,
+                variance,
+                stddev,
+                reports,
+            }),
+            other => unexpected("QueryOk", &other),
+        }
+    }
+
+    /// Variance-aware top-k heavy hitters over an explicit candidate
+    /// set (key hashes from [`ldp_sparse::key_hash`]). The server
+    /// admits only candidates whose estimate clears `z · stddev` under
+    /// the null, bounding false positives to the chosen z-score.
+    ///
+    /// # Errors
+    /// [`WireError::Remote`] with [`ErrorCode::UnknownDeployment`],
+    /// [`ErrorCode::Unsupported`] (dense deployment), or
+    /// [`ErrorCode::BadQuery`] (non-finite `z`); any transport-level
+    /// [`WireError`].
+    ///
+    /// [`ErrorCode::UnknownDeployment`]: crate::wire::ErrorCode::UnknownDeployment
+    /// [`ErrorCode::Unsupported`]: crate::wire::ErrorCode::Unsupported
+    /// [`ErrorCode::BadQuery`]: crate::wire::ErrorCode::BadQuery
+    pub fn heavy_hitters(
+        &mut self,
+        deployment: &str,
+        candidates: &[u64],
+        k: usize,
+        z: f64,
+    ) -> Result<HeavyHittersAnswer, WireError> {
+        let request = Message::HeavyHitters {
+            deployment: deployment.to_string(),
+            k: k as u64,
+            z,
+            candidates: candidates.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Message::HeavyHittersOk {
+                reports,
+                keys,
+                estimates,
+                stddevs,
+            } => {
+                let hitters = keys
+                    .into_iter()
+                    .zip(estimates)
+                    .zip(stddevs)
+                    .map(|((key_hash, estimate), stddev)| HeavyHitter {
+                        key_hash,
+                        estimate,
+                        stddev,
+                    })
+                    .collect();
+                Ok(HeavyHittersAnswer { hitters, reports })
+            }
+            other => unexpected("HeavyHittersOk", &other),
         }
     }
 

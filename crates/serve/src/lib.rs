@@ -8,12 +8,15 @@
 //!   (magic `LDPW`), the TCP sibling of the `ldp-store` snapshot codec.
 //!   Byte-level spec: `docs/WIRE_PROTOCOL.md`.
 //! - [`Server`] — a multi-threaded `TcpListener` daemon hosting named
-//!   deployments, with per-connection aggregation shards merged exactly
-//!   at every checkpoint/query barrier, and atomic snapshot persistence
+//!   deployments — dense workload deployments ([`Server::host`]) and
+//!   open-domain sparse deployments ([`Server::host_sparse`]) side by
+//!   side — with per-connection aggregation shards merged exactly at
+//!   every checkpoint/query barrier, and atomic snapshot persistence
 //!   for crash recovery.
 //! - [`ServeClient`] — the blocking request/response handle: submit
-//!   report batches, ask ad-hoc queries, evaluate the deployed
-//!   workload, checkpoint, shut down.
+//!   report batches (dense or sparse), ask ad-hoc queries, point
+//!   queries and top-k heavy hitters over open domains, evaluate the
+//!   deployed workload, checkpoint, shut down.
 //! - `ldp-served` — the packaged daemon binary (`src/main.rs`).
 //!
 //! # The determinism contract, over TCP
@@ -64,6 +67,8 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{CheckpointAck, ServeAnswer, ServeClient, SubmitAck, WorkloadAnswers};
+pub use client::{
+    CheckpointAck, HeavyHittersAnswer, ServeAnswer, ServeClient, SubmitAck, WorkloadAnswers,
+};
 pub use server::{ServeError, Server, ServerConfig, ServerHandle};
 pub use wire::{DeploymentInfo, ErrorCode, Message, WireError, WireQuery};

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! ldp-served --addr 127.0.0.1:7700 --dir ./snapshots \
-//!     --deploy survey:color=3,size=2:eps=1.0:baseline=rr
+//!     --deploy survey:color=3,size=2:eps=1.0:baseline=rr \
+//!     --deploy urls:open=url:eps=2.0:bits=18
 //! ```
 //!
-//! Each `--deploy` hosts one schema'd deployment whose workload is the
-//! full contingency table over its attributes plus the total count. The
+//! Each `--deploy` hosts one deployment. A dense spec
+//! (`NAME:attr=K,...`) deploys a schema'd workload — the full
+//! contingency table over its attributes plus the total count. An open
+//! spec (`NAME:open=ATTR`) deploys a sparse frequency oracle serving
+//! point and heavy-hitter queries over an unbounded key domain. The
 //! daemon prints `ldp-served listening on ADDR` once it accepts
 //! connections (tooling parses this line to learn an ephemeral port),
 //! resumes any snapshot found under `--dir`, and exits when a client
@@ -17,6 +21,7 @@ use std::process::ExitCode;
 
 use ldp::prelude::*;
 use ldp_serve::{Server, ServerConfig};
+use ldp_sparse::SparseDeployment;
 
 const USAGE: &str = "\
 usage: ldp-served [OPTIONS] --deploy SPEC [--deploy SPEC ...]
@@ -27,19 +32,101 @@ options:
                      and resume-on-start
   --workers N        connection worker threads (default: compute pool size)
 
-deploy spec:
+dense deploy spec:
   NAME:attr=K,attr=K[,...][:eps=F][:baseline=rr|hadamard|hier]
   e.g.  survey:color=3,size=2:eps=1.0:baseline=rr
   The deployed workload is the full contingency table over the listed
   attributes plus the total count; ad-hoc queries may ask anything the
   schema can express.
+
+open deploy spec:
+  NAME:open=ATTR[:eps=F][:oracle=olh|hadamard][:bits=B]
+  e.g.  urls:open=url:eps=2.0:bits=18
+  Hosts a sparse frequency oracle over an unbounded key domain
+  (default oracle=hadamard with bits=16 buckets-log2; oracle=olh takes
+  no bits). Serves point queries and top-k heavy hitters.
 ";
 
-struct DeploySpec {
+/// One parsed `--deploy` argument.
+enum DeploySpec {
+    /// `NAME:attr=K,...` — a dense schema'd workload deployment.
+    Dense {
+        name: String,
+        attributes: Vec<(String, usize)>,
+        epsilon: f64,
+        baseline: Baseline,
+    },
+    /// `NAME:open=ATTR` — an open-domain sparse oracle deployment.
+    Open {
+        name: String,
+        attribute: String,
+        epsilon: f64,
+        /// `None` selects OLH; `Some(bits)` the sparse Hadamard oracle.
+        bits: Option<u32>,
+    },
+}
+
+/// Which sparse oracle an open spec names (before bits are applied).
+#[derive(Clone, Copy, PartialEq)]
+enum OracleChoice {
+    Olh,
+    Hadamard,
+}
+
+/// Default buckets-log2 for open deployments that don't say `bits=`.
+const DEFAULT_BITS: u32 = 16;
+
+fn parse_open_deploy(
+    spec: &str,
     name: String,
-    attributes: Vec<(String, usize)>,
-    epsilon: f64,
-    baseline: Baseline,
+    attribute: &str,
+    parts: std::str::Split<'_, char>,
+) -> Result<DeploySpec, String> {
+    if attribute.is_empty() {
+        return Err(format!("deploy spec {spec:?}: empty open attribute"));
+    }
+    let mut epsilon = 1.0;
+    let mut oracle = None;
+    let mut bits = None;
+    for extra in parts {
+        if let Some(e) = extra.strip_prefix("eps=") {
+            epsilon = e
+                .parse()
+                .map_err(|_| format!("deploy spec {spec:?}: bad epsilon {e:?}"))?;
+        } else if let Some(o) = extra.strip_prefix("oracle=") {
+            oracle = Some(match o {
+                "olh" => OracleChoice::Olh,
+                "hadamard" => OracleChoice::Hadamard,
+                other => {
+                    return Err(format!(
+                        "deploy spec {spec:?}: unknown oracle {other:?} (olh|hadamard)"
+                    ))
+                }
+            });
+        } else if let Some(b) = extra.strip_prefix("bits=") {
+            bits = Some(
+                b.parse()
+                    .map_err(|_| format!("deploy spec {spec:?}: bad bits {b:?}"))?,
+            );
+        } else {
+            return Err(format!("deploy spec {spec:?}: unknown option {extra:?}"));
+        }
+    }
+    let bits = match (oracle, bits) {
+        (Some(OracleChoice::Olh), Some(_)) => {
+            return Err(format!(
+                "deploy spec {spec:?}: oracle=olh takes no bits= option"
+            ))
+        }
+        (Some(OracleChoice::Olh), None) => None,
+        (Some(OracleChoice::Hadamard) | None, b) => Some(b.unwrap_or(DEFAULT_BITS)),
+    };
+    Ok(DeploySpec::Open {
+        name,
+        attribute: attribute.to_string(),
+        epsilon,
+        bits,
+    })
 }
 
 fn parse_deploy(spec: &str) -> Result<DeploySpec, String> {
@@ -51,7 +138,10 @@ fn parse_deploy(spec: &str) -> Result<DeploySpec, String> {
         .to_string();
     let schema_part = parts
         .next()
-        .ok_or_else(|| format!("deploy spec {spec:?}: missing schema (attr=K,...)"))?;
+        .ok_or_else(|| format!("deploy spec {spec:?}: missing schema (attr=K,... or open=ATTR)"))?;
+    if let Some(attribute) = schema_part.strip_prefix("open=") {
+        return parse_open_deploy(spec, name, attribute, parts);
+    }
     let mut attributes = Vec::new();
     for pair in schema_part.split(',') {
         let (attr, k) = pair
@@ -87,12 +177,51 @@ fn parse_deploy(spec: &str) -> Result<DeploySpec, String> {
             return Err(format!("deploy spec {spec:?}: unknown option {extra:?}"));
         }
     }
-    Ok(DeploySpec {
+    Ok(DeploySpec::Dense {
         name,
         attributes,
         epsilon,
         baseline,
     })
+}
+
+fn host_spec(server: &mut Server, spec: DeploySpec) -> Result<(String, bool), String> {
+    match spec {
+        DeploySpec::Dense {
+            name,
+            attributes,
+            epsilon,
+            baseline,
+        } => {
+            let schema = Schema::new(attributes.clone());
+            let attribute_names: Vec<String> = attributes.iter().map(|(n, _)| n.clone()).collect();
+            let deployment = Pipeline::for_schema(schema)
+                .queries([Query::marginal(attribute_names), Query::total()])
+                .epsilon(epsilon)
+                .baseline(baseline)
+                .map_err(|e| format!("deploy {name:?}: {e}"))?;
+            let resumed = server
+                .host(&name, deployment)
+                .map_err(|e| format!("deploy {name:?}: {e}"))?;
+            Ok((name, resumed))
+        }
+        DeploySpec::Open {
+            name,
+            attribute,
+            epsilon,
+            bits,
+        } => {
+            let deployment = match bits {
+                None => SparseDeployment::olh(attribute, epsilon),
+                Some(bits) => SparseDeployment::hadamard(attribute, epsilon, bits),
+            }
+            .map_err(|e| format!("deploy {name:?}: {e}"))?;
+            let resumed = server
+                .host_sparse(&name, deployment)
+                .map_err(|e| format!("deploy {name:?}: {e}"))?;
+            Ok((name, resumed))
+        }
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -131,19 +260,9 @@ fn run() -> Result<(), String> {
     let mut server =
         Server::bind(ServerConfig { addr, dir, workers }).map_err(|e| e.to_string())?;
     for spec in specs {
-        let schema = Schema::new(spec.attributes.clone());
-        let attribute_names: Vec<String> = spec.attributes.iter().map(|(n, _)| n.clone()).collect();
-        let deployment = Pipeline::for_schema(schema)
-            .queries([Query::marginal(attribute_names), Query::total()])
-            .epsilon(spec.epsilon)
-            .baseline(spec.baseline)
-            .map_err(|e| format!("deploy {:?}: {e}", spec.name))?;
-        let resumed = server
-            .host(&spec.name, deployment)
-            .map_err(|e| format!("deploy {:?}: {e}", spec.name))?;
+        let (name, resumed) = host_spec(&mut server, spec)?;
         println!(
-            "ldp-served hosting {:?}{}",
-            spec.name,
+            "ldp-served hosting {name:?}{}",
             if resumed {
                 " (resumed from snapshot)"
             } else {
@@ -165,5 +284,106 @@ fn main() -> ExitCode {
             eprintln!("ldp-served: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(spec: &str) -> String {
+        match parse_deploy(spec) {
+            Err(e) => e,
+            Ok(_) => panic!("spec {spec:?} should not parse"),
+        }
+    }
+
+    #[test]
+    fn open_spec_defaults_to_hadamard_16() {
+        match parse_deploy("urls:open=url").unwrap() {
+            DeploySpec::Open {
+                name,
+                attribute,
+                epsilon,
+                bits,
+            } => {
+                assert_eq!(name, "urls");
+                assert_eq!(attribute, "url");
+                assert_eq!(epsilon, 1.0);
+                assert_eq!(bits, Some(DEFAULT_BITS));
+            }
+            DeploySpec::Dense { .. } => panic!("expected an open spec"),
+        }
+    }
+
+    #[test]
+    fn open_spec_full_form_parses() {
+        match parse_deploy("urls:open=url:eps=2.0:oracle=hadamard:bits=18").unwrap() {
+            DeploySpec::Open { epsilon, bits, .. } => {
+                assert_eq!(epsilon, 2.0);
+                assert_eq!(bits, Some(18));
+            }
+            DeploySpec::Dense { .. } => panic!("expected an open spec"),
+        }
+    }
+
+    #[test]
+    fn open_spec_olh_has_no_bits() {
+        match parse_deploy("urls:open=url:oracle=olh").unwrap() {
+            DeploySpec::Open { bits, .. } => assert_eq!(bits, None),
+            DeploySpec::Dense { .. } => panic!("expected an open spec"),
+        }
+    }
+
+    #[test]
+    fn open_spec_empty_attribute_is_an_error() {
+        assert!(err("urls:open=").contains("empty open attribute"));
+    }
+
+    #[test]
+    fn open_spec_bad_epsilon_is_an_error() {
+        assert!(err("urls:open=url:eps=fast").contains("bad epsilon"));
+    }
+
+    #[test]
+    fn open_spec_bad_bits_is_an_error() {
+        assert!(err("urls:open=url:bits=many").contains("bad bits"));
+    }
+
+    #[test]
+    fn open_spec_unknown_oracle_is_an_error() {
+        assert!(err("urls:open=url:oracle=bloom").contains("unknown oracle"));
+    }
+
+    #[test]
+    fn open_spec_olh_with_bits_is_an_error() {
+        assert!(err("urls:open=url:oracle=olh:bits=8").contains("takes no bits"));
+    }
+
+    #[test]
+    fn open_spec_unknown_option_is_an_error() {
+        assert!(err("urls:open=url:salt=3").contains("unknown option"));
+    }
+
+    #[test]
+    fn dense_spec_still_parses() {
+        match parse_deploy("survey:color=3,size=2:eps=0.5:baseline=hier").unwrap() {
+            DeploySpec::Dense {
+                name,
+                attributes,
+                epsilon,
+                ..
+            } => {
+                assert_eq!(name, "survey");
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(epsilon, 0.5);
+            }
+            DeploySpec::Open { .. } => panic!("expected a dense spec"),
+        }
+    }
+
+    #[test]
+    fn missing_schema_is_an_error() {
+        assert!(err("survey").contains("missing schema"));
     }
 }

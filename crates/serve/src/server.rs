@@ -1,28 +1,33 @@
-//! The multi-threaded TCP server hosting one or more [`Deployment`]s.
+//! The multi-threaded TCP server hosting dense [`Deployment`]s and
+//! open-domain [`SparseDeployment`]s side by side.
 //!
 //! # Threading model
 //!
 //! One acceptor thread pushes connections into a closable
 //! [`WorkQueue`]; a fixed pool of connection workers pops them and
 //! serves each connection to completion (frame in, frame out). Every
-//! connection owns a private [`AggregatorShard`] per hosted deployment,
-//! so the submit fast path touches **no shared lock** beyond its own
-//! shard. Checkpoint, query, answers, and info requests run a *merge
-//! barrier*: every connection shard is drained into the deployment's
-//! central [`StreamIngestor`] with [`StreamIngestor::absorb`]. Counts
-//! are exact integers, so the merge is commutative and the result is
-//! **bit-identical** to a single connection having submitted every
-//! batch — the serving extension of the repo's determinism contract
-//! (asserted in `tests/server.rs` and `tests/restart.rs`).
+//! connection owns a private shard per hosted deployment — an
+//! [`AggregatorShard`] for dense deployments, a [`SparseShard`] for
+//! open-domain ones — so the submit fast path touches **no shared
+//! lock** beyond its own shard. Checkpoint, query, answers,
+//! heavy-hitter, and info requests run a *merge barrier*: every
+//! connection shard is drained into the deployment's central ingestor.
+//! Counts are exact integers, so the merge is commutative and the
+//! result is **bit-identical** to a single connection having submitted
+//! every batch — the serving extension of the repo's determinism
+//! contract (asserted in `tests/server.rs`, `tests/restart.rs`, and
+//! `tests/sparse_serve.rs`).
 //!
 //! # Durability
 //!
 //! With a snapshot directory configured, a checkpoint request persists
 //! the deployment's `ldp-store` snapshot atomically (write to a
-//! temporary file, then rename), graceful shutdown persists a final
-//! snapshot for every hosted deployment, and [`Server::host`] resumes
-//! from an existing snapshot — whose binding fingerprint must match the
-//! deployment, or hosting fails with the store's typed
+//! temporary file, then rename) — an `LDPS` stream record for dense
+//! deployments, an `LDPS` sparse-checkpoint record for open-domain ones
+//! — graceful shutdown persists a final snapshot for every hosted
+//! deployment, and [`Server::host`] / [`Server::host_sparse`] resume
+//! from an existing snapshot, whose binding fingerprint must match the
+//! deployment or hosting fails with the store's typed
 //! [`StoreError::BindingMismatch`].
 //!
 //! # No timeouts, by design
@@ -44,6 +49,10 @@ use ldp::pipeline::{Deployment, StreamIngestor};
 use ldp_core::protocol::{validate_reports, AggregatorShard};
 use ldp_core::LdpError;
 use ldp_parallel::WorkQueue;
+use ldp_sparse::{
+    decode_sparse_checkpoint, encode_sparse_checkpoint, SparseCheckpoint, SparseDeployment,
+    SparseIngestor, SparseShard,
+};
 use ldp_store::StoreError;
 
 use crate::wire::{read_frame, write_frame, DeploymentInfo, ErrorCode, Message};
@@ -145,20 +154,55 @@ impl Default for ServerConfig {
     }
 }
 
-/// One connection's private ingestion state for one deployment.
+/// One connection's private ingestion state for one dense deployment.
 #[derive(Debug)]
 struct ConnShard {
     shard: AggregatorShard,
     batches: u64,
 }
 
-/// One hosted deployment: its central stream plus the live registry of
-/// per-connection shards the merge barrier drains.
+/// One connection's private ingestion state for one sparse deployment.
+#[derive(Debug)]
+struct SparseConnShard {
+    shard: SparseShard,
+    batches: u64,
+}
+
+/// One connection's slot for one hosted deployment, created lazily on
+/// the first submit (index-parallel to `Shared::hosted`).
+#[derive(Debug, Default, Clone)]
+enum ConnSlot {
+    /// Nothing submitted on this connection yet.
+    #[default]
+    Vacant,
+    /// A dense deployment's private shard.
+    Dense(Arc<Mutex<ConnShard>>),
+    /// A sparse deployment's private shard.
+    Sparse(Arc<Mutex<SparseConnShard>>),
+}
+
+/// The kind-specific half of one hosted deployment: its central
+/// ingestor plus the live registry of per-connection shards the merge
+/// barrier drains.
+enum HostedKind {
+    /// A dense (closed-domain) workload deployment.
+    Dense {
+        deployment: Deployment,
+        central: Mutex<StreamIngestor>,
+        conns: Mutex<Vec<Arc<Mutex<ConnShard>>>>,
+    },
+    /// An open-domain frequency-oracle deployment.
+    Sparse {
+        deployment: SparseDeployment,
+        central: Mutex<SparseIngestor>,
+        conns: Mutex<Vec<Arc<Mutex<SparseConnShard>>>>,
+    },
+}
+
+/// One hosted deployment (dense or sparse) and its snapshot path.
 struct Hosted {
     name: String,
-    deployment: Deployment,
-    central: Mutex<StreamIngestor>,
-    conns: Mutex<Vec<Arc<Mutex<ConnShard>>>>,
+    kind: HostedKind,
     path: Option<PathBuf>,
 }
 
@@ -181,33 +225,85 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Hosted {
-    /// Drains every live connection shard into the held central stream.
-    /// Exact integer addition in any order — the merge half of the
-    /// "N connections byte-equal to one" contract.
-    fn flush_into(&self, central: &mut StreamIngestor) -> Result<(), LdpError> {
-        let conns = lock(&self.conns);
-        for conn in conns.iter() {
+    /// Runs `f` under the dense merge barrier (central locked, every
+    /// connection shard drained), or `None` if this entry is sparse.
+    fn dense_barrier<R>(
+        &self,
+        f: impl FnOnce(&Deployment, &mut StreamIngestor) -> R,
+    ) -> Option<Result<R, LdpError>> {
+        let HostedKind::Dense {
+            deployment,
+            central,
+            conns,
+        } = &self.kind
+        else {
+            return None;
+        };
+        let mut central = lock(central);
+        for conn in lock(conns).iter() {
             let mut conn = lock(conn);
             let batches = conn.batches;
-            central.absorb(&mut conn.shard, batches)?;
+            if let Err(e) = central.absorb(&mut conn.shard, batches) {
+                return Some(Err(e));
+            }
             conn.batches = 0;
         }
-        Ok(())
+        Some(Ok(f(deployment, &mut central)))
     }
 
-    /// Runs `f` under the merge barrier: central locked, every
-    /// connection shard drained.
-    fn barrier<R>(&self, f: impl FnOnce(&mut StreamIngestor) -> R) -> Result<R, LdpError> {
-        let mut central = lock(&self.central);
-        self.flush_into(&mut central)?;
-        Ok(f(&mut central))
+    /// Runs `f` under the sparse merge barrier, or `None` if this entry
+    /// is dense. Sparse merges are infallible (exact `u64` addition).
+    fn sparse_barrier<R>(
+        &self,
+        f: impl FnOnce(&SparseDeployment, &mut SparseIngestor) -> R,
+    ) -> Option<R> {
+        let HostedKind::Sparse {
+            deployment,
+            central,
+            conns,
+        } = &self.kind
+        else {
+            return None;
+        };
+        let mut central = lock(central);
+        for conn in lock(conns).iter() {
+            let mut conn = lock(conn);
+            let batches = conn.batches;
+            central.absorb(&mut conn.shard, batches);
+            conn.batches = 0;
+        }
+        Some(f(deployment, &mut central))
     }
 
     /// Merges, serializes, and (when persistence is on) atomically
     /// writes this deployment's snapshot. Returns `(epoch, bytes)`.
     fn checkpoint(&self) -> Result<(u64, u64), ServeError> {
-        let (epoch, snapshot) =
-            self.barrier(|central| (central.epoch() + 1, central.checkpoint()))?;
+        let (epoch, snapshot) = match &self.kind {
+            HostedKind::Dense { .. } => {
+                match self.dense_barrier(|_, central| (central.epoch() + 1, central.checkpoint())) {
+                    Some(Ok(pair)) => pair,
+                    Some(Err(e)) => return Err(ServeError::Ldp(e)),
+                    None => unreachable!("kind matched above"),
+                }
+            }
+            HostedKind::Sparse { .. } => {
+                match self.sparse_barrier(|_, central| {
+                    let reports = central.reports();
+                    let (epoch, batches, binding, pairs) = central.checkpoint();
+                    let record = encode_sparse_checkpoint(&SparseCheckpoint {
+                        epoch,
+                        batches,
+                        binding,
+                        reports,
+                        pairs,
+                    });
+                    (epoch, record)
+                }) {
+                    Some(pair) => pair,
+                    None => unreachable!("kind matched above"),
+                }
+            }
+        };
         let bytes = snapshot.len() as u64;
         if let Some(path) = &self.path {
             let tmp = path.with_extension(format!("{SNAPSHOT_EXT}.tmp"));
@@ -217,18 +313,44 @@ impl Hosted {
         Ok((epoch, bytes))
     }
 
+    /// Identity and live merged counters. Sparse deployments report a
+    /// `domain_size` / `num_outputs` / `num_queries` of zero: the domain
+    /// is open and the oracle's output space is not a dense `0..m`.
     fn info(&self) -> Result<DeploymentInfo, LdpError> {
-        self.barrier(|central| DeploymentInfo {
-            name: self.name.clone(),
-            domain_size: self.deployment.workload().domain_size() as u64,
-            num_outputs: self.deployment.mechanism().num_outputs() as u64,
-            num_queries: self.deployment.workload().num_queries() as u64,
-            epsilon: self.deployment.epsilon(),
-            binding: self.deployment.binding(),
-            epoch: central.epoch(),
-            batches: central.batches(),
-            reports: central.reports(),
-        })
+        match &self.kind {
+            HostedKind::Dense { .. } => {
+                match self.dense_barrier(|deployment, central| DeploymentInfo {
+                    name: self.name.clone(),
+                    domain_size: deployment.workload().domain_size() as u64,
+                    num_outputs: deployment.mechanism().num_outputs() as u64,
+                    num_queries: deployment.workload().num_queries() as u64,
+                    epsilon: deployment.epsilon(),
+                    binding: deployment.binding(),
+                    epoch: central.epoch(),
+                    batches: central.batches(),
+                    reports: central.reports(),
+                }) {
+                    Some(result) => result,
+                    None => unreachable!("kind matched above"),
+                }
+            }
+            HostedKind::Sparse { .. } => {
+                match self.sparse_barrier(|deployment, central| DeploymentInfo {
+                    name: self.name.clone(),
+                    domain_size: 0,
+                    num_outputs: 0,
+                    num_queries: 0,
+                    epsilon: deployment.oracle().epsilon(),
+                    binding: deployment.binding(),
+                    epoch: central.epoch(),
+                    batches: central.batches(),
+                    reports: central.reports(),
+                }) {
+                    Some(info) => Ok(info),
+                    None => unreachable!("kind matched above"),
+                }
+            }
+        }
     }
 }
 
@@ -292,17 +414,8 @@ impl Server {
         self.addr
     }
 
-    /// Hosts `deployment` under `name`. With persistence configured and
-    /// a snapshot file present, the deployment's stream resumes from it
-    /// — after which answers are byte-equal to a process that never
-    /// restarted. Returns `true` if a snapshot was resumed.
-    ///
-    /// # Errors
-    /// [`ServeError::InvalidName`] / [`ServeError::DuplicateDeployment`]
-    /// for bad names; any snapshot decode defect, including the typed
-    /// [`StoreError::BindingMismatch`] when the file on disk was written
-    /// by a *different* deployment.
-    pub fn host(&mut self, name: &str, deployment: Deployment) -> Result<bool, ServeError> {
+    /// Validates a deployment name and returns its snapshot path.
+    fn admit(&self, name: &str) -> Result<Option<PathBuf>, ServeError> {
         let valid = !name.is_empty()
             && name.len() <= MAX_DEPLOYMENT_NAME
             && name
@@ -314,10 +427,24 @@ impl Server {
         if self.hosted.iter().any(|h| h.name == name) {
             return Err(ServeError::DuplicateDeployment(name.to_string()));
         }
-        let path = self
+        Ok(self
             .dir
             .as_ref()
-            .map(|dir| dir.join(format!("{name}.{SNAPSHOT_EXT}")));
+            .map(|dir| dir.join(format!("{name}.{SNAPSHOT_EXT}"))))
+    }
+
+    /// Hosts `deployment` under `name`. With persistence configured and
+    /// a snapshot file present, the deployment's stream resumes from it
+    /// — after which answers are byte-equal to a process that never
+    /// restarted. Returns `true` if a snapshot was resumed.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidName`] / [`ServeError::DuplicateDeployment`]
+    /// for bad names; any snapshot decode defect, including the typed
+    /// [`StoreError::BindingMismatch`] when the file on disk was written
+    /// by a *different* deployment.
+    pub fn host(&mut self, name: &str, deployment: Deployment) -> Result<bool, ServeError> {
+        let path = self.admit(name)?;
         let mut resumed = false;
         let central = match &path {
             Some(path) if path.exists() => {
@@ -329,9 +456,49 @@ impl Server {
         };
         self.hosted.push(Arc::new(Hosted {
             name: name.to_string(),
-            deployment,
-            central: Mutex::new(central),
-            conns: Mutex::new(Vec::new()),
+            kind: HostedKind::Dense {
+                deployment,
+                central: Mutex::new(central),
+                conns: Mutex::new(Vec::new()),
+            },
+            path,
+        }));
+        Ok(resumed)
+    }
+
+    /// Hosts an open-domain [`SparseDeployment`] under `name`, with the
+    /// same persistence/resume semantics as [`Server::host`]: a sparse
+    /// checkpoint found under the snapshot directory is decoded,
+    /// binding-checked, and resumed. Returns `true` if a snapshot was
+    /// resumed.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidName`] / [`ServeError::DuplicateDeployment`]
+    /// for bad names; any sparse-checkpoint decode defect, including the
+    /// typed [`StoreError::BindingMismatch`].
+    pub fn host_sparse(
+        &mut self,
+        name: &str,
+        deployment: SparseDeployment,
+    ) -> Result<bool, ServeError> {
+        let path = self.admit(name)?;
+        let mut resumed = false;
+        let central = match &path {
+            Some(path) if path.exists() => {
+                let bytes = fs::read(path)?;
+                let cp = decode_sparse_checkpoint(&bytes, deployment.binding())?;
+                resumed = true;
+                SparseIngestor::resume(cp.binding, cp.epoch, cp.batches, &cp.pairs)
+            }
+            _ => deployment.ingestor(),
+        };
+        self.hosted.push(Arc::new(Hosted {
+            name: name.to_string(),
+            kind: HostedKind::Sparse {
+                deployment,
+                central: Mutex::new(central),
+                conns: Mutex::new(Vec::new()),
+            },
             path,
         }));
         Ok(resumed)
@@ -463,7 +630,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
     // This connection's private shards, registered lazily per
     // deployment on first submit (index-parallel to `shared.hosted`).
-    let mut shards: Vec<Option<Arc<Mutex<ConnShard>>>> = vec![None; shared.hosted.len()];
+    let mut shards: Vec<ConnSlot> = vec![ConnSlot::Vacant; shared.hosted.len()];
     loop {
         let request = match read_frame(&mut reader) {
             Ok(Some(request)) => request,
@@ -505,20 +672,34 @@ fn initiate_shutdown(shared: &Arc<Shared>) {
 
 /// Final merge for a closing connection: absorb its shards and drop them
 /// from the live registries so the barrier never re-visits them.
-fn drain_connection(shared: &Arc<Shared>, shards: &[Option<Arc<Mutex<ConnShard>>>]) {
-    for (hosted, conn) in shared.hosted.iter().zip(shards) {
-        let Some(conn) = conn else { continue };
-        let mut central = lock(&hosted.central);
-        {
-            let mut state = lock(conn);
-            let batches = state.batches;
-            // Infallible in practice: the shard was created from this
-            // deployment, so dimensions agree.
-            if central.absorb(&mut state.shard, batches).is_ok() {
-                state.batches = 0;
+fn drain_connection(shared: &Arc<Shared>, shards: &[ConnSlot]) {
+    for (hosted, slot) in shared.hosted.iter().zip(shards) {
+        match (&hosted.kind, slot) {
+            (HostedKind::Dense { central, conns, .. }, ConnSlot::Dense(conn)) => {
+                let mut central = lock(central);
+                {
+                    let mut state = lock(conn);
+                    let batches = state.batches;
+                    // Infallible in practice: the shard was created from
+                    // this deployment, so dimensions agree.
+                    if central.absorb(&mut state.shard, batches).is_ok() {
+                        state.batches = 0;
+                    }
+                }
+                lock(conns).retain(|c| !Arc::ptr_eq(c, conn));
             }
+            (HostedKind::Sparse { central, conns, .. }, ConnSlot::Sparse(conn)) => {
+                let mut central = lock(central);
+                {
+                    let mut state = lock(conn);
+                    let batches = state.batches;
+                    central.absorb(&mut state.shard, batches);
+                    state.batches = 0;
+                }
+                lock(conns).retain(|c| !Arc::ptr_eq(c, conn));
+            }
+            _ => {}
         }
-        lock(&hosted.conns).retain(|c| !Arc::ptr_eq(c, conn));
     }
 }
 
@@ -530,12 +711,17 @@ fn ldp_error(code: ErrorCode, e: &LdpError) -> Message {
     }
 }
 
+/// The error frame for a request that needs the *other* deployment
+/// kind.
+fn wrong_kind(name: &str, hint: &str) -> Message {
+    Message::Error {
+        code: ErrorCode::Unsupported,
+        message: format!("deployment {name:?} {hint}"),
+    }
+}
+
 /// Handles one request, returning the response frame to write.
-fn dispatch(
-    shared: &Arc<Shared>,
-    shards: &mut [Option<Arc<Mutex<ConnShard>>>],
-    request: Message,
-) -> Message {
+fn dispatch(shared: &Arc<Shared>, shards: &mut [ConnSlot], request: Message) -> Message {
     match request {
         Message::Info => {
             let mut deployments = Vec::with_capacity(shared.hosted.len());
@@ -555,7 +741,18 @@ fn dispatch(
                 return unknown_deployment(&deployment);
             };
             let hosted = &shared.hosted[index];
-            let num_outputs = hosted.deployment.mechanism().num_outputs();
+            let HostedKind::Dense {
+                deployment: dense,
+                conns,
+                ..
+            } = &hosted.kind
+            else {
+                return wrong_kind(
+                    &deployment,
+                    "is open-domain; submit oracle reports with SubmitSparse",
+                );
+            };
+            let num_outputs = dense.mechanism().num_outputs();
             // Admission control before any lock: the whole batch must be
             // in range (and fit this platform's usize) or none of it
             // counts.
@@ -574,14 +771,21 @@ fn dispatch(
             if let Err(e) = validate_reports(&batch, num_outputs) {
                 return ldp_error(ErrorCode::BadBatch, &e);
             }
-            let conn = shards[index].get_or_insert_with(|| {
-                let conn = Arc::new(Mutex::new(ConnShard {
-                    shard: hosted.deployment.shard(),
-                    batches: 0,
-                }));
-                lock(&hosted.conns).push(Arc::clone(&conn));
-                conn
-            });
+            let conn = match &mut shards[index] {
+                ConnSlot::Dense(conn) => conn,
+                slot => {
+                    let conn = Arc::new(Mutex::new(ConnShard {
+                        shard: dense.shard(),
+                        batches: 0,
+                    }));
+                    lock(conns).push(Arc::clone(&conn));
+                    *slot = ConnSlot::Dense(conn);
+                    let ConnSlot::Dense(conn) = slot else {
+                        unreachable!("assigned above")
+                    };
+                    conn
+                }
+            };
             let mut state = lock(conn);
             if let Err(e) = state.shard.ingest_batch(&batch) {
                 return ldp_error(ErrorCode::BadBatch, &e);
@@ -592,35 +796,182 @@ fn dispatch(
                 pending: state.shard.reports(),
             }
         }
+        Message::SubmitSparse {
+            deployment,
+            reports,
+        } => {
+            let Some(index) = shared.hosted.iter().position(|h| h.name == deployment) else {
+                return unknown_deployment(&deployment);
+            };
+            let hosted = &shared.hosted[index];
+            let HostedKind::Sparse {
+                deployment: sparse,
+                conns,
+                ..
+            } = &hosted.kind
+            else {
+                return wrong_kind(
+                    &deployment,
+                    "is dense; submit mechanism outputs with Submit",
+                );
+            };
+            // Admission control before any lock: every report must be
+            // well-formed for the oracle or none of the batch counts.
+            if let Some(&bad) = reports
+                .iter()
+                .find(|&&r| !sparse.oracle().validate_report(r))
+            {
+                return Message::Error {
+                    code: ErrorCode::BadBatch,
+                    message: format!(
+                        "report {bad:#x} is not a valid {} oracle output",
+                        sparse.oracle().name()
+                    ),
+                };
+            }
+            let conn = match &mut shards[index] {
+                ConnSlot::Sparse(conn) => conn,
+                slot => {
+                    let conn = Arc::new(Mutex::new(SparseConnShard {
+                        shard: SparseShard::new(),
+                        batches: 0,
+                    }));
+                    lock(conns).push(Arc::clone(&conn));
+                    *slot = ConnSlot::Sparse(conn);
+                    let ConnSlot::Sparse(conn) = slot else {
+                        unreachable!("assigned above")
+                    };
+                    conn
+                }
+            };
+            let mut state = lock(conn);
+            state.shard.absorb_batch(&reports);
+            state.batches += 1;
+            Message::SubmitOk {
+                accepted: reports.len() as u64,
+                pending: state.shard.reports(),
+            }
+        }
         Message::Query { deployment, query } => {
             let Some(hosted) = shared.find(&deployment) else {
                 return unknown_deployment(&deployment);
             };
             let query = query.to_query();
-            match hosted.barrier(|central| {
+            match &hosted.kind {
+                HostedKind::Dense { .. } => {
+                    match hosted.dense_barrier(|_, central| {
+                        let reports = central.reports();
+                        central.answer(&query).map(|a| (a, reports))
+                    }) {
+                        Some(Ok(Ok((answer, reports)))) => Message::QueryOk {
+                            value: answer.value,
+                            variance: answer.variance,
+                            stddev: answer.stddev,
+                            reports,
+                        },
+                        Some(Ok(Err(e))) => ldp_error(ErrorCode::BadQuery, &e),
+                        Some(Err(e)) => ldp_error(ErrorCode::Internal, &e),
+                        None => unreachable!("kind matched above"),
+                    }
+                }
+                HostedKind::Sparse {
+                    deployment: sparse, ..
+                } => {
+                    // The only query an open-domain deployment can
+                    // answer is a single key condition on its attribute.
+                    let Some((attribute, key)) = query.as_key_query() else {
+                        return Message::Error {
+                            code: ErrorCode::BadQuery,
+                            message: format!(
+                                "deployment {deployment:?} is open-domain; it answers \
+                                 single-key queries (Query::key) and heavy hitters only"
+                            ),
+                        };
+                    };
+                    if attribute != sparse.attribute() {
+                        return Message::Error {
+                            code: ErrorCode::BadQuery,
+                            message: format!(
+                                "deployment {deployment:?} serves attribute {:?}, not {attribute:?}",
+                                sparse.attribute()
+                            ),
+                        };
+                    }
+                    let key_hash = ldp_sparse::key_hash(key);
+                    sparse_point(hosted, key_hash)
+                }
+            }
+        }
+        Message::SparsePoint {
+            deployment,
+            key_hash,
+        } => {
+            let Some(hosted) = shared.find(&deployment) else {
+                return unknown_deployment(&deployment);
+            };
+            if !matches!(hosted.kind, HostedKind::Sparse { .. }) {
+                return wrong_kind(&deployment, "is dense; ask point questions with Query");
+            }
+            sparse_point(hosted, key_hash)
+        }
+        Message::HeavyHitters {
+            deployment,
+            k,
+            z,
+            candidates,
+        } => {
+            let Some(hosted) = shared.find(&deployment) else {
+                return unknown_deployment(&deployment);
+            };
+            if !matches!(hosted.kind, HostedKind::Sparse { .. }) {
+                return wrong_kind(&deployment, "is dense; heavy hitters need an open domain");
+            }
+            if !z.is_finite() {
+                return Message::Error {
+                    code: ErrorCode::BadQuery,
+                    message: format!("admission z-score must be finite, got {z}"),
+                };
+            }
+            let k = usize::try_from(k).unwrap_or(usize::MAX);
+            match hosted.sparse_barrier(|sparse, central| {
                 let reports = central.reports();
-                central.answer(&query).map(|a| (a, reports))
-            }) {
-                Ok(Ok((answer, reports))) => Message::QueryOk {
-                    value: answer.value,
-                    variance: answer.variance,
-                    stddev: answer.stddev,
+                let hitters = sparse.heavy_hitters(central.pairs(), &candidates, k, z);
+                let mut keys = Vec::with_capacity(hitters.len());
+                let mut estimates = Vec::with_capacity(hitters.len());
+                let mut stddevs = Vec::with_capacity(hitters.len());
+                for h in &hitters {
+                    keys.push(h.key_hash);
+                    estimates.push(h.estimate);
+                    stddevs.push(h.stddev);
+                }
+                Message::HeavyHittersOk {
                     reports,
-                },
-                Ok(Err(e)) => ldp_error(ErrorCode::BadQuery, &e),
-                Err(e) => ldp_error(ErrorCode::Internal, &e),
+                    keys,
+                    estimates,
+                    stddevs,
+                }
+            }) {
+                Some(response) => response,
+                None => unreachable!("kind matched above"),
             }
         }
         Message::Answers { deployment } => {
             let Some(hosted) = shared.find(&deployment) else {
                 return unknown_deployment(&deployment);
             };
-            match hosted.barrier(|central| {
+            if matches!(hosted.kind, HostedKind::Sparse { .. }) {
+                return wrong_kind(
+                    &deployment,
+                    "is open-domain; it has no declared dense workload to evaluate",
+                );
+            }
+            match hosted.dense_barrier(|_, central| {
                 let estimate = central.estimate();
                 (estimate.answers(), central.reports())
             }) {
-                Ok((answers, reports)) => Message::AnswersOk { answers, reports },
-                Err(e) => ldp_error(ErrorCode::Internal, &e),
+                Some(Ok((answers, reports))) => Message::AnswersOk { answers, reports },
+                Some(Err(e)) => ldp_error(ErrorCode::Internal, &e),
+                None => unreachable!("kind matched above"),
             }
         }
         Message::Checkpoint { deployment } => {
@@ -641,6 +992,25 @@ fn dispatch(
             code: ErrorCode::Protocol,
             message: format!("unexpected {} frame from client", other.kind_name()),
         },
+    }
+}
+
+/// Runs the sparse merge barrier and answers one point estimate as a
+/// `QueryOk` (variance = stddev², like the dense path).
+fn sparse_point(hosted: &Hosted, key_hash: u64) -> Message {
+    match hosted.sparse_barrier(|sparse, central| {
+        let reports = central.reports();
+        let value = sparse.point(central.pairs(), key_hash);
+        let stddev = sparse.oracle().stddev(reports);
+        Message::QueryOk {
+            value,
+            variance: stddev * stddev,
+            stddev,
+            reports,
+        }
+    }) {
+        Some(response) => response,
+        None => unreachable!("caller matched the kind"),
     }
 }
 

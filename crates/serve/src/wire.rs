@@ -59,6 +59,9 @@ const MAX_TEXT: usize = 1 << 16;
 /// Most conditions accepted in one wire query.
 const MAX_TERMS: usize = 1 << 10;
 
+/// Most heavy-hitter candidates accepted in one request.
+const MAX_CANDIDATES: usize = 1 << 20;
+
 /// Most deployments accepted in one `InfoOk` frame.
 const MAX_DEPLOYMENTS: usize = 1 << 12;
 
@@ -270,6 +273,9 @@ enum WireTerm {
     Range { lo: u64, hi: Option<u64> },
     /// Restrict to an explicit value set (tag 3).
     Values(Vec<u64>),
+    /// Open-domain point condition: count users whose attribute equals
+    /// this key (tag 4). Routed to the sparse oracle path server-side.
+    Key(String),
 }
 
 /// Widens a host-side index for the wire. Lossless on every supported
@@ -300,6 +306,7 @@ impl WireQuery {
                     WireTerm::Values(values.iter().copied().map(wide).collect())
                 }
                 QueryTerm::Predicate => return Err(WireError::UnencodableQuery),
+                QueryTerm::Key(key) => WireTerm::Key(key.to_string()),
             };
             terms.push((name.to_string(), wire));
         }
@@ -322,6 +329,7 @@ impl WireQuery {
                 WireTerm::Values(values) => {
                     query.and_values(name.clone(), values.iter().map(|&v| clamp(v)))
                 }
+                WireTerm::Key(key) => query.and_key(name.clone(), key.clone()),
             };
         }
         query
@@ -410,6 +418,49 @@ pub enum Message {
     Shutdown,
     /// Server → client: shutdown is underway (tag 13).
     ShutdownOk,
+    /// Client → server: ingest one batch of open-domain oracle reports
+    /// atomically into a sparse deployment (tag 14).
+    SubmitSparse {
+        /// Target deployment name.
+        deployment: String,
+        /// Raw oracle reports, each valid for the deployment's oracle.
+        reports: Vec<u64>,
+    },
+    /// Client → server: variance-aware top-k heavy hitters over an
+    /// explicit candidate set (tag 15). Answered by
+    /// [`Message::HeavyHittersOk`].
+    HeavyHitters {
+        /// Target deployment name.
+        deployment: String,
+        /// Return at most this many hitters.
+        k: u64,
+        /// Admission z-score: a candidate is admitted only if its
+        /// estimate clears `z · stddev` under the null.
+        z: f64,
+        /// Candidate key hashes (see `ldp_sparse::key_hash`).
+        candidates: Vec<u64>,
+    },
+    /// Server → client: the admitted heavy hitters, ordered by estimate
+    /// descending with key-hash-ascending tie-break (tag 16). The three
+    /// arrays are parallel.
+    HeavyHittersOk {
+        /// Reports contributing to the estimates.
+        reports: u64,
+        /// Admitted candidates' key hashes.
+        keys: Vec<u64>,
+        /// Unbiased count estimates, one per key.
+        estimates: Vec<f64>,
+        /// Null standard deviations, one per key.
+        stddevs: Vec<f64>,
+    },
+    /// Client → server: unbiased point estimate for one pre-hashed
+    /// open-domain key (tag 17). Answered by [`Message::QueryOk`].
+    SparsePoint {
+        /// Target deployment name.
+        deployment: String,
+        /// The key hash to estimate (see `ldp_sparse::key_hash`).
+        key_hash: u64,
+    },
 }
 
 impl Message {
@@ -429,6 +480,10 @@ impl Message {
             Message::CheckpointOk { .. } => 11,
             Message::Shutdown => 12,
             Message::ShutdownOk => 13,
+            Message::SubmitSparse { .. } => 14,
+            Message::HeavyHitters { .. } => 15,
+            Message::HeavyHittersOk { .. } => 16,
+            Message::SparsePoint { .. } => 17,
         }
     }
 
@@ -448,6 +503,10 @@ impl Message {
             Message::CheckpointOk { .. } => "CheckpointOk",
             Message::Shutdown => "Shutdown",
             Message::ShutdownOk => "ShutdownOk",
+            Message::SubmitSparse { .. } => "SubmitSparse",
+            Message::HeavyHitters { .. } => "HeavyHitters",
+            Message::HeavyHittersOk { .. } => "HeavyHittersOk",
+            Message::SparsePoint { .. } => "SparsePoint",
         }
     }
 }
@@ -640,6 +699,10 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                         p.put_u16(3);
                         p.put_u64s(values);
                     }
+                    WireTerm::Key(key) => {
+                        p.put_u16(4);
+                        p.put_str(key);
+                    }
                 }
             }
         }
@@ -663,6 +726,42 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         Message::CheckpointOk { epoch, bytes } => {
             p.put_u64(*epoch);
             p.put_u64(*bytes);
+        }
+        Message::SubmitSparse {
+            deployment,
+            reports,
+        } => {
+            p.put_str(deployment);
+            p.put_u64s(reports);
+        }
+        Message::HeavyHitters {
+            deployment,
+            k,
+            z,
+            candidates,
+        } => {
+            p.put_str(deployment);
+            p.put_u64(*k);
+            p.put_f64(*z);
+            p.put_u64s(candidates);
+        }
+        Message::HeavyHittersOk {
+            reports,
+            keys,
+            estimates,
+            stddevs,
+        } => {
+            p.put_u64(*reports);
+            p.put_u64s(keys);
+            p.put_f64s(estimates);
+            p.put_f64s(stddevs);
+        }
+        Message::SparsePoint {
+            deployment,
+            key_hash,
+        } => {
+            p.put_str(deployment);
+            p.put_u64(*key_hash);
         }
     }
     p.buf
@@ -724,6 +823,7 @@ fn decode_payload(tag: u16, payload: &[u8]) -> Result<Message, WireError> {
                         WireTerm::Range { lo, hi }
                     }
                     3 => WireTerm::Values(c.get_u64s(usize::MAX, "value set")?),
+                    4 => WireTerm::Key(c.get_str(MAX_TEXT, "key condition")?),
                     other => return Err(WireError::Malformed(format!("unknown term tag {other}"))),
                 };
                 terms.push((name, term));
@@ -755,6 +855,40 @@ fn decode_payload(tag: u16, payload: &[u8]) -> Result<Message, WireError> {
         },
         12 => Message::Shutdown,
         13 => Message::ShutdownOk,
+        14 => Message::SubmitSparse {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+            reports: c.get_u64s(usize::MAX, "sparse report batch")?,
+        },
+        15 => Message::HeavyHitters {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+            k: c.get_u64()?,
+            z: c.get_f64()?,
+            candidates: c.get_u64s(MAX_CANDIDATES, "candidate set")?,
+        },
+        16 => {
+            let reports = c.get_u64()?;
+            let keys = c.get_u64s(MAX_CANDIDATES, "heavy-hitter keys")?;
+            let estimates = c.get_f64s(MAX_CANDIDATES, "heavy-hitter estimates")?;
+            let stddevs = c.get_f64s(MAX_CANDIDATES, "heavy-hitter stddevs")?;
+            if keys.len() != estimates.len() || keys.len() != stddevs.len() {
+                return Err(WireError::Malformed(format!(
+                    "heavy-hitter arrays disagree: {} keys, {} estimates, {} stddevs",
+                    keys.len(),
+                    estimates.len(),
+                    stddevs.len()
+                )));
+            }
+            Message::HeavyHittersOk {
+                reports,
+                keys,
+                estimates,
+                stddevs,
+            }
+        }
+        17 => Message::SparsePoint {
+            deployment: c.get_str(MAX_NAME, "deployment name")?,
+            key_hash: c.get_u64()?,
+        },
         found => return Err(WireError::UnknownKind { found }),
     };
     c.finish()?;
@@ -956,6 +1090,26 @@ mod tests {
             },
             Message::Shutdown,
             Message::ShutdownOk,
+            Message::SubmitSparse {
+                deployment: "urls".into(),
+                reports: vec![0x0001_0007, 0xffff_0003, 42],
+            },
+            Message::HeavyHitters {
+                deployment: "urls".into(),
+                k: 10,
+                z: 4.0,
+                candidates: vec![7, 11, u64::MAX],
+            },
+            Message::HeavyHittersOk {
+                reports: 2048,
+                keys: vec![11, 7],
+                estimates: vec![900.5, 411.25],
+                stddevs: vec![32.0, 32.0],
+            },
+            Message::SparsePoint {
+                deployment: "urls".into(),
+                key_hash: 0x48aa_1706_5f03_4538,
+            },
         ]
     }
 
@@ -989,6 +1143,32 @@ mod tests {
         let wire = WireQuery::from_query(&query).unwrap();
         let rebuilt = WireQuery::from_query(&wire.to_query()).unwrap();
         assert_eq!(wire, rebuilt);
+    }
+
+    #[test]
+    fn key_query_round_trips_through_wire_form() {
+        let query = Query::key("url", "https://example.com/?q=a&b=∞");
+        let wire = WireQuery::from_query(&query).unwrap();
+        let rebuilt = WireQuery::from_query(&wire.to_query()).unwrap();
+        assert_eq!(wire, rebuilt);
+        assert_eq!(
+            wire.to_query().as_key_query(),
+            Some(("url", "https://example.com/?q=a&b=∞"))
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_array_mismatch_is_malformed() {
+        let mut p = Payload::default();
+        p.put_u64(100); // reports
+        p.put_u64s(&[1, 2]); // 2 keys
+        p.put_f64s(&[1.0]); // but 1 estimate
+        p.put_f64s(&[1.0]);
+        let frame = encode_raw_frame(16, &p.buf);
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::Malformed(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! End-to-end serving of open-domain deployments: wire round trips,
+//! N-connection merge equality, and `kill -9` crash recovery against
+//! the real `ldp-served` binary — byte-equal answers at
+//! `LDP_THREADS ∈ {1, 4}` and every kernel backend this CPU supports.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use ldp_linalg::kernels::Backend;
+use ldp_serve::{ServeClient, Server, ServerConfig};
+use ldp_sparse::{key_hash, SparseDeployment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEPLOY: &str = "urls:open=url:eps=2.0:bits=12";
+
+/// The deployment the spec above describes, for client-side encoding.
+fn deployment() -> SparseDeployment {
+    SparseDeployment::hadamard("url", 2.0, 12).unwrap()
+}
+
+/// A deterministic batch of oracle reports: a hot-key schedule plus a
+/// cold tail, randomized with a per-batch seed.
+fn batch(b: u64, len: usize) -> Vec<u64> {
+    let client = deployment().client();
+    let mut rng = StdRng::seed_from_u64(0xbeef_0000 + b);
+    (0..len)
+        .map(|i| {
+            let key = match i % 4 {
+                0 | 1 => "https://hot.example/".to_string(),
+                2 => "https://warm.example/".to_string(),
+                _ => format!("https://cold.example/{b}/{i}"),
+            };
+            client.respond(&key, &mut rng)
+        })
+        .collect()
+}
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Launches `ldp-served` on an ephemeral port and waits for its
+    /// "listening on" line.
+    fn launch(dir: &Path, threads: &str, backend: Backend) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ldp-served"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "3"])
+            .args(["--dir", dir.to_str().unwrap()])
+            .args(["--deploy", DEPLOY])
+            .env("LDP_THREADS", threads)
+            .env("LDP_KERNEL", backend.as_str())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn ldp-served");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before listening")
+                .expect("daemon stdout read");
+            if let Some(addr) = line.strip_prefix("ldp-served listening on ") {
+                break addr.parse().expect("daemon printed a socket address");
+            }
+        };
+        // Keep draining stdout in the background so the daemon never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> ServeClient {
+        ServeClient::connect(self.addr).expect("connect to daemon")
+    }
+
+    /// SIGKILL — no destructors, no flush, the crash the snapshot
+    /// contract exists for.
+    fn kill9(mut self) {
+        self.child.kill().expect("kill -9 daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    /// Graceful stop through the protocol.
+    fn shutdown(mut self) {
+        self.client().shutdown().expect("graceful shutdown");
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp-sparse-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn candidates() -> Vec<u64> {
+    vec![
+        key_hash("https://hot.example/"),
+        key_hash("https://warm.example/"),
+        key_hash("https://never.example/"),
+    ]
+}
+
+/// The exact bit pattern of a heavy-hitter + point answer pair, for
+/// byte-equality comparisons across runs.
+fn answer_bits(client: &mut ServeClient) -> Vec<u64> {
+    let hh = client.heavy_hitters("urls", &candidates(), 2, 4.0).unwrap();
+    let point = client.point("urls", "https://hot.example/").unwrap();
+    let mut bits = vec![hh.reports, hh.hitters.len() as u64];
+    for h in &hh.hitters {
+        bits.push(h.key_hash);
+        bits.push(h.estimate.to_bits());
+        bits.push(h.stddev.to_bits());
+    }
+    bits.push(point.value.to_bits());
+    bits.push(point.stddev.to_bits());
+    bits.push(point.reports);
+    bits
+}
+
+/// One crash scenario at a given thread/backend setting.
+fn killed_vs_uninterrupted(threads: &str, backend: Backend) {
+    let tag = format!("{threads}-{backend}");
+
+    // Reference: a daemon that never dies ingests batches 0..8.
+    let dir = fresh_dir(&format!("ref-{tag}"));
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    for b in 0..8 {
+        client.submit_sparse("urls", &batch(b, 64)).unwrap();
+    }
+    let reference = answer_bits(&mut client);
+    drop(client);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Crash run: ingest 0..4, checkpoint (durable barrier), ingest two
+    // doomed batches that never reach a barrier, then kill -9.
+    let dir = fresh_dir(&format!("crash-{tag}"));
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    for b in 0..4 {
+        client.submit_sparse("urls", &batch(b, 64)).unwrap();
+    }
+    let ack = client.checkpoint("urls").unwrap();
+    assert_eq!(ack.epoch, 1);
+    for doomed in [100, 101] {
+        client.submit_sparse("urls", &batch(doomed, 64)).unwrap();
+    }
+    drop(client);
+    daemon.kill9();
+
+    // Relaunch from the snapshot: exactly the checkpointed state
+    // survives; re-submit 4..8 and compare bits.
+    let daemon = Daemon::launch(&dir, threads, backend);
+    let mut client = daemon.client();
+    let info = client.info().unwrap();
+    assert_eq!(
+        info[0].reports,
+        4 * 64,
+        "[{tag}] resumed state is the checkpoint barrier, no more, no less"
+    );
+    assert_eq!(info[0].epoch, 1, "[{tag}] epoch survives the crash");
+    assert_eq!(
+        info[0].binding,
+        deployment().binding(),
+        "[{tag}] the hosted deployment is the one we encode for"
+    );
+    for b in 4..8 {
+        client.submit_sparse("urls", &batch(b, 64)).unwrap();
+    }
+    let resumed = answer_bits(&mut client);
+    drop(client);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        reference, resumed,
+        "[{tag}] kill -9 + resume must be byte-equal to an uninterrupted run"
+    );
+}
+
+#[test]
+fn sparse_kill_dash_nine_resume_is_byte_equal_across_threads_and_backends() {
+    for backend in Backend::available() {
+        for threads in ["1", "4"] {
+            killed_vs_uninterrupted(threads, backend);
+        }
+    }
+}
+
+/// In-process: N concurrent connections must leave state byte-equal to
+/// one connection submitting everything, measured at the snapshot file
+/// and the answer bits.
+#[test]
+fn n_connections_are_byte_equal_to_one() {
+    let mut snapshots = Vec::new();
+    let mut answers = Vec::new();
+    for conns in [1usize, 4] {
+        let dir = fresh_dir(&format!("conns-{conns}"));
+        let mut server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            dir: Some(dir.clone()),
+            workers: 5,
+        })
+        .unwrap();
+        server.host_sparse("urls", deployment()).unwrap();
+        let handle = server.spawn().unwrap();
+
+        let mut clients: Vec<ServeClient> = (0..conns)
+            .map(|_| ServeClient::connect(handle.addr()).unwrap())
+            .collect();
+        for b in 0..8u64 {
+            let c = (b as usize) % conns;
+            clients[c].submit_sparse("urls", &batch(b, 64)).unwrap();
+        }
+        let mut observer = ServeClient::connect(handle.addr()).unwrap();
+        observer.checkpoint("urls").unwrap();
+        answers.push(answer_bits(&mut observer));
+        observer.shutdown().unwrap();
+        drop(clients);
+        handle.join().unwrap();
+        snapshots.push(std::fs::read(dir.join("urls.ldpc")).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "answers must not depend on connection sharding"
+    );
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "snapshot files must not depend on connection sharding"
+    );
+}
+
+/// Kind routing: dense requests against a sparse deployment (and vice
+/// versa) fail with typed Unsupported/BadQuery errors, never panics or
+/// silent miscounts.
+#[test]
+fn kind_mismatches_are_typed_errors() {
+    use ldp::prelude::*;
+    use ldp_serve::WireError;
+
+    let mut server = Server::bind(ServerConfig::default()).unwrap();
+    server.host_sparse("urls", deployment()).unwrap();
+    let dense = Pipeline::for_schema(Schema::new([("bin", 4)]))
+        .queries([Query::total()])
+        .epsilon(1.0)
+        .baseline(Baseline::RandomizedResponse)
+        .unwrap();
+    server.host("survey", dense).unwrap();
+    let handle = server.spawn().unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+
+    // Dense submit to a sparse deployment and sparse submit to a dense
+    // deployment are both refused.
+    assert!(matches!(
+        client.submit("urls", &[0, 1]).unwrap_err(),
+        WireError::Remote { .. }
+    ));
+    assert!(matches!(
+        client.submit_sparse("survey", &[0, 1]).unwrap_err(),
+        WireError::Remote { .. }
+    ));
+    // Workload evaluation needs a dense workload.
+    assert!(matches!(
+        client.answers("urls").unwrap_err(),
+        WireError::Remote { .. }
+    ));
+    // Point questions need an open domain.
+    assert!(matches!(
+        client.point("survey", "anything").unwrap_err(),
+        WireError::Remote { .. }
+    ));
+    // A malformed oracle report is refused atomically.
+    let good = batch(0, 4);
+    let mut bad = good.clone();
+    bad.push(u64::MAX); // seed 0xffff_ffff_ffff is fine, but y >= 2^12 is not
+    assert!(matches!(
+        client.submit_sparse("urls", &bad).unwrap_err(),
+        WireError::Remote { .. }
+    ));
+    let info = client.info().unwrap();
+    let urls = info.iter().find(|d| d.name == "urls").unwrap();
+    assert_eq!(urls.reports, 0, "refused batches must not count");
+
+    // A key query through the generic answer path routes to the oracle.
+    let q = Query::key("url", "https://hot.example/");
+    client.submit_sparse("urls", &good).unwrap();
+    let answer = client.answer("urls", &q).unwrap();
+    assert_eq!(answer.reports, 4);
+    assert!(answer.value.is_finite() && answer.stddev > 0.0);
+    // ... but a key query for the wrong attribute is refused.
+    assert!(matches!(
+        client
+            .answer("urls", &Query::key("ip", "10.0.0.1"))
+            .unwrap_err(),
+        WireError::Remote { .. }
+    ));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,295 @@
+//! Closed-domain views of the sparse oracles.
+//!
+//! The frequency oracles answer questions about *hashed* open domains;
+//! the rest of the workspace reasons about mechanisms on closed `[n]`
+//! domains through `LdpMechanism`/`Deployable`. These adapters bridge
+//! the two so the oracles plug into existing comparison harnesses,
+//! variance reports, and the pipeline:
+//!
+//! * [`ClosedOlh`] — OLH restricted to a known `[n]`: run the real
+//!   protocol on the identity embedding `u ↦ key_hash(u)` and estimate
+//!   every cell. `LdpMechanism` only (its per-report outputs live in a
+//!   hashed space, not a fixed `m`-row strategy matrix).
+//! * [`ClosedHadamard`] — the bucketed Hadamard oracle with *identity
+//!   bucketing* (`u ↦ bucket u`), which for `n ≤ m` is exactly dense
+//!   Hadamard response: a genuine [`Deployable`] whose strategy matrix
+//!   coincides bit-for-bit with `ldp-mechanisms`' `hadamard_strategy`
+//!   when the orders line up (asserted in tests).
+
+use ldp_core::{variance, Client, DataVector, Deployable, LdpError, LdpMechanism, StrategyMatrix};
+use ldp_linalg::{LinOp, Matrix};
+use rand::{Rng, RngCore};
+
+use crate::key::key_hash;
+use crate::oracle::{fwht_i64, OlhOracle};
+
+/// OLH on a closed `[n]` domain: each user of type `u` runs the real
+/// open-domain protocol on the stable hash of the decimal label `u`.
+///
+/// The per-type variance of the cell estimator is the closed-form null
+/// variance `σ² = (1/g)(1 − 1/g)/(p − 1/g)²` per report; a workload
+/// with Gram matrix `G` accumulates `σ²·tr(G)` per user (cell
+/// estimators are uncorrelated to leading order in the sparse regime).
+#[derive(Debug, Clone)]
+pub struct ClosedOlh {
+    oracle: OlhOracle,
+    n: usize,
+    /// Precomputed key hashes of the labels `"0"`, `"1"`, ….
+    hashes: Vec<u64>,
+}
+
+impl ClosedOlh {
+    /// Builds the closed view for domain size `n` at budget `epsilon`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] via [`OlhOracle::new`];
+    /// [`LdpError::InvalidQuery`] on an empty domain.
+    pub fn new(n: usize, epsilon: f64) -> Result<Self, LdpError> {
+        if n == 0 {
+            return Err(LdpError::InvalidQuery(
+                "closed OLH needs a non-empty domain".to_string(),
+            ));
+        }
+        let oracle = OlhOracle::new(epsilon)?;
+        let hashes = (0..n).map(|u| key_hash(&u.to_string())).collect();
+        Ok(Self { oracle, n, hashes })
+    }
+
+    /// The underlying open-domain oracle.
+    pub fn oracle(&self) -> &OlhOracle {
+        &self.oracle
+    }
+
+    /// Per-report null variance of a single cell estimator.
+    pub fn per_report_variance(&self) -> f64 {
+        let g = self.oracle.g() as f64;
+        let q = 1.0 / g;
+        q * (1.0 - q) / (self.oracle.p() - q).powi(2)
+    }
+}
+
+impl LdpMechanism for ClosedOlh {
+    fn name(&self) -> String {
+        "OLH".to_string()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.oracle.epsilon()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn variance_profile(&self, gram: &dyn LinOp) -> Vec<f64> {
+        vec![self.per_report_variance() * gram.trace(); self.n]
+    }
+
+    fn run(&self, data: &DataVector, rng: &mut dyn RngCore) -> Vec<f64> {
+        assert_eq!(data.domain_size(), self.n);
+        let mut reports: Vec<u64> = Vec::new();
+        for (u, count) in data.nonzero() {
+            let users = count.round() as u64;
+            for _ in 0..users {
+                reports.push(self.oracle.respond(self.hashes[u], rng));
+            }
+        }
+        let total = reports.len() as u64;
+        self.hashes
+            .iter()
+            .map(|&kh| {
+                let support = reports
+                    .iter()
+                    .filter(|&&r| self.oracle.supports(r, kh))
+                    .count() as u64;
+                self.oracle.estimate(support, total)
+            })
+            .collect()
+    }
+}
+
+/// Dense Hadamard response expressed through the sparse machinery:
+/// identity bucketing (`u ↦ bucket u`, rows `1..=n` of the order-`K`
+/// Sylvester–Hadamard matrix, `K = 2^(bits+1)`), estimation by the
+/// same exact integer FWHT the open-domain path uses.
+///
+/// For `n + 1 ≤ K` this *is* Hadamard response; when
+/// `K = (n+1).next_power_of_two()` the strategy matrix is bit-for-bit
+/// the one `ldp_mechanisms::hadamard_strategy` builds.
+#[derive(Debug, Clone)]
+pub struct ClosedHadamard {
+    strategy: StrategyMatrix,
+    /// Closed-form reconstruction `K[u][y] = H[u+1, y]/(2p − 1)`.
+    k: Matrix,
+    epsilon: f64,
+    p: f64,
+}
+
+impl ClosedHadamard {
+    /// Builds the closed view for domain size `n` at budget `epsilon`
+    /// with Hadamard order `K = 2^(bits+1)`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] on a bad ε; [`LdpError::InvalidQuery`]
+    /// unless `1 ≤ n ≤ K − 1`.
+    pub fn new(n: usize, epsilon: f64, bits: u32) -> Result<Self, LdpError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(LdpError::InvalidEpsilon(epsilon));
+        }
+        let order = 1usize << (bits + 1);
+        if n == 0 || n >= order {
+            return Err(LdpError::InvalidQuery(format!(
+                "closed Hadamard needs 1 <= n < {order}, got {n}"
+            )));
+        }
+        let e = epsilon.exp();
+        let p = e / (e + 1.0);
+        // Same float expression as the dense baseline: z = (K/2)(e^ε+1),
+        // entries e^ε/z and 1/z — keeps the two strategies bit-equal.
+        let z = (order as f64 / 2.0) * (e + 1.0);
+        let strategy = StrategyMatrix::new(Matrix::from_fn(order, n, |y, u| {
+            if sign(u + 1, y) > 0 {
+                e / z
+            } else {
+                1.0 / z
+            }
+        }))?;
+        let denom = 2.0 * p - 1.0;
+        let k = Matrix::from_fn(n, order, |u, y| f64::from(sign(u + 1, y)) / denom);
+        Ok(Self {
+            strategy,
+            k,
+            epsilon,
+            p,
+        })
+    }
+
+    /// The truthful-half probability `p = e^ε/(e^ε + 1)`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Hadamard sign `H[r, y]` as `±1`.
+fn sign(r: usize, y: usize) -> i32 {
+    if (r & y).count_ones().is_multiple_of(2) {
+        1
+    } else {
+        -1
+    }
+}
+
+impl LdpMechanism for ClosedHadamard {
+    fn name(&self) -> String {
+        "SparseHadamard".to_string()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn domain_size(&self) -> usize {
+        self.strategy.domain_size()
+    }
+
+    fn variance_profile(&self, gram: &dyn LinOp) -> Vec<f64> {
+        variance::variance_profile(&self.strategy, &self.k, gram)
+    }
+
+    fn run(&self, data: &DataVector, rng: &mut dyn RngCore) -> Vec<f64> {
+        assert_eq!(data.domain_size(), self.domain_size());
+        let order = self.strategy.num_outputs();
+        let mut counts = vec![0i64; order];
+        for (u, count) in data.nonzero() {
+            let users = count.round() as u64;
+            let row = u + 1;
+            let pos = row.trailing_zeros();
+            let free = (order as u64 >> 1) - 1;
+            let low_mask = (1u64 << pos) - 1;
+            for _ in 0..users {
+                // Same response construction as the open-domain oracle,
+                // with the identity bucket row.
+                let want_odd = u64::from(!rng.gen_bool(self.p));
+                let rest = rng.next_u64() & free;
+                let y = ((rest >> pos) << (pos + 1)) | (rest & low_mask);
+                let parity = u64::from((row as u64 & y).count_ones()) & 1;
+                let y = y | ((parity ^ want_odd) << pos);
+                counts[y as usize] += 1;
+            }
+        }
+        // x̂_u = F[u+1]/(2p − 1) via one exact integer transform.
+        fwht_i64(&mut counts);
+        let denom = 2.0 * self.p - 1.0;
+        (0..self.domain_size())
+            .map(|u| counts[u + 1] as f64 / denom)
+            .collect()
+    }
+}
+
+impl Deployable for ClosedHadamard {
+    fn client(&self) -> Client {
+        Client::new(self.strategy.clone())
+    }
+
+    fn reconstruction_matrix(&self) -> &Matrix {
+        &self.k
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.strategy.num_outputs()
+    }
+
+    fn strategy(&self) -> Option<&StrategyMatrix> {
+        Some(&self.strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_hadamard_reconstruction_inverts_strategy() {
+        let m = ClosedHadamard::new(7, 2.0, 2).unwrap();
+        // K·Q = I exactly (rows orthogonal, closed-form derivation).
+        let kq = m.k.matmul(m.strategy.matrix());
+        for i in 0..7 {
+            for j in 0..7 {
+                let want = f64::from(u8::from(i == j));
+                assert!(
+                    (kq[(i, j)] - want).abs() < 1e-12,
+                    "KQ[{i},{j}] = {}",
+                    kq[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_olh_run_is_unbiased() {
+        let m = ClosedOlh::new(8, 2.0).unwrap();
+        let data = DataVector::from_counts(vec![4000.0, 0.0, 1000.0, 0.0, 0.0, 0.0, 0.0, 500.0]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let est = m.run(&data, &mut rng);
+        let sigma = (data.total() * m.per_report_variance()).sqrt();
+        for (u, &e) in est.iter().enumerate() {
+            let truth = data.counts()[u];
+            assert!((e - truth).abs() < 6.0 * sigma, "cell {u}: {e} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn closed_hadamard_run_is_unbiased() {
+        let m = ClosedHadamard::new(6, 1.5, 2).unwrap();
+        let data = DataVector::from_counts(vec![3000.0, 0.0, 800.0, 0.0, 0.0, 200.0]);
+        let mut rng = StdRng::seed_from_u64(23);
+        let est = m.run(&data, &mut rng);
+        let sigma = data.total().sqrt() / (2.0 * m.p() - 1.0);
+        for (u, &e) in est.iter().enumerate() {
+            let truth = data.counts()[u];
+            assert!((e - truth).abs() < 6.0 * sigma, "cell {u}: {e} vs {truth}");
+        }
+    }
+}

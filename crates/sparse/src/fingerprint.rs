@@ -1,0 +1,87 @@
+//! Stable fingerprints for sparse deployments.
+//!
+//! Like workload fingerprints, a sparse deployment fingerprint keys
+//! caches and binds persisted state, so it must be identical across
+//! platforms, thread counts, and kernel backends. The hash covers the
+//! oracle identity and parameters plus a deterministic *protocol
+//! probe*: a short fixed-seed run of the actual response path, so any
+//! behavioural drift in the oracle (a changed mix constant, a reordered
+//! RNG draw) re-keys the fingerprint instead of silently corrupting
+//! cross-version state.
+//!
+//! This module is on the repo's byte-stable list (L1): no hash-map
+//! iteration, and the probe runs under `with_scalar_serial` like every
+//! other fingerprint in the workspace, pinning the execution context
+//! even though the probe itself is pure integer arithmetic.
+
+use ldp_linalg::kernels::with_scalar_serial;
+use ldp_linalg::stablehash::Fnv64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::deployment::{SparseDeployment, SparseOracle};
+
+/// Domain-separation token; bump the suffix on any layout change.
+const FP_TOKEN: &str = "ldp-sparse-fingerprint/1";
+
+/// Number of probe responses folded into the fingerprint.
+const PROBE_REPORTS: u64 = 16;
+
+/// The stable fingerprint of a sparse deployment.
+pub fn sparse_fingerprint(deployment: &SparseDeployment) -> u64 {
+    with_scalar_serial(|| {
+        let mut h = Fnv64::new();
+        h.write_str(FP_TOKEN);
+        h.write_str(deployment.attribute());
+        h.write_str(deployment.oracle().name());
+        h.write_f64(deployment.oracle().epsilon());
+        match deployment.oracle() {
+            SparseOracle::Olh(o) => {
+                h.write_u64(o.g());
+                h.write_f64(o.p());
+            }
+            SparseOracle::Hadamard(o) => {
+                h.write_u64(u64::from(o.bits()));
+                h.write_f64(o.p());
+            }
+        }
+        // Protocol probe: fixed-seed responses to a fixed key schedule.
+        let client = deployment.client();
+        let mut rng = StdRng::seed_from_u64(0x1d75_eed0_15ba_5eed);
+        for i in 0..PROBE_REPORTS {
+            let report = client.respond_hashed(crate::key::mix(FP_PROBE_SEED, i), &mut rng);
+            h.write_u64(report);
+        }
+        h.finish()
+    })
+}
+
+/// Fixed seed for the probe key schedule.
+const FP_PROBE_SEED: u64 = 0x9a0b_7e5c_3d21_4f68;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_deployments() {
+        let fps = [
+            sparse_fingerprint(&SparseDeployment::olh("url", 2.0).unwrap()),
+            sparse_fingerprint(&SparseDeployment::olh("url", 1.0).unwrap()),
+            sparse_fingerprint(&SparseDeployment::olh("ip", 2.0).unwrap()),
+            sparse_fingerprint(&SparseDeployment::hadamard("url", 2.0, 8).unwrap()),
+            sparse_fingerprint(&SparseDeployment::hadamard("url", 2.0, 9).unwrap()),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_reproducible() {
+        let d = SparseDeployment::hadamard("url", 2.0, 12).unwrap();
+        assert_eq!(sparse_fingerprint(&d), sparse_fingerprint(&d));
+    }
+}

@@ -1,0 +1,455 @@
+//! Hashing frequency oracles for open domains.
+//!
+//! Two complementary local protocols, both operating on 64-bit key
+//! hashes (see [`crate::key_hash`]) rather than dense indices:
+//!
+//! * [`OlhOracle`] — Optimized Local Hashing (Wang et al.). Each report
+//!   carries a fresh public hash seed plus the randomized value of the
+//!   seeded hash of the user's key. Estimation scans the distinct
+//!   reports per candidate key, so point queries cost
+//!   `O(distinct reports)` and heavy-hitter sweeps cost
+//!   `O(distinct · candidates)` — the *point-query* oracle.
+//! * [`SparseHadamard`] — a bucketed Hadamard response. Keys hash into
+//!   `m = 2^bits` buckets; each user randomizes one Hadamard-structured
+//!   index of order `2m`. Estimation densifies the report histogram
+//!   once and runs one exact integer fast Walsh–Hadamard transform,
+//!   after which *every* candidate costs `O(1)` — the *bulk /
+//!   heavy-hitter* oracle.
+//!
+//! Both estimators are exactly unbiased for their hashed targets and
+//! expose closed-form per-report variance, which powers the
+//! variance-aware heavy-hitter admission threshold
+//! (see [`crate::SparseDeployment::heavy_hitters`]).
+
+use ldp_core::LdpError;
+use rand::{Rng, RngCore};
+
+use crate::key::mix;
+
+/// Upper bound on the OLH hash range `g` — the report layout packs the
+/// randomized hash value into 16 bits.
+const MAX_G: u64 = 1 << 16;
+
+/// Fixed seed for the sparse Hadamard bucket hash. Public (the bucket
+/// map is not a secret — privacy comes from randomizing the response),
+/// and pinned: bucket assignments are implied by persisted reports.
+const BUCKET_SEED: u64 = 0x5183_9faf_2f35_b8c3;
+
+fn check_epsilon(epsilon: f64) -> Result<(), LdpError> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(LdpError::InvalidEpsilon(epsilon));
+    }
+    Ok(())
+}
+
+/// Optimized Local Hashing: the point-query frequency oracle.
+///
+/// Parameters are derived from ε alone: the hash range is
+/// `g = round(e^ε + 1)` (the variance-minimizing choice), the truthful
+/// report probability `p = e^ε / (e^ε + g − 1)`.
+///
+/// # Report layout
+///
+/// Each report is a single `u64`: the upper 48 bits are the per-report
+/// public hash seed, the lower 16 bits the randomized hash value
+/// `y ∈ [g]`. `g ≤ 2^16` always holds (ε ≥ 11 would be needed to
+/// exceed it, and `g` is clamped there).
+///
+/// ```
+/// use rand::SeedableRng;
+/// let olh = ldp_sparse::OlhOracle::new(2.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let kh = ldp_sparse::key_hash("example.com");
+/// let report = olh.respond(kh, &mut rng);
+/// assert!(olh.validate_report(report));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlhOracle {
+    epsilon: f64,
+    /// Hash range `g ∈ [2, 2^16]`.
+    g: u64,
+    /// Truthful-report probability `p = e^ε / (e^ε + g − 1)`.
+    p: f64,
+}
+
+impl OlhOracle {
+    /// Builds the oracle for privacy budget `epsilon`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] unless `epsilon` is finite and
+    /// positive.
+    pub fn new(epsilon: f64) -> Result<Self, LdpError> {
+        check_epsilon(epsilon)?;
+        let g = (epsilon.exp() + 1.0).round().clamp(2.0, MAX_G as f64) as u64;
+        let p = epsilon.exp() / (epsilon.exp() + g as f64 - 1.0);
+        Ok(Self { epsilon, g, p })
+    }
+
+    /// The privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The hash range `g = round(e^ε + 1)`, clamped to `[2, 2^16]`.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// The truthful-report probability `p = e^ε / (e^ε + g − 1)`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Randomizes one user's key hash into a report.
+    ///
+    /// Draws a fresh 48-bit seed, hashes the key into `h ∈ [g]`, then
+    /// reports `h` with probability `p` and a uniform *other* value of
+    /// `[g]` otherwise.
+    pub fn respond(&self, key_hash: u64, rng: &mut dyn RngCore) -> u64 {
+        let seed = rng.next_u64() >> 16;
+        let h = mix(seed, key_hash) % self.g;
+        let y = if rng.gen_bool(self.p) {
+            h
+        } else {
+            // Uniform over the g − 1 values ≠ h.
+            let r = rng.gen_range(0..self.g - 1);
+            if r < h {
+                r
+            } else {
+                r + 1
+            }
+        };
+        (seed << 16) | y
+    }
+
+    /// Whether a report's randomized value is in range (`y < g`).
+    /// The seed field is unconstrained by construction.
+    pub fn validate_report(&self, report: u64) -> bool {
+        (report & 0xffff) < self.g
+    }
+
+    /// Whether `report` supports candidate `key_hash`: the report's
+    /// seeded hash of the candidate equals the reported value.
+    pub fn supports(&self, report: u64, key_hash: u64) -> bool {
+        let seed = report >> 16;
+        let y = report & 0xffff;
+        mix(seed, key_hash) % self.g == y
+    }
+
+    /// Unbiased count estimate from `support` (number of reports,
+    /// counted with multiplicity, that support the candidate) out of
+    /// `total` reports: `(C − N/g) / (p − 1/g)`.
+    pub fn estimate(&self, support: u64, total: u64) -> f64 {
+        let g = self.g as f64;
+        (support as f64 - total as f64 / g) / (self.p - 1.0 / g)
+    }
+
+    /// Standard deviation of [`OlhOracle::estimate`] for a key held by
+    /// no user (the null distribution): each of the `total` reports
+    /// supports a non-held candidate with probability `1/g`, so
+    /// `σ = sqrt(N · (1/g)(1 − 1/g)) / (p − 1/g)`.
+    pub fn stddev(&self, total: u64) -> f64 {
+        let g = self.g as f64;
+        (total as f64 * (1.0 / g) * (1.0 - 1.0 / g)).sqrt() / (self.p - 1.0 / g)
+    }
+}
+
+/// Bucketed Hadamard response: the bulk / heavy-hitter frequency
+/// oracle.
+///
+/// Keys hash into `m = 2^bits` buckets via the fixed public bucket
+/// hash; bucket `b` is associated with Hadamard row `b + 1` of the
+/// Sylvester–Hadamard matrix of order `K = 2m` (row 0 is the all-ones
+/// row and carries no information). A user in bucket `b` reports an
+/// index `y ∈ [K]` drawn uniformly from the half of `[K]` where
+/// `H[b + 1, y] = +1` with probability `p = e^ε/(e^ε + 1)`, else
+/// uniformly from the `−1` half.
+///
+/// Estimation densifies the report histogram to a length-`K` integer
+/// vector, applies one exact integer Walsh–Hadamard transform
+/// ([`fwht_i64`]), and reads off `x̂_b = F[b + 1] / (2p − 1)` — an
+/// unbiased estimate of the number of users in bucket `b`, with null
+/// standard deviation `sqrt(N) / (2p − 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseHadamard {
+    epsilon: f64,
+    /// Bucket-count exponent: `m = 2^bits`.
+    bits: u32,
+    /// Truthful-half probability `p = e^ε / (e^ε + 1)`.
+    p: f64,
+}
+
+impl SparseHadamard {
+    /// Largest supported bucket exponent (`m = 2^26` buckets ⇒ a 1 GiB
+    /// dense transform buffer; practical deployments sit well below).
+    pub const MAX_BITS: u32 = 26;
+
+    /// Builds the oracle with `2^bits` buckets at budget `epsilon`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidEpsilon`] unless `epsilon` is finite and
+    /// positive; [`LdpError::InvalidQuery`] unless
+    /// `1 ≤ bits ≤ MAX_BITS`.
+    pub fn new(epsilon: f64, bits: u32) -> Result<Self, LdpError> {
+        check_epsilon(epsilon)?;
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(LdpError::InvalidQuery(format!(
+                "sparse Hadamard bucket bits must be in 1..={}, got {bits}",
+                Self::MAX_BITS
+            )));
+        }
+        let p = epsilon.exp() / (epsilon.exp() + 1.0);
+        Ok(Self { epsilon, bits, p })
+    }
+
+    /// The privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The bucket-count exponent (`m = 2^bits`).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The number of buckets `m = 2^bits`.
+    pub fn buckets(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The Hadamard order `K = 2m` — reports are indices in `[K]`.
+    pub fn order(&self) -> u64 {
+        1u64 << (self.bits + 1)
+    }
+
+    /// The truthful-half probability `p = e^ε / (e^ε + 1)`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The bucket of a key hash: `mix(BUCKET_SEED, kh) mod m`.
+    pub fn bucket_of(&self, key_hash: u64) -> u64 {
+        mix(BUCKET_SEED, key_hash) & (self.buckets() - 1)
+    }
+
+    /// Randomizes one user's key hash into a report index `y ∈ [K]`.
+    ///
+    /// Chooses the `+1` half of the user's Hadamard row with
+    /// probability `p`, then draws uniformly within the chosen half by
+    /// filling every index bit except the row's lowest set bit at
+    /// random and forcing that bit to land on the wanted sign.
+    pub fn respond(&self, key_hash: u64, rng: &mut dyn RngCore) -> u64 {
+        let row = self.bucket_of(key_hash) + 1;
+        let want_odd_parity = u64::from(!rng.gen_bool(self.p));
+        // Insert a hole at the row's lowest set bit: `rest` supplies the
+        // other `bits` free bits of y.
+        let pos = row.trailing_zeros();
+        let rest = rng.next_u64() & (self.buckets() - 1);
+        let low_mask = (1u64 << pos) - 1;
+        let y = ((rest >> pos) << (pos + 1)) | (rest & low_mask);
+        let parity = u64::from((row & y).count_ones()) & 1;
+        y | ((parity ^ want_odd_parity) << pos)
+    }
+
+    /// Whether a report index is in range (`y < K`).
+    pub fn validate_report(&self, report: u64) -> bool {
+        report < self.order()
+    }
+
+    /// The Hadamard sign `H[bucket + 1, y] ∈ {−1, +1}` as an integer.
+    pub fn sign(&self, bucket: u64, y: u64) -> i64 {
+        if ((bucket + 1) & y).count_ones() & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Densifies sorted `(report, count)` pairs into the length-`K`
+    /// signed histogram and applies the exact integer transform. Entry
+    /// `row` of the result, divided by `(2p − 1)`, is the unbiased
+    /// count estimate for the bucket `row − 1`.
+    ///
+    /// # Panics
+    /// Panics if any report index is out of range (counts are validated
+    /// on ingest, so this indicates state corruption, not bad input).
+    pub fn transform(&self, pairs: &[(u64, u64)]) -> Vec<i64> {
+        let k = self.order() as usize;
+        let mut dense = vec![0i64; k];
+        for &(y, c) in pairs {
+            assert!(
+                self.validate_report(y),
+                "report index {y} out of range [{k})"
+            );
+            dense[y as usize] += c as i64;
+        }
+        fwht_i64(&mut dense);
+        dense
+    }
+
+    /// Unbiased count estimate for `key_hash` from a transformed
+    /// histogram (the output of [`SparseHadamard::transform`]).
+    pub fn estimate_from_transform(&self, transformed: &[i64], key_hash: u64) -> f64 {
+        let row = (self.bucket_of(key_hash) + 1) as usize;
+        transformed[row] as f64 / (2.0 * self.p - 1.0)
+    }
+
+    /// Unbiased count estimate for `key_hash` directly from sorted
+    /// `(report, count)` pairs — `O(distinct)` per candidate, no dense
+    /// buffer. Used by the point-query path.
+    pub fn estimate(&self, pairs: &[(u64, u64)], key_hash: u64) -> f64 {
+        let bucket = self.bucket_of(key_hash);
+        let mut acc: i64 = 0;
+        for &(y, c) in pairs {
+            acc += self.sign(bucket, y) * (c as i64);
+        }
+        acc as f64 / (2.0 * self.p - 1.0)
+    }
+
+    /// Null standard deviation of the count estimate:
+    /// `sqrt(N) / (2p − 1)` for `N = total` reports (each report
+    /// contributes a ±1 sign of variance ≤ 1 to the numerator).
+    pub fn stddev(&self, total: u64) -> f64 {
+        (total as f64).sqrt() / (2.0 * self.p - 1.0)
+    }
+}
+
+/// In-place exact integer fast Walsh–Hadamard transform.
+///
+/// After the call, `data[r] = Σ_y (−1)^{popcount(r & y)} · input[y]`.
+/// All arithmetic is `i64` addition/subtraction — bit-identical across
+/// threads and kernel backends by construction, which is what makes
+/// heavy-hitter output deterministic without touching the float
+/// kernels.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fwht_i64(data: &mut [i64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(2 * h) {
+            let (left, right) = chunk.split_at_mut(h);
+            for (a, b) in left.iter_mut().zip(right.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn olh_rejects_bad_epsilon() {
+        assert!(OlhOracle::new(0.0).is_err());
+        assert!(OlhOracle::new(-1.0).is_err());
+        assert!(OlhOracle::new(f64::NAN).is_err());
+        assert!(OlhOracle::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn olh_parameters_match_closed_form() {
+        let olh = OlhOracle::new(2.0).unwrap();
+        // e^2 ≈ 7.389 → g = 8, p = e^2 / (e^2 + 7).
+        assert_eq!(olh.g(), 8);
+        let e = 2.0f64.exp();
+        assert!((olh.p() - e / (e + 7.0)).abs() < 1e-15);
+        // Tiny ε clamps at g = 2; huge ε clamps at 2^16.
+        assert_eq!(OlhOracle::new(1e-6).unwrap().g(), 2);
+        assert_eq!(OlhOracle::new(64.0).unwrap().g(), 1 << 16);
+    }
+
+    #[test]
+    fn olh_estimator_is_unbiased() {
+        let olh = OlhOracle::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let held = crate::key_hash("held");
+        let absent = crate::key_hash("absent");
+        let n = 40_000u64;
+        let mut support_held = 0u64;
+        let mut support_absent = 0u64;
+        for _ in 0..n {
+            let r = olh.respond(held, &mut rng);
+            assert!(olh.validate_report(r));
+            // Truthful branch must always support the true key.
+            support_held += u64::from(olh.supports(r, held));
+            support_absent += u64::from(olh.supports(r, absent));
+        }
+        let est_held = olh.estimate(support_held, n);
+        let est_absent = olh.estimate(support_absent, n);
+        let tol = 6.0 * olh.stddev(n);
+        assert!((est_held - n as f64).abs() < tol, "held: {est_held}");
+        assert!(est_absent.abs() < tol, "absent: {est_absent}");
+    }
+
+    #[test]
+    fn hadamard_respond_hits_wanted_half() {
+        let oracle = SparseHadamard::new(2.0, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kh = crate::key_hash("k");
+        let bucket = oracle.bucket_of(kh);
+        let n = 20_000;
+        let mut plus = 0i64;
+        for _ in 0..n {
+            let y = oracle.respond(kh, &mut rng);
+            assert!(oracle.validate_report(y));
+            plus += i64::from(oracle.sign(bucket, y) > 0);
+        }
+        let frac = plus as f64 / n as f64;
+        assert!((frac - oracle.p()).abs() < 0.01, "+1 fraction {frac}");
+    }
+
+    #[test]
+    fn hadamard_transform_agrees_with_direct_estimate() {
+        let oracle = SparseHadamard::new(1.5, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys: Vec<u64> = (0..40).map(|i| crate::key_hash(&format!("k{i}"))).collect();
+        let mut counts = std::collections::BTreeMap::new();
+        for (i, &kh) in keys.iter().enumerate() {
+            for _ in 0..=(i % 7) {
+                *counts.entry(oracle.respond(kh, &mut rng)).or_insert(0u64) += 1;
+            }
+        }
+        let pairs: Vec<(u64, u64)> = counts.into_iter().collect();
+        let transformed = oracle.transform(&pairs);
+        for &kh in &keys {
+            let bulk = oracle.estimate_from_transform(&transformed, kh);
+            let direct = oracle.estimate(&pairs, kh);
+            assert_eq!(bulk.to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn fwht_matches_naive_hadamard() {
+        let input: Vec<i64> = vec![3, -1, 4, 1, -5, 9, 2, 6];
+        let mut fast = input.clone();
+        fwht_i64(&mut fast);
+        for (r, &f) in fast.iter().enumerate() {
+            let naive: i64 = input
+                .iter()
+                .enumerate()
+                .map(|(y, &v)| if (r & y).count_ones() % 2 == 0 { v } else { -v })
+                .sum();
+            assert_eq!(f, naive, "row {r}");
+        }
+    }
+
+    #[test]
+    fn fwht_involution_up_to_scale() {
+        let input: Vec<i64> = (0..16).map(|i| (i * i) as i64 - 40).collect();
+        let mut twice = input.clone();
+        fwht_i64(&mut twice);
+        fwht_i64(&mut twice);
+        for (a, b) in input.iter().zip(&twice) {
+            assert_eq!(a * 16, *b);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! LDPS records for sparse ingestion state.
+//!
+//! A sparse checkpoint persists one [`crate::SparseIngestor`]'s merged
+//! state as a `RecordKind::SparseCheckpoint` LDPS record: header
+//! fields, then the canonical strictly-key-ascending `(report, count)`
+//! pairs flattened to a `u64` run. Decoding re-validates every
+//! structural invariant with typed [`StoreError`]s — sortedness, total
+//! consistency, and the deployment binding — so corrupt or mismatched
+//! state fails loudly at resume, never silently.
+//!
+//! This module is on the repo's byte-stable list (L1): all iteration
+//! here is over sorted slices, never hash maps.
+//!
+//! # Payload layout (after the LDPS header)
+//!
+//! ```text
+//! epoch: u64 | batches: u64 | binding: u64 | reports: u64
+//! len: u64 | k_0 c_0 k_1 c_1 ... (len u64s, len = 2 · distinct)
+//! ```
+//!
+//! Invariants checked on decode: `len` even, keys strictly ascending,
+//! `Σ c_i == reports`.
+
+use ldp_store::codec::{open, Reader, Writer};
+use ldp_store::{RecordKind, StoreError};
+
+/// Cap on the flattened pair run accepted by the decoder (2^25 `u64`s
+/// = 2^24 distinct reports, a 256 MiB shard) — an allocation guard
+/// against corrupt length prefixes, mirroring the dense `MAX_DIM`.
+const MAX_FLAT: usize = 1 << 25;
+
+/// A decoded sparse checkpoint: the resumable state of one
+/// [`crate::SparseIngestor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseCheckpoint {
+    /// Checkpoint epoch (monotone per encode).
+    pub epoch: u64,
+    /// Shards absorbed when the checkpoint was taken.
+    pub batches: u64,
+    /// Deployment binding (see `SparseDeployment::binding`).
+    pub binding: u64,
+    /// Total reports, redundant with the pair counts and re-validated
+    /// against them on decode.
+    pub reports: u64,
+    /// Canonical strictly-key-ascending `(report, count)` pairs.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+/// Encodes a sparse checkpoint as a framed LDPS record.
+///
+/// # Panics
+/// Panics if `pairs` is not strictly ascending or totals disagree with
+/// `reports` — encoding is only reachable from canonical exports.
+pub fn encode_sparse_checkpoint(cp: &SparseCheckpoint) -> Vec<u8> {
+    let mut total = 0u64;
+    for (i, &(k, c)) in cp.pairs.iter().enumerate() {
+        if i > 0 {
+            assert!(cp.pairs[i - 1].0 < k, "checkpoint pairs must be sorted");
+        }
+        total += c;
+    }
+    assert_eq!(total, cp.reports, "checkpoint totals must agree");
+    let mut w = Writer::with_capacity((5 + 2 * cp.pairs.len()) * 8);
+    w.put_u64(cp.epoch);
+    w.put_u64(cp.batches);
+    w.put_u64(cp.binding);
+    w.put_u64(cp.reports);
+    let mut flat = Vec::with_capacity(2 * cp.pairs.len());
+    for &(k, c) in &cp.pairs {
+        flat.push(k);
+        flat.push(c);
+    }
+    w.put_u64s(&flat);
+    w.seal(RecordKind::SparseCheckpoint)
+}
+
+/// Decodes and validates a sparse checkpoint record.
+///
+/// # Errors
+/// Any framing failure from [`open`] (truncation, bad magic, version,
+/// kind, checksum), [`StoreError::Malformed`] on violated payload
+/// invariants, and [`StoreError::BindingMismatch`] if the record was
+/// written by a different deployment than `expected_binding`.
+pub fn decode_sparse_checkpoint(
+    bytes: &[u8],
+    expected_binding: u64,
+) -> Result<SparseCheckpoint, StoreError> {
+    let mut r: Reader<'_> = open(bytes, RecordKind::SparseCheckpoint)?;
+    let epoch = r.get_u64()?;
+    let batches = r.get_u64()?;
+    let binding = r.get_u64()?;
+    let reports = r.get_u64()?;
+    let flat = r.get_u64s("sparse checkpoint pairs")?;
+    r.finish()?;
+    if flat.len() > MAX_FLAT {
+        return Err(StoreError::Malformed(format!(
+            "sparse checkpoint pair run of {} u64s exceeds the {MAX_FLAT} cap",
+            flat.len()
+        )));
+    }
+    if flat.len() % 2 != 0 {
+        return Err(StoreError::Malformed(format!(
+            "sparse checkpoint pair run has odd length {}",
+            flat.len()
+        )));
+    }
+    let mut pairs = Vec::with_capacity(flat.len() / 2);
+    let mut total = 0u64;
+    for chunk in flat.chunks_exact(2) {
+        let (k, c) = (chunk[0], chunk[1]);
+        if let Some(&(prev, _)) = pairs.last() {
+            if prev >= k {
+                return Err(StoreError::Malformed(format!(
+                    "sparse checkpoint keys not strictly ascending ({prev:#x} then {k:#x})"
+                )));
+            }
+        }
+        total = total.checked_add(c).ok_or_else(|| {
+            StoreError::Malformed("sparse checkpoint counts overflow u64".to_string())
+        })?;
+        pairs.push((k, c));
+    }
+    if total != reports {
+        return Err(StoreError::Malformed(format!(
+            "sparse checkpoint total {total} disagrees with recorded reports {reports}"
+        )));
+    }
+    if binding != expected_binding {
+        return Err(StoreError::BindingMismatch {
+            checkpoint: binding,
+            deployment: expected_binding,
+        });
+    }
+    Ok(SparseCheckpoint {
+        epoch,
+        batches,
+        binding,
+        reports,
+        pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseCheckpoint {
+        SparseCheckpoint {
+            epoch: 3,
+            batches: 12,
+            binding: 0xdead_beef_cafe_f00d,
+            reports: 10,
+            pairs: vec![(1, 4), (9, 1), (0xffff_ffff_ffff_fff0, 5)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let cp = sample();
+        let rec = encode_sparse_checkpoint(&cp);
+        let back = decode_sparse_checkpoint(&rec, cp.binding).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn binding_mismatch_is_typed() {
+        let cp = sample();
+        let rec = encode_sparse_checkpoint(&cp);
+        match decode_sparse_checkpoint(&rec, 1).unwrap_err() {
+            StoreError::BindingMismatch {
+                checkpoint,
+                deployment,
+            } => {
+                assert_eq!(checkpoint, cp.binding);
+                assert_eq!(deployment, 1);
+            }
+            other => panic!("expected BindingMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let cp = sample();
+        assert_eq!(encode_sparse_checkpoint(&cp), encode_sparse_checkpoint(&cp));
+    }
+}

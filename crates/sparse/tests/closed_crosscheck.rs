@@ -1,0 +1,43 @@
+//! Cross-checks the sparse crate's closed-domain Hadamard view against
+//! the dense baseline in `ldp-mechanisms`: same protocol, two
+//! independent constructions, bit-identical strategy matrices.
+
+use ldp_core::Deployable;
+use ldp_mechanisms::hadamard::hadamard_strategy;
+use ldp_sparse::ClosedHadamard;
+
+#[test]
+fn closed_hadamard_strategy_matches_dense_baseline_bit_for_bit() {
+    // (n, bits) pairs where 2^(bits+1) == (n+1).next_power_of_two(),
+    // i.e. the two constructions pick the same Hadamard order.
+    for (n, bits) in [(3usize, 1u32), (7, 2), (6, 2), (15, 3), (12, 3)] {
+        for eps in [0.5, 1.0, 2.0, 3.5] {
+            let sparse = ClosedHadamard::new(n, eps, bits).unwrap();
+            let dense = hadamard_strategy(n, eps);
+            let a = sparse.strategy().unwrap().matrix();
+            let b = dense.matrix();
+            assert_eq!(a.shape(), b.shape(), "n={n} bits={bits} eps={eps}");
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "strategy entries drifted at n={n} bits={bits} eps={eps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_hadamard_reconstruction_is_exact_left_inverse() {
+    let m = ClosedHadamard::new(12, 1.5, 3).unwrap();
+    let kq = m
+        .reconstruction_matrix()
+        .matmul(m.strategy().unwrap().matrix());
+    for i in 0..12 {
+        for j in 0..12 {
+            let want = if i == j { 1.0 } else { 0.0 };
+            assert!((kq[(i, j)] - want).abs() < 1e-12, "KQ[{i},{j}]");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Sparse snapshot robustness: exhaustive corruption of an encoded
+//! `SparseCheckpoint` record must always produce a typed [`StoreError`]
+//! — never a panic, never silent acceptance.
+//!
+//! Two sweeps pin the envelope layer (truncation at *every* byte
+//! boundary, *every* single-bit flip), and a family of hand-built
+//! records — valid envelopes around invalid payloads — pins each
+//! payload invariant the decoder re-validates: even pair-run length,
+//! strictly ascending keys, count-sum consistency, overflow, and the
+//! deployment binding.
+
+use ldp_linalg::stablehash::fnv1a64;
+use ldp_sparse::{decode_sparse_checkpoint, encode_sparse_checkpoint, SparseCheckpoint};
+use ldp_store::codec::{RecordKind, MAGIC, VERSION};
+use ldp_store::StoreError;
+
+fn sample() -> SparseCheckpoint {
+    SparseCheckpoint {
+        epoch: 7,
+        batches: 41,
+        binding: 0x1234_5678_9abc_def0,
+        reports: 100,
+        pairs: vec![(2, 30), (5, 20), (0x8000_0000_0000_0000, 50)],
+    }
+}
+
+/// Builds a record with a *valid* envelope (magic, version, kind,
+/// length, checksum) around an arbitrary payload, so the payload
+/// validators — not the checksum — are what rejects it.
+fn sealed(kind: RecordKind, payload_u64s: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(kind as u16).to_le_bytes());
+    bytes.extend_from_slice(&(8 * payload_u64s.len() as u64).to_le_bytes());
+    for v in payload_u64s {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes.extend_from_slice(&fnv1a64(&bytes).to_le_bytes());
+    bytes
+}
+
+/// Flattens header fields + a length-prefixed pair run into the payload
+/// `u64` sequence `decode_sparse_checkpoint` expects.
+fn payload(epoch: u64, batches: u64, binding: u64, reports: u64, flat: &[u64]) -> Vec<u64> {
+    let mut p = vec![epoch, batches, binding, reports, flat.len() as u64];
+    p.extend_from_slice(flat);
+    p
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    let cp = sample();
+    let bytes = encode_sparse_checkpoint(&cp);
+    assert!(decode_sparse_checkpoint(&bytes, cp.binding).is_ok());
+    for cut in 0..bytes.len() {
+        let err = decode_sparse_checkpoint(&bytes[..cut], cp.binding)
+            .expect_err("truncated record accepted");
+        // Every prefix is some typed defect — mostly Truncated, but a
+        // cut inside the checksum can also surface as a mismatch.
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+            ),
+            "truncation at {cut} gave unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_a_typed_error() {
+    let cp = sample();
+    let bytes = encode_sparse_checkpoint(&cp);
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                decode_sparse_checkpoint(&corrupt, cp.binding).is_err(),
+                "bit flip at byte {byte} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn envelope_defects_are_distinguished() {
+    let cp = sample();
+
+    // Wrong record kind: a perfectly valid Shard-tagged record is not a
+    // sparse checkpoint.
+    let wrong_kind = sealed(RecordKind::Shard, &payload(1, 1, 1, 0, &[]));
+    assert!(matches!(
+        decode_sparse_checkpoint(&wrong_kind, 1).unwrap_err(),
+        StoreError::WrongKind { found: 1, .. }
+    ));
+
+    // Unsupported version, checksum recomputed so only the version
+    // field differs.
+    let mut versioned = encode_sparse_checkpoint(&cp);
+    versioned[4] = 99;
+    let body = versioned.len() - 8;
+    let sum = fnv1a64(&versioned[..body]);
+    versioned[body..].copy_from_slice(&sum.to_le_bytes());
+    assert!(matches!(
+        decode_sparse_checkpoint(&versioned, cp.binding).unwrap_err(),
+        StoreError::UnsupportedVersion { found: 99, .. }
+    ));
+
+    // Bad magic.
+    let mut magicked = encode_sparse_checkpoint(&cp);
+    magicked[0] = b'X';
+    let sum = fnv1a64(&magicked[..body]);
+    magicked[body..].copy_from_slice(&sum.to_le_bytes());
+    assert!(matches!(
+        decode_sparse_checkpoint(&magicked, cp.binding).unwrap_err(),
+        StoreError::BadMagic
+    ));
+}
+
+#[test]
+fn payload_invariant_violations_are_malformed() {
+    // Odd pair-run length: a key with no count.
+    let odd = sealed(
+        RecordKind::SparseCheckpoint,
+        &payload(1, 1, 9, 5, &[2, 5, 7]),
+    );
+    assert!(matches!(
+        decode_sparse_checkpoint(&odd, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // Keys out of order.
+    let unsorted = sealed(
+        RecordKind::SparseCheckpoint,
+        &payload(1, 1, 9, 5, &[7, 2, 2, 3]),
+    );
+    assert!(matches!(
+        decode_sparse_checkpoint(&unsorted, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // Duplicate key (strictness, not just monotonicity).
+    let duplicated = sealed(
+        RecordKind::SparseCheckpoint,
+        &payload(1, 1, 9, 5, &[2, 2, 2, 3]),
+    );
+    assert!(matches!(
+        decode_sparse_checkpoint(&duplicated, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // Counts disagree with the recorded total.
+    let short_total = sealed(
+        RecordKind::SparseCheckpoint,
+        &payload(1, 1, 9, 6, &[2, 2, 7, 3]),
+    );
+    assert!(matches!(
+        decode_sparse_checkpoint(&short_total, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // Count sum overflows u64.
+    let overflowing = sealed(
+        RecordKind::SparseCheckpoint,
+        &payload(1, 1, 9, 0, &[2, u64::MAX, 7, u64::MAX]),
+    );
+    assert!(matches!(
+        decode_sparse_checkpoint(&overflowing, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // A length prefix pointing past the payload is truncation, caught
+    // before any allocation of the claimed size.
+    let lying_len = sealed(RecordKind::SparseCheckpoint, &[1, 1, 9, 5, u64::MAX >> 3]);
+    assert!(decode_sparse_checkpoint(&lying_len, 9).is_err());
+
+    // Trailing payload bytes after a structurally complete record.
+    let mut trailing = payload(1, 1, 9, 5, &[2, 5]);
+    trailing.push(0xdead);
+    let trailing = sealed(RecordKind::SparseCheckpoint, &trailing);
+    assert!(matches!(
+        decode_sparse_checkpoint(&trailing, 9).unwrap_err(),
+        StoreError::Malformed(_)
+    ));
+
+    // The same bytes with the invariants intact decode fine — the
+    // builders above really are minimal perturbations of a valid record.
+    let valid = sealed(RecordKind::SparseCheckpoint, &payload(1, 1, 9, 5, &[2, 5]));
+    let cp = decode_sparse_checkpoint(&valid, 9).unwrap();
+    assert_eq!(cp.pairs, vec![(2, 5)]);
+}

@@ -47,6 +47,11 @@ pub enum RecordKind {
     /// A streaming-ingestion checkpoint: counts plus stream position and
     /// a deployment binding.
     Checkpoint = 4,
+    /// A sparse (open-domain) ingestion checkpoint: sorted
+    /// `(key-hash, count)` pairs plus stream position and a deployment
+    /// binding. Encoded and decoded by `ldp-sparse`'s snapshot module;
+    /// the tag lives here so the record-kind namespace has one owner.
+    SparseCheckpoint = 5,
 }
 
 impl RecordKind {

@@ -67,6 +67,10 @@ enum Condition {
     /// Restrict to the values satisfying a predicate (evaluated at
     /// resolution time against the attribute's actual domain).
     Predicate(Arc<dyn Fn(usize) -> bool + Send + Sync>),
+    /// An open-domain point condition: count users whose open attribute
+    /// equals this key. Never resolves densely — it routes to the
+    /// `ldp-sparse` frequency-oracle path.
+    Key(String),
 }
 
 impl fmt::Debug for Condition {
@@ -76,6 +80,7 @@ impl fmt::Debug for Condition {
             Condition::Range { lo, hi } => write!(f, "Range({lo}..{hi:?})"),
             Condition::Values(v) => write!(f, "Values({v:?})"),
             Condition::Predicate(_) => write!(f, "Predicate(..)"),
+            Condition::Key(k) => write!(f, "Key({k:?})"),
         }
     }
 }
@@ -101,6 +106,8 @@ pub enum QueryTerm<'a> {
     Values(&'a [usize]),
     /// An opaque predicate condition; it cannot be serialized.
     Predicate,
+    /// An open-domain point condition: the key whose count is asked.
+    Key(&'a str),
 }
 
 /// One declarative counting query (or query group) over a [`Schema`],
@@ -149,6 +156,19 @@ impl Query {
         Self::total().and_values(attribute, values)
     }
 
+    /// A single query counting users whose *open-domain* `attribute`
+    /// equals `key` — e.g. `Query::key("url", "https://example.com/")`.
+    ///
+    /// Key queries never lower to the dense workload: resolving one
+    /// against a schema fails with
+    /// [`SchemaError::OpenAttribute`]
+    /// (if the attribute is open) so callers route them to the
+    /// `ldp-sparse` frequency-oracle path instead — see
+    /// [`Query::as_key_query`].
+    pub fn key(attribute: impl Into<String>, key: impl Into<String>) -> Self {
+        Self::total().and_key(attribute, key)
+    }
+
     /// A single query counting users whose `attribute` satisfies
     /// `predicate` (evaluated against the attribute's domain when the
     /// query is resolved).
@@ -193,6 +213,15 @@ impl Query {
     /// Adds an equality restriction on `attribute`.
     pub fn and_equals(self, attribute: impl Into<String>, value: usize) -> Self {
         self.and_values(attribute, [value])
+    }
+
+    /// Adds an open-domain point condition on `attribute` (see
+    /// [`Query::key`]). Used by wire decoders rebuilding a query term by
+    /// term; a resolvable dense query never carries a key condition.
+    pub fn and_key(mut self, attribute: impl Into<String>, key: impl Into<String>) -> Self {
+        self.conditions
+            .push((attribute.into(), Condition::Key(key.into())));
+        self
     }
 
     /// Adds a value-set restriction on `attribute`.
@@ -243,9 +272,23 @@ impl Query {
                 Condition::Range { lo, hi } => QueryTerm::Range { lo: *lo, hi: *hi },
                 Condition::Values(values) => QueryTerm::Values(values),
                 Condition::Predicate(_) => QueryTerm::Predicate,
+                Condition::Key(key) => QueryTerm::Key(key),
             };
             (name.as_str(), term)
         })
+    }
+
+    /// If this query is a single open-domain point query
+    /// (built with [`Query::key`]), returns `(attribute, key)`.
+    ///
+    /// The routing hook for mixed schemas: serving tiers call this
+    /// first and dispatch to the sparse oracle path on `Some`, falling
+    /// through to dense resolution otherwise.
+    pub fn as_key_query(&self) -> Option<(&str, &str)> {
+        match self.conditions.as_slice() {
+            [(name, Condition::Key(key))] => Some((name.as_str(), key.as_str())),
+            _ => None,
+        }
     }
 
     /// Resolves the query against a schema: validates every attribute
@@ -263,6 +306,28 @@ impl Query {
             .map(|&n| Factor::All(n))
             .collect();
         for (name, condition) in &self.conditions {
+            if let Condition::Key(_) = condition {
+                // Key queries never resolve densely. On an open
+                // attribute the typed error is the routing signal (use
+                // the sparse oracle path); on anything else the open
+                // namespace simply doesn't contain the name.
+                return Err(if schema.is_open(name) {
+                    SchemaError::OpenAttribute {
+                        attribute: name.clone(),
+                    }
+                } else {
+                    SchemaError::UnknownAttribute {
+                        attribute: name.clone(),
+                    }
+                });
+            }
+            if schema.is_open(name) {
+                // Dense conditions cannot touch open attributes: there
+                // is no closed value set to select over.
+                return Err(SchemaError::OpenAttribute {
+                    attribute: name.clone(),
+                });
+            }
             let a = schema
                 .index_of(name)
                 .ok_or_else(|| SchemaError::UnknownAttribute {
@@ -316,6 +381,8 @@ impl Query {
                     }
                     Factor::select(size, values)
                 }
+                // Key conditions returned a typed error above.
+                Condition::Key(_) => unreachable!("key conditions never resolve densely"),
             };
         }
         let mut rows = 1usize;
@@ -845,6 +912,59 @@ mod tests {
             SchemaWorkload::new(schema(), &[]),
             Err(SchemaError::NoQueries)
         ));
+    }
+
+    #[test]
+    fn key_queries_route_instead_of_resolving() {
+        let s = Arc::new(Schema::new([("age", 5)]).open("url"));
+        // The routing hook extracts the point query…
+        let q = Query::key("url", "https://example.com/");
+        assert_eq!(q.as_key_query(), Some(("url", "https://example.com/")));
+        assert_eq!(Query::total().as_key_query(), None);
+        assert_eq!(Query::equals("age", 1).as_key_query(), None);
+        // …and dense resolution refuses it with the typed signal.
+        assert!(matches!(
+            q.resolve(&s),
+            Err(SchemaError::OpenAttribute { .. })
+        ));
+        // A key query on a non-open name misses the open namespace.
+        assert!(matches!(
+            Query::key("age", "x").resolve(&s),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+        // Dense conditions cannot touch open attributes either.
+        assert!(matches!(
+            Query::equals("url", 0).resolve(&s),
+            Err(SchemaError::OpenAttribute { .. })
+        ));
+        assert!(matches!(
+            Query::marginal(["url"]).resolve(&s),
+            Err(SchemaError::OpenAttribute { .. })
+        ));
+        // Key terms surface through the introspection iterator.
+        let terms: Vec<_> = q.terms().collect();
+        assert_eq!(terms.len(), 1);
+        assert!(matches!(
+            terms[0],
+            ("url", QueryTerm::Key("https://example.com/"))
+        ));
+    }
+
+    #[test]
+    fn mixed_schema_dense_queries_ignore_open_attributes() {
+        // A schema with open attributes still lowers its dense queries
+        // exactly as the all-dense schema would.
+        let dense_only = Arc::new(Schema::new([("age", 5), ("sex", 2)]));
+        let mixed = Arc::new(Schema::new([("age", 5), ("sex", 2)]).open("url"));
+        let queries = [Query::marginal(["age", "sex"]), Query::total()];
+        let a = SchemaWorkload::new(dense_only, &queries).unwrap();
+        let b = SchemaWorkload::new(mixed, &queries).unwrap();
+        assert_eq!(a.num_queries(), b.num_queries());
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(a.evaluate(&x), b.evaluate(&x));
+        // The open attribute is part of the workload identity, so the
+        // two fingerprints differ (bindings must not alias).
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

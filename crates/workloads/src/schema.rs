@@ -67,6 +67,14 @@ pub enum SchemaError {
     /// The query's row count (product of per-attribute factor rows)
     /// overflows `usize`.
     RowCountOverflow,
+    /// A dense query referenced an open-domain attribute. Open
+    /// attributes are served by the frequency-oracle path (`ldp-sparse`),
+    /// not the dense workload; only [`Query::key`](crate::Query::key)
+    /// may name them, and only alone.
+    OpenAttribute {
+        /// The open attribute that was referenced.
+        attribute: String,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -100,6 +108,11 @@ impl fmt::Display for SchemaError {
             SchemaError::RowCountOverflow => {
                 write!(f, "query row count overflows usize")
             }
+            SchemaError::OpenAttribute { attribute } => write!(
+                f,
+                "attribute '{attribute}' is open-domain; dense queries cannot \
+                 reference it (point queries go through the sparse oracle path)"
+            ),
         }
     }
 }
@@ -230,6 +243,10 @@ impl Domain {
 pub struct Schema {
     names: Vec<String>,
     domain: Domain,
+    /// Open-domain attribute names (URLs, arbitrary strings, …). They
+    /// do not participate in the dense product domain; point queries on
+    /// them lower to the `ldp-sparse` frequency-oracle path.
+    open: Vec<String>,
 }
 
 impl Schema {
@@ -252,7 +269,44 @@ impl Schema {
         Self {
             domain: Domain::new(sizes),
             names,
+            open: Vec::new(),
         }
+    }
+
+    /// Marks `name` as an *open-domain* attribute — one whose values
+    /// are arbitrary strings (URLs, identifiers) rather than a closed
+    /// `[k]`. Open attributes are excluded from the dense product
+    /// domain; [`Query::key`](crate::Query::key) point queries on them
+    /// are served by `ldp-sparse` frequency oracles, and dense queries
+    /// that reference them fail with [`SchemaError::OpenAttribute`].
+    ///
+    /// Chainable: `Schema::new([("age", 8)]).open("url")`.
+    ///
+    /// # Panics
+    /// Panics if `name` collides with a dense attribute or repeats an
+    /// open one — a declaration bug, like the `Schema::new` panics.
+    pub fn open(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "attribute '{name}' is already declared dense"
+        );
+        assert!(
+            !self.open.contains(&name),
+            "duplicate open attribute '{name}'"
+        );
+        self.open.push(name);
+        self
+    }
+
+    /// Open-domain attribute names, in declaration order.
+    pub fn open_attributes(&self) -> &[String] {
+        &self.open
+    }
+
+    /// Whether `name` is declared as an open-domain attribute.
+    pub fn is_open(&self, name: &str) -> bool {
+        self.open.iter().any(|n| n == name)
     }
 
     /// The underlying index arithmetic.
@@ -283,13 +337,21 @@ impl Schema {
     /// The cardinality of attribute `name`.
     ///
     /// # Errors
-    /// [`SchemaError::UnknownAttribute`] if the name does not resolve.
+    /// [`SchemaError::UnknownAttribute`] if the name does not resolve;
+    /// [`SchemaError::OpenAttribute`] if it names an open attribute
+    /// (open domains have no cardinality).
     pub fn size_of(&self, name: &str) -> Result<usize, SchemaError> {
-        self.index_of(name)
-            .map(|a| self.domain.size_of(a))
-            .ok_or_else(|| SchemaError::UnknownAttribute {
+        if let Some(a) = self.index_of(name) {
+            return Ok(self.domain.size_of(a));
+        }
+        if self.is_open(name) {
+            return Err(SchemaError::OpenAttribute {
                 attribute: name.to_string(),
-            })
+            });
+        }
+        Err(SchemaError::UnknownAttribute {
+            attribute: name.to_string(),
+        })
     }
 
     /// Flattens named coordinates into the user type `u` — the value a
@@ -338,12 +400,15 @@ impl Schema {
     }
 
     /// A deterministic one-line description, e.g. `age:100,sex:2,state:50`
-    /// — part of the schema workload's stable fingerprint.
+    /// — part of the schema workload's stable fingerprint. Open
+    /// attributes append as `name:open` (schemas without them keep
+    /// their pre-open description, so existing fingerprints hold).
     pub fn describe(&self) -> String {
         self.names
             .iter()
             .zip(self.domain.sizes())
             .map(|(n, s)| format!("{n}:{s}"))
+            .chain(self.open.iter().map(|n| format!("{n}:open")))
             .collect::<Vec<_>>()
             .join(",")
     }
@@ -413,6 +478,37 @@ mod tests {
     #[should_panic(expected = "duplicate attribute")]
     fn schema_rejects_duplicate_names() {
         let _ = Schema::new([("a", 2), ("a", 3)]);
+    }
+
+    #[test]
+    fn open_attributes_live_beside_the_dense_domain() {
+        let s = Schema::new([("age", 8), ("sex", 2)]).open("url").open("ip");
+        // The dense product domain is untouched by open attributes.
+        assert_eq!(s.domain_size(), 16);
+        assert_eq!(s.num_attributes(), 2);
+        assert_eq!(s.open_attributes(), ["url", "ip"]);
+        assert!(s.is_open("url"));
+        assert!(!s.is_open("age"));
+        assert_eq!(s.index_of("url"), None);
+        assert!(matches!(
+            s.size_of("url"),
+            Err(SchemaError::OpenAttribute { .. })
+        ));
+        assert_eq!(s.describe(), "age:8,sex:2,url:open,ip:open");
+        // Schemas without open attributes keep the pre-open description.
+        assert_eq!(Schema::new([("age", 8)]).describe(), "age:8");
+    }
+
+    #[test]
+    #[should_panic(expected = "already declared dense")]
+    fn open_rejects_dense_collision() {
+        let _ = Schema::new([("age", 8)]).open("age");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate open attribute")]
+    fn open_rejects_duplicates() {
+        let _ = Schema::new([("age", 8)]).open("url").open("url");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Top-k heavy hitters over an open domain: URLs nobody enumerated up
+//! front, reported under ε-LDP through the sparse Hadamard oracle,
+//! aggregated in hash-map shards, checkpointed, and mined for the
+//! most frequent keys with analytic error bars.
+//!
+//! ```text
+//! cargo run --release --example heavy_hitters
+//! ```
+//!
+//! Every line this prints is deterministic — integer counts, exact
+//! sorted merges, and fixed-seed randomization — so CI runs it at
+//! `LDP_THREADS ∈ {1, 4}` and every kernel backend and requires the
+//! stdout to be byte-identical (the open-domain extension of the
+//! repo's determinism contract).
+
+use ldp::prelude::*;
+use ldp::sparse::{decode_sparse_checkpoint, encode_sparse_checkpoint, SparseCheckpoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // An open attribute: the domain is "every URL", not an enumerated
+    // [n]. ε = 2 through a 2^14-bucket sparse Hadamard oracle.
+    let deployment = SparseDeployment::hadamard("url", 2.0, 14).expect("valid oracle params");
+    let client = deployment.client();
+    println!(
+        "open-domain deployment: attribute 'url', epsilon = {}, oracle = {}",
+        deployment.oracle().epsilon(),
+        deployment.oracle().name()
+    );
+
+    // A skewed population: a few hot pages, a long cold tail. Each user
+    // randomizes locally — one u64 report, no raw URL leaves the
+    // client.
+    let pages: Vec<(String, u64)> = (1..=400)
+        .map(|rank| (format!("https://example.com/page/{rank}"), 24_000 / rank))
+        .collect();
+
+    // Four aggregation shards (threads, machines — the merge cannot
+    // tell), then one canonical merge.
+    let mut shards: Vec<SparseShard> = (0..4).map(|_| SparseShard::new()).collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut sent = 0u64;
+    for (url, count) in &pages {
+        let kh = key_hash(url);
+        for i in 0..*count {
+            shards[(i % 4) as usize].absorb(client.respond_hashed(kh, &mut rng));
+            sent += 1;
+        }
+    }
+    let mut ingestor = deployment.ingestor();
+    for shard in &mut shards {
+        ingestor.absorb_shard(shard);
+    }
+    println!(
+        "ingested {} reports through 4 shards ({} distinct report values)\n",
+        ingestor.reports(),
+        ingestor.pairs().len()
+    );
+    assert_eq!(ingestor.reports(), sent);
+
+    // Durability: the merged state round-trips through the LDPS codec.
+    let (epoch, batches, binding, pairs) = ingestor.checkpoint();
+    let record = encode_sparse_checkpoint(&SparseCheckpoint {
+        epoch,
+        batches,
+        binding,
+        reports: sent,
+        pairs,
+    });
+    let restored = decode_sparse_checkpoint(&record, deployment.binding()).expect("valid record");
+    println!(
+        "checkpoint: {} bytes, epoch {}, binding {:#018x}; decode round-trips\n",
+        record.len(),
+        restored.epoch,
+        restored.binding
+    );
+
+    // Top-10 heavy hitters among the tracked candidates, admitting only
+    // estimates that clear 4 standard deviations of pure noise.
+    let candidates: Vec<u64> = pages.iter().map(|(url, _)| key_hash(url)).collect();
+    let hitters = deployment.heavy_hitters(&restored.pairs, &candidates, 10, 4.0);
+    let sigma = deployment.oracle().stddev(restored.reports);
+    println!("top-10 heavy hitters (admission threshold 4 sigma = {sigma:.1}):");
+    println!(
+        "{:>4}  {:>10}  {:>18}  true",
+        "rank", "estimate", "key hash"
+    );
+    for (i, h) in hitters.iter().enumerate() {
+        let truth = pages
+            .iter()
+            .find(|(url, _)| key_hash(url) == h.key_hash)
+            .map_or(0, |&(_, c)| c);
+        println!(
+            "{:>4}  {:>10.1}  {:#018x}  {}",
+            i + 1,
+            h.estimate,
+            h.key_hash,
+            truth
+        );
+    }
+
+    // A point query for one key, with its closed-form error bar.
+    let hot = "https://example.com/page/1";
+    let estimate = deployment.point(&restored.pairs, key_hash(hot));
+    println!("\npoint query {hot}: {estimate:.1} +/- {sigma:.1} (true 24000)");
+    assert!((estimate - 24_000.0).abs() < 6.0 * sigma);
+
+    // Never-reported decoys stay out, at the same threshold.
+    let decoys: Vec<u64> = (0..100)
+        .map(|i| key_hash(&format!("https://decoy.example/{i}")))
+        .collect();
+    let admitted = deployment.heavy_hitters(&restored.pairs, &decoys, 10, 4.0);
+    println!(
+        "decoy admission check: {} of 100 never-reported keys admitted",
+        admitted.len()
+    );
+    assert!(admitted.is_empty(), "decoys must not clear the threshold");
+}

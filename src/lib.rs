@@ -103,7 +103,47 @@
 //! | [`opt`] | Algorithm 1 (projection), Algorithm 2 (projected gradient descent) |
 //! | [`estimation`] | WNNLS consistency post-processing, variance simulation |
 //! | [`store`] | durability: checksummed snapshots, strategy registry, checkpoint/resume |
+//! | [`sparse`] | open-domain frequency oracles (OLH, sparse Hadamard), sharded sparse aggregation, top-k heavy hitters |
 //! | [`data`] | synthetic DPBench-shaped datasets (HEPTH/MEDCOST/NETTRACE-like) |
+//!
+//! ## Open-domain workloads
+//!
+//! Attributes whose values cannot be enumerated up front (URLs, search
+//! strings, arbitrary identifiers) never lower to a dense `[n]` index.
+//! Declare them with [`workloads::Schema::open`] beside the dense
+//! attributes, and serve them through the [`sparse`] crate's frequency
+//! oracles — point queries and variance-aware top-k heavy hitters with
+//! the same bit-determinism and checkpoint/resume guarantees as the
+//! dense pipeline:
+//!
+//! ```
+//! use ldp::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A mixed schema: dense demographics plus an open url attribute.
+//! let schema = Schema::new([("age", 8), ("sex", 2)]).open("url");
+//! assert!(schema.is_open("url"));
+//!
+//! // Open attributes are served by a sparse deployment.
+//! let dep = SparseDeployment::hadamard("url", 2.0, 12).unwrap();
+//! let client = dep.client();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut shard = SparseShard::new();
+//! for _ in 0..2000 {
+//!     shard.absorb(client.respond("https://example.com/", &mut rng));
+//! }
+//! let mut ingestor = dep.ingestor();
+//! ingestor.absorb_shard(&mut shard);
+//!
+//! // Point estimate with an analytic error bar.
+//! let est = dep.point(ingestor.pairs(), key_hash("https://example.com/"));
+//! assert!((est - 2000.0).abs() < 6.0 * dep.oracle().stddev(2000));
+//!
+//! // Dense queries that touch an open attribute fail with a typed
+//! // routing error instead of a wrong dense answer.
+//! let q = Query::key("url", "https://example.com/");
+//! assert!(q.as_key_query().is_some()); // the sparse routing hook
+//! ```
 
 pub use ldp_core as core;
 pub use ldp_data as data;
@@ -111,6 +151,7 @@ pub use ldp_estimation as estimation;
 pub use ldp_linalg as linalg;
 pub use ldp_mechanisms as mechanisms;
 pub use ldp_opt as opt;
+pub use ldp_sparse as sparse;
 pub use ldp_store as store;
 pub use ldp_workloads as workloads;
 
@@ -138,6 +179,10 @@ pub mod prelude {
     };
     pub use ldp_opt::{
         optimize_strategy, optimized_mechanism, Algorithm, OptimizerConfig, Workspace,
+    };
+    pub use ldp_sparse::{
+        key_hash, sparse_fingerprint, HeavyHitter, SparseClient, SparseDeployment, SparseIngestor,
+        SparseShard,
     };
     pub use ldp_store::{CacheOutcome, StoreError, StrategyRegistry};
     pub use ldp_workloads::{

@@ -88,12 +88,24 @@ fn observed() -> Vec<(&'static str, u64)> {
                 .with_target_objective(Some(512.0))
                 .fingerprint(),
         ),
+        // Open-domain deployments: sparse fingerprints bind checkpoints
+        // and serve-side state exactly like workload fingerprints bind
+        // dense ones (and include a fixed-seed protocol probe, so any
+        // behavioural drift in an oracle's response path re-keys them).
+        (
+            "SparseDeployment::olh(url,2.0)",
+            sparse_fingerprint(&SparseDeployment::olh("url", 2.0).expect("valid epsilon")),
+        ),
+        (
+            "SparseDeployment::hadamard(url,2.0,8)",
+            sparse_fingerprint(&SparseDeployment::hadamard("url", 2.0, 8).expect("valid params")),
+        ),
     ]
 }
 
 /// The committed fingerprints. Regenerate with
 /// `cargo test --test fingerprint_golden -- --nocapture print_fingerprints`.
-const GOLDEN: [(&str, u64); 17] = [
+const GOLDEN: [(&str, u64); 19] = [
     ("Histogram(16)", 0xd4ee89c438ebbda8),
     ("Prefix(16)", 0xd525c013cbf8ddda),
     ("AllRange(16)", 0x255aa356a0de5f51),
@@ -111,6 +123,8 @@ const GOLDEN: [(&str, u64); 17] = [
     ("OptimizerConfig::lbfgs(42)", 0xa6d7bf20865561f0),
     ("OptimizerConfig::quick(42)+stopping", 0x461c07e6cd4a2466),
     ("OptimizerConfig::lbfgs(42)+target", 0xbd7920c7e004f071),
+    ("SparseDeployment::olh(url,2.0)", 0xa76625a468a0a4fb),
+    ("SparseDeployment::hadamard(url,2.0,8)", 0x83adadc0f97d65a7),
 ];
 
 #[test]

@@ -1,0 +1,182 @@
+//! The determinism contract, extended to open domains: sparse
+//! aggregation state, checkpoint bytes, and every downstream answer
+//! must be byte-equal regardless of how reports were sharded, which
+//! kernel backend is active, and whether the run was interrupted.
+//!
+//! Counts are exact `u64`s and the canonical export is a sorted merge,
+//! so — exactly as for dense `AggregatorShard`s — the number of shards
+//! (threads, connections, machines) is unobservable in durable state.
+//! CI runs this suite at `LDP_THREADS ∈ {1, 4}`; the backend sweep here
+//! covers the kernel axis in-process.
+
+use ldp::prelude::*;
+use ldp::sparse::{decode_sparse_checkpoint, encode_sparse_checkpoint, SparseCheckpoint};
+use ldp_linalg::kernels::{with_backend, Backend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic report stream: hot keys, a warm key, and a long
+/// cold tail, from both oracle families.
+fn reports(dep: &SparseDeployment, n: usize) -> Vec<u64> {
+    let client = dep.client();
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    (0..n)
+        .map(|i| {
+            let key = match i % 5 {
+                0 | 1 => "alpha".to_string(),
+                2 => "beta".to_string(),
+                _ => format!("tail/{i}"),
+            };
+            client.respond(&key, &mut rng)
+        })
+        .collect()
+}
+
+fn deployments() -> Vec<SparseDeployment> {
+    vec![
+        SparseDeployment::olh("url", 2.0).unwrap(),
+        SparseDeployment::hadamard("url", 2.0, 10).unwrap(),
+    ]
+}
+
+/// Everything observable downstream of an ingestor, as exact bits.
+fn answer_bits(dep: &SparseDeployment, ingestor: &mut SparseIngestor) -> Vec<u64> {
+    let candidates = [key_hash("alpha"), key_hash("beta"), key_hash("never-sent")];
+    let mut bits = vec![ingestor.reports(), ingestor.batches(), ingestor.epoch()];
+    let pairs: Vec<(u64, u64)> = ingestor.pairs().to_vec();
+    for kh in candidates {
+        bits.push(dep.point(&pairs, kh).to_bits());
+    }
+    for h in dep.heavy_hitters(&pairs, &candidates, 2, 3.0) {
+        bits.push(h.key_hash);
+        bits.push(h.estimate.to_bits());
+        bits.push(h.stddev.to_bits());
+    }
+    bits
+}
+
+/// Ingests `all` (as 12 logical batches) through `shards` concurrent
+/// shards — batch `b` lands on shard `b % shards`, exactly how
+/// connections shard a live daemon — and returns (checkpoint bytes,
+/// answer bits). Batch accounting is per *submitted batch*, so the
+/// metadata, like the counts, must not see the sharding.
+fn sharded_run(dep: &SparseDeployment, all: &[u64], shards: usize) -> (Vec<u8>, Vec<u64>) {
+    let batches: Vec<&[u64]> = all.chunks(all.len().div_ceil(12)).collect();
+    let mut parts: Vec<(SparseShard, u64)> = (0..shards).map(|_| (SparseShard::new(), 0)).collect();
+    for (b, batch) in batches.iter().enumerate() {
+        let (shard, absorbed) = &mut parts[b % shards];
+        shard.absorb_batch(batch);
+        *absorbed += 1;
+    }
+    let mut ingestor = dep.ingestor();
+    // Deliberately absorb in reverse shard order: merge must commute.
+    for (shard, absorbed) in parts.iter_mut().rev() {
+        ingestor.absorb(shard, *absorbed);
+    }
+    let (epoch, batches, binding, pairs) = ingestor.checkpoint();
+    let bytes = encode_sparse_checkpoint(&SparseCheckpoint {
+        epoch,
+        batches,
+        binding,
+        reports: pairs.iter().map(|&(_, c)| c).sum(),
+        pairs,
+    });
+    (bytes, answer_bits(dep, &mut ingestor))
+}
+
+#[test]
+fn shard_count_is_unobservable_in_state_and_answers() {
+    for dep in deployments() {
+        let all = reports(&dep, 600);
+        let (ref_bytes, ref_bits) = sharded_run(&dep, &all, 1);
+        for shards in [2usize, 4] {
+            let (bytes, bits) = sharded_run(&dep, &all, shards);
+            assert_eq!(
+                bytes,
+                ref_bytes,
+                "[{}] checkpoint bytes differ at {shards} shards",
+                dep.oracle().name()
+            );
+            assert_eq!(
+                bits,
+                ref_bits,
+                "[{}] answers differ at {shards} shards",
+                dep.oracle().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn answers_are_backend_independent() {
+    for dep in deployments() {
+        let all = reports(&dep, 600);
+        let reference = sharded_run(&dep, &all, 3);
+        for backend in Backend::available() {
+            let under = with_backend(backend, || sharded_run(&dep, &all, 3));
+            assert_eq!(
+                under,
+                reference,
+                "[{}] sparse state or answers drifted under the {backend} backend",
+                dep.oracle().name()
+            );
+        }
+    }
+}
+
+/// Checkpoint → crash → resume → keep ingesting is byte-equal to a run
+/// that never stopped, at every interruption point.
+#[test]
+fn resume_at_any_batch_boundary_is_byte_equal() {
+    for dep in deployments() {
+        let all = reports(&dep, 500);
+        let batches: Vec<&[u64]> = all.chunks(100).collect();
+
+        // The uninterrupted reference.
+        let mut reference = dep.ingestor();
+        for batch in &batches {
+            let mut shard = SparseShard::new();
+            shard.absorb_batch(batch);
+            reference.absorb_shard(&mut shard);
+        }
+        let ref_bits = answer_bits(&dep, &mut reference);
+
+        for stop in 0..batches.len() {
+            let mut first = dep.ingestor();
+            for batch in &batches[..stop] {
+                let mut shard = SparseShard::new();
+                shard.absorb_batch(batch);
+                first.absorb_shard(&mut shard);
+            }
+            let (epoch, n_batches, binding, pairs) = first.checkpoint();
+            let bytes = encode_sparse_checkpoint(&SparseCheckpoint {
+                epoch,
+                batches: n_batches,
+                binding,
+                reports: first.reports(),
+                pairs,
+            });
+            drop(first); // the crash
+
+            let cp = decode_sparse_checkpoint(&bytes, dep.binding()).unwrap();
+            let mut resumed = SparseIngestor::resume(cp.binding, cp.epoch, cp.batches, &cp.pairs);
+            assert_eq!(resumed.reports(), 100 * stop as u64);
+            for batch in &batches[stop..] {
+                let mut shard = SparseShard::new();
+                shard.absorb_batch(batch);
+                resumed.absorb_shard(&mut shard);
+            }
+            // The epoch advanced by the checkpoint barrier; everything
+            // else — counts, batches, answers — must be bit-identical.
+            let mut bits = answer_bits(&dep, &mut resumed);
+            assert_eq!(bits[2], 1, "resumed epoch records the barrier");
+            bits[2] = ref_bits[2];
+            assert_eq!(
+                bits,
+                ref_bits,
+                "[{}] resume at batch {stop} is not byte-equal",
+                dep.oracle().name()
+            );
+        }
+    }
+}

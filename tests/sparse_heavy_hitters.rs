@@ -1,0 +1,153 @@
+//! Statistical acceptance for open-domain top-k: on a Zipf-distributed
+//! million-key domain at ε = 2, the sparse Hadamard oracle recovers the
+//! true top-10 with recall ≥ 0.9, and the variance-aware admission
+//! threshold keeps never-sent decoy keys out.
+//!
+//! The dataset is deterministic (expected Zipf counts, fixed-seed
+//! randomization), so this is a pinned regression test, not a flaky
+//! Monte-Carlo bound: the analytic numbers say recall 10/10 with σ ≈
+//! 1.9k against a rank-10 count of ≈ 24k, and the asserted 0.9 floor
+//! leaves one adjacent-rank swap of slack.
+
+use ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DOMAIN: usize = 1_000_000;
+const TOTAL: u64 = 2_000_000;
+const ZIPF_S: f64 = 1.5;
+const K: usize = 10;
+
+fn key(i: usize) -> String {
+    format!("https://example.com/item/{i}")
+}
+
+/// Expected Zipf(s) counts over the full domain, rounded to integers —
+/// the deterministic "dataset". Only the head survives rounding (the
+/// tail's expected counts fall below one half), which is exactly the
+/// regime frequency oracles exist for.
+fn true_counts() -> Vec<(usize, u64)> {
+    let h: f64 = (1..=DOMAIN).map(|i| (i as f64).powf(-ZIPF_S)).sum();
+    (1..=DOMAIN)
+        .filter_map(|i| {
+            let expected = TOTAL as f64 * (i as f64).powf(-ZIPF_S) / h;
+            let count = expected.round() as u64;
+            (count > 0).then_some((i, count))
+        })
+        .collect()
+}
+
+#[test]
+fn zipf_million_key_top_k_recall_and_false_positive_bound() {
+    let dep = SparseDeployment::hadamard("url", 2.0, 21).unwrap();
+    let client = dep.client();
+    let counts = true_counts();
+
+    // Randomize one report per (key, unit of count), sharded to prove
+    // the statistical path rides on the deterministic merge.
+    let mut rng = StdRng::seed_from_u64(0x21f5);
+    let mut shard = SparseShard::new();
+    let mut ingested = 0u64;
+    for &(i, c) in &counts {
+        let kh = key_hash(&key(i));
+        for _ in 0..c {
+            shard.absorb(client.respond_hashed(kh, &mut rng));
+            ingested += 1;
+        }
+    }
+    let mut ingestor = dep.ingestor();
+    ingestor.absorb_shard(&mut shard);
+    assert_eq!(ingestor.reports(), ingested);
+    let pairs: Vec<(u64, u64)> = ingestor.pairs().to_vec();
+
+    // Candidates: the 100k keys a tracker would plausibly watch — a
+    // 7× superset of every key whose expected count survives rounding
+    // (~13k). Ground truth is the Zipf head, ranks 1..=10. The
+    // candidate list is bounded deliberately: a zero-count candidate
+    // whose bucket aliases a head key's bucket ties its estimate
+    // exactly (the known false-positive mode of hashing oracles), and
+    // the expected alias count is candidates · k / buckets — ≈ 0.5
+    // here versus ≈ 5 if all 10^6 domain keys were scored at once.
+    let candidates: Vec<u64> = (1..=DOMAIN / 10).map(|i| key_hash(&key(i))).collect();
+    let truth: Vec<u64> = (1..=K).map(|i| key_hash(&key(i))).collect();
+
+    let hitters = dep.heavy_hitters(&pairs, &candidates, K, 3.0);
+    assert_eq!(hitters.len(), K, "the head clears 3σ with huge margin");
+    let hits = truth
+        .iter()
+        .filter(|kh| hitters.iter().any(|h| h.key_hash == **kh))
+        .count();
+    let recall = hits as f64 / K as f64;
+    assert!(
+        recall >= 0.9,
+        "recall@{K} = {recall} (got {hits}/{K} of the true head)"
+    );
+
+    // Admitted estimates carry honest error bars: each admitted true
+    // hitter's estimate is within 6σ of its exact count.
+    let sigma = dep.oracle().stddev(ingested);
+    for h in &hitters {
+        if let Some(rank) = (1..=K).find(|&i| key_hash(&key(i)) == h.key_hash) {
+            let exact = counts[rank - 1].1 as f64;
+            assert!(
+                (h.estimate - exact).abs() <= 6.0 * sigma,
+                "rank {rank}: estimate {} vs exact {exact} (σ = {sigma})",
+                h.estimate
+            );
+        }
+    }
+
+    // False-positive bound: 1000 decoy keys that were never reported
+    // must not clear a 5σ admission threshold, even when they are the
+    // only candidates on offer.
+    let decoys: Vec<u64> = (0..1000).map(|i| key_hash(&format!("decoy/{i}"))).collect();
+    let admitted = dep.heavy_hitters(&pairs, &decoys, decoys.len(), 5.0);
+    assert!(
+        admitted.is_empty(),
+        "{} decoys cleared the 5σ threshold: {:?}",
+        admitted.len(),
+        admitted
+    );
+}
+
+/// The same contract for OLH at focused-candidate scale (its heavy-
+/// hitter path scans distinct reports per candidate, so the million-key
+/// sweep belongs to Hadamard — the crate README spells out the trade).
+#[test]
+fn olh_top_k_recall_on_a_focused_candidate_set() {
+    let dep = SparseDeployment::olh("url", 2.0).unwrap();
+    let client = dep.client();
+    let mut rng = StdRng::seed_from_u64(0x01f4);
+
+    // 40 candidate keys with linearly decaying counts; the top 5 are
+    // well-separated from the rest.
+    let counts: Vec<(usize, u64)> = (1..=40).map(|i| (i, 4000 / i as u64)).collect();
+    let mut shard = SparseShard::new();
+    for &(i, c) in &counts {
+        let kh = key_hash(&key(i));
+        for _ in 0..c {
+            shard.absorb(client.respond_hashed(kh, &mut rng));
+        }
+    }
+    let mut ingestor = dep.ingestor();
+    ingestor.absorb_shard(&mut shard);
+    let pairs: Vec<(u64, u64)> = ingestor.pairs().to_vec();
+
+    let candidates: Vec<u64> = (1..=40).map(|i| key_hash(&key(i))).collect();
+    let hitters = dep.heavy_hitters(&pairs, &candidates, 5, 3.0);
+    assert_eq!(hitters.len(), 5);
+    let truth: Vec<u64> = (1..=5).map(|i| key_hash(&key(i))).collect();
+    let hits = truth
+        .iter()
+        .filter(|kh| hitters.iter().any(|h| h.key_hash == **kh))
+        .count();
+    assert!(hits >= 4, "OLH recall@5 = {}/5", hits);
+
+    // Decoys stay out here too.
+    let decoys: Vec<u64> = (0..200)
+        .map(|i| key_hash(&format!("olh-decoy/{i}")))
+        .collect();
+    assert!(dep
+        .heavy_hitters(&pairs, &decoys, decoys.len(), 5.0)
+        .is_empty());
+}
